@@ -1,0 +1,100 @@
+// Experiment X4: cost of running the analyses themselves (google-benchmark
+// microbenchmarks).  Admission control runs the full analysis per request,
+// so its latency determines how fast an edge router can take decisions.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "holistic/holistic.h"
+#include "model/generators.h"
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+model::FlowSet random_set(std::int64_t flows, std::int64_t path_len,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  model::RandomConfig cfg;
+  cfg.nodes = static_cast<std::int32_t>(std::max<std::int64_t>(path_len + 2,
+                                                               flows));
+  cfg.flows = static_cast<std::int32_t>(flows);
+  cfg.min_path = 2;
+  cfg.max_path = static_cast<std::int32_t>(path_len);
+  cfg.max_jitter = 8;
+  cfg.max_utilisation = 0.5;
+  return model::make_random(cfg, rng);
+}
+
+void BM_TrajectoryPaperExample(benchmark::State& state) {
+  const model::FlowSet set = model::paper_example();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trajectory::analyze(set));
+}
+BENCHMARK(BM_TrajectoryPaperExample);
+
+void BM_HolisticPaperExample(benchmark::State& state) {
+  const model::FlowSet set = model::paper_example();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(holistic::analyze(set));
+}
+BENCHMARK(BM_HolisticPaperExample);
+
+void BM_NetcalcPaperExample(benchmark::State& state) {
+  const model::FlowSet set = model::paper_example();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(netcalc::analyze(set));
+}
+BENCHMARK(BM_NetcalcPaperExample);
+
+void BM_TrajectoryVsFlowCount(benchmark::State& state) {
+  const model::FlowSet set = random_set(state.range(0), 4, 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trajectory::analyze(set));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TrajectoryVsFlowCount)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+void BM_TrajectoryVsPathLength(benchmark::State& state) {
+  const model::FlowSet set = random_set(8, state.range(0), 43);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trajectory::analyze(set));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TrajectoryVsPathLength)->DenseRange(2, 10, 2)->Complexity();
+
+void BM_HolisticVsFlowCount(benchmark::State& state) {
+  const model::FlowSet set = random_set(state.range(0), 4, 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(holistic::analyze(set));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HolisticVsFlowCount)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+void BM_NetcalcVsFlowCount(benchmark::State& state) {
+  const model::FlowSet set = random_set(state.range(0), 4, 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(netcalc::analyze(set));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NetcalcVsFlowCount)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+void BM_EfAnalysisWithBackground(benchmark::State& state) {
+  model::FlowSet set = model::paper_example();
+  set.add(model::SporadicFlow("bulk", model::Path{2, 3, 4, 7}, 400, 16, 0,
+                              100000, model::ServiceClass::kBestEffort));
+  trajectory::Config cfg;
+  cfg.ef_mode = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trajectory::analyze(set, cfg));
+}
+BENCHMARK(BM_EfAnalysisWithBackground);
+
+}  // namespace
+
+BENCHMARK_MAIN();

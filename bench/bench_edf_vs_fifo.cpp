@@ -1,0 +1,91 @@
+// Experiment X9 (extension): FIFO (trajectory & holistic) vs non-
+// preemptive global EDF (Spuri-style holistic) on a workload with mixed
+// deadline tightness — the scheduling-policy axis the paper's related
+// work sketches but never measures.
+//
+// EDF protects urgent flows at the expense of relaxed ones; FIFO treats
+// everyone alike but, analysed with the trajectory approach, gives far
+// tighter guarantees than its per-node reputation suggests.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "holistic/edf.h"
+#include "holistic/holistic.h"
+#include "model/flow_set.h"
+#include "sim/edf_discipline.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+model::FlowSet mixed_workload() {
+  model::FlowSet set(model::Network(5, 1, 1));
+  // Urgent control flows with tight deadlines.
+  set.add(model::SporadicFlow("ctl-a", model::Path{0, 2, 3}, 80, 3, 0, 48));
+  set.add(model::SporadicFlow("ctl-b", model::Path{1, 2, 3}, 80, 3, 0, 48));
+  // Bulkier flows with generous deadlines.
+  set.add(model::SporadicFlow("bulk-a", model::Path{0, 2, 3, 4}, 120, 9, 0,
+                              400));
+  set.add(model::SporadicFlow("bulk-b", model::Path{1, 2, 4}, 150, 12, 0,
+                              400));
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X9: scheduling-policy comparison on a mixed-criticality "
+              "workload ==\n\n");
+
+  const model::FlowSet set = mixed_workload();
+  const trajectory::Result traj = trajectory::analyze(set);
+  const holistic::Result fifo_h = holistic::analyze(set);
+  const holistic::EdfResult edf = holistic::analyze_edf(set);
+
+  sim::SearchConfig fifo_cfg;
+  fifo_cfg.random_runs = 32;
+  const sim::SearchOutcome fifo_obs = sim::find_worst_case(set, fifo_cfg);
+  sim::SearchConfig edf_cfg = fifo_cfg;
+  edf_cfg.discipline = sim::make_edf;
+  const sim::SearchOutcome edf_obs = sim::find_worst_case(set, edf_cfg);
+
+  TextTable t({"flow", "deadline", "FIFO traj", "FIFO holistic",
+               "EDF holistic", "FIFO obs", "EDF obs"});
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    t.add_row({set.flow(fi).name(), std::to_string(set.flow(fi).deadline()),
+               format_duration(traj.find(fi)->response),
+               format_duration(fifo_h.find(fi)->response),
+               format_duration(edf.find(fi)->response),
+               format_duration(fifo_obs.stats[i].worst),
+               format_duration(edf_obs.stats[i].worst)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  auto verdicts = [&](auto has_bound) {
+    int ok = 0;
+    for (std::size_t i = 0; i < set.size(); ++i)
+      if (has_bound(static_cast<FlowIndex>(i))) ++ok;
+    return ok;
+  };
+  const int traj_ok = verdicts([&](FlowIndex i) {
+    return traj.find(i)->schedulable;
+  });
+  const int fifo_ok = verdicts([&](FlowIndex i) {
+    return fifo_h.find(i)->schedulable;
+  });
+  const int edf_ok = verdicts([&](FlowIndex i) {
+    return edf.find(i)->schedulable;
+  });
+  std::printf("flows certified: FIFO/trajectory %d, FIFO/holistic %d, "
+              "EDF/holistic %d (of %zu)\n\n",
+              traj_ok, fifo_ok, edf_ok, set.size());
+  std::printf("EDF shields the tight-deadline control flows from the bulk "
+              "traffic (compare the\n'EDF obs' column), while FIFO under "
+              "the trajectory analysis certifies the same\nworkload without "
+              "deadline-aware routers — the paper's core trade-off.\n");
+  return 0;
+}

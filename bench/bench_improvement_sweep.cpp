@@ -1,0 +1,95 @@
+// Experiment X1: how much the trajectory approach gains over the holistic
+// and network-calculus baselines as the network grows — the paper's >25%
+// single-point claim, swept over parking-lot depth and crossing load.
+//
+// Series 1: backbone length (hops) at fixed crossing load.
+// Series 2: crossing flows per hop at fixed backbone length.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "holistic/holistic.h"
+#include "model/generators.h"
+#include "netcalc/analysis.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+struct Point {
+  Duration trajectory = 0;
+  Duration holistic = 0;
+  Duration netcalc = 0;
+};
+
+/// Bounds for the backbone ("main") flow of a parking lot.
+Point measure(const model::ParkingLotConfig& cfg) {
+  const model::FlowSet set = model::make_parking_lot(cfg);
+  Point p;
+  p.trajectory = trajectory::analyze(set).bounds[0].response;
+  p.holistic = holistic::analyze(set).bounds[0].response;
+  p.netcalc = netcalc::analyze(set).bounds[0].response;
+  return p;
+}
+
+std::string gain(Duration ours, Duration theirs) {
+  if (is_infinite(theirs) || theirs == 0) return "-";
+  return format_percent(static_cast<double>(theirs - ours) /
+                        static_cast<double>(theirs));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X1: trajectory improvement over baselines "
+              "(parking-lot backbone flow) ==\n\n");
+
+  {
+    TextTable t({"hops", "trajectory", "holistic", "netcalc",
+                 "gain vs holistic", "gain vs netcalc"});
+    for (std::int32_t hops = 3; hops <= 12; ++hops) {
+      model::ParkingLotConfig cfg;
+      cfg.hops = hops;
+      cfg.cross_flows = hops - 1;  // one crossing flow per junction
+      cfg.cross_span = 2;
+      cfg.period = 120;
+      const Point p = measure(cfg);
+      t.add_row({std::to_string(hops), format_duration(p.trajectory),
+                 format_duration(p.holistic), format_duration(p.netcalc),
+                 gain(p.trajectory, p.holistic),
+                 gain(p.trajectory, p.netcalc)});
+    }
+    std::printf("Series 1 — growing path length (crossings: hops-1, "
+                "span 2, T = 120, C = 4)\n%s\n",
+                t.to_string().c_str());
+  }
+
+  {
+    TextTable t({"cross flows", "node util", "trajectory", "holistic",
+                 "netcalc", "gain vs holistic", "gain vs netcalc"});
+    for (std::int32_t cross = 0; cross <= 12; cross += 2) {
+      model::ParkingLotConfig cfg;
+      cfg.hops = 6;
+      cfg.cross_flows = cross;
+      cfg.cross_span = 3;
+      cfg.period = 150;
+      const model::FlowSet set = model::make_parking_lot(cfg);
+      const Point p = measure(cfg);
+      t.add_row({std::to_string(cross),
+                 format_fixed(set.max_node_utilisation(), 2),
+                 format_duration(p.trajectory), format_duration(p.holistic),
+                 format_duration(p.netcalc), gain(p.trajectory, p.holistic),
+                 gain(p.trajectory, p.netcalc)});
+    }
+    std::printf("Series 2 — growing crossing load (6 hops, span 3, "
+                "T = 150, C = 4)\n%s\n",
+                t.to_string().c_str());
+  }
+
+  std::printf("Expected shape: the trajectory bound wins everywhere, and "
+              "the gap widens\nwith path length — the holistic recurrence "
+              "re-counts the same bursts at every\nhop, exactly the "
+              "pessimism the paper's Section 4 removes.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment X8 (extension): end-to-end *jitter* — the paper's second QoS
+// parameter (Definition 2: R_i minus the best-case response).  For the
+// paper example under increasing crossing load we print the analytic
+// jitter bound next to the worst jitter the simulator observes, for the
+// trajectory and holistic analyses.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "holistic/holistic.h"
+#include "model/flow_set.h"
+#include "model/paper_example.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+/// Paper example plus `extra` additional flows over the 2-3-4 core.
+model::FlowSet loaded_example(int extra) {
+  model::FlowSet set = model::paper_example();
+  for (int k = 0; k < extra; ++k)
+    set.add(model::SporadicFlow("load" + std::to_string(k),
+                                model::Path{2, 3, 4}, 72, 4, 0, 100000));
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X8: end-to-end jitter (Definition 2) vs crossing load ==\n"
+              "tracked flow: tau3 (longest path)\n\n");
+
+  TextTable t({"extra flows", "core util", "traj R", "traj jitter",
+               "holistic jitter", "observed jitter", "sound"});
+  for (const int extra : {0, 1, 2, 3, 4}) {
+    const model::FlowSet set = loaded_example(extra);
+    const trajectory::Result tr = trajectory::analyze(set);
+    const holistic::Result ho = holistic::analyze(set);
+
+    sim::SearchConfig scfg;
+    scfg.random_runs = 32;
+    const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+
+    const auto& b = tr.bounds[2];  // tau3
+    const Duration observed = obs.stats[2].observed_jitter();
+    t.add_row({std::to_string(extra),
+               format_fixed(set.node_utilisation(3), 2),
+               format_duration(b.response), format_duration(b.jitter),
+               format_duration(ho.bounds[2].jitter),
+               format_duration(observed),
+               observed <= b.jitter ? "yes" : "VIOLATED"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("The jitter bound R_i - (sum C + (|P|-1) Lmin) grows with "
+              "load exactly as the\nresponse bound does; observed jitter "
+              "(max - min over all scenarios) stays within\nit.  The "
+              "holistic jitter bound inflates much faster — the delay "
+              "*variability*\nguarantee is where the trajectory approach "
+              "pays off most (e.g. for de-jitter\nbuffer sizing in the "
+              "paper's voice-over-IP motivation).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment T1/T2: regenerates the paper's Section-5 example — Table 1
+// (inputs) and Table 2 (worst-case end-to-end response times, trajectory
+// vs holistic) — and extends it with the completion-semantics trajectory
+// row, the network-calculus baseline, and the deadline verdicts backing
+// the paper's ">25% improvement, all-vs-none schedulable" claim.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "holistic/holistic.h"
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+std::vector<std::string> row(const std::string& label,
+                             const std::vector<Duration>& values) {
+  std::vector<std::string> cells{label};
+  for (const Duration v : values) cells.push_back(format_duration(v));
+  return cells;
+}
+
+}  // namespace
+
+int main() {
+  const model::FlowSet set = model::paper_example();
+
+  std::printf("== Paper example (Section 5): Lmin = Lmax = 1, T = 36, "
+              "C = 4, J = 0 ==\n\n");
+
+  TextTable inputs({"flow", "path", "deadline D_i"});
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto& f = set.flow(static_cast<FlowIndex>(i));
+    inputs.add_row({f.name(), f.path().to_string(),
+                    std::to_string(f.deadline())});
+  }
+  std::printf("Table 1 — end-to-end deadlines and routes\n%s\n",
+              inputs.to_string().c_str());
+
+  trajectory::Config lo_cfg;
+  lo_cfg.smax_semantics = trajectory::SmaxSemantics::kArrival;
+  trajectory::Config hi_cfg;
+  hi_cfg.smax_semantics = trajectory::SmaxSemantics::kCompletion;
+  const trajectory::Result lo = trajectory::analyze(set, lo_cfg);
+  const trajectory::Result hi = trajectory::analyze(set, hi_cfg);
+  const holistic::Result ho = holistic::analyze(set);
+  const netcalc::Result nc = netcalc::analyze(set);
+
+  sim::SearchConfig scfg;
+  scfg.random_runs = 64;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+
+  auto collect = [](const auto& result) {
+    std::vector<Duration> v;
+    for (const auto& b : result.bounds) v.push_back(b.response);
+    return v;
+  };
+
+  TextTable t2({"approach", "tau1", "tau2", "tau3", "tau4", "tau5"});
+  t2.add_row(row("trajectory (this impl., arrival Smax)", collect(lo)));
+  t2.add_row(row("trajectory (this impl., completion Smax)", collect(hi)));
+  t2.add_row(row("trajectory (paper Table 2)",
+                 {model::kPaperTrajectoryBounds.begin(),
+                  model::kPaperTrajectoryBounds.end()}));
+  t2.add_row(row("holistic (this impl.)", collect(ho)));
+  t2.add_row(row("holistic (paper Table 2)",
+                 {model::kPaperHolisticBounds.begin(),
+                  model::kPaperHolisticBounds.end()}));
+  t2.add_row(row("network calculus (this impl.)", collect(nc)));
+  {
+    std::vector<Duration> v;
+    for (const auto& s : obs.stats) v.push_back(s.worst);
+    t2.add_row(row("simulated worst observed", v));
+  }
+  std::printf("Table 2 — worst case end-to-end response times\n%s\n",
+              t2.to_string().c_str());
+
+  TextTable verdict({"flow", "deadline", "trajectory", "meets?", "holistic",
+                     "meets?", "improvement"});
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto& f = set.flow(static_cast<FlowIndex>(i));
+    const Duration t = lo.bounds[i].response;
+    const Duration h = ho.bounds[i].response;
+    verdict.add_row({f.name(), std::to_string(f.deadline()),
+                     format_duration(t), t <= f.deadline() ? "yes" : "NO",
+                     format_duration(h), h <= f.deadline() ? "yes" : "NO",
+                     format_percent(static_cast<double>(h - t) /
+                                    static_cast<double>(h))});
+  }
+  std::printf("Schedulability verdicts (paper: all meet under trajectory, "
+              "none under holistic, improvement > 25%%)\n%s\n",
+              verdict.to_string().c_str());
+
+  std::printf("Soundness: every 'simulated worst observed' entry must stay\n"
+              "at or below every analytic row above it (%zu scenarios).\n",
+              obs.runs);
+  return 0;
+}

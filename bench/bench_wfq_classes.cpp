@@ -1,0 +1,73 @@
+// Experiment X10 (extension): deterministic bounds for EVERY class of the
+// paper's Figure-3 router — EF via Property 3, AF/BE via the WFQ
+// class-level curves — validated against the DiffServ simulation.  The
+// paper only bounds EF; this closes the loop for the whole router.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "diffserv/ef_analysis.h"
+#include "diffserv/wfq_analysis.h"
+#include "model/flow_set.h"
+#include "sim/worst_case_search.h"
+
+namespace {
+
+using namespace tfa;
+
+model::FlowSet enterprise_edge() {
+  model::FlowSet set(model::Network(5, 1, 2));
+  set.add(model::SporadicFlow("voice-1", model::Path{0, 2, 3}, 200, 4, 2,
+                              1500));
+  set.add(model::SporadicFlow("voice-2", model::Path{1, 2, 3}, 200, 4, 2,
+                              1500));
+  set.add(model::SporadicFlow("erp", model::Path{0, 2, 3, 4}, 400, 24, 0,
+                              8000, model::ServiceClass::kAssured1));
+  set.add(model::SporadicFlow("video", model::Path{1, 2, 4}, 300, 30, 0,
+                              9000, model::ServiceClass::kAssured3));
+  set.add(model::SporadicFlow("mail", model::Path{0, 2, 4}, 1500, 40, 0,
+                              30000, model::ServiceClass::kBestEffort));
+  set.add(model::SporadicFlow("backup", model::Path{1, 2, 3, 4}, 2400, 60, 0,
+                              60000, model::ServiceClass::kBestEffort));
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== X10: every class of the Figure-3 router bounded ==\n\n");
+  const model::FlowSet set = enterprise_edge();
+
+  const trajectory::Result ef = diffserv::analyze_ef(set);
+  const diffserv::WfqResult wfq = diffserv::analyze_wfq(set);
+
+  sim::SearchConfig scfg;
+  scfg.random_runs = 48;
+  scfg.discipline = diffserv::make_diffserv;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+
+  TextTable t({"flow", "class", "analysis", "bound", "observed",
+               "obs/bound", "sound"});
+  auto add = [&](FlowIndex i, const char* analysis, Duration bound) {
+    const auto iu = static_cast<std::size_t>(i);
+    const Duration o = obs.stats[iu].worst;
+    t.add_row({set.flow(i).name(),
+               model::to_string(set.flow(i).service_class()), analysis,
+               format_duration(bound), format_duration(o),
+               is_infinite(bound)
+                   ? "-"
+                   : format_fixed(static_cast<double>(o) /
+                                      static_cast<double>(bound),
+                                  2),
+               o <= bound ? "yes" : "VIOLATED"});
+  };
+  for (const auto& b : ef.bounds) add(b.flow, "Property 3", b.response);
+  for (const auto& b : wfq.bounds) add(b.flow, "WFQ curves", b.response);
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("EF keeps microsecond-scale bounds under bulk AF/BE load; "
+              "the WFQ curves give\nthe assured classes usable (if looser) "
+              "guarantees and even best-effort a finite\nceiling — no class "
+              "of the router is left unquantified.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Flow-set analyzer CLI: reads a flow set in the text format of
+// model/serialize.h (from a file given as argv[1], or a built-in sample),
+// prints the trajectory bounds with a full per-flow decomposition, and —
+// with tracing — reconstructs a Figure-2 busy-period chain from an actual
+// simulated packet.
+//
+// Usage:  analyze_flowset [flowset.txt]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/table.h"
+#include "model/serialize.h"
+#include "sim/network_sim.h"
+#include "trajectory/analysis.h"
+#include "trajectory/explain.h"
+
+namespace {
+
+constexpr const char* kSample = R"(# built-in sample: a Y-shaped merge
+network 6 1 2
+flow camera   EF 120 0 400 path 0 2 3 4 costs 9
+flow lidar    EF 100 5 400 path 1 2 3 4 costs 7
+flow control  EF  80 0 300 path 5 3 4 costs 3
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tfa;
+
+  std::string text = kSample;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  } else {
+    std::printf("(no file given: using the built-in sample)\n\n%s\n",
+                kSample);
+  }
+
+  const model::ParseResult parsed = model::parse_flow_set(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error (line %d): %s\n", parsed.error_line,
+                 parsed.error.c_str());
+    return 2;
+  }
+  const model::FlowSet& set = *parsed.flow_set;
+
+  // Bounds table.
+  const trajectory::Result result = trajectory::analyze(set);
+  TextTable t({"flow", "class", "deadline", "bound", "jitter", "verdict"});
+  for (const auto& b : result.bounds) {
+    const auto& f = set.flow(b.flow);
+    t.add_row({f.name(), model::to_string(f.service_class()),
+               std::to_string(f.deadline()), format_duration(b.response),
+               format_duration(b.jitter), b.schedulable ? "meets" : "MISSES"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Per-flow decomposition (the explainer re-derives and re-checks every
+  // term of Property 2).
+  const model::NormalisationReport norm = model::normalise(set);
+  const trajectory::Engine engine(norm.flow_set, trajectory::Config{});
+  for (std::size_t i = 0; i < norm.flow_set.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    if (!engine.analysable(fi)) continue;
+    std::printf("%s\n",
+                trajectory::explain(engine, fi).to_string().c_str());
+  }
+
+  // A real busy-period chain (paper Figure 2) from a traced simulation.
+  sim::SimConfig scfg;
+  scfg.pattern = sim::ArrivalPattern::kSynchronousBurst;
+  scfg.record_trace = true;
+  sim::NetworkSim sim(set, scfg);
+  sim.run();
+  const FlowIndex probe = 0;
+  const auto chain = sim::busy_period_chain(
+      sim.trace(), set, probe, sim.stats()[0].worst_sequence >= 0
+                                   ? sim.stats()[0].worst_sequence
+                                   : 0);
+  std::printf("busy-period chain of flow '%s' (Figure 2, simulated):\n",
+              set.flow(probe).name().c_str());
+  for (const auto& link : chain)
+    std::printf("  node %d: busy period opened at t=%lld by %s#%lld; "
+                "target served [%lld, %lld)\n",
+                link.node, static_cast<long long>(link.busy_start),
+                set.flow(link.opener.flow).name().c_str(),
+                static_cast<long long>(link.opener.sequence),
+                static_cast<long long>(link.target.start),
+                static_cast<long long>(link.target.completion));
+
+  return result.all_schedulable ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Control-command over a ring backbone (the paper's motivating class of
+// applications, Section 1): sensor -> controller -> actuator loops with
+// hard end-to-end deadlines and *jitter* requirements.
+//
+// The example contrasts the two analyses the paper compares: the control
+// loops fit their deadlines under the trajectory bound but the holistic
+// bound rejects several — the cost of deploying the pessimistic analysis
+// would be buying a faster network for nothing.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "holistic/holistic.h"
+#include "model/flow_set.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+/// An 8-switch industrial ring; ticks are microseconds, links take
+/// exactly 2 us (cut-through switching), frames take 8 us per switch.
+model::FlowSet build_plant() {
+  model::FlowSet set(model::Network(8, 2, 2));
+
+  // Four control loops: sensor data travels 3 hops clockwise to the
+  // controller, the command travels 2 more hops to the actuator.  Loop
+  // period 1 ms; the loop budget below is the network share of it.
+  const struct {
+    const char* name;
+    std::vector<NodeId> route;
+    Duration deadline;
+  } loops[] = {
+      {"loop-a/sense", {0, 1, 2, 3}, 160},
+      {"loop-a/act", {3, 4, 5}, 130},
+      {"loop-b/sense", {2, 3, 4, 5}, 160},
+      {"loop-b/act", {5, 6, 7}, 130},
+      {"loop-c/sense", {4, 5, 6, 7}, 160},
+      {"loop-c/act", {7, 0, 1}, 130},
+      {"loop-d/sense", {6, 7, 0, 1}, 160},
+      {"loop-d/act", {1, 2, 3}, 130},
+  };
+  for (const auto& l : loops)
+    set.add(model::SporadicFlow(l.name, model::Path(l.route), 1000, 8,
+                                /*jitter=*/4, l.deadline));
+
+  // Diagnostic/telemetry traffic sharing the ring (same FIFO class —
+  // plain Property 2 territory, no DiffServ here).
+  for (int k = 0; k < 4; ++k) {
+    const NodeId start = static_cast<NodeId>(2 * k);
+    set.add(model::SporadicFlow(
+        "telemetry" + std::to_string(k),
+        model::Path{start, static_cast<NodeId>((start + 1) % 8)}, 5000, 16,
+        0, 100000));
+  }
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  const model::FlowSet plant = build_plant();
+
+  const trajectory::Result traj = trajectory::analyze(plant);
+  const holistic::Result holi = holistic::analyze(plant);
+
+  sim::SearchConfig search;
+  search.random_runs = 32;
+  const sim::SearchOutcome obs = sim::find_worst_case(plant, search);
+
+  TextTable t({"flow", "deadline", "trajectory", "jitter", "holistic",
+               "observed", "traj verdict", "holistic verdict"});
+  int traj_ok = 0, holi_ok = 0, loops = 0;
+  for (std::size_t i = 0; i < plant.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = plant.flow(fi);
+    const auto* tb = traj.find(fi);
+    const auto* hb = holi.find(fi);
+    const bool is_loop = f.name().rfind("loop", 0) == 0;
+    if (is_loop) {
+      ++loops;
+      traj_ok += tb->schedulable ? 1 : 0;
+      holi_ok += hb->schedulable ? 1 : 0;
+    }
+    t.add_row({f.name(), std::to_string(f.deadline()),
+               format_duration(tb->response), format_duration(tb->jitter),
+               format_duration(hb->response),
+               format_duration(obs.stats[i].worst),
+               tb->schedulable ? "meets" : "MISSES",
+               hb->schedulable ? "meets" : "MISSES"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\ncontrol loops certified: trajectory %d/%d, holistic "
+              "%d/%d\n",
+              traj_ok, loops, holi_ok, loops);
+  std::printf("(the observed column is the simulator's adversarial lower "
+              "bound — always\nwithin the trajectory bound, often close: "
+              "the analysis is tight enough to act on)\n");
+  return traj_ok == loops ? 0 : 1;
+}

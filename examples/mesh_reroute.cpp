@@ -1,0 +1,71 @@
+// Assumption-1 in the wild: a mesh network where an engineering reroute
+// makes one flow weave across another's path, leave it, and come back.
+// The paper's recipe (Section 2.2) treats the returning flow as a new
+// flow from the re-entry point on; the library applies the splitting
+// automatically and reports a composed bound for the affected flow.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "model/flow_set.h"
+#include "model/normalize.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/analysis.h"
+
+int main() {
+  using namespace tfa;
+
+  // 3x3 mesh, row-major node ids:
+  //   0 1 2
+  //   3 4 5
+  //   6 7 8
+  model::FlowSet mesh(model::Network(9, 1, 2));
+
+  // A latency-critical flow crossing the middle row.
+  mesh.add(model::SporadicFlow("express", model::Path{3, 4, 5}, 60, 5, 0,
+                               120));
+  // A provisioning flow originally routed around the edge, rerouted
+  // through the mesh: it touches the express path at 4, detours via 1,
+  // and returns to it at 5 — an Assumption-1 violation.
+  mesh.add(model::SporadicFlow("provision", model::Path{0, 4, 1, 5, 8}, 90,
+                               7, 0, 400));
+  // Background column traffic.
+  mesh.add(model::SporadicFlow("column", model::Path{1, 4, 7}, 80, 6, 0,
+                               300));
+
+  std::printf("Assumption 1 satisfied before analysis: %s\n",
+              model::satisfies_assumption1(mesh) ? "yes" : "no");
+
+  // analyze() normalises internally; the report shows what it did.
+  const auto norm = model::normalise(mesh);
+  std::printf("normaliser performed %zu split(s); flows afterwards:\n",
+              norm.split_count);
+  for (std::size_t i = 0; i < norm.flow_set.size(); ++i) {
+    const auto& f = norm.flow_set.flow(static_cast<FlowIndex>(i));
+    std::printf("  %-12s %s\n", f.name().c_str(),
+                f.path().to_string().c_str());
+  }
+
+  const trajectory::Result result = trajectory::analyze(mesh);
+
+  sim::SearchConfig search;
+  search.random_runs = 32;
+  const sim::SearchOutcome obs = sim::find_worst_case(mesh, search);
+
+  TextTable t({"flow", "bound", "composed?", "observed", "deadline",
+               "verdict"});
+  for (const auto& b : result.bounds) {
+    const auto& f = mesh.flow(b.flow);
+    t.add_row({f.name(), format_duration(b.response),
+               b.composed ? "yes (split segments)" : "no",
+               format_duration(obs.stats[static_cast<std::size_t>(b.flow)]
+                                   .worst),
+               std::to_string(f.deadline()),
+               b.schedulable ? "meets" : "MISSES"});
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  std::printf("\nthe rerouted flow gets a composed bound: trajectory "
+              "analysis per segment,\nsummed across the split — exactly "
+              "the paper's 'consider it a new flow' rule.\n");
+  return result.all_schedulable ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+// tfa_tool — the command-line front end a deployment would script around.
+//
+//   tfa_tool analyze  <flowset.txt>            bounds + verdicts table
+//   tfa_tool report   <flowset.txt> [out.md]   full Markdown report
+//   tfa_tool simulate <flowset.txt> [runs]     adversarial worst-case search
+//   tfa_tool admit    <flowset.txt>            replay flows through admission
+//   tfa_tool generate <seed> [flows] [nodes]   emit a random set (text format)
+//
+// Run without arguments for this usage text; every subcommand exits 0 on
+// success, 1 on a negative verdict, 2 on usage/parse errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "admission/admission.h"
+#include "base/rng.h"
+#include "base/table.h"
+#include "model/generators.h"
+#include "model/serialize.h"
+#include "report/report.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
+               "       tfa_tool generate <seed> [flows] [nodes]\n");
+  return 2;
+}
+
+bool load(const char* path, model::FlowSet& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const model::ParseResult parsed = model::parse_flow_set(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s:%d: %s\n", path, parsed.error_line,
+                 parsed.error.c_str());
+    return false;
+  }
+  out = *parsed.flow_set;
+  return true;
+}
+
+int cmd_analyze(const model::FlowSet& set) {
+  const trajectory::Result r = trajectory::analyze(set);
+  TextTable t({"flow", "deadline", "bound", "jitter", "verdict"});
+  for (const auto& b : r.bounds) {
+    const auto& f = set.flow(b.flow);
+    t.add_row({f.name(), std::to_string(f.deadline()),
+               format_duration(b.response), format_duration(b.jitter),
+               b.schedulable ? "meets" : "MISSES"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return r.all_schedulable ? 0 : 1;
+}
+
+int cmd_report(const model::FlowSet& set, const char* out_path) {
+  report::ReportConfig cfg;
+  cfg.include_simulation = true;
+  const std::string doc = report::markdown_report(set, cfg);
+  if (out_path != nullptr) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 2;
+    }
+    out << doc;
+    std::printf("report written to %s\n", out_path);
+  } else {
+    std::printf("%s", doc.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const model::FlowSet& set, std::size_t runs) {
+  sim::SearchConfig cfg;
+  cfg.random_runs = runs;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, cfg);
+  const trajectory::Result r = trajectory::analyze(set);
+  TextTable t({"flow", "observed worst", "bound", "obs/bound"});
+  bool sound = true;
+  for (const auto& b : r.bounds) {
+    const auto i = static_cast<std::size_t>(b.flow);
+    if (obs.stats[i].worst > b.response) sound = false;
+    t.add_row({set.flow(b.flow).name(),
+               format_duration(obs.stats[i].worst),
+               format_duration(b.response),
+               is_infinite(b.response)
+                   ? "-"
+                   : format_fixed(static_cast<double>(obs.stats[i].worst) /
+                                      static_cast<double>(b.response),
+                                  2)});
+  }
+  std::printf("%s%zu scenarios; bounds %s\n", t.to_string().c_str(),
+              obs.runs, sound ? "hold" : "VIOLATED");
+  return sound ? 0 : 1;
+}
+
+int cmd_admit(const model::FlowSet& set) {
+  admission::AdmissionController ctrl(set.network());
+  int rejected = 0;
+  for (const auto& f : set.flows()) {
+    const admission::Decision d = ctrl.request(f);
+    std::printf("%-16s %s (bound %s)\n", f.name().c_str(),
+                d.admitted ? "admitted" : ("REJECTED: " + d.reason).c_str(),
+                format_duration(d.candidate_bound).c_str());
+    if (!d.admitted) ++rejected;
+  }
+  std::printf("%zu admitted, %d rejected\n", ctrl.admitted().size(),
+              rejected);
+  return rejected == 0 ? 0 : 1;
+}
+
+int cmd_generate(std::uint64_t seed, std::int32_t flows, std::int32_t nodes) {
+  Rng rng(seed);
+  model::RandomConfig cfg;
+  cfg.flows = flows;
+  cfg.nodes = nodes;
+  const model::FlowSet set = model::make_random(cfg, rng);
+  std::printf("%s", model::serialize_flow_set(set).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "generate") {
+    if (argc < 3) return usage();
+    const auto seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const std::int32_t flows = argc > 3 ? std::atoi(argv[3]) : 8;
+    const std::int32_t nodes = argc > 4 ? std::atoi(argv[4]) : 12;
+    if (flows <= 0 || nodes <= 1) return usage();
+    return cmd_generate(seed, flows, nodes);
+  }
+
+  if (argc < 3) return usage();
+  model::FlowSet set;
+  if (!load(argv[2], set)) return 2;
+  if (const auto issues = set.validate(); !issues.empty()) {
+    std::fprintf(stderr, "invalid flow set: %s\n",
+                 issues.front().message.c_str());
+    return 2;
+  }
+
+  if (cmd == "analyze") return cmd_analyze(set);
+  if (cmd == "report") return cmd_report(set, argc > 3 ? argv[3] : nullptr);
+  if (cmd == "simulate")
+    return cmd_simulate(set, argc > 3
+                                 ? static_cast<std::size_t>(std::atoi(argv[3]))
+                                 : 32);
+  if (cmd == "admit") return cmd_admit(set);
+  return usage();
+}

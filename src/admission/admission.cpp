@@ -1,0 +1,133 @@
+#include "admission/admission.h"
+
+#include <utility>
+
+#include "base/contracts.h"
+#include "holistic/holistic.h"
+#include "netcalc/analysis.h"
+#include "trajectory/analysis.h"
+
+namespace tfa::admission {
+
+AdmissionController::AdmissionController(model::Network network,
+                                         AnalysisKind kind,
+                                         trajectory::Config trajectory_cfg)
+    : set_(std::move(network)), kind_(kind),
+      trajectory_cfg_(trajectory_cfg) {
+  trajectory_cfg_.ef_mode = (kind_ == AnalysisKind::kTrajectoryEf);
+}
+
+Decision AdmissionController::request(const model::SporadicFlow& flow) {
+  Decision d;
+
+  // Structural rejections first: name clash, path outside the network.
+  if (set_.find(flow.name())) {
+    d.reason = "a flow named '" + flow.name() + "' is already admitted";
+    return d;
+  }
+  model::FlowSet candidate = set_;
+  candidate.add(flow);
+  if (const auto issues = candidate.validate(); !issues.empty()) {
+    d.reason = "invalid request: " + issues.front().message;
+    return d;
+  }
+
+  // Necessary condition: no node may exceed full utilisation.
+  for (const NodeId h : flow.path().nodes()) {
+    if (candidate.node_utilisation(h) > 1.0) {
+      d.reason = "node " + std::to_string(h) + " would exceed capacity";
+      return d;
+    }
+  }
+
+  if (!schedulable(candidate, &d.violating, &d.candidate_bound, flow.name())) {
+    d.reason = d.violating.empty()
+                   ? "analysis did not converge"
+                   : "deadline miss certified for: " + d.violating.front();
+    return d;
+  }
+
+  set_ = std::move(candidate);
+  d.admitted = true;
+  d.reason = "admitted";
+  return d;
+}
+
+bool AdmissionController::release(std::string_view name) {
+  const auto idx = set_.find(name);
+  if (!idx) return false;
+  model::FlowSet next(set_.network());
+  for (std::size_t i = 0; i < set_.size(); ++i)
+    if (static_cast<FlowIndex>(i) != *idx)
+      next.add(set_.flow(static_cast<FlowIndex>(i)));
+  set_ = std::move(next);
+  return true;
+}
+
+std::vector<std::pair<std::string, Duration>>
+AdmissionController::certified_bounds() const {
+  std::vector<std::pair<std::string, Duration>> out;
+  if (set_.empty()) return out;
+  switch (kind_) {
+    case AnalysisKind::kTrajectory:
+    case AnalysisKind::kTrajectoryEf: {
+      const trajectory::Result r = trajectory::analyze(set_, trajectory_cfg_);
+      for (const auto& b : r.bounds)
+        out.emplace_back(set_.flow(b.flow).name(), b.response);
+      break;
+    }
+    case AnalysisKind::kHolistic: {
+      const holistic::Result r = holistic::analyze(set_);
+      for (const auto& b : r.bounds)
+        out.emplace_back(set_.flow(b.flow).name(), b.response);
+      break;
+    }
+    case AnalysisKind::kNetworkCalculus: {
+      const netcalc::Result r = netcalc::analyze(set_);
+      for (const auto& b : r.bounds)
+        out.emplace_back(set_.flow(b.flow).name(), b.response);
+      break;
+    }
+  }
+  return out;
+}
+
+bool AdmissionController::schedulable(const model::FlowSet& candidate,
+                                      std::vector<std::string>* violating,
+                                      Duration* newcomer_bound,
+                                      std::string_view newcomer) const {
+  TFA_EXPECTS(violating != nullptr && newcomer_bound != nullptr);
+
+  auto harvest = [&](const auto& bounds, bool converged) {
+    bool ok = converged;
+    for (const auto& b : bounds) {
+      const std::string& name = candidate.flow(b.flow).name();
+      if (name == newcomer) *newcomer_bound = b.response;
+      if (!b.schedulable) {
+        violating->push_back(name);
+        ok = false;
+      }
+    }
+    return ok;
+  };
+
+  switch (kind_) {
+    case AnalysisKind::kTrajectory:
+    case AnalysisKind::kTrajectoryEf: {
+      const trajectory::Result r =
+          trajectory::analyze(candidate, trajectory_cfg_);
+      return harvest(r.bounds, r.converged);
+    }
+    case AnalysisKind::kHolistic: {
+      const holistic::Result r = holistic::analyze(candidate);
+      return harvest(r.bounds, r.converged);
+    }
+    case AnalysisKind::kNetworkCalculus: {
+      const netcalc::Result r = netcalc::analyze(candidate);
+      return harvest(r.bounds, r.converged);
+    }
+  }
+  return false;
+}
+
+}  // namespace tfa::admission

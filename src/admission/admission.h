@@ -1,0 +1,75 @@
+// Deterministic admission control (paper Section 6.2: QoS guarantees for
+// the EF class must be enforceable without per-flow state in the core, so
+// admission happens at the edge, against worst-case analysis).
+//
+// The controller keeps the currently admitted flow set; each request is
+// granted only if the chosen analysis still certifies every analysed
+// flow's deadline with the newcomer included.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "trajectory/types.h"
+
+namespace tfa::admission {
+
+/// Which worst-case analysis backs the admission test.
+enum class AnalysisKind {
+  kTrajectory,    ///< Property 2 over all flows (single FIFO class).
+  kTrajectoryEf,  ///< Property 3: EF flows analysed, others are background.
+  kHolistic,      ///< Holistic baseline (more rejections, same safety).
+  kNetworkCalculus,  ///< Network-calculus baseline.
+};
+
+/// Outcome of one admission request.
+struct Decision {
+  bool admitted = false;
+  std::string reason;  ///< Human-readable explanation.
+  /// Names of flows whose deadline the newcomer would break (possibly
+  /// including the newcomer itself).
+  std::vector<std::string> violating;
+  /// Bound computed for the newcomer in the tentative set (divergent =>
+  /// kInfiniteDuration); only meaningful when the analysis ran.
+  Duration candidate_bound = 0;
+};
+
+/// Edge admission controller.
+class AdmissionController {
+ public:
+  explicit AdmissionController(model::Network network,
+                               AnalysisKind kind = AnalysisKind::kTrajectory,
+                               trajectory::Config trajectory_cfg = {});
+
+  /// Attempts to admit `flow`; commits it only when the whole tentative
+  /// set stays schedulable.
+  Decision request(const model::SporadicFlow& flow);
+
+  /// Removes a previously admitted flow; returns false when unknown.
+  bool release(std::string_view name);
+
+  /// The currently admitted flows.
+  [[nodiscard]] const model::FlowSet& admitted() const noexcept {
+    return set_;
+  }
+
+  /// Response bounds certified for the admitted set (pairs of flow name
+  /// and bound), recomputed on demand.
+  [[nodiscard]] std::vector<std::pair<std::string, Duration>>
+  certified_bounds() const;
+
+ private:
+  [[nodiscard]] bool schedulable(const model::FlowSet& candidate,
+                                 std::vector<std::string>* violating,
+                                 Duration* newcomer_bound,
+                                 std::string_view newcomer) const;
+
+  model::FlowSet set_;
+  AnalysisKind kind_;
+  trajectory::Config trajectory_cfg_;
+};
+
+}  // namespace tfa::admission

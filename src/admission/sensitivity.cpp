@@ -1,0 +1,124 @@
+#include "admission/sensitivity.h"
+
+#include <string>
+
+#include "base/contracts.h"
+#include "trajectory/analysis.h"
+
+namespace tfa::admission {
+
+namespace {
+
+/// True iff every analysed flow of `set` is certified schedulable.  A
+/// mutation can make a set structurally infeasible (deadline below the
+/// best case); that counts as "not certified", not as a usage error.
+bool all_certified(const model::FlowSet& set, const trajectory::Config& cfg) {
+  if (!set.validate().empty()) return false;
+  const trajectory::Result r = trajectory::analyze(set, cfg);
+  return r.converged && r.all_schedulable;
+}
+
+/// Rebuilds `set` with flow `i` transformed by `mutate`.
+template <typename Mutate>
+model::FlowSet with_mutated_flow(const model::FlowSet& set, FlowIndex i,
+                                 const Mutate& mutate) {
+  model::FlowSet out(set.network());
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    const auto fk = static_cast<FlowIndex>(k);
+    if (fk == i)
+      out.add(mutate(set.flow(fk)));
+    else
+      out.add(set.flow(fk));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FlowSlack> deadline_slacks(const model::FlowSet& set,
+                                       const trajectory::Config& cfg) {
+  const trajectory::Result r = trajectory::analyze(set, cfg);
+  std::vector<FlowSlack> out;
+  for (const trajectory::FlowBound& b : r.bounds) {
+    FlowSlack s;
+    s.flow = b.flow;
+    s.response = b.response;
+    s.slack = is_infinite(b.response)
+                  ? -kInfiniteDuration
+                  : set.flow(b.flow).deadline() - b.response;
+    out.push_back(s);
+  }
+  return out;
+}
+
+Duration max_extra_cost(const model::FlowSet& set, FlowIndex i,
+                        const trajectory::Config& cfg, Duration limit) {
+  TFA_EXPECTS(limit >= 0);
+  const auto grown = [&](Duration extra) {
+    return with_mutated_flow(set, i, [&](const model::SporadicFlow& f) {
+      std::vector<Duration> costs = f.costs();
+      for (Duration& c : costs) c += extra;
+      return model::SporadicFlow(f.name(), f.path(), f.period(),
+                                 std::move(costs), f.jitter(), f.deadline(),
+                                 f.service_class());
+    });
+  };
+
+  if (!all_certified(grown(0), cfg)) return 0;
+  // Invariant: lo passes, hi fails (or hi > limit).
+  Duration lo = 0, hi = 1;
+  while (hi <= limit && all_certified(grown(hi), cfg)) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > limit) {
+    if (lo == limit || all_certified(grown(limit), cfg)) return limit;
+    hi = limit;
+  }
+  while (hi - lo > 1) {
+    const Duration mid = lo + (hi - lo) / 2;
+    (all_certified(grown(mid), cfg) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+Duration min_period(const model::FlowSet& set, FlowIndex i,
+                    const trajectory::Config& cfg, Duration floor) {
+  TFA_EXPECTS(floor >= 1);
+  const model::SporadicFlow& flow = set.flow(i);
+  TFA_EXPECTS(floor <= flow.period());
+  const auto with_period = [&](Duration period) {
+    return with_mutated_flow(set, i, [&](const model::SporadicFlow& f) {
+      return model::SporadicFlow(f.name(), f.path(), period, f.costs(),
+                                 f.jitter(), f.deadline(), f.service_class());
+    });
+  };
+
+  if (!all_certified(with_period(flow.period()), cfg)) return flow.period();
+  if (all_certified(with_period(floor), cfg)) return floor;
+  // Invariant: hi passes, lo fails.
+  Duration lo = floor, hi = flow.period();
+  while (hi - lo > 1) {
+    const Duration mid = lo + (hi - lo) / 2;
+    (all_certified(with_period(mid), cfg) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+std::size_t max_clones(const model::FlowSet& set,
+                       const model::SporadicFlow& probe,
+                       const trajectory::Config& cfg, std::size_t limit) {
+  model::FlowSet grown = set;
+  for (std::size_t k = 0; k < limit; ++k) {
+    model::FlowSet candidate = grown;
+    candidate.add(model::SporadicFlow(
+        probe.name() + "#" + std::to_string(k), probe.path(), probe.period(),
+        probe.costs(), probe.jitter(), probe.deadline(),
+        probe.service_class()));
+    if (!all_certified(candidate, cfg)) return k;
+    grown = std::move(candidate);
+  }
+  return limit;
+}
+
+}  // namespace tfa::admission

@@ -1,0 +1,51 @@
+// Sensitivity analysis / capacity planning on top of the trajectory
+// bounds: how much headroom does a certified deployment actually have?
+//
+// All searches exploit the monotonicity of the Property-2/3 bound — it
+// never decreases when a cost grows or a period shrinks (regression-tested
+// in tests/trajectory/engine_test.cpp) — so plain binary search yields the
+// exact breaking points.
+#pragma once
+
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "trajectory/types.h"
+
+namespace tfa::admission {
+
+/// Deadline slack of one flow under the analysis: D_i - R_i.
+struct FlowSlack {
+  FlowIndex flow = kNoFlow;
+  Duration response = 0;  ///< Certified bound.
+  Duration slack = 0;     ///< Negative when the deadline is missed;
+                          ///< -kInfiniteDuration when divergent.
+};
+
+/// Slack of every analysed flow.
+[[nodiscard]] std::vector<FlowSlack> deadline_slacks(
+    const model::FlowSet& set, const trajectory::Config& cfg = {});
+
+/// Largest per-node cost increase of flow `i` (added to each of its node
+/// costs) that keeps *every* analysed flow schedulable.  Returns 0 when
+/// there is no headroom and `limit` when even that passes.
+[[nodiscard]] Duration max_extra_cost(const model::FlowSet& set, FlowIndex i,
+                                      const trajectory::Config& cfg = {},
+                                      Duration limit = 1 << 12);
+
+/// Smallest period of flow `i` that keeps every analysed flow schedulable,
+/// searched down from the current period.  Returns the current period when
+/// no shrinking is possible, and never goes below `floor` (>= 1).
+[[nodiscard]] Duration min_period(const model::FlowSet& set, FlowIndex i,
+                                  const trajectory::Config& cfg = {},
+                                  Duration floor = 1);
+
+/// Largest number of clones of `probe` (name-suffixed) admissible on top
+/// of `set` with every deadline still certified.  Caps at `limit`.
+[[nodiscard]] std::size_t max_clones(const model::FlowSet& set,
+                                     const model::SporadicFlow& probe,
+                                     const trajectory::Config& cfg = {},
+                                     std::size_t limit = 256);
+
+}  // namespace tfa::admission

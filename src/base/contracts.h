@@ -1,0 +1,37 @@
+// Lightweight Expects/Ensures-style contract macros (C++ Core Guidelines
+// I.6/I.8).  Violations abort with a readable message; contracts stay on in
+// release builds because every analysis result is only meaningful if its
+// preconditions held.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfa::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "tfa: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace tfa::detail
+
+/// Precondition check.
+#define TFA_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::tfa::detail::contract_failure("precondition", #cond,         \
+                                            __FILE__, __LINE__))
+
+/// Postcondition check.
+#define TFA_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::tfa::detail::contract_failure("postcondition", #cond,        \
+                                            __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define TFA_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::tfa::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                            __LINE__))

@@ -1,0 +1,72 @@
+// Generic driver for the monotone fixed-point iterations that appear all
+// over deterministic network analysis: busy-period lengths (B_i^slow in
+// Lemma 3), holistic response-time recurrences, and the global Smax table
+// of the trajectory approach.
+//
+// All of these have the same shape: a monotone non-decreasing operator F on
+// a value (or vector of values) iterated from a lower bound until it either
+// stabilises (least fixed point) or crosses a divergence ceiling
+// (unschedulable / unbounded).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace tfa {
+
+/// Outcome of a fixed-point iteration.
+enum class FixedPointStatus {
+  kConverged,   ///< Reached a fixed point below the ceiling.
+  kDiverged,    ///< Crossed the ceiling: the quantity is unbounded.
+  kMaxIterations,  ///< Neither converged nor crossed the ceiling in time.
+};
+
+/// Result of a scalar fixed-point iteration.
+struct FixedPointResult {
+  FixedPointStatus status = FixedPointStatus::kMaxIterations;
+  Duration value = 0;       ///< Final value (meaningful when converged).
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool converged() const noexcept {
+    return status == FixedPointStatus::kConverged;
+  }
+};
+
+/// Iterates `x <- f(x)` from `seed` until convergence.
+///
+/// Requirements: `f` must be monotone non-decreasing and `seed <= f(seed)`
+/// (start below the least fixed point).  `ceiling` bounds the search; if an
+/// iterate exceeds it the computation reports divergence.
+template <typename F>
+[[nodiscard]] FixedPointResult iterate_fixed_point(
+    Duration seed, const F& f, Duration ceiling,
+    std::size_t max_iterations = 1u << 20) {
+  FixedPointResult r;
+  Duration x = seed;
+  for (std::size_t k = 0; k < max_iterations; ++k) {
+    if (x > ceiling || is_infinite(x)) {
+      r.status = FixedPointStatus::kDiverged;
+      r.value = kInfiniteDuration;
+      r.iterations = k;
+      return r;
+    }
+    const Duration next = f(x);
+    TFA_ASSERT(next >= x);  // monotonicity from below
+    if (next == x) {
+      r.status = FixedPointStatus::kConverged;
+      r.value = x;
+      r.iterations = k;
+      return r;
+    }
+    x = next;
+  }
+  r.status = FixedPointStatus::kMaxIterations;
+  r.value = x;
+  r.iterations = max_iterations;
+  return r;
+}
+
+}  // namespace tfa

@@ -1,0 +1,53 @@
+// Integer arithmetic helpers used throughout the schedulability analyses.
+//
+// The paper's formulas are built from floor/ceiling divisions of possibly
+// negative quantities; C++'s `/` truncates toward zero, so we provide
+// mathematically-correct floor/ceil divisions, plus the paper's
+// (1 + floor(a))^+ operator.
+#pragma once
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace tfa {
+
+/// floor(a / b) for b > 0, correct for negative a.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a,
+                                               std::int64_t b) noexcept {
+  TFA_EXPECTS(b > 0);
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a < 0) --q;
+  return q;
+}
+
+/// ceil(a / b) for b > 0, correct for negative a.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) noexcept {
+  TFA_EXPECTS(b > 0);
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a > 0) ++q;
+  return q;
+}
+
+/// max(0, x) — the paper's (.)^+ operator.
+[[nodiscard]] constexpr std::int64_t pos_part(std::int64_t x) noexcept {
+  return x > 0 ? x : 0;
+}
+
+/// The paper's (1 + floor(a/T))^+ interference-count operator: the maximum
+/// number of packets of a sporadic flow with period T that can be released
+/// in a window of length `a` that also contains the release of one packet
+/// at its start (zero when a < 0, i.e. the window is empty).
+[[nodiscard]] constexpr std::int64_t sporadic_count(std::int64_t a,
+                                                    std::int64_t T) noexcept {
+  TFA_EXPECTS(T > 0);
+  return pos_part(1 + floor_div(a, T));
+}
+
+/// Smallest multiple of `T` that is >= `x`, for T > 0.
+[[nodiscard]] constexpr std::int64_t round_up(std::int64_t x,
+                                              std::int64_t T) noexcept {
+  return ceil_div(x, T) * T;
+}
+
+}  // namespace tfa

@@ -1,0 +1,47 @@
+#include "base/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tfa {
+
+std::size_t default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  if (count == 0) return;
+  if (workers == 0) workers = default_worker_count();
+  workers = std::min(workers, count);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Blocks of ~8 indices amortise the atomic fetch while keeping the load
+  // balanced when per-index cost varies.
+  const std::size_t block = std::max<std::size_t>(1, count / (workers * 8));
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(block);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + block, count);
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  };
+
+  std::vector<std::jthread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+}
+
+}  // namespace tfa

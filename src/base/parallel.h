@@ -1,0 +1,29 @@
+// Minimal shared-memory parallel-for used by the benchmark harness and the
+// simulator's scenario search to sweep independent parameter points.
+//
+// Work is split into contiguous index blocks handed to a fixed pool of
+// std::jthread workers; there is no shared mutable state beyond an atomic
+// block counter, so the construct is race-free by design (C++ Core
+// Guidelines CP.2).  On a single-core host it degrades to a plain loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tfa {
+
+/// Number of workers `parallel_for` will use by default: the hardware
+/// concurrency, at least 1.
+[[nodiscard]] std::size_t default_worker_count() noexcept;
+
+/// Runs `body(i)` for every i in [0, count), distributing iterations over
+/// `workers` threads (0 = use default_worker_count()).
+///
+/// `body` must be safe to invoke concurrently for distinct indices; it is
+/// invoked exactly once per index.  Exceptions thrown by `body` terminate
+/// the program (the sweeps this is used for treat a throwing iteration as a
+/// fatal harness bug).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t workers = 0);
+
+}  // namespace tfa

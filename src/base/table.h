@@ -1,0 +1,46 @@
+// Plain-text table rendering for the benchmark harness: every bench binary
+// prints the rows of the paper table / figure series it regenerates, and
+// this formatter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tfa {
+
+/// Column-aligned ASCII table.
+///
+/// Usage:
+///   TextTable t({"flow", "trajectory", "holistic"});
+///   t.add_row({"tau1", "31", "43"});
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  /// Creates a table with the given header cells.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows (header excluded).
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table, one trailing newline included.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a Duration-like integer, rendering divergence as "unbounded".
+[[nodiscard]] std::string format_duration(std::int64_t d);
+
+/// Formats `value` with fixed `decimals` digits after the point.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Formats a ratio as a percentage with one decimal, e.g. "27.9%".
+[[nodiscard]] std::string format_percent(double ratio);
+
+}  // namespace tfa

@@ -1,0 +1,45 @@
+// Fundamental scalar types shared by every tfa module.
+//
+// The paper (Martin & Minet, IPDPS 2006, Section 2) assumes *discrete* time:
+// all flow parameters are integer multiples of the node clock tick.  We
+// therefore represent every instant and duration as a 64-bit signed integer
+// number of ticks.  Signedness matters: the analysis sweeps activation
+// instants t in [-J_i, -J_i + B_i^slow), which is negative territory.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tfa {
+
+/// An instant, in node clock ticks.  May be negative (instants before the
+/// time origin of a busy period).
+using Time = std::int64_t;
+
+/// A span of time, in node clock ticks.
+using Duration = std::int64_t;
+
+/// Index of a node (router) in a Network.  Nodes are dense, zero-based.
+using NodeId = std::int32_t;
+
+/// Index of a flow inside a FlowSet.  Dense, zero-based.
+using FlowIndex = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+/// Sentinel for "no flow".
+inline constexpr FlowIndex kNoFlow = -1;
+
+/// A conservative "infinite" duration used to report divergent busy-period
+/// or fixed-point computations.  Chosen so that adding a handful of such
+/// values still cannot overflow Time.
+inline constexpr Duration kInfiniteDuration =
+    std::numeric_limits<Duration>::max() / 1024;
+
+/// True iff `d` represents a diverged / unbounded result.
+[[nodiscard]] constexpr bool is_infinite(Duration d) noexcept {
+  return d >= kInfiniteDuration;
+}
+
+}  // namespace tfa

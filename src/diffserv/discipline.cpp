@@ -1,0 +1,85 @@
+#include "diffserv/discipline.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+
+namespace tfa::diffserv {
+
+DiffServDiscipline::DiffServDiscipline(WfqWeights weights)
+    : weights_(weights) {
+  for (const std::int64_t w : weights_.weight) TFA_EXPECTS(w > 0);
+}
+
+std::size_t DiffServDiscipline::bucket_of(model::ServiceClass c) noexcept {
+  switch (c) {
+    case model::ServiceClass::kAssured1: return 0;
+    case model::ServiceClass::kAssured2: return 1;
+    case model::ServiceClass::kAssured3: return 2;
+    case model::ServiceClass::kAssured4: return 3;
+    case model::ServiceClass::kBestEffort: return 4;
+    case model::ServiceClass::kExpedited: break;
+  }
+  TFA_ASSERT(false && "EF packets never reach a WFQ bucket");
+  return 4;
+}
+
+void DiffServDiscipline::enqueue(sim::Packet p, Time /*now*/) {
+  if (model::is_ef(p.service_class)) {
+    ef_queue_.push_back(p);  // FIFO inside EF (paper Section 6.2)
+    return;
+  }
+  const std::size_t b = bucket_of(p.service_class);
+  // SFQ: start tag = max(virtual time, this queue's last finish tag);
+  // finish tag adds the service demand normalised by the class weight.
+  // The factor 840 = lcm(1..8) keeps tags integral for any weight <= 8.
+  Tagged t;
+  t.packet = p;
+  const std::int64_t start = std::max(virtual_time_, last_finish_[b]);
+  TFA_EXPECTS(p.cost > 0);
+  t.finish = start + p.cost * (840 / weights_.weight[b]);
+  t.seq = next_seq_++;
+  last_finish_[b] = t.finish;
+  wfq_queues_[b].push_back(t);
+}
+
+std::optional<sim::Packet> DiffServDiscipline::dequeue() {
+  // Strict priority: EF first.
+  if (!ef_queue_.empty()) {
+    sim::Packet p = ef_queue_.front();
+    ef_queue_.pop_front();
+    return p;
+  }
+  // SFQ among AF/BE: smallest finish tag wins, ties by enqueue order.
+  std::size_t best = wfq_queues_.size();
+  for (std::size_t b = 0; b < wfq_queues_.size(); ++b) {
+    if (wfq_queues_[b].empty()) continue;
+    if (best == wfq_queues_.size() ||
+        wfq_queues_[b].front().finish < wfq_queues_[best].front().finish ||
+        (wfq_queues_[b].front().finish == wfq_queues_[best].front().finish &&
+         wfq_queues_[b].front().seq < wfq_queues_[best].front().seq))
+      best = b;
+  }
+  if (best == wfq_queues_.size()) return std::nullopt;
+  Tagged t = wfq_queues_[best].front();
+  wfq_queues_[best].pop_front();
+  // Virtual time advances to the start tag of the packet entering service.
+  virtual_time_ = std::max(
+      virtual_time_,
+      t.finish - t.packet.cost * (840 / weights_.weight[best]));
+  return t.packet;
+}
+
+bool DiffServDiscipline::empty() const noexcept { return size() == 0; }
+
+std::size_t DiffServDiscipline::size() const noexcept {
+  std::size_t s = ef_queue_.size();
+  for (const auto& q : wfq_queues_) s += q.size();
+  return s;
+}
+
+std::unique_ptr<sim::QueueDiscipline> make_diffserv() {
+  return std::make_unique<DiffServDiscipline>();
+}
+
+}  // namespace tfa::diffserv

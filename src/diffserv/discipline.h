@@ -1,0 +1,66 @@
+// The DiffServ-compliant router's scheduler (paper Figure 3): the EF class
+// is served at fixed priority over everything else; within EF the queue is
+// FIFO; the AF classes and best effort share the remaining capacity under
+// weighted fair queueing.  Service is non-preemptive — an EF packet
+// arriving mid-transmission of a BE packet waits for it to finish, which
+// is precisely the delta_i delay of Lemma 4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "sim/queue_discipline.h"
+
+namespace tfa::diffserv {
+
+/// WFQ weights of the non-EF aggregate, indexed AF1..AF4, BE.
+struct WfqWeights {
+  std::array<std::int64_t, 5> weight = {4, 3, 2, 1, 1};
+};
+
+/// Fixed-priority(EF) + start-time-fair-queueing(AF/BE) discipline.
+///
+/// WFQ is realised as start-time fair queueing (SFQ): each enqueued packet
+/// gets a finish tag start + cost/weight in virtual time; dequeue picks
+/// the smallest finish tag.  SFQ approximates GPS without needing the
+/// server rate and is the standard practical WFQ realisation.
+class DiffServDiscipline final : public sim::QueueDiscipline {
+ public:
+  explicit DiffServDiscipline(WfqWeights weights = {});
+
+  void enqueue(sim::Packet p, Time now) override;
+  std::optional<sim::Packet> dequeue() override;
+  [[nodiscard]] bool empty() const noexcept override;
+  [[nodiscard]] std::size_t size() const noexcept override;
+
+  /// Backlog of the EF queue alone (diagnostics).
+  [[nodiscard]] std::size_t ef_backlog() const noexcept {
+    return ef_queue_.size();
+  }
+
+ private:
+  struct Tagged {
+    sim::Packet packet;
+    /// SFQ virtual finish time, scaled by the weight lcm to stay integral.
+    std::int64_t finish = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break.
+  };
+
+  [[nodiscard]] static std::size_t bucket_of(model::ServiceClass c) noexcept;
+
+  WfqWeights weights_;
+  std::deque<sim::Packet> ef_queue_;
+  std::array<std::deque<Tagged>, 5> wfq_queues_;
+  std::array<std::int64_t, 5> last_finish_ = {};
+  std::int64_t virtual_time_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Factory for NetworkSim: every node becomes a DiffServ router with the
+/// default weights.
+[[nodiscard]] std::unique_ptr<sim::QueueDiscipline> make_diffserv();
+
+}  // namespace tfa::diffserv

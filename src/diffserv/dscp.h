@@ -1,0 +1,50 @@
+// DiffServ code points (RFC 2474/2597/2598) and their mapping onto the
+// model's service classes.  The simulator's classifier keys on the DSCP a
+// packet carries, exactly as a DiffServ-compliant core router would
+// (paper Section 6.1: core routers forward on the class code alone).
+#pragma once
+
+#include <cstdint>
+
+#include "model/flow.h"
+
+namespace tfa::diffserv {
+
+/// Standard DSCP values (6-bit field).
+enum class Dscp : std::uint8_t {
+  kDefault = 0,    ///< Best effort.
+  kAf11 = 10,      ///< Assured Forwarding class 1, low drop precedence.
+  kAf21 = 18,      ///< AF class 2.
+  kAf31 = 26,      ///< AF class 3.
+  kAf41 = 34,      ///< AF class 4.
+  kEf = 46,        ///< Expedited Forwarding.
+};
+
+/// DSCP carried by packets of a given service class.
+[[nodiscard]] constexpr Dscp dscp_of(model::ServiceClass c) noexcept {
+  switch (c) {
+    case model::ServiceClass::kExpedited: return Dscp::kEf;
+    case model::ServiceClass::kAssured1: return Dscp::kAf11;
+    case model::ServiceClass::kAssured2: return Dscp::kAf21;
+    case model::ServiceClass::kAssured3: return Dscp::kAf31;
+    case model::ServiceClass::kAssured4: return Dscp::kAf41;
+    case model::ServiceClass::kBestEffort: return Dscp::kDefault;
+  }
+  return Dscp::kDefault;
+}
+
+/// Per-hop behaviour selected from a DSCP (unknown code points fall back
+/// to best effort, per RFC 2474).
+[[nodiscard]] constexpr model::ServiceClass class_of(Dscp d) noexcept {
+  switch (d) {
+    case Dscp::kEf: return model::ServiceClass::kExpedited;
+    case Dscp::kAf11: return model::ServiceClass::kAssured1;
+    case Dscp::kAf21: return model::ServiceClass::kAssured2;
+    case Dscp::kAf31: return model::ServiceClass::kAssured3;
+    case Dscp::kAf41: return model::ServiceClass::kAssured4;
+    case Dscp::kDefault: return model::ServiceClass::kBestEffort;
+  }
+  return model::ServiceClass::kBestEffort;
+}
+
+}  // namespace tfa::diffserv

@@ -1,0 +1,33 @@
+#include "diffserv/ef_analysis.h"
+
+#include "base/contracts.h"
+#include "diffserv/discipline.h"
+#include "trajectory/analysis.h"
+
+namespace tfa::diffserv {
+
+trajectory::Result analyze_ef(const model::FlowSet& set,
+                              trajectory::Config cfg) {
+  cfg.ef_mode = true;
+  return trajectory::analyze(set, cfg);
+}
+
+EfValidation validate_ef(const model::FlowSet& set, trajectory::Config acfg,
+                         sim::SearchConfig scfg) {
+  EfValidation out;
+  out.analysis = analyze_ef(set, acfg);
+
+  scfg.discipline = make_diffserv;
+  out.observed = sim::find_worst_case(set, scfg);
+
+  out.sound = true;
+  for (const trajectory::FlowBound& b : out.analysis.bounds) {
+    const auto i = static_cast<std::size_t>(b.flow);
+    TFA_ASSERT(i < out.observed.stats.size());
+    if (out.observed.stats[i].completed == 0) continue;
+    if (out.observed.stats[i].worst > b.response) out.sound = false;
+  }
+  return out;
+}
+
+}  // namespace tfa::diffserv

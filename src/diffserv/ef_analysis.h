@@ -1,0 +1,31 @@
+// Property 3 end-to-end: analyse the EF class of a mixed-class FlowSet
+// with the trajectory approach (FIFO within EF + non-preemption delta from
+// AF/BE traffic), and cross-validate the bounds against the DiffServ
+// router simulation.
+#pragma once
+
+#include "model/flow_set.h"
+#include "sim/worst_case_search.h"
+#include "trajectory/types.h"
+
+namespace tfa::diffserv {
+
+/// Outcome of an EF-class validation run.
+struct EfValidation {
+  trajectory::Result analysis;  ///< Property-3 bounds (EF flows only).
+  sim::SearchOutcome observed;  ///< Worst responses under the DiffServ
+                                ///< discipline (all flows).
+  bool sound = false;           ///< Every EF flow: observed <= bound.
+};
+
+/// Property-3 bounds for the EF flows of `set`.
+[[nodiscard]] trajectory::Result analyze_ef(const model::FlowSet& set,
+                                            trajectory::Config cfg = {});
+
+/// Runs analyze_ef() and a DiffServ worst-case search, then checks that no
+/// observed EF response exceeds its Property-3 bound.
+[[nodiscard]] EfValidation validate_ef(const model::FlowSet& set,
+                                       trajectory::Config acfg = {},
+                                       sim::SearchConfig scfg = {});
+
+}  // namespace tfa::diffserv

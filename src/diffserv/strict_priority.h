@@ -1,0 +1,67 @@
+// Strict-priority discipline: classes served in fixed priority order
+// (EF > AF1 > AF2 > AF3 > AF4 > BE), FIFO within each class,
+// non-preemptive service.  This is the router model behind the FP/FIFO
+// analysis extension (trajectory/fp_fifo.h): unlike the Figure-3 router,
+// *every* class is priority-scheduled, so every class can be given a
+// deterministic bound.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "sim/queue_discipline.h"
+
+namespace tfa::diffserv {
+
+/// Fixed-priority-across-classes, FIFO-within-class discipline.
+class StrictPriorityDiscipline final : public sim::QueueDiscipline {
+ public:
+  void enqueue(sim::Packet p, Time /*now*/) override {
+    queues_[rank(p.service_class)].push_back(p);
+  }
+
+  std::optional<sim::Packet> dequeue() override {
+    for (auto& q : queues_) {
+      if (q.empty()) continue;
+      sim::Packet p = q.front();
+      q.pop_front();
+      return p;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return size() == 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    std::size_t s = 0;
+    for (const auto& q : queues_) s += q.size();
+    return s;
+  }
+
+  /// Priority rank of a class: 0 is served first.
+  [[nodiscard]] static constexpr std::size_t rank(
+      model::ServiceClass c) noexcept {
+    switch (c) {
+      case model::ServiceClass::kExpedited: return 0;
+      case model::ServiceClass::kAssured1: return 1;
+      case model::ServiceClass::kAssured2: return 2;
+      case model::ServiceClass::kAssured3: return 3;
+      case model::ServiceClass::kAssured4: return 4;
+      case model::ServiceClass::kBestEffort: return 5;
+    }
+    return 5;
+  }
+
+ private:
+  std::array<std::deque<sim::Packet>, 6> queues_;
+};
+
+/// Factory for NetworkSim / the worst-case search.
+[[nodiscard]] inline std::unique_ptr<sim::QueueDiscipline>
+make_strict_priority() {
+  return std::make_unique<StrictPriorityDiscipline>();
+}
+
+}  // namespace tfa::diffserv

@@ -1,0 +1,80 @@
+// Token-bucket traffic conditioning (paper Section 6.1: boundary nodes
+// perform classification and conditioning; EF traffic is guaranteed "up to
+// a negotiated rate", which ingress policing enforces).
+#pragma once
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace tfa::diffserv {
+
+/// A token bucket with `rate` tokens per tick and capacity `burst`.
+/// Tokens are accounted lazily at query time, so the bucket is O(1) and
+/// allocation-free.
+class TokenBucket {
+ public:
+  /// rate: tokens added per `period` ticks (rate/period may be < 1).
+  TokenBucket(Duration tokens_per_period, Duration period, Duration burst)
+      : tokens_per_period_(tokens_per_period),
+        period_(period),
+        burst_(burst),
+        tokens_(burst) {
+    TFA_EXPECTS(tokens_per_period > 0);
+    TFA_EXPECTS(period > 0);
+    TFA_EXPECTS(burst > 0);
+  }
+
+  /// Tokens available at time `now`.
+  [[nodiscard]] Duration available(Time now) const {
+    TFA_EXPECTS(now >= last_);
+    const Duration earned =
+        (now - last_ + remainder_) / period_ * tokens_per_period_;
+    return tokens_ + earned > burst_ ? burst_ : tokens_ + earned;
+  }
+
+  /// True iff a packet needing `demand` tokens conforms at `now`.
+  [[nodiscard]] bool conforms(Time now, Duration demand) const {
+    return available(now) >= demand;
+  }
+
+  /// Consumes `demand` tokens at `now`.  Precondition: conforms().
+  void consume(Time now, Duration demand) {
+    TFA_EXPECTS(conforms(now, demand));
+    advance(now);
+    tokens_ -= demand;
+  }
+
+  /// Earliest time >= now at which `demand` tokens will be available.
+  [[nodiscard]] Time next_conformance(Time now, Duration demand) const {
+    TFA_EXPECTS(demand <= burst_);
+    const Duration have = available(now);
+    if (have >= demand) return now;
+    const Duration missing = demand - have;
+    const Duration periods =
+        (missing + tokens_per_period_ - 1) / tokens_per_period_;
+    return now + periods * period_ - remainder_after(now);
+  }
+
+ private:
+  void advance(Time now) {
+    const Duration elapsed = now - last_ + remainder_;
+    const Duration periods = elapsed / period_;
+    tokens_ += periods * tokens_per_period_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    remainder_ = elapsed % period_;
+    last_ = now;
+  }
+
+  [[nodiscard]] Duration remainder_after(Time now) const {
+    return (now - last_ + remainder_) % period_;
+  }
+
+  Duration tokens_per_period_;
+  Duration period_;
+  Duration burst_;
+  Duration tokens_;
+  Time last_ = 0;
+  Duration remainder_ = 0;
+};
+
+}  // namespace tfa::diffserv

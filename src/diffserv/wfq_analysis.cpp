@@ -1,0 +1,178 @@
+#include "diffserv/wfq_analysis.h"
+
+#include <algorithm>
+#include <array>
+
+#include "base/contracts.h"
+#include "netcalc/curves.h"
+
+namespace tfa::diffserv {
+
+namespace {
+
+using netcalc::ArrivalCurve;
+using netcalc::Rational;
+
+constexpr std::int64_t kGrid = 4096;
+
+/// WFQ bucket of a non-EF class (same mapping as the discipline).
+std::size_t bucket_of(model::ServiceClass c) {
+  switch (c) {
+    case model::ServiceClass::kAssured1: return 0;
+    case model::ServiceClass::kAssured2: return 1;
+    case model::ServiceClass::kAssured3: return 2;
+    case model::ServiceClass::kAssured4: return 3;
+    case model::ServiceClass::kBestEffort: return 4;
+    case model::ServiceClass::kExpedited: break;
+  }
+  TFA_ASSERT(false && "EF flows are not analysed here");
+  return 4;
+}
+
+}  // namespace
+
+WfqResult analyze_wfq(const model::FlowSet& set,
+                      const WfqAnalysisConfig& cfg) {
+  TFA_EXPECTS(!set.empty());
+  const std::size_t n = set.size();
+  const auto node_count = static_cast<std::size_t>(set.network().node_count());
+
+  std::int64_t weight_sum = 0;
+  for (const std::int64_t w : cfg.weights.weight) {
+    TFA_EXPECTS(w > 0);
+    weight_sum += w;
+  }
+
+  // Per-flow packet curves, as in netcalc::analyze.
+  std::vector<std::vector<Rational>> burst(n);
+  std::vector<Rational> rate(n);
+  std::vector<bool> dead(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const model::SporadicFlow& f = set.flow(static_cast<FlowIndex>(i));
+    rate[i] = Rational(1, f.period());
+    burst[i].assign(f.path().size(), Rational(0));
+    burst[i][0] = (Rational(1) + Rational(f.jitter(), f.period()))
+                      .ceil_to_grid(kGrid);
+  }
+
+  // Static per-node EF load and scheduling quanta.
+  std::vector<Rational> ef_rho(node_count, Rational(0));
+  std::vector<Duration> quantum_sum(node_count, 0);  // max packet per class
+  for (std::size_t h = 0; h < node_count; ++h) {
+    std::array<Duration, 6> max_pkt{};  // EF + 5 WFQ buckets
+    for (std::size_t i = 0; i < n; ++i) {
+      const model::SporadicFlow& f = set.flow(static_cast<FlowIndex>(i));
+      const Duration c = f.cost_on(static_cast<NodeId>(h));
+      if (c == 0) continue;
+      if (model::is_ef(f.service_class())) {
+        // Grid-rounded up: many distinct periods would overflow the
+        // rational lcm, and a larger EF rate only loosens the bound.
+        ef_rho[h] += (rate[i] * Rational(c)).ceil_to_grid(kGrid);
+        max_pkt[5] = std::max(max_pkt[5], c);
+      } else {
+        max_pkt[bucket_of(f.service_class())] =
+            std::max(max_pkt[bucket_of(f.service_class())], c);
+      }
+    }
+    for (const Duration q : max_pkt) quantum_sum[h] += q;
+  }
+
+  WfqResult result;
+  std::vector<std::vector<Rational>> delay(n);
+  for (std::size_t i = 0; i < n; ++i)
+    delay[i].assign(burst[i].size(), Rational(0));
+
+  for (result.iterations = 0; result.iterations < cfg.max_iterations;
+       ++result.iterations) {
+    // Per node, the EF burst and each class's aggregate under the current
+    // flow-burst table.
+    std::vector<Rational> ef_sigma(node_count, Rational(0));
+    std::vector<std::array<ArrivalCurve, 5>> klass(node_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      const model::SporadicFlow& f = set.flow(static_cast<FlowIndex>(i));
+      for (std::size_t p = 0; p < f.path().size(); ++p) {
+        const auto h = static_cast<std::size_t>(f.path().at(p));
+        const Rational c(f.cost_at_position(p));
+        if (model::is_ef(f.service_class())) {
+          ef_sigma[h] += burst[i][p] * c;
+        } else {
+          auto& agg = klass[h][bucket_of(f.service_class())];
+          agg.sigma += burst[i][p] * c;
+          agg.rho += (rate[i] * c).ceil_to_grid(kGrid);
+        }
+      }
+    }
+
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const model::SporadicFlow& f = set.flow(static_cast<FlowIndex>(i));
+      if (model::is_ef(f.service_class()) || dead[i]) continue;
+      const std::size_t b = bucket_of(f.service_class());
+      const Rational share(cfg.weights.weight[b], weight_sum);
+
+      for (std::size_t p = 0; p < f.path().size(); ++p) {
+        const auto h = static_cast<std::size_t>(f.path().at(p));
+        const Rational residual = Rational(1) - ef_rho[h];
+        const Rational g = (residual * share).floor_to_grid(kGrid);
+        if (!(g > Rational(0)) || klass[h][b].rho > g || !(residual > Rational(0))) {
+          dead[i] = true;
+          changed = true;
+          break;
+        }
+        const Rational theta =
+            ((ef_sigma[h] + Rational(quantum_sum[h])) / residual)
+                .ceil_to_grid(kGrid);
+        delay[i][p] =
+            (theta + klass[h][b].sigma / g).ceil_to_grid(kGrid);
+
+        if (p + 1 == f.path().size()) continue;
+        const NodeId to = f.path().at(p + 1);
+        const Rational slack(
+            set.network().link_lmax(f.path().at(p), to) -
+            set.network().link_lmin(f.path().at(p), to));
+        const Rational next =
+            (burst[i][p] + rate[i] * (delay[i][p] + slack))
+                .ceil_to_grid(kGrid);
+        if (next > cfg.sigma_ceiling) {
+          dead[i] = true;
+          changed = true;
+          break;
+        }
+        if (next > burst[i][p + 1]) {
+          burst[i][p + 1] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    if (model::is_ef(f.service_class())) continue;
+    WfqFlowBound b;
+    b.flow = fi;
+    if (dead[i] || !result.converged) {
+      b.response = kInfiniteDuration;
+    } else {
+      Rational total(f.jitter());
+      for (std::size_t p = 0; p < f.path().size(); ++p) total += delay[i][p];
+      total += Rational(
+          set.network().path_lmax_sum(f.path(), f.path().size() - 1));
+      b.response = total.ceil();
+    }
+    b.schedulable = !is_infinite(b.response) && b.response <= f.deadline();
+    all_ok = all_ok && b.schedulable;
+    result.bounds.push_back(b);
+  }
+  result.all_schedulable = all_ok && !result.bounds.empty();
+  return result;
+}
+
+}  // namespace tfa::diffserv

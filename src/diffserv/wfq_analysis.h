@@ -1,0 +1,68 @@
+// Delay bounds for the AF/BE classes of the Figure-3 router — the part of
+// the DiffServ story the paper leaves open ("AF traffic will receive a
+// higher bandwidth fraction than best-effort thanks to WFQ").
+//
+// Model (matches diffserv::DiffServDiscipline): EF is served at strict
+// priority; the non-EF classes share the residual capacity under
+// start-time fair queueing with weights w_c.  Class c at node h is given
+// the rate-latency service curve
+//
+//   rate    g_c(h)  = (1 - rho_EF(h)) * w_c / sum(w)
+//   latency theta_h = (sigma_EF(h) + sum over classes of the largest
+//                      packet at h) / (1 - rho_EF(h))
+//
+// i.e. the class owns its weighted share of whatever EF leaves, delayed
+// by an EF burst plus one scheduling quantum of every class.  Within a
+// class the queue is FIFO, so the class aggregate's horizontal deviation
+// bounds every member packet.  Burstiness propagates per flow exactly as
+// in the plain network-calculus analysis.
+//
+// The curve is deliberately generous (all classes assumed permanently
+// backlogged, a full quantum per class in the latency); its soundness
+// against the SFQ simulation is regression-tested over random mixed-class
+// sets (tests/diffserv/wfq_analysis_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.h"
+#include "diffserv/discipline.h"
+#include "model/flow_set.h"
+#include "netcalc/rational.h"
+
+namespace tfa::diffserv {
+
+/// Tuning knobs.
+struct WfqAnalysisConfig {
+  WfqWeights weights;  ///< Must match the deployed discipline.
+  netcalc::Rational sigma_ceiling{Duration{1} << 40};
+  std::size_t max_iterations = 512;
+};
+
+/// Per-flow outcome (non-EF flows only; use Property 3 for EF).
+struct WfqFlowBound {
+  FlowIndex flow = kNoFlow;
+  Duration response = 0;  ///< kInfiniteDuration when divergent.
+  bool schedulable = false;
+};
+
+/// Whole-set outcome.
+struct WfqResult {
+  std::vector<WfqFlowBound> bounds;  ///< One per non-EF flow.
+  bool all_schedulable = false;
+  bool converged = false;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] const WfqFlowBound* find(FlowIndex i) const noexcept {
+    for (const WfqFlowBound& b : bounds)
+      if (b.flow == i) return &b;
+    return nullptr;
+  }
+};
+
+/// Bounds every AF/BE flow of `set` under the Figure-3 router.
+[[nodiscard]] WfqResult analyze_wfq(const model::FlowSet& set,
+                                    const WfqAnalysisConfig& cfg = {});
+
+}  // namespace tfa::diffserv

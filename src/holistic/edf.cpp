@@ -1,0 +1,199 @@
+#include "holistic/edf.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+#include "base/fixed_point.h"
+#include "base/math.h"
+
+namespace tfa::holistic {
+
+namespace {
+
+/// A flow's presence on one node.
+struct Visit {
+  FlowIndex flow;
+  std::size_t position;
+  Duration cost;
+  Duration min_upstream;  ///< Minimum generation-to-arrival delay.
+};
+
+/// Per-node EDF response bound for one visiting flow, given the current
+/// arrival-jitter table.  Returns kInfiniteDuration on divergence.
+Duration edf_node_response(const model::FlowSet& set,
+                           const std::vector<Visit>& visits,
+                           const std::vector<std::vector<Duration>>& jitter,
+                           std::size_t target, const EdfConfig& cfg) {
+  const Visit& vi = visits[target];
+  const model::SporadicFlow& fi = set.flow(vi.flow);
+
+  // Busy period: deadline-agnostic total workload (sound for any policy).
+  Duration seed = 0;
+  for (const Visit& v : visits) seed += v.cost;
+  const FixedPointResult bp = iterate_fixed_point(
+      seed,
+      [&](Duration b) {
+        Duration sum = 0;
+        for (const Visit& v : visits) {
+          const Duration jv =
+              jitter[static_cast<std::size_t>(v.flow)][v.position];
+          if (is_infinite(jv)) return kInfiniteDuration;
+          sum += ceil_div(b + jv, set.flow(v.flow).period()) * v.cost;
+        }
+        return sum;
+      },
+      cfg.divergence_ceiling);
+  if (!bp.converged()) return kInfiniteDuration;
+  const Duration busy = bp.value;
+  if (busy > cfg.sweep_limit) return kInfiniteDuration;
+
+  // Non-preemptive blocking: one already-started packet of another flow
+  // (the analysed flow's own jobs are FIFO-ordered and fully counted in
+  // the `own` term, so they never block from the server).
+  Duration blocking = 0;
+  for (const Visit& v : visits)
+    if (v.flow != vi.flow) blocking = std::max(blocking, v.cost - 1);
+
+  // Adversarial relative deadlines at this node: the analysed instance as
+  // late as possible, every interferer as early as possible.
+  const Duration di =
+      fi.deadline() - vi.min_upstream;  // latest relative deadline
+
+  const Duration ji = jitter[static_cast<std::size_t>(vi.flow)][vi.position];
+  Duration worst = 0;
+  for (Time a = 0; a < busy; ++a) {
+    // Jobs of the analysed flow arriving no later than a (their deadlines
+    // are earlier, so they precede the instance).
+    const Duration own = sporadic_count(a + ji, fi.period()) * vi.cost;
+
+    // Spuri recurrence: W = blocking + own + higher-priority interference,
+    // where an interferer job counts if it arrives before W completes AND
+    // its absolute deadline is no later than a + di.
+    Duration w = blocking + own;
+    for (;;) {
+      Duration next = blocking + own;
+      for (std::size_t k = 0; k < visits.size(); ++k) {
+        if (k == target) continue;
+        const Visit& v = visits[k];
+        const model::SporadicFlow& fj = set.flow(v.flow);
+        const Duration jv =
+            jitter[static_cast<std::size_t>(v.flow)][v.position];
+        const Duration dj = fj.deadline() - v.min_upstream - jv;
+        const std::int64_t by_deadline =
+            sporadic_count(a + di - dj + jv, fj.period());
+        const std::int64_t by_arrival = ceil_div(w + jv, fj.period());
+        next += std::min(by_deadline, by_arrival) * v.cost;
+      }
+      TFA_ASSERT(next >= w);
+      if (next == w) break;
+      w = next;
+      if (w > cfg.divergence_ceiling) return kInfiniteDuration;
+    }
+    worst = std::max(worst, w - a);
+  }
+  return worst;
+}
+
+}  // namespace
+
+EdfResult analyze_edf(const model::FlowSet& set, const EdfConfig& cfg) {
+  TFA_EXPECTS(!set.empty());
+  const std::size_t n = set.size();
+  const auto node_count = static_cast<std::size_t>(set.network().node_count());
+
+  // Visits per node, with each flow's minimum upstream delay.
+  std::vector<std::vector<Visit>> by_node(node_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    Duration up = 0;
+    for (std::size_t p = 0; p < f.path().size(); ++p) {
+      by_node[static_cast<std::size_t>(f.path().at(p))].push_back(
+          {fi, p, f.cost_at_position(p), up});
+      if (p + 1 < f.path().size())
+        up += f.cost_at_position(p) +
+              set.network().link_lmin(f.path().at(p), f.path().at(p + 1));
+    }
+  }
+
+  // Arrival jitter per flow position; global iteration as in holistic.cpp.
+  std::vector<std::vector<Duration>> jitter(n);
+  std::vector<std::vector<Duration>> response(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const std::size_t len = set.flow(fi).path().size();
+    jitter[i].assign(len, 0);
+    jitter[i][0] = set.flow(fi).jitter();
+    response[i].assign(len, 0);
+  }
+
+  EdfResult result;
+  for (result.iterations = 0; result.iterations < cfg.max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+    for (std::size_t h = 0; h < node_count; ++h) {
+      const auto& visits = by_node[h];
+      for (std::size_t k = 0; k < visits.size(); ++k) {
+        const Visit& v = visits[k];
+        const Duration r = edf_node_response(set, visits, jitter, k, cfg);
+        response[static_cast<std::size_t>(v.flow)][v.position] = r;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto fi = static_cast<FlowIndex>(i);
+      const model::SporadicFlow& f = set.flow(fi);
+      for (std::size_t p = 0; p + 1 < f.path().size(); ++p) {
+        const Duration r = response[i][p];
+        Duration next;
+        if (is_infinite(r) || is_infinite(jitter[i][p])) {
+          next = kInfiniteDuration;
+        } else {
+          const NodeId from = f.path().at(p);
+          const NodeId to = f.path().at(p + 1);
+          next = jitter[i][p] + (r - f.cost_at_position(p)) +
+                 set.network().link_lmax(from, to) -
+                 set.network().link_lmin(from, to);
+        }
+        if (next != jitter[i][p + 1]) {
+          TFA_ASSERT(next >= jitter[i][p + 1]);
+          jitter[i][p + 1] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    EdfFlowBound b;
+    b.flow = fi;
+    b.node_responses = response[i];
+    Duration total = 0;
+    bool finite = result.converged;
+    for (const Duration r : response[i]) {
+      if (is_infinite(r)) finite = false;
+      if (finite) total += r;
+    }
+    if (finite) {
+      total += set.network().path_lmax_sum(f.path(), f.path().size() - 1);
+      total += f.jitter();  // responses are measured from generation
+    }
+    b.response = finite ? total : kInfiniteDuration;
+    b.jitter = finite ? b.response - model::best_case_response(set.network(), f)
+                      : kInfiniteDuration;
+    b.schedulable = finite && b.response <= f.deadline();
+    all_ok = all_ok && b.schedulable;
+    result.bounds.push_back(std::move(b));
+  }
+  result.all_schedulable = all_ok;
+  return result;
+}
+
+}  // namespace tfa::holistic

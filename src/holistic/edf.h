@@ -1,0 +1,61 @@
+// Holistic analysis for non-preemptive global-EDF nodes (Spuri's EDF
+// response-time analysis per node + jitter propagation) — the deadline-
+// driven member of the paper's related-work family (ref [3]).
+//
+// Scheduling model (matches sim::EdfDiscipline): every node serves the
+// queued packet with the earliest *end-to-end* absolute deadline
+// (generation + D_i), non-preemptively.
+//
+// Soundness under distribution: a packet's priority is its absolute
+// deadline, but the per-node analysis only knows arrival windows.  The
+// analysed flow is therefore given its latest possible relative deadline
+// (D_i minus its minimum upstream delay) and every interferer its
+// earliest (D_j minus maximum upstream delay), which can only add
+// interference.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+
+namespace tfa::holistic {
+
+/// Tuning knobs of the EDF analysis.
+struct EdfConfig {
+  Duration divergence_ceiling = Duration{1} << 40;
+  std::size_t max_iterations = 512;
+  /// Busy periods longer than this are reported divergent instead of
+  /// swept (the per-instant Spuri recurrence needs an exhaustive sweep).
+  Duration sweep_limit = Duration{1} << 16;
+};
+
+/// Per-flow outcome.
+struct EdfFlowBound {
+  FlowIndex flow = kNoFlow;
+  Duration response = 0;  ///< End-to-end bound; kInfiniteDuration if divergent.
+  Duration jitter = 0;    ///< End-to-end jitter (Definition 2).
+  bool schedulable = false;
+  std::vector<Duration> node_responses;  ///< Per path position.
+};
+
+/// Whole-set outcome.
+struct EdfResult {
+  std::vector<EdfFlowBound> bounds;
+  bool all_schedulable = false;
+  bool converged = false;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] const EdfFlowBound* find(FlowIndex i) const noexcept {
+    for (const EdfFlowBound& b : bounds)
+      if (b.flow == i) return &b;
+    return nullptr;
+  }
+};
+
+/// Runs the EDF analysis on every flow of `set`.
+[[nodiscard]] EdfResult analyze_edf(const model::FlowSet& set,
+                                    const EdfConfig& cfg = {});
+
+}  // namespace tfa::holistic

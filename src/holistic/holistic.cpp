@@ -1,0 +1,187 @@
+#include "holistic/holistic.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+#include "base/fixed_point.h"
+#include "base/math.h"
+
+namespace tfa::holistic {
+
+namespace {
+
+/// A flow's presence on one node during the per-node analysis.
+struct Visit {
+  FlowIndex flow;
+  std::size_t position;  ///< Index of the node on the flow's path.
+  Duration cost;         ///< C_j^h.
+};
+
+/// FIFO worst-case response on one node given the current arrival jitters.
+/// Returns kInfiniteDuration when the node's busy period diverges.
+Duration node_response(const model::FlowSet& set,
+                       const std::vector<Visit>& visits,
+                       const std::vector<std::vector<Duration>>& jitter,
+                       const Config& cfg) {
+  // Busy-period length: B = sum_j ceil((B + J_j) / T_j) * C_j.
+  Duration seed = 0;
+  for (const Visit& v : visits) seed += v.cost;
+  const FixedPointResult bp = iterate_fixed_point(
+      seed,
+      [&](Duration b) {
+        Duration sum = 0;
+        for (const Visit& v : visits) {
+          const Duration jv =
+              jitter[static_cast<std::size_t>(v.flow)][v.position];
+          if (is_infinite(jv)) return kInfiniteDuration;
+          sum += ceil_div(b + jv, set.flow(v.flow).period()) * v.cost;
+        }
+        return sum;
+      },
+      cfg.divergence_ceiling);
+  if (!bp.converged()) return kInfiniteDuration;
+  const Duration busy = bp.value;
+
+  if (cfg.node_bound == NodeBound::kBusyPeriod) return busy;
+
+  // Arrival sweep: a packet arriving at offset t inside the busy period is
+  // delayed by every packet arrived no later (FIFO), i.e. by
+  // sum_j (1 + floor((t + J_j)/T_j)) * C_j; its response is that minus t.
+  std::vector<Time> candidates{0};
+  for (const Visit& v : visits) {
+    const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
+    const Duration period = set.flow(v.flow).period();
+    for (std::int64_t k = ceil_div(jv, period);; ++k) {
+      const Time t = k * period - jv;
+      if (t >= busy) break;
+      if (t > 0) candidates.push_back(t);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  Duration best = 0;
+  for (const Time t : candidates) {
+    Duration w = 0;
+    for (const Visit& v : visits) {
+      const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
+      w += sporadic_count(t + jv, set.flow(v.flow).period()) * v.cost;
+    }
+    best = std::max(best, w - t);
+  }
+  return best;
+}
+
+}  // namespace
+
+Result analyze(const model::FlowSet& set, const Config& cfg) {
+  TFA_EXPECTS(!set.empty());
+  const std::size_t n = set.size();
+  const auto node_count = static_cast<std::size_t>(set.network().node_count());
+
+  // Visits per node.
+  std::vector<std::vector<Visit>> by_node(node_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    for (std::size_t p = 0; p < f.path().size(); ++p)
+      by_node[static_cast<std::size_t>(f.path().at(p))].push_back(
+          {fi, p, f.cost_at_position(p)});
+  }
+
+  // Arrival jitter of each flow at each of its path positions; the node
+  // responses computed from them.  Global Jacobi-style iteration: jitters
+  // only grow, so the loop either stabilises or diverges.
+  std::vector<std::vector<Duration>> jitter(n);
+  std::vector<std::vector<Duration>> response(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const std::size_t len = set.flow(fi).path().size();
+    jitter[i].assign(len, 0);
+    jitter[i][0] = set.flow(fi).jitter();
+    response[i].assign(len, 0);
+  }
+
+  Result result;
+  for (result.iterations = 0; result.iterations < cfg.max_iterations;
+       ++result.iterations) {
+    // Per-node FIFO bounds under the current jitter table.
+    std::vector<Duration> node_r(node_count, 0);
+    for (std::size_t h = 0; h < node_count; ++h)
+      if (!by_node[h].empty())
+        node_r[h] = node_response(set, by_node[h], jitter, cfg);
+
+    // Record and propagate.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto fi = static_cast<FlowIndex>(i);
+      const model::SporadicFlow& f = set.flow(fi);
+      for (std::size_t p = 0; p < f.path().size(); ++p) {
+        const Duration r = node_r[static_cast<std::size_t>(f.path().at(p))];
+        response[i][p] = r;
+        if (p + 1 == f.path().size()) continue;
+        Duration next;
+        if (is_infinite(r) || is_infinite(jitter[i][p])) {
+          next = kInfiniteDuration;
+        } else {
+          const Duration growth =
+              cfg.jitter_rule == JitterPropagation::kResponseMinusCost
+                  ? r - f.cost_at_position(p)
+                  : r;
+          TFA_ASSERT(growth >= 0);
+          const NodeId from = f.path().at(p);
+          const NodeId to = f.path().at(p + 1);
+          next = jitter[i][p] + growth +
+                 set.network().link_lmax(from, to) -
+                 set.network().link_lmin(from, to);
+        }
+        if (next != jitter[i][p + 1]) {
+          TFA_ASSERT(next >= jitter[i][p + 1]);
+          jitter[i][p + 1] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+
+  // Assemble end-to-end bounds.
+  bool all_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    FlowBound b;
+    b.flow = fi;
+    b.node_responses = response[i];
+
+    Duration total = 0;
+    bool finite = result.converged;
+    for (const Duration r : response[i]) {
+      if (is_infinite(r)) finite = false;
+      if (finite) total += r;
+    }
+    if (finite) {
+      total += set.network().path_lmax_sum(f.path(), f.path().size() - 1);
+      // End-to-end responses are measured from *generation*; the release
+      // may lag it by up to the flow's release jitter.
+      total += f.jitter();
+    }
+
+    b.response = finite ? total : kInfiniteDuration;
+    b.jitter = finite
+                   ? b.response - model::best_case_response(set.network(), f)
+                   : kInfiniteDuration;
+    b.schedulable = finite && b.response <= f.deadline();
+    all_ok = all_ok && b.schedulable;
+    result.bounds.push_back(std::move(b));
+  }
+  result.all_schedulable = all_ok;
+  return result;
+}
+
+}  // namespace tfa::holistic

@@ -1,0 +1,80 @@
+// Holistic baseline (paper Section 3, refs Tindell & Clark / Spuri).
+//
+// The holistic approach analyses each node in isolation under the worst
+// jitter its upstream nodes can produce: per node it computes a FIFO
+// busy-period response bound, propagates the resulting jitter downstream,
+// and iterates globally until the jitter table stabilises.  It is sound
+// but pessimistic — worst cases on consecutive nodes may be mutually
+// exclusive, which is exactly the slack the trajectory approach removes.
+//
+// The paper cites the approach without formulas, so the recurrence is
+// parameterised by two documented policy knobs; bench_holistic_variants
+// quantifies their effect and EXPERIMENTS.md records the variant used for
+// the Table-2 comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+
+namespace tfa::holistic {
+
+/// How arrival jitter grows from one node to the next.
+enum class JitterPropagation {
+  /// J_next = J + (R_node - C_node) + (Lmax - Lmin): the classic rule —
+  /// response spread minus the guaranteed service time.
+  kResponseMinusCost,
+  /// J_next = J + R_node + (Lmax - Lmin): Tindell's original conservative
+  /// rule (best-case response taken as zero).
+  kFullResponse,
+};
+
+/// Which per-node FIFO bound is used.
+enum class NodeBound {
+  /// max over arrival instants t in the busy period of
+  /// sum_j (1 + floor((t + J_j)/T_j)) C_j - t: the exact FIFO worst case
+  /// under independent jitters.
+  kArrivalSweep,
+  /// The full busy-period length (every packet charged the whole busy
+  /// period): simpler and strictly more pessimistic.
+  kBusyPeriod,
+};
+
+/// Tuning knobs.
+struct Config {
+  JitterPropagation jitter_rule = JitterPropagation::kResponseMinusCost;
+  NodeBound node_bound = NodeBound::kArrivalSweep;
+  Duration divergence_ceiling = Duration{1} << 40;
+  std::size_t max_iterations = 512;
+};
+
+/// Per-flow outcome.
+struct FlowBound {
+  FlowIndex flow = kNoFlow;
+  Duration response = 0;  ///< End-to-end bound; kInfiniteDuration if divergent.
+  Duration jitter = 0;    ///< End-to-end jitter (Definition 2).
+  bool schedulable = false;
+  /// Per-node response bound along the flow's path (diagnostics).
+  std::vector<Duration> node_responses;
+};
+
+/// Whole-set outcome.
+struct Result {
+  std::vector<FlowBound> bounds;
+  bool all_schedulable = false;
+  bool converged = false;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] const FlowBound* find(FlowIndex i) const noexcept {
+    for (const FlowBound& b : bounds)
+      if (b.flow == i) return &b;
+    return nullptr;
+  }
+};
+
+/// Runs the holistic analysis on every flow of `set`.
+[[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg = {});
+
+}  // namespace tfa::holistic

@@ -1,0 +1,102 @@
+#include "model/flow.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/contracts.h"
+
+namespace tfa::model {
+
+const char* to_string(ServiceClass c) noexcept {
+  switch (c) {
+    case ServiceClass::kExpedited: return "EF";
+    case ServiceClass::kAssured1: return "AF1";
+    case ServiceClass::kAssured2: return "AF2";
+    case ServiceClass::kAssured3: return "AF3";
+    case ServiceClass::kAssured4: return "AF4";
+    case ServiceClass::kBestEffort: return "BE";
+  }
+  return "?";
+}
+
+SporadicFlow::SporadicFlow(std::string name, Path path, Duration period,
+                           Duration cost, Duration jitter, Duration deadline,
+                           ServiceClass service_class)
+    : SporadicFlow(std::move(name), std::move(path), period,
+                   std::vector<Duration>{}, jitter, deadline, service_class) {
+  TFA_EXPECTS(cost > 0);
+  costs_.assign(path_.size(), cost);
+}
+
+SporadicFlow::SporadicFlow(std::string name, Path path, Duration period,
+                           std::vector<Duration> costs, Duration jitter,
+                           Duration deadline, ServiceClass service_class)
+    : name_(std::move(name)),
+      path_(std::move(path)),
+      costs_(std::move(costs)),
+      period_(period),
+      jitter_(jitter),
+      deadline_(deadline),
+      class_(service_class) {
+  TFA_EXPECTS(!path_.empty());
+  TFA_EXPECTS(period_ > 0);
+  TFA_EXPECTS(jitter_ >= 0);
+  TFA_EXPECTS(deadline_ > 0);
+  TFA_EXPECTS(costs_.empty() || costs_.size() == path_.size());
+  for (const Duration c : costs_) TFA_EXPECTS(c > 0);
+}
+
+Duration SporadicFlow::cost_on(NodeId node) const noexcept {
+  const std::ptrdiff_t k = path_.index_of(node);
+  return k < 0 ? 0 : costs_[static_cast<std::size_t>(k)];
+}
+
+Duration SporadicFlow::cost_at_position(std::size_t k) const {
+  TFA_EXPECTS(k < costs_.size());
+  return costs_[k];
+}
+
+Duration SporadicFlow::total_cost() const noexcept {
+  return std::accumulate(costs_.begin(), costs_.end(), Duration{0});
+}
+
+Duration SporadicFlow::max_cost() const noexcept {
+  return *std::max_element(costs_.begin(), costs_.end());
+}
+
+std::size_t SporadicFlow::slow_position() const {
+  const auto it = std::max_element(costs_.begin(), costs_.end());
+  return static_cast<std::size_t>(it - costs_.begin());
+}
+
+Duration SporadicFlow::best_case_response(Duration lmin) const noexcept {
+  return total_cost() +
+         static_cast<Duration>(path_.size() - 1) * lmin;
+}
+
+SporadicFlow SporadicFlow::truncated_to_prefix(std::size_t k) const {
+  TFA_EXPECTS(k >= 1 && k <= path_.size());
+  SporadicFlow out = *this;
+  out.path_ = path_.prefix(k);
+  out.costs_.assign(costs_.begin(), costs_.begin() + static_cast<std::ptrdiff_t>(k));
+  return out;
+}
+
+SporadicFlow SporadicFlow::split_tail(std::size_t k, Duration new_jitter) const {
+  TFA_EXPECTS(k < path_.size());
+  TFA_EXPECTS(new_jitter >= 0);
+  SporadicFlow out = *this;
+  out.name_ = name_ + "'";
+  out.path_ = path_.suffix_from(k);
+  out.costs_.assign(costs_.begin() + static_cast<std::ptrdiff_t>(k), costs_.end());
+  out.jitter_ = new_jitter;
+  return out;
+}
+
+SporadicFlow SporadicFlow::with_class(ServiceClass c) const {
+  SporadicFlow out = *this;
+  out.class_ = c;
+  return out;
+}
+
+}  // namespace tfa::model

@@ -1,0 +1,113 @@
+// Sporadic flow model (paper Section 2.1, "Traffic model").
+//
+// A flow tau_i is described by its minimum inter-arrival time T_i, its
+// per-node maximum processing times C_i^h along a fixed path P_i, its
+// maximum release jitter J_i at the ingress, and its end-to-end deadline
+// D_i.  By convention C_i^h = 0 for nodes not on P_i.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "model/path.h"
+
+namespace tfa::model {
+
+/// DiffServ service class of a flow (paper Section 6).  The FIFO analysis
+/// of Sections 4-5 treats all flows alike; the EF analysis (Property 3)
+/// distinguishes EF flows from everything else, which contributes only
+/// non-preemption delay.
+enum class ServiceClass : std::uint8_t {
+  kExpedited,   ///< EF PHB: fixed-priority, FIFO among themselves.
+  kAssured1,    ///< AF class 1 (WFQ share).
+  kAssured2,    ///< AF class 2.
+  kAssured3,    ///< AF class 3.
+  kAssured4,    ///< AF class 4.
+  kBestEffort,  ///< Default PHB.
+};
+
+/// Human-readable class name ("EF", "AF1", ..., "BE").
+[[nodiscard]] const char* to_string(ServiceClass c) noexcept;
+
+/// True iff the class is Expedited Forwarding.
+[[nodiscard]] constexpr bool is_ef(ServiceClass c) noexcept {
+  return c == ServiceClass::kExpedited;
+}
+
+/// A sporadic flow with a fixed route.
+class SporadicFlow {
+ public:
+  SporadicFlow() = default;
+
+  /// Uniform-cost flow: processing time `cost` on every visited node.
+  SporadicFlow(std::string name, Path path, Duration period, Duration cost,
+               Duration jitter, Duration deadline,
+               ServiceClass service_class = ServiceClass::kExpedited);
+
+  /// Per-node-cost flow: `costs[k]` is the processing time on path node k.
+  SporadicFlow(std::string name, Path path, Duration period,
+               std::vector<Duration> costs, Duration jitter, Duration deadline,
+               ServiceClass service_class = ServiceClass::kExpedited);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Path& path() const noexcept { return path_; }
+
+  /// Minimum inter-arrival time T_i (> 0).
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+  /// Maximum release jitter J_i at the ingress node (>= 0).
+  [[nodiscard]] Duration jitter() const noexcept { return jitter_; }
+  /// End-to-end deadline D_i (> 0).
+  [[nodiscard]] Duration deadline() const noexcept { return deadline_; }
+  [[nodiscard]] ServiceClass service_class() const noexcept { return class_; }
+
+  /// C_i^h: maximum processing time on `node`, 0 when the flow does not
+  /// visit it (the paper's convention).
+  [[nodiscard]] Duration cost_on(NodeId node) const noexcept;
+
+  /// Processing time on the k-th node of the path.
+  [[nodiscard]] Duration cost_at_position(std::size_t k) const;
+
+  /// All per-position costs, aligned with path().nodes().
+  [[nodiscard]] const std::vector<Duration>& costs() const noexcept {
+    return costs_;
+  }
+
+  /// Sum of processing times along the whole path.
+  [[nodiscard]] Duration total_cost() const noexcept;
+
+  /// Largest processing time along the path — C_i^{slow_i}.
+  [[nodiscard]] Duration max_cost() const noexcept;
+
+  /// Position (0-based) of the slowest node; the first such position when
+  /// several nodes tie (paper: slow_i).
+  [[nodiscard]] std::size_t slow_position() const;
+
+  /// Minimum possible end-to-end response time,
+  /// sum_h C_i^h + (|P_i|-1) * Lmin (used by Definition 2 for jitter).
+  [[nodiscard]] Duration best_case_response(Duration lmin) const noexcept;
+
+  /// Returns a copy whose path (and costs) are truncated to the first `k`
+  /// nodes.  Used for the Smax prefix recursion.
+  [[nodiscard]] SporadicFlow truncated_to_prefix(std::size_t k) const;
+
+  /// Returns a copy carrying only path positions [k, end), with the given
+  /// name suffix and replacement jitter.  Used by the Assumption-1
+  /// normaliser when splitting a re-entering flow.
+  [[nodiscard]] SporadicFlow split_tail(std::size_t k, Duration new_jitter)
+      const;
+
+  /// Replaces the flow's service class (builder-style helper).
+  [[nodiscard]] SporadicFlow with_class(ServiceClass c) const;
+
+ private:
+  std::string name_;
+  Path path_;
+  std::vector<Duration> costs_;  // aligned with path_
+  Duration period_ = 1;
+  Duration jitter_ = 0;
+  Duration deadline_ = 1;
+  ServiceClass class_ = ServiceClass::kExpedited;
+};
+
+}  // namespace tfa::model

@@ -1,0 +1,89 @@
+#include "model/flow_set.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/contracts.h"
+
+namespace tfa::model {
+
+Duration best_case_response(const Network& net, const SporadicFlow& flow) {
+  return flow.total_cost() +
+         net.path_lmin_sum(flow.path(), flow.path().size() - 1);
+}
+
+FlowSet::FlowSet(Network network, std::vector<SporadicFlow> flows)
+    : network_(std::move(network)), flows_(std::move(flows)) {}
+
+FlowIndex FlowSet::add(SporadicFlow flow) {
+  flows_.push_back(std::move(flow));
+  return static_cast<FlowIndex>(flows_.size() - 1);
+}
+
+const SporadicFlow& FlowSet::flow(FlowIndex i) const {
+  TFA_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < flows_.size());
+  return flows_[static_cast<std::size_t>(i)];
+}
+
+std::optional<FlowIndex> FlowSet::find(std::string_view name) const {
+  for (std::size_t i = 0; i < flows_.size(); ++i)
+    if (flows_[i].name() == name) return static_cast<FlowIndex>(i);
+  return std::nullopt;
+}
+
+void FlowSet::replace(FlowIndex i, SporadicFlow flow) {
+  TFA_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < flows_.size());
+  flows_[static_cast<std::size_t>(i)] = std::move(flow);
+}
+
+std::vector<ValidationIssue> FlowSet::validate() const {
+  std::vector<ValidationIssue> issues;
+  std::unordered_set<std::string> names;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const SporadicFlow& f = flows_[i];
+    if (!names.insert(f.name()).second)
+      issues.push_back({fi, "duplicate flow name '" + f.name() + "'"});
+    for (const NodeId h : f.path().nodes())
+      if (!network_.contains(h))
+        issues.push_back({fi, "path node " + std::to_string(h) +
+                                  " outside the network"});
+    if (f.deadline() < best_case_response(network_, f))
+      issues.push_back({fi,
+                        "deadline below the best-case end-to-end response"});
+  }
+  return issues;
+}
+
+double FlowSet::node_utilisation(NodeId node) const {
+  double u = 0.0;
+  for (const SporadicFlow& f : flows_) {
+    const Duration c = f.cost_on(node);
+    if (c > 0)
+      u += static_cast<double>(c) / static_cast<double>(f.period());
+  }
+  return u;
+}
+
+double FlowSet::max_node_utilisation() const {
+  double u = 0.0;
+  for (NodeId h = 0; h < network_.node_count(); ++h)
+    u = std::max(u, node_utilisation(h));
+  return u;
+}
+
+std::vector<FlowIndex> FlowSet::indices_of_class(ServiceClass c) const {
+  std::vector<FlowIndex> out;
+  for (std::size_t i = 0; i < flows_.size(); ++i)
+    if (flows_[i].service_class() == c) out.push_back(static_cast<FlowIndex>(i));
+  return out;
+}
+
+FlowSet FlowSet::restricted_to_class(ServiceClass c) const {
+  FlowSet out(network_);
+  for (const SporadicFlow& f : flows_)
+    if (f.service_class() == c) out.add(f);
+  return out;
+}
+
+}  // namespace tfa::model

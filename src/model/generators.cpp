@@ -1,0 +1,208 @@
+#include "model/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/math.h"
+
+namespace tfa::model {
+
+namespace {
+
+Duration scaled_deadline(const SporadicFlow& f, Duration lmin, double factor) {
+  const auto best = static_cast<double>(f.best_case_response(lmin));
+  return std::max<Duration>(1, static_cast<Duration>(std::ceil(best * factor)));
+}
+
+}  // namespace
+
+FlowSet make_parking_lot(const ParkingLotConfig& cfg) {
+  TFA_EXPECTS(cfg.hops >= 2);
+  TFA_EXPECTS(cfg.cross_flows >= 0);
+  TFA_EXPECTS(cfg.cross_span >= 1 && cfg.cross_span <= cfg.hops);
+  TFA_EXPECTS(cfg.period > 0 && cfg.cost > 0 && cfg.jitter >= 0);
+
+  FlowSet set(Network(cfg.hops, cfg.lmin, cfg.lmax));
+
+  auto add_flow = [&](std::string name, std::vector<NodeId> nodes) {
+    SporadicFlow f(std::move(name), Path(std::move(nodes)), cfg.period,
+                   cfg.cost, cfg.jitter, /*deadline=*/1);
+    const Duration d = scaled_deadline(f, cfg.lmin, cfg.deadline_factor);
+    set.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(), f.jitter(),
+                         d, f.service_class()));
+  };
+
+  // Backbone flow over the whole chain.
+  {
+    std::vector<NodeId> nodes(static_cast<std::size_t>(cfg.hops));
+    std::iota(nodes.begin(), nodes.end(), NodeId{0});
+    add_flow("main", std::move(nodes));
+  }
+
+  // Crossing flows at staggered ingress offsets.
+  for (std::int32_t k = 0; k < cfg.cross_flows; ++k) {
+    const std::int32_t start = k % (cfg.hops - cfg.cross_span + 1);
+    std::vector<NodeId> nodes(static_cast<std::size_t>(cfg.cross_span));
+    std::iota(nodes.begin(), nodes.end(), start);
+    add_flow("cross" + std::to_string(k), std::move(nodes));
+  }
+  return set;
+}
+
+FlowSet make_ring(const RingConfig& cfg) {
+  TFA_EXPECTS(cfg.nodes >= 2);
+  TFA_EXPECTS(cfg.span >= 1 && cfg.span <= cfg.nodes);
+  TFA_EXPECTS(cfg.flows >= 0);
+
+  FlowSet set(Network(cfg.nodes, cfg.lmin, cfg.lmax));
+  for (std::int32_t k = 0; k < cfg.flows; ++k) {
+    const std::int32_t ingress = k % cfg.nodes;
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<std::size_t>(cfg.span));
+    for (std::int32_t s = 0; s < cfg.span; ++s)
+      nodes.push_back((ingress + s) % cfg.nodes);
+    SporadicFlow f("ring" + std::to_string(k), Path(std::move(nodes)),
+                   cfg.period, cfg.cost, cfg.jitter, /*deadline=*/1);
+    set.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(), f.jitter(),
+                         scaled_deadline(f, cfg.lmin, cfg.deadline_factor),
+                         f.service_class()));
+  }
+  return set;
+}
+
+FlowSet make_random(const RandomConfig& cfg, Rng& rng) {
+  TFA_EXPECTS(cfg.nodes >= 2);
+  TFA_EXPECTS(cfg.min_path >= 1 && cfg.min_path <= cfg.max_path);
+  TFA_EXPECTS(cfg.max_path <= cfg.nodes);
+  TFA_EXPECTS(cfg.min_cost >= 1 && cfg.min_cost <= cfg.max_cost);
+  TFA_EXPECTS(cfg.min_period >= 1 && cfg.min_period <= cfg.max_period);
+  TFA_EXPECTS(cfg.max_utilisation > 0.0 && cfg.max_utilisation < 1.0);
+
+  FlowSet set(Network(cfg.nodes, cfg.lmin, cfg.lmax));
+
+  std::vector<SporadicFlow> flows;
+  for (std::int32_t k = 0; k < cfg.flows; ++k) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform(cfg.min_path, cfg.max_path));
+
+    // Random simple path: a random permutation prefix.
+    std::vector<NodeId> pool(static_cast<std::size_t>(cfg.nodes));
+    std::iota(pool.begin(), pool.end(), NodeId{0});
+    for (std::size_t a = 0; a < len; ++a) {
+      const auto b = static_cast<std::size_t>(
+          rng.uniform(static_cast<std::int64_t>(a),
+                      static_cast<std::int64_t>(pool.size()) - 1));
+      std::swap(pool[a], pool[b]);
+    }
+    pool.resize(len);
+
+    std::vector<Duration> costs(len);
+    for (auto& c : costs) c = rng.uniform(cfg.min_cost, cfg.max_cost);
+
+    const Duration period = rng.uniform(cfg.min_period, cfg.max_period);
+    const Duration jitter = cfg.max_jitter > 0 ? rng.uniform(0, cfg.max_jitter)
+                                               : 0;
+    flows.emplace_back("rnd" + std::to_string(k), Path(std::move(pool)),
+                       period, std::move(costs), jitter, /*deadline=*/1);
+  }
+
+  // Rescale periods until every node's utilisation is below the cap.
+  for (bool again = true; again;) {
+    again = false;
+    FlowSet probe(set.network(), flows);
+    for (NodeId h = 0; h < cfg.nodes; ++h) {
+      const double u = probe.node_utilisation(h);
+      if (u <= cfg.max_utilisation) continue;
+      const double scale = u / cfg.max_utilisation;
+      for (auto& f : flows) {
+        if (f.cost_on(h) == 0) continue;
+        const auto np = static_cast<Duration>(
+            std::ceil(static_cast<double>(f.period()) * scale));
+        f = SporadicFlow(f.name(), f.path(), np, f.costs(), f.jitter(),
+                         f.deadline(), f.service_class());
+      }
+      again = true;
+    }
+  }
+
+  for (auto& f : flows) {
+    const Duration d = scaled_deadline(f, cfg.lmin, cfg.deadline_factor);
+    set.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(), f.jitter(),
+                         d, f.service_class()));
+  }
+  return set;
+}
+
+FlowSet make_afdx(const AfdxConfig& cfg) {
+  TFA_EXPECTS(cfg.end_systems >= 1 && cfg.switches >= 1);
+  TFA_EXPECTS(cfg.virtual_links >= 0);
+  TFA_EXPECTS(cfg.bag > 0 && cfg.frame_cost > 0);
+
+  // Node layout: [0, end_systems) left leaves, then `switches` backbone
+  // nodes, then right leaves.
+  const std::int32_t left0 = 0;
+  const std::int32_t sw0 = cfg.end_systems;
+  const std::int32_t right0 = sw0 + cfg.switches;
+  const std::int32_t total = right0 + cfg.end_systems;
+
+  Network net(total, cfg.fabric_lmin, cfg.fabric_lmax);
+  // Slow uplinks between every leaf and its edge switch, both directions.
+  for (std::int32_t e = 0; e < cfg.end_systems; ++e) {
+    net.set_link(left0 + e, sw0, cfg.uplink_lmin, cfg.uplink_lmax);
+    net.set_link(sw0, left0 + e, cfg.uplink_lmin, cfg.uplink_lmax);
+    net.set_link(right0 + e, sw0 + cfg.switches - 1, cfg.uplink_lmin,
+                 cfg.uplink_lmax);
+    net.set_link(sw0 + cfg.switches - 1, right0 + e, cfg.uplink_lmin,
+                 cfg.uplink_lmax);
+  }
+
+  FlowSet set(net);
+  for (std::int32_t v = 0; v < cfg.virtual_links; ++v) {
+    const std::int32_t src = left0 + v % cfg.end_systems;
+    const std::int32_t dst = right0 + (v / cfg.end_systems) % cfg.end_systems;
+    std::vector<NodeId> route{src};
+    for (std::int32_t s = 0; s < cfg.switches; ++s) route.push_back(sw0 + s);
+    route.push_back(dst);
+
+    SporadicFlow f("vl" + std::to_string(v), Path(std::move(route)), cfg.bag,
+                   cfg.frame_cost, /*jitter=*/0, /*deadline=*/1);
+    set.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
+                         f.jitter(),
+                         std::max<Duration>(
+                             1, static_cast<Duration>(std::ceil(
+                                    static_cast<double>(model::best_case_response(
+                                        net, f)) *
+                                    cfg.deadline_factor))),
+                         f.service_class()));
+  }
+  return set;
+}
+
+FlowSet make_tree(const TreeConfig& cfg) {
+  TFA_EXPECTS(cfg.depth >= 1);
+  // Complete binary tree, root = node 0, children of k are 2k+1, 2k+2.
+  const std::int32_t nodes = (1 << (cfg.depth + 1)) - 1;
+  FlowSet set(Network(nodes, cfg.lmin, cfg.lmax));
+
+  const std::int32_t first_leaf = (1 << cfg.depth) - 1;
+  for (std::int32_t leaf = first_leaf; leaf < nodes; ++leaf) {
+    std::vector<NodeId> route;
+    for (std::int32_t v = leaf; v != 0; v = (v - 1) / 2) route.push_back(v);
+    route.push_back(0);
+
+    SporadicFlow f("sensor" + std::to_string(leaf - first_leaf),
+                   Path(std::move(route)), cfg.period, cfg.cost, cfg.jitter,
+                   /*deadline=*/1);
+    set.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
+                         f.jitter(),
+                         scaled_deadline(f, cfg.lmin, cfg.deadline_factor),
+                         f.service_class()));
+  }
+  return set;
+}
+
+}  // namespace tfa::model

@@ -1,0 +1,108 @@
+// Synthetic topology / workload generators.
+//
+// The paper evaluates on a single hand-built example; these generators
+// provide the families of flow sets the extension benches sweep over:
+// parking-lot chains (the canonical multi-hop aggregation stress), rings,
+// and fully random sets (which also exercise the Assumption-1 normaliser).
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "model/flow_set.h"
+
+namespace tfa::model {
+
+/// Parking-lot chain: a backbone of `hops` nodes carrying one long flow,
+/// with `cross_flows` short flows hopping on for `cross_span` nodes at
+/// staggered offsets — the classic worst case for holistic jitter
+/// accumulation.
+struct ParkingLotConfig {
+  std::int32_t hops = 6;          ///< Backbone length (>= 2).
+  std::int32_t cross_flows = 4;   ///< Number of crossing flows.
+  std::int32_t cross_span = 2;    ///< Nodes each crossing flow shares (>= 1).
+  Duration period = 100;          ///< T for every flow.
+  Duration cost = 4;              ///< C per node for every flow.
+  Duration jitter = 0;            ///< Release jitter for every flow.
+  double deadline_factor = 8.0;   ///< D = factor * best-case response.
+  Duration lmin = 1;
+  Duration lmax = 1;
+};
+
+[[nodiscard]] FlowSet make_parking_lot(const ParkingLotConfig& cfg);
+
+/// Unidirectional ring: `nodes` routers in a cycle, `flows` flows starting
+/// at staggered ingresses and travelling `span` hops clockwise.
+struct RingConfig {
+  std::int32_t nodes = 8;
+  std::int32_t flows = 8;
+  std::int32_t span = 3;          ///< Path length in nodes (<= nodes).
+  Duration period = 120;
+  Duration cost = 4;
+  Duration jitter = 0;
+  double deadline_factor = 10.0;
+  Duration lmin = 1;
+  Duration lmax = 2;
+};
+
+[[nodiscard]] FlowSet make_ring(const RingConfig& cfg);
+
+/// Fully random flow set: uniform node pool, random simple paths, random
+/// parameters.  Periods are rescaled afterwards so the maximum node
+/// utilisation does not exceed `max_utilisation`.
+struct RandomConfig {
+  std::int32_t nodes = 12;
+  std::int32_t flows = 8;
+  std::int32_t min_path = 2;
+  std::int32_t max_path = 5;
+  Duration min_cost = 1;
+  Duration max_cost = 8;
+  Duration min_period = 50;
+  Duration max_period = 400;
+  Duration max_jitter = 10;
+  double deadline_factor = 12.0;
+  double max_utilisation = 0.6;   ///< Cap on per-node utilisation (< 1).
+  Duration lmin = 1;
+  Duration lmax = 3;
+};
+
+[[nodiscard]] FlowSet make_random(const RandomConfig& cfg, Rng& rng);
+
+/// AFDX-style avionics backbone: `end_systems` leaf nodes on each side of
+/// a redundant pair of `switches`-long switch chains; virtual links (one
+/// flow each) route leaf -> chain -> leaf.  Leaf uplinks are slow
+/// (high-delay links), the switch fabric is fast — exercising the
+/// heterogeneous per-link bounds.
+struct AfdxConfig {
+  std::int32_t end_systems = 4;   ///< Per side (>= 1).
+  std::int32_t switches = 3;      ///< Backbone length (>= 1).
+  std::int32_t virtual_links = 8; ///< Flows, round-robin over leaf pairs.
+  Duration bag = 4000;            ///< Bandwidth-allocation gap (period).
+  Duration frame_cost = 40;       ///< Per-hop transmission time.
+  Duration uplink_lmin = 10;      ///< Leaf <-> switch link bounds.
+  Duration uplink_lmax = 30;
+  Duration fabric_lmin = 1;       ///< Switch <-> switch link bounds.
+  Duration fabric_lmax = 2;
+  double deadline_factor = 10.0;
+};
+
+[[nodiscard]] FlowSet make_afdx(const AfdxConfig& cfg);
+
+/// Sensor-aggregation tree: a complete binary tree of `depth` levels;
+/// one flow per leaf travelling up to the root sink.  Interference
+/// concentrates toward the root — the funnel every aggregation network
+/// fights.
+struct TreeConfig {
+  std::int32_t depth = 3;        ///< Levels below the root (>= 1).
+  Duration period = 500;
+  Duration cost = 6;
+  Duration jitter = 2;
+  double deadline_factor = 15.0;
+  Duration lmin = 1;
+  Duration lmax = 3;
+};
+
+[[nodiscard]] FlowSet make_tree(const TreeConfig& cfg);
+
+}  // namespace tfa::model

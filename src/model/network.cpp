@@ -1,0 +1,64 @@
+#include "model/network.h"
+
+#include "base/contracts.h"
+#include "model/path.h"
+
+namespace tfa::model {
+
+Network::Network(std::int32_t node_count, Duration lmin, Duration lmax)
+    : node_count_(node_count), lmin_(lmin), lmax_(lmax) {
+  TFA_EXPECTS(node_count >= 0);
+  TFA_EXPECTS(lmin >= 0);
+  TFA_EXPECTS(lmax >= lmin);
+}
+
+void Network::set_link(NodeId from, NodeId to, Duration link_min,
+                       Duration link_max) {
+  TFA_EXPECTS(contains(from) && contains(to) && from != to);
+  TFA_EXPECTS(link_min >= 0 && link_max >= link_min);
+  links_[{from, to}] = {link_min, link_max};
+}
+
+Duration Network::link_lmin(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? lmin_ : it->second.first;
+}
+
+Duration Network::link_lmax(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? lmax_ : it->second.second;
+}
+
+Duration Network::path_lmin_sum(const Path& path, std::size_t hops) const {
+  TFA_EXPECTS(hops + 1 <= path.size());
+  if (links_.empty()) return static_cast<Duration>(hops) * lmin_;
+  Duration sum = 0;
+  for (std::size_t p = 0; p < hops; ++p)
+    sum += link_lmin(path.at(p), path.at(p + 1));
+  return sum;
+}
+
+Duration Network::path_lmax_sum(const Path& path, std::size_t hops) const {
+  TFA_EXPECTS(hops + 1 <= path.size());
+  if (links_.empty()) return static_cast<Duration>(hops) * lmax_;
+  Duration sum = 0;
+  for (std::size_t p = 0; p < hops; ++p)
+    sum += link_lmax(path.at(p), path.at(p + 1));
+  return sum;
+}
+
+void Network::set_node_name(NodeId node, std::string name) {
+  TFA_EXPECTS(contains(node));
+  if (names_.size() < static_cast<std::size_t>(node_count_))
+    names_.resize(static_cast<std::size_t>(node_count_));
+  names_[static_cast<std::size_t>(node)] = std::move(name);
+}
+
+std::string Network::node_name(NodeId node) const {
+  TFA_EXPECTS(contains(node));
+  const auto k = static_cast<std::size_t>(node);
+  if (k < names_.size() && !names_[k].empty()) return names_[k];
+  return std::to_string(node);
+}
+
+}  // namespace tfa::model

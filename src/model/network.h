@@ -1,0 +1,85 @@
+// Network model (paper Section 2.1): a set of store-and-forward nodes
+// interconnected by FIFO links whose traversal delay lies in a known
+// interval [Lmin, Lmax].  Failures and losses are out of scope.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tfa::model {
+
+class Path;
+
+/// The network substrate the flows traverse.
+///
+/// Only what the analysis needs is modelled: how many nodes exist and the
+/// link-delay intervals.  Adjacency is implied by the flow paths (the
+/// paper assumes fixed routes, e.g. source routing or MPLS).  The paper
+/// uses one global [Lmin, Lmax]; this model additionally supports
+/// per-link overrides — every analysis then charges each hop its own
+/// bounds.
+class Network {
+ public:
+  Network() = default;
+
+  /// `node_count` nodes (ids 0..node_count-1) with default link delays in
+  /// [lmin, lmax].  Precondition: 0 <= lmin <= lmax.
+  Network(std::int32_t node_count, Duration lmin, Duration lmax);
+
+  [[nodiscard]] std::int32_t node_count() const noexcept { return node_count_; }
+
+  /// Default lower bound on the delay of a link traversal.
+  [[nodiscard]] Duration lmin() const noexcept { return lmin_; }
+  /// Default upper bound on the delay of a link traversal.
+  [[nodiscard]] Duration lmax() const noexcept { return lmax_; }
+
+  /// Overrides the delay interval of the directed link `from -> to`.
+  /// Precondition: both nodes exist, 0 <= lmin <= lmax.
+  void set_link(NodeId from, NodeId to, Duration lmin, Duration lmax);
+
+  /// Delay bounds of the directed link `from -> to` (the defaults unless
+  /// overridden).
+  [[nodiscard]] Duration link_lmin(NodeId from, NodeId to) const;
+  [[nodiscard]] Duration link_lmax(NodeId from, NodeId to) const;
+
+  /// True when at least one link carries non-default bounds.
+  [[nodiscard]] bool has_link_overrides() const noexcept {
+    return !links_.empty();
+  }
+
+  /// All per-link overrides: (from, to) -> (lmin, lmax).
+  [[nodiscard]] const std::map<std::pair<NodeId, NodeId>,
+                               std::pair<Duration, Duration>>&
+  link_overrides() const noexcept {
+    return links_;
+  }
+
+  /// Sum of per-hop lower/upper delay bounds over the first `hops` links
+  /// of `path` (hops <= |path| - 1).
+  [[nodiscard]] Duration path_lmin_sum(const Path& path,
+                                       std::size_t hops) const;
+  [[nodiscard]] Duration path_lmax_sum(const Path& path,
+                                       std::size_t hops) const;
+
+  /// True iff `node` is a valid node id of this network.
+  [[nodiscard]] bool contains(NodeId node) const noexcept {
+    return node >= 0 && node < node_count_;
+  }
+
+  /// Optional display name for a node (defaults to its id).
+  void set_node_name(NodeId node, std::string name);
+  [[nodiscard]] std::string node_name(NodeId node) const;
+
+ private:
+  std::int32_t node_count_ = 0;
+  Duration lmin_ = 0;
+  Duration lmax_ = 0;
+  std::map<std::pair<NodeId, NodeId>, std::pair<Duration, Duration>> links_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace tfa::model

@@ -1,0 +1,26 @@
+#include "model/paper_example.h"
+
+namespace tfa::model {
+
+FlowSet paper_example() {
+  // Lmax = Lmin = 1 (Section 5); 11 nodes numbered 1..11 as in the paper.
+  FlowSet set(Network(12, 1, 1));
+
+  constexpr Duration kPeriod = 36;
+  constexpr Duration kCost = 4;
+  constexpr Duration kJitter = 0;
+
+  set.add(SporadicFlow("tau1", Path{1, 3, 4, 5}, kPeriod, kCost, kJitter,
+                       kPaperDeadlines[0]));
+  set.add(SporadicFlow("tau2", Path{9, 10, 7, 6}, kPeriod, kCost, kJitter,
+                       kPaperDeadlines[1]));
+  set.add(SporadicFlow("tau3", Path{2, 3, 4, 7, 10, 11}, kPeriod, kCost,
+                       kJitter, kPaperDeadlines[2]));
+  set.add(SporadicFlow("tau4", Path{2, 3, 4, 7, 10, 11}, kPeriod, kCost,
+                       kJitter, kPaperDeadlines[3]));
+  set.add(SporadicFlow("tau5", Path{2, 3, 4, 7, 8}, kPeriod, kCost, kJitter,
+                       kPaperDeadlines[4]));
+  return set;
+}
+
+}  // namespace tfa::model

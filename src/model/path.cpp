@@ -1,0 +1,88 @@
+#include "model/path.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+
+namespace tfa::model {
+
+namespace {
+
+void check_nodes(const std::vector<NodeId>& nodes) {
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    TFA_EXPECTS(nodes[a] >= 0);
+    for (std::size_t b = a + 1; b < nodes.size(); ++b)
+      TFA_EXPECTS(nodes[a] != nodes[b]);
+  }
+}
+
+}  // namespace
+
+Path::Path(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {
+  check_nodes(nodes_);
+}
+
+Path::Path(std::initializer_list<NodeId> nodes)
+    : Path(std::vector<NodeId>(nodes)) {}
+
+NodeId Path::at(std::size_t k) const {
+  TFA_EXPECTS(k < nodes_.size());
+  return nodes_[k];
+}
+
+NodeId Path::first() const {
+  TFA_EXPECTS(!nodes_.empty());
+  return nodes_.front();
+}
+
+NodeId Path::last() const {
+  TFA_EXPECTS(!nodes_.empty());
+  return nodes_.back();
+}
+
+std::ptrdiff_t Path::index_of(NodeId node) const noexcept {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  return it == nodes_.end() ? -1 : it - nodes_.begin();
+}
+
+NodeId Path::predecessor(NodeId node) const {
+  const std::ptrdiff_t k = index_of(node);
+  TFA_EXPECTS(k > 0);
+  return nodes_[static_cast<std::size_t>(k - 1)];
+}
+
+NodeId Path::successor(NodeId node) const {
+  const std::ptrdiff_t k = index_of(node);
+  TFA_EXPECTS(k >= 0 &&
+              static_cast<std::size_t>(k) + 1 < nodes_.size());
+  return nodes_[static_cast<std::size_t>(k + 1)];
+}
+
+Path Path::prefix(std::size_t k) const {
+  TFA_EXPECTS(k >= 1 && k <= nodes_.size());
+  return Path(std::vector<NodeId>(nodes_.begin(),
+                                  nodes_.begin() + static_cast<std::ptrdiff_t>(k)));
+}
+
+Path Path::suffix_from(std::size_t k) const {
+  TFA_EXPECTS(k < nodes_.size());
+  return Path(std::vector<NodeId>(nodes_.begin() + static_cast<std::ptrdiff_t>(k),
+                                  nodes_.end()));
+}
+
+NodeId Path::max_node() const noexcept {
+  NodeId m = kNoNode;
+  for (const NodeId v : nodes_) m = std::max(m, v);
+  return m;
+}
+
+std::string Path::to_string() const {
+  std::string out;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (k != 0) out += " -> ";
+    out += std::to_string(nodes_[k]);
+  }
+  return out;
+}
+
+}  // namespace tfa::model

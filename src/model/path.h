@@ -1,0 +1,77 @@
+// Fixed routes.  A Path is the ordered sequence of nodes a flow visits
+// (paper Section 2.1: each flow follows a fixed path, e.g. via source
+// routing or MPLS); nodes never repeat within a path.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tfa::model {
+
+/// An ordered, repetition-free sequence of nodes.
+class Path {
+ public:
+  Path() = default;
+
+  /// Builds a path from explicit node ids.  Precondition: all ids are
+  /// non-negative and pairwise distinct.
+  explicit Path(std::vector<NodeId> nodes);
+  Path(std::initializer_list<NodeId> nodes);
+
+  /// Number of visited nodes — the paper's |P_i|.
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  /// Node at position `k` (0-based along the route).
+  [[nodiscard]] NodeId at(std::size_t k) const;
+
+  /// First node visited — the paper's first_i (the flow's ingress).
+  [[nodiscard]] NodeId first() const;
+  /// Last node visited — the paper's last_i (the flow's egress).
+  [[nodiscard]] NodeId last() const;
+
+  /// Position of `node` along the path, or -1 if not visited.
+  [[nodiscard]] std::ptrdiff_t index_of(NodeId node) const noexcept;
+
+  /// True iff the flow visits `node`.
+  [[nodiscard]] bool contains(NodeId node) const noexcept {
+    return index_of(node) >= 0;
+  }
+
+  /// Node visited just before `node` — the paper's pre_i(h).
+  /// Precondition: `node` is on the path and is not the first node.
+  [[nodiscard]] NodeId predecessor(NodeId node) const;
+
+  /// Node visited just after `node` — the paper's suc_i(h).
+  /// Precondition: `node` is on the path and is not the last node.
+  [[nodiscard]] NodeId successor(NodeId node) const;
+
+  /// The sub-path consisting of the first `k` nodes (k >= 1).
+  [[nodiscard]] Path prefix(std::size_t k) const;
+
+  /// The sub-path from position `k` (inclusive) to the end.
+  [[nodiscard]] Path suffix_from(std::size_t k) const;
+
+  /// Read-only view of the node sequence.
+  [[nodiscard]] std::span<const NodeId> nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Largest node id on the path, or -1 when empty (useful for sizing
+  /// per-node arrays).
+  [[nodiscard]] NodeId max_node() const noexcept;
+
+  /// "1 -> 3 -> 4 -> 5" rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace tfa::model

@@ -1,0 +1,39 @@
+// Plain-text serialisation of flow sets.
+//
+// The format is line-oriented and diff-friendly:
+//
+//   # comment
+//   network <node_count> <lmin> <lmax>
+//   link <from> <to> <lmin> <lmax>
+//   flow <name> <class> <period> <jitter> <deadline>
+//        path <n0> <n1> ... costs <c0> <c1> ...   (one line)
+//
+// `class` is one of EF, AF1..AF4, BE.  `costs` may be a single value
+// (uniform across the path) or one value per path node.  `link` lines
+// override the network's default delay bounds for one directed link.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/flow_set.h"
+
+namespace tfa::model {
+
+/// Outcome of parsing: either a flow set or a located error message.
+struct ParseResult {
+  std::optional<FlowSet> flow_set;
+  std::string error;   ///< Empty on success.
+  int error_line = 0;  ///< 1-based line of the first error.
+
+  [[nodiscard]] bool ok() const noexcept { return flow_set.has_value(); }
+};
+
+/// Parses the text format above.
+[[nodiscard]] ParseResult parse_flow_set(std::string_view text);
+
+/// Renders `set` in the text format; parse_flow_set() round-trips it.
+[[nodiscard]] std::string serialize_flow_set(const FlowSet& set);
+
+}  // namespace tfa::model

@@ -1,0 +1,124 @@
+#include "model/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "base/contracts.h"
+
+namespace tfa::model {
+
+Topology::Topology(std::int32_t node_count, Duration default_lmin,
+                   Duration default_lmax)
+    : node_count_(node_count),
+      default_lmin_(default_lmin),
+      default_lmax_(default_lmax),
+      adjacency_(static_cast<std::size_t>(node_count)) {
+  TFA_EXPECTS(node_count >= 0);
+  TFA_EXPECTS(default_lmin >= 0 && default_lmax >= default_lmin);
+}
+
+void Topology::add_link(const LinkSpec& spec) {
+  TFA_EXPECTS(spec.a >= 0 && spec.a < node_count_);
+  TFA_EXPECTS(spec.b >= 0 && spec.b < node_count_);
+  TFA_EXPECTS(spec.a != spec.b);
+  TFA_EXPECTS(spec.lmin >= 0 && spec.lmax >= spec.lmin);
+
+  auto upsert = [&](NodeId from, NodeId to) {
+    auto& edges = adjacency_[static_cast<std::size_t>(from)];
+    for (Edge& e : edges) {
+      if (e.to == to) {
+        e.lmin = spec.lmin;
+        e.lmax = spec.lmax;
+        return;
+      }
+    }
+    edges.push_back({to, spec.lmin, spec.lmax});
+  };
+  upsert(spec.a, spec.b);
+  if (spec.bidirectional) upsert(spec.b, spec.a);
+}
+
+std::size_t Topology::link_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& edges : adjacency_) total += edges.size();
+  return total;
+}
+
+bool Topology::has_link(NodeId from, NodeId to) const {
+  TFA_EXPECTS(from >= 0 && from < node_count_);
+  for (const Edge& e : adjacency_[static_cast<std::size_t>(from)])
+    if (e.to == to) return true;
+  return false;
+}
+
+Network Topology::to_network() const {
+  Network net(node_count_, default_lmin_, default_lmax_);
+  for (std::size_t from = 0; from < adjacency_.size(); ++from)
+    for (const Edge& e : adjacency_[from])
+      net.set_link(static_cast<NodeId>(from), e.to, e.lmin, e.lmax);
+  return net;
+}
+
+std::optional<Path> Topology::route(NodeId from, NodeId to,
+                                    RouteMetric metric) const {
+  TFA_EXPECTS(from >= 0 && from < node_count_);
+  TFA_EXPECTS(to >= 0 && to < node_count_);
+  if (from == to) return Path{from};
+
+  // Dijkstra with (cost, hops, node) ordering; ties resolve to smaller
+  // node ids through the priority queue ordering, making routes
+  // deterministic.
+  struct State {
+    Duration cost;
+    std::size_t hops;
+    NodeId node;
+    bool operator>(const State& o) const {
+      if (cost != o.cost) return cost > o.cost;
+      if (hops != o.hops) return hops > o.hops;
+      return node > o.node;
+    }
+  };
+
+  constexpr Duration kUnreached = std::numeric_limits<Duration>::max();
+  std::vector<Duration> best(static_cast<std::size_t>(node_count_),
+                             kUnreached);
+  std::vector<std::size_t> best_hops(static_cast<std::size_t>(node_count_),
+                                     std::numeric_limits<std::size_t>::max());
+  std::vector<NodeId> parent(static_cast<std::size_t>(node_count_), kNoNode);
+  std::priority_queue<State, std::vector<State>, std::greater<>> frontier;
+
+  best[static_cast<std::size_t>(from)] = 0;
+  best_hops[static_cast<std::size_t>(from)] = 0;
+  frontier.push({0, 0, from});
+
+  while (!frontier.empty()) {
+    const State s = frontier.top();
+    frontier.pop();
+    if (s.cost > best[static_cast<std::size_t>(s.node)]) continue;
+    if (s.node == to) break;
+    for (const Edge& e : adjacency_[static_cast<std::size_t>(s.node)]) {
+      const Duration step = metric == RouteMetric::kHops ? 1 : e.lmax;
+      const Duration cost = s.cost + step;
+      const std::size_t hops = s.hops + 1;
+      auto& b = best[static_cast<std::size_t>(e.to)];
+      auto& bh = best_hops[static_cast<std::size_t>(e.to)];
+      if (cost < b || (cost == b && hops < bh)) {
+        b = cost;
+        bh = hops;
+        parent[static_cast<std::size_t>(e.to)] = s.node;
+        frontier.push({cost, hops, e.to});
+      }
+    }
+  }
+
+  if (best[static_cast<std::size_t>(to)] == kUnreached) return std::nullopt;
+  std::vector<NodeId> nodes;
+  for (NodeId v = to; v != kNoNode; v = parent[static_cast<std::size_t>(v)])
+    nodes.push_back(v);
+  std::reverse(nodes.begin(), nodes.end());
+  TFA_ASSERT(nodes.front() == from && nodes.back() == to);
+  return Path(std::move(nodes));
+}
+
+}  // namespace tfa::model

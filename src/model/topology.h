@@ -1,0 +1,75 @@
+// Link-level topology with route computation.
+//
+// The analyses take fixed paths as given (the paper assumes source
+// routing / MPLS); this helper is where those paths come from in a real
+// deployment: declare the links once, then route flows by shortest path
+// (hop count or worst-case link delay) instead of spelling node sequences
+// by hand.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/types.h"
+#include "model/network.h"
+#include "model/path.h"
+
+namespace tfa::model {
+
+/// Routing metric.
+enum class RouteMetric {
+  kHops,          ///< Fewest links.
+  kWorstDelay,    ///< Smallest sum of link lmax (ties by fewer hops).
+};
+
+/// An undirected-by-default link declaration.
+struct LinkSpec {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  Duration lmin = 1;
+  Duration lmax = 1;
+  bool bidirectional = true;
+};
+
+/// A declared topology: nodes + links, convertible to a Network and able
+/// to route paths over itself.
+class Topology {
+ public:
+  /// `node_count` nodes, no links yet; `default_lmin/lmax` seed the
+  /// Network's defaults.
+  Topology(std::int32_t node_count, Duration default_lmin,
+           Duration default_lmax);
+
+  /// Declares a link (and its reverse unless `spec.bidirectional` is
+  /// false).  Re-declaring a link overwrites its bounds.
+  void add_link(const LinkSpec& spec);
+
+  /// Number of declared directed links.
+  [[nodiscard]] std::size_t link_count() const noexcept;
+
+  /// True iff the directed link exists.
+  [[nodiscard]] bool has_link(NodeId from, NodeId to) const;
+
+  /// The Network carrying the per-link delay overrides, for FlowSet use.
+  [[nodiscard]] Network to_network() const;
+
+  /// Shortest route from `from` to `to` under `metric`, or nullopt when
+  /// unreachable.  Deterministic: ties prefer smaller node ids.
+  [[nodiscard]] std::optional<Path> route(NodeId from, NodeId to,
+                                          RouteMetric metric =
+                                              RouteMetric::kWorstDelay) const;
+
+ private:
+  struct Edge {
+    NodeId to;
+    Duration lmin;
+    Duration lmax;
+  };
+
+  std::int32_t node_count_;
+  Duration default_lmin_;
+  Duration default_lmax_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace tfa::model

@@ -1,0 +1,235 @@
+#include "netcalc/analysis.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+
+namespace tfa::netcalc {
+
+namespace {
+/// Denominator grid for propagated bursts (1/4096 packet resolution).
+constexpr std::int64_t kBurstGrid = 4096;
+/// Finer grid for residual service *rates* (rounded down): a coarse floor
+/// could push the rate below the flow's own arrival rate and invalidate
+/// the PBOO delay formula.
+constexpr std::int64_t kRateGrid = std::int64_t{1} << 20;
+}  // namespace
+
+// The computation tracks per-flow *packet* curves (burst in packets, rate
+// in packets/tick) and converts to work units at each node by scaling with
+// the node-specific processing time — per-node costs differ, so work units
+// are not comparable across nodes.
+Result analyze(const model::FlowSet& set, const Config& cfg) {
+  TFA_EXPECTS(!set.empty());
+  const std::size_t n = set.size();
+  const auto node_count = static_cast<std::size_t>(set.network().node_count());
+  const ServiceCurve beta{Rational(1), Rational(cfg.node_latency)};
+
+  // burst[i][pos]: packet burst of flow i entering its pos-th node.
+  std::vector<std::vector<Rational>> burst(n);
+  std::vector<Rational> rate(n);  // packets per tick
+  std::vector<bool> dead(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    rate[i] = Rational(1, f.period());
+    burst[i].assign(f.path().size(), Rational(0));
+    // 1 + floor((t+J)/T) packets <= (1 + J/T) + t/T.
+    burst[i][0] = (Rational(1) + Rational(f.jitter(), f.period()))
+                      .ceil_to_grid(kBurstGrid);
+  }
+
+  // Stability precheck: aggregate work rate must not exceed the server.
+  std::vector<bool> node_stable(node_count, true);
+  for (std::size_t h = 0; h < node_count; ++h) {
+    Rational total(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Duration c =
+          set.flow(static_cast<FlowIndex>(i)).cost_on(static_cast<NodeId>(h));
+      // Rates round up onto the grid before summing: the lcm of many
+      // distinct periods would overflow the rational otherwise, and
+      // rounding up is conservative for every use of an aggregate rate.
+      if (c > 0) total += (rate[i] * Rational(c)).ceil_to_grid(kRateGrid);
+    }
+    node_stable[h] = total <= beta.rate;
+  }
+
+  Result result;
+  std::vector<std::vector<Rational>> delay(n);
+  for (std::size_t i = 0; i < n; ++i)
+    delay[i].assign(burst[i].size(), Rational(0));
+
+  for (result.iterations = 0; result.iterations < cfg.max_iterations;
+       ++result.iterations) {
+    // Aggregate work-unit arrival curve per node under the current table.
+    std::vector<ArrivalCurve> aggregate(node_count);
+    std::vector<bool> node_dead(node_count, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto fi = static_cast<FlowIndex>(i);
+      const model::SporadicFlow& f = set.flow(fi);
+      for (std::size_t p = 0; p < f.path().size(); ++p) {
+        const auto h = static_cast<std::size_t>(f.path().at(p));
+        const Rational c(f.cost_at_position(p));
+        aggregate[h].sigma += burst[i][p] * c;
+        aggregate[h].rho += (rate[i] * c).ceil_to_grid(kRateGrid);
+        if (dead[i]) node_dead[h] = true;
+      }
+    }
+
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dead[i]) continue;
+      const auto fi = static_cast<FlowIndex>(i);
+      const model::SporadicFlow& f = set.flow(fi);
+      for (std::size_t p = 0; p < f.path().size(); ++p) {
+        const auto h = static_cast<std::size_t>(f.path().at(p));
+        if (!node_stable[h] || node_dead[h]) {
+          dead[i] = true;
+          changed = true;
+          break;
+        }
+        delay[i][p] = horizontal_deviation(aggregate[h], beta);
+        if (p + 1 == f.path().size()) continue;
+        // Output burstiness: packets can bunch up by the node delay plus
+        // the link-delay spread before reaching the next node.  Rounded up
+        // onto a fixed denominator grid so cyclic propagation cannot
+        // compound denominators indefinitely (sound: only ever larger).
+        const NodeId to = f.path().at(p + 1);
+        const Rational link_slack(
+            set.network().link_lmax(f.path().at(p), to) -
+            set.network().link_lmin(f.path().at(p), to));
+        const Rational next =
+            (burst[i][p] + rate[i] * (delay[i][p] + link_slack))
+                .ceil_to_grid(kBurstGrid);
+        if (next > cfg.sigma_ceiling) {
+          dead[i] = true;
+          changed = true;
+          break;
+        }
+        if (next > burst[i][p + 1]) {
+          burst[i][p + 1] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+
+  // Backlog bounds: the vertical deviation of each node's converged
+  // aggregate curve (buffer dimensioning).
+  result.node_backlog.assign(node_count, Rational(kInfiniteDuration));
+  if (result.converged) {
+    for (std::size_t h = 0; h < node_count; ++h) {
+      if (!node_stable[h]) continue;
+      ArrivalCurve aggregate;
+      bool ok = true;
+      for (std::size_t i = 0; i < n && ok; ++i) {
+        const auto fi = static_cast<FlowIndex>(i);
+        const model::SporadicFlow& f = set.flow(fi);
+        const auto p = f.path().index_of(static_cast<NodeId>(h));
+        if (p < 0) continue;
+        if (dead[i]) {
+          ok = false;
+          break;
+        }
+        const Rational c(f.cost_at_position(static_cast<std::size_t>(p)));
+        aggregate.sigma += burst[i][static_cast<std::size_t>(p)] * c;
+        aggregate.rho += (rate[i] * c).ceil_to_grid(kRateGrid);
+      }
+      if (ok) result.node_backlog[h] = backlog_bound(aggregate, beta);
+    }
+  }
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set.flow(fi);
+    FlowBound b;
+    b.flow = fi;
+    if (dead[i] || !result.converged) {
+      b.response = kInfiniteDuration;
+    } else if (cfg.mode == Mode::kAggregatePerNode) {
+      // Release jitter + per-node delays + worst-case link traversals.
+      Rational total(f.jitter());
+      for (std::size_t p = 0; p < f.path().size(); ++p) total += delay[i][p];
+      total += Rational(
+          set.network().path_lmax_sum(f.path(), f.path().size() - 1));
+      b.response = total.ceil();
+      b.node_delays = delay[i];
+    } else {
+      // Pay-bursts-only-once: convolve the per-node FIFO residual service
+      // curves (computed against the converged *cross*-traffic curves) and
+      // charge the flow's own burst a single time.
+      Rational total_latency(0);
+      Rational min_rate(1);
+      bool feasible = true;
+      for (std::size_t p = 0; p < f.path().size() && feasible; ++p) {
+        const auto h = static_cast<std::size_t>(f.path().at(p));
+        ArrivalCurve cross;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const auto fj = static_cast<FlowIndex>(j);
+          const model::SporadicFlow& g = set.flow(fj);
+          const auto q = g.path().index_of(static_cast<NodeId>(h));
+          if (q < 0) continue;
+          const Rational c(g.cost_at_position(static_cast<std::size_t>(q)));
+          cross.sigma += burst[j][static_cast<std::size_t>(q)] * c;
+          cross.rho += (rate[j] * c).ceil_to_grid(kRateGrid);
+        }
+        // Residual rate-latency curve under FIFO cross traffic.  Rates
+        // round *down* and latencies *up* onto the denominator grid, so
+        // arbitrary period combinations cannot blow up the rational
+        // arithmetic while the bound stays sound.
+        if (cross.rho >= beta.rate) {
+          feasible = false;
+          break;
+        }
+        const Rational residual_rate =
+            (beta.rate - cross.rho).floor_to_grid(kRateGrid);
+        // The horizontal-deviation formula needs the flow's own work rate
+        // to fit under the residual curve at this node.
+        const Rational own_rho =
+            rate[i] * Rational(f.cost_at_position(p));
+        if (!(residual_rate > Rational(0)) || own_rho > residual_rate) {
+          feasible = false;
+          break;
+        }
+        const Rational node_latency =
+            (beta.latency + cross.sigma / residual_rate)
+                .ceil_to_grid(kBurstGrid);
+        total_latency += node_latency;
+        if (residual_rate < min_rate) min_rate = residual_rate;
+        b.node_delays.push_back(node_latency);
+      }
+      if (!feasible) {
+        b.response = kInfiniteDuration;
+        b.node_delays.clear();
+      } else {
+        // Own burst in work units, charged once at the bottleneck rate.
+        const Rational own_sigma =
+            burst[i][0] * Rational(f.max_cost());
+        Rational total = Rational(f.jitter()) + total_latency +
+                         own_sigma / min_rate;
+        // Store-and-forward packetisation: the fluid concatenation lets
+        // bits stream through; a real packet is fully serialised at every
+        // hop before the last, which must be charged per hop.
+        for (std::size_t p = 0; p + 1 < f.path().size(); ++p)
+          total += Rational(f.cost_at_position(p));
+        total += Rational(
+            set.network().path_lmax_sum(f.path(), f.path().size() - 1));
+        b.response = total.ceil();
+      }
+    }
+    b.schedulable = !is_infinite(b.response) && b.response <= f.deadline();
+    all_ok = all_ok && b.schedulable;
+    result.bounds.push_back(std::move(b));
+  }
+  result.all_schedulable = all_ok;
+  return result;
+}
+
+}  // namespace tfa::netcalc

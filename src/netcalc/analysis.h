@@ -1,0 +1,72 @@
+// Network-calculus baseline (paper Section 3): per-node FIFO-aggregate
+// delay bounds from token-bucket arrival curves and unit-rate service
+// curves, with output-burstiness propagation solved as a global fixed
+// point (flow paths may depend on each other cyclically).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "netcalc/curves.h"
+
+namespace tfa::netcalc {
+
+/// How the end-to-end delay is assembled from the per-node curves.
+enum class Mode {
+  /// Per-node FIFO-aggregate horizontal deviation, summed along the path.
+  /// The flow's burst is "paid" at every hop — simple and robust.
+  kAggregatePerNode,
+  /// Pay-bursts-only-once: per node, the flow's residual service curve
+  /// under FIFO cross traffic (rate 1 - rho_cross, latency
+  /// sigma_cross / (1 - rho_cross)); the per-node curves are convolved
+  /// (min rate, summed latencies) and the flow's own burst is charged a
+  /// single time at the bottleneck rate.  Usually much tighter on long
+  /// paths.
+  kPayBurstsOnlyOnce,
+};
+
+/// Tuning knobs.
+struct Config {
+  Mode mode = Mode::kAggregatePerNode;
+  /// Extra service latency per node (e.g. the non-preemption blocking of
+  /// one maximum lower-priority packet when modelling the EF class).
+  Duration node_latency = 0;
+  /// Burst values above this ceiling are treated as divergent.
+  Rational sigma_ceiling{Duration{1} << 40};
+  std::size_t max_iterations = 512;
+};
+
+/// Per-flow outcome.
+struct FlowBound {
+  FlowIndex flow = kNoFlow;
+  Duration response = 0;  ///< End-to-end bound (ceil of the exact rational);
+                          ///< kInfiniteDuration when divergent.
+  bool schedulable = false;
+  /// Exact per-node delay bounds along the path (empty when divergent).
+  std::vector<Rational> node_delays;
+};
+
+/// Whole-set outcome.
+struct Result {
+  std::vector<FlowBound> bounds;
+  bool all_schedulable = false;
+  bool converged = false;
+  std::size_t iterations = 0;
+  /// Per-node backlog bound in work units (buffer dimensioning: no FIFO
+  /// queue ever holds more unfinished work).  Indexed by node id;
+  /// Rational(kInfiniteDuration) marks unstable/divergent nodes.
+  std::vector<Rational> node_backlog;
+
+  [[nodiscard]] const FlowBound* find(FlowIndex i) const noexcept {
+    for (const FlowBound& b : bounds)
+      if (b.flow == i) return &b;
+    return nullptr;
+  }
+};
+
+/// Runs the analysis on every flow of `set`.
+[[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg = {});
+
+}  // namespace tfa::netcalc

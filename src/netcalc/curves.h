@@ -1,0 +1,70 @@
+// Min-plus curves (paper Section 3, ref. Le Boudec & Thiran): affine
+// token-bucket arrival curves and rate-latency service curves — the two
+// families the deterministic-network-calculus baseline needs.
+#pragma once
+
+#include "base/types.h"
+#include "netcalc/rational.h"
+
+namespace tfa::netcalc {
+
+/// Affine arrival curve alpha(t) = sigma + rho * t for t >= 0 (and 0 at
+/// t < 0): at most `sigma` units of work at once, `rho` units per tick in
+/// the long run.
+struct ArrivalCurve {
+  Rational sigma{0};  ///< Burst tolerance (work units).
+  Rational rho{0};    ///< Long-term rate (work units per tick).
+
+  /// alpha(t).
+  [[nodiscard]] Rational at(Rational t) const {
+    if (t < Rational(0)) return Rational(0);
+    return sigma + rho * t;
+  }
+
+  /// Aggregation: arrival curve of the union of two flows.
+  friend ArrivalCurve operator+(const ArrivalCurve& a, const ArrivalCurve& b) {
+    return {a.sigma + b.sigma, a.rho + b.rho};
+  }
+
+  /// Output curve after a stage that delays the flow by at most `d`:
+  /// alpha'(t) = alpha(t + d), i.e. the burst grows by rho * d.
+  [[nodiscard]] ArrivalCurve delayed(Rational d) const {
+    return {sigma + rho * d, rho};
+  }
+};
+
+/// Arrival curve of a sporadic flow (period T, max work-per-node c,
+/// release jitter J): at most 1 + floor((t + J)/T) packets in any window
+/// of length t, bounded by the affine curve c * (1 + (t + J)/T).
+[[nodiscard]] inline ArrivalCurve sporadic_arrival(Duration cost,
+                                                   Duration period,
+                                                   Duration jitter) {
+  const Rational c(cost);
+  const Rational ratio(jitter, period);
+  return {c * (Rational(1) + ratio), Rational(cost, period)};
+}
+
+/// Rate-latency service curve beta(t) = rate * (t - latency)^+ .
+struct ServiceCurve {
+  Rational rate{1};     ///< Work units served per tick.
+  Rational latency{0};  ///< Worst-case initial vacation.
+};
+
+/// Horizontal deviation h(alpha, beta): the worst delay of a FIFO
+/// aggregate constrained by `alpha` through a server guaranteeing `beta`.
+/// Requires stability (alpha.rho <= beta.rate); for affine/rate-latency
+/// curves h = latency + sigma / rate.
+[[nodiscard]] inline Rational horizontal_deviation(const ArrivalCurve& alpha,
+                                                   const ServiceCurve& beta) {
+  TFA_EXPECTS(beta.rate > Rational(0));
+  TFA_EXPECTS(alpha.rho <= beta.rate);
+  return beta.latency + alpha.sigma / beta.rate;
+}
+
+/// The backlog bound (vertical deviation): sigma + rho * latency.
+[[nodiscard]] inline Rational backlog_bound(const ArrivalCurve& alpha,
+                                            const ServiceCurve& beta) {
+  return alpha.sigma + alpha.rho * beta.latency;
+}
+
+}  // namespace tfa::netcalc

@@ -1,0 +1,153 @@
+// Exact rational arithmetic for the network-calculus baseline.
+//
+// Arrival/service curves have slopes like C/T that are not integers; doing
+// the algebra in floating point would make the "deterministic guarantee"
+// depend on rounding.  A small exact rational keeps every bound sound.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "base/contracts.h"
+#include "base/math.h"
+
+namespace tfa::netcalc {
+
+/// An exact rational number num/den, den > 0, always normalised.
+/// Intermediate products use 128-bit arithmetic, so overflow would need
+/// operand magnitudes around 2^63 — far beyond tick-denominated traffic.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t value) : num_(value) {}  // NOLINT: implicit
+  constexpr Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    TFA_EXPECTS(den != 0);
+    normalise();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  friend constexpr Rational operator+(Rational a, Rational b) {
+    return make(i128(a.num_) * b.den_ + i128(b.num_) * a.den_,
+                i128(a.den_) * b.den_);
+  }
+  friend constexpr Rational operator-(Rational a, Rational b) {
+    return make(i128(a.num_) * b.den_ - i128(b.num_) * a.den_,
+                i128(a.den_) * b.den_);
+  }
+  friend constexpr Rational operator*(Rational a, Rational b) {
+    return make(i128(a.num_) * b.num_, i128(a.den_) * b.den_);
+  }
+  friend constexpr Rational operator/(Rational a, Rational b) {
+    TFA_EXPECTS(b.num_ != 0);
+    return make(i128(a.num_) * b.den_, i128(a.den_) * b.num_);
+  }
+  constexpr Rational& operator+=(Rational b) { return *this = *this + b; }
+  constexpr Rational& operator-=(Rational b) { return *this = *this - b; }
+  constexpr Rational& operator*=(Rational b) { return *this = *this * b; }
+  constexpr Rational& operator/=(Rational b) { return *this = *this / b; }
+
+  friend constexpr bool operator==(Rational a, Rational b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr bool operator<(Rational a, Rational b) noexcept {
+    return i128(a.num_) * b.den_ < i128(b.num_) * a.den_;
+  }
+  friend constexpr bool operator<=(Rational a, Rational b) noexcept {
+    return !(b < a);
+  }
+  friend constexpr bool operator>(Rational a, Rational b) noexcept {
+    return b < a;
+  }
+  friend constexpr bool operator>=(Rational a, Rational b) noexcept {
+    return !(a < b);
+  }
+
+  /// Smallest integer >= this value (sound rounding for delay bounds).
+  [[nodiscard]] constexpr std::int64_t ceil() const {
+    return ceil_div(num_, den_);
+  }
+
+  /// Smallest rational with denominator dividing `grid` that is >= this
+  /// value.  Rounding *up* keeps bounds sound while capping denominator
+  /// growth in fixed-point iterations (cyclic burstiness propagation would
+  /// otherwise compound denominators without limit).
+  [[nodiscard]] constexpr Rational ceil_to_grid(std::int64_t grid) const {
+    TFA_EXPECTS(grid > 0);
+    const i128 scaled_num = i128(num_) * grid;
+    i128 q = scaled_num / den_;
+    if (scaled_num % den_ != 0 && scaled_num > 0) ++q;
+    TFA_ASSERT(q <= INT64_MAX && q >= INT64_MIN);
+    return Rational(static_cast<std::int64_t>(q), grid);
+  }
+
+  /// Largest rational with denominator dividing `grid` that is <= this
+  /// value (the sound direction for rounding service *rates*).
+  [[nodiscard]] constexpr Rational floor_to_grid(std::int64_t grid) const {
+    TFA_EXPECTS(grid > 0);
+    const i128 scaled_num = i128(num_) * grid;
+    i128 q = scaled_num / den_;
+    if (scaled_num % den_ != 0 && scaled_num < 0) --q;
+    TFA_ASSERT(q <= INT64_MAX && q >= INT64_MIN);
+    return Rational(static_cast<std::int64_t>(q), grid);
+  }
+  /// Largest integer <= this value.
+  [[nodiscard]] constexpr std::int64_t floor() const {
+    return floor_div(num_, den_);
+  }
+
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+  using i128 = __int128;
+#pragma GCC diagnostic pop
+
+  static constexpr Rational make(i128 num, i128 den) {
+    TFA_ASSERT(den != 0);
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const i128 g = gcd128(num < 0 ? -num : num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+    TFA_ASSERT(num <= INT64_MAX && num >= INT64_MIN && den <= INT64_MAX);
+    Rational r;
+    r.num_ = static_cast<std::int64_t>(num);
+    r.den_ = static_cast<std::int64_t>(den);
+    return r;
+  }
+
+  static constexpr i128 gcd128(i128 a, i128 b) {
+    while (b != 0) {
+      const i128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a == 0 ? 1 : a;
+  }
+
+  constexpr void normalise() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace tfa::netcalc

@@ -1,0 +1,30 @@
+// Markdown report generation: one call turns a FlowSet into the document
+// an operator would attach to a change request — network summary,
+// utilisation, certified bounds with verdicts, per-flow decompositions,
+// and an optional simulation cross-check.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "model/flow_set.h"
+#include "trajectory/types.h"
+
+namespace tfa::report {
+
+/// What goes into the report.
+struct ReportConfig {
+  std::string title = "Worst-case analysis report";
+  trajectory::Config analysis;        ///< Trajectory settings to use.
+  bool include_holistic = true;       ///< Add the holistic column.
+  bool include_explanations = true;   ///< Per-flow bound decomposition.
+  bool include_simulation = false;    ///< Run the adversarial search and
+                                      ///< report observed worst cases.
+  std::size_t simulation_runs = 16;   ///< Random scenarios when enabled.
+};
+
+/// Renders the full Markdown document.
+[[nodiscard]] std::string markdown_report(const model::FlowSet& set,
+                                          const ReportConfig& cfg = {});
+
+}  // namespace tfa::report

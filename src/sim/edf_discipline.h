@@ -1,0 +1,59 @@
+// Global-EDF queueing discipline: serve the queued packet with the
+// earliest *end-to-end* absolute deadline (generation + D_i), ties broken
+// FIFO.  Non-preemptive, like every server in this simulator.
+//
+// This is the deadline-driven comparison point for the FIFO analyses: the
+// paper's related work (ref [3], Spuri) analyses exactly this family
+// holistically; holistic/edf.h provides the matching bound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/queue_discipline.h"
+
+namespace tfa::sim {
+
+/// Earliest-deadline-first among queued packets.
+class EdfDiscipline final : public QueueDiscipline {
+ public:
+  void enqueue(Packet p, Time /*now*/) override {
+    queue_.push_back({p, next_seq_++});
+  }
+
+  std::optional<Packet> dequeue() override {
+    if (queue_.empty()) return std::nullopt;
+    const auto it = std::min_element(
+        queue_.begin(), queue_.end(), [](const Entry& a, const Entry& b) {
+          if (a.packet.absolute_deadline != b.packet.absolute_deadline)
+            return a.packet.absolute_deadline < b.packet.absolute_deadline;
+          return a.seq < b.seq;  // FIFO tie-break
+        });
+    Packet p = it->packet;
+    queue_.erase(it);
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+
+ private:
+  struct Entry {
+    Packet packet;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Factory for NetworkSim / the worst-case search.
+[[nodiscard]] inline std::unique_ptr<QueueDiscipline> make_edf() {
+  return std::make_unique<EdfDiscipline>();
+}
+
+}  // namespace tfa::sim

@@ -1,0 +1,53 @@
+// Exhaustive worst-case verification for small instances.
+//
+// For a sporadic flow set the analytic bound covers *every* legal arrival
+// pattern; the randomized search (worst_case_search.h) samples only some.
+// This module enumerates, for small sets, every combination of periodic
+// release offsets over the hyperperiod (optionally strided), crossed with
+// the link-delay extremes and the maximal-jitter-burst variant, and
+// simulates each one exactly.  Within the strictly-periodic sub-family it
+// therefore computes the *true* worst case — the strongest tightness
+// reference available, and any analytic bound below it is disproved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/flow_set.h"
+#include "sim/network_sim.h"
+#include "sim/stats.h"
+
+namespace tfa::sim {
+
+/// Enumeration budget.
+struct ExhaustiveConfig {
+  /// Offsets of flow i range over {0, stride, 2*stride, ...} below T_i.
+  Duration offset_stride = 1;
+  /// Hard cap on the number of offset combinations; when the full grid is
+  /// larger, the stride is doubled until it fits (reported as truncated).
+  std::size_t max_combinations = 1u << 16;
+  /// Link-delay modes to cross with every combination.
+  std::vector<LinkDelayMode> link_modes = {LinkDelayMode::kAlwaysMax,
+                                           LinkDelayMode::kAlwaysMin};
+  /// Also try the maximal-jitter-burst release variant per combination.
+  bool with_jitter_burst = true;
+  /// Per-run horizon (0 = auto).
+  Time horizon = 0;
+  std::size_t workers = 0;  ///< 0 = hardware concurrency.
+};
+
+/// Enumeration outcome.
+struct ExhaustiveOutcome {
+  FlowStats stats;               ///< Worst observations per flow.
+  std::size_t combinations = 0;  ///< Offset vectors actually simulated.
+  std::size_t runs = 0;          ///< Total simulations (x link modes etc.).
+  bool truncated = false;        ///< The stride had to be coarsened.
+  /// Offset vector achieving the worst response of each flow.
+  std::vector<std::vector<Time>> witness_offsets;
+};
+
+/// Runs the enumeration over `set` with plain FIFO nodes.
+[[nodiscard]] ExhaustiveOutcome exhaustive_worst_case(
+    const model::FlowSet& set, const ExhaustiveConfig& cfg = {});
+
+}  // namespace tfa::sim

@@ -1,0 +1,214 @@
+#include "sim/network_sim.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+
+namespace tfa::sim {
+
+NetworkSim::NetworkSim(const model::FlowSet& set, SimConfig cfg,
+                       DisciplineFactory make_discipline)
+    : set_(set), cfg_(cfg), rng_(cfg.seed) {
+  TFA_EXPECTS(!set.empty());
+  TFA_EXPECTS(set.validate().empty());
+
+  nodes_.resize(static_cast<std::size_t>(set.network().node_count()));
+  for (NodeState& n : nodes_) n.queue = make_discipline();
+  stats_.resize(set.size());
+
+  if (cfg_.horizon > 0) {
+    horizon_ = cfg_.horizon;
+  } else {
+    Duration max_period = 1;
+    for (const model::SporadicFlow& f : set.flows())
+      max_period = std::max(max_period, f.period());
+    horizon_ = 32 * max_period;
+  }
+}
+
+Duration NetworkSim::worst(FlowIndex i) const {
+  TFA_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < stats_.size());
+  return stats_[static_cast<std::size_t>(i)].worst;
+}
+
+std::size_t NetworkSim::max_queue_depth(NodeId node) const {
+  TFA_EXPECTS(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(node)].max_depth;
+}
+
+Duration NetworkSim::max_backlog_work(NodeId node) const {
+  TFA_EXPECTS(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(node)].max_backlog;
+}
+
+void NetworkSim::run() {
+  TFA_EXPECTS(!ran_);
+  ran_ = true;
+  inject_sources();
+  // Let in-flight packets drain: the horizon bounds generation, not
+  // delivery, so responses of late packets are still observed in full.
+  simulator_.run_until(horizon_ + horizon_ / 2 + 1024);
+}
+
+void NetworkSim::inject_sources() {
+  const std::size_t n = set_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = set_.flow(fi);
+    const Duration period = f.period();
+    const Duration jitter = f.jitter();
+
+    Time generated = 0;
+    switch (cfg_.pattern) {
+      case ArrivalPattern::kSynchronousBurst:
+      case ArrivalPattern::kAdversarialJitter:
+        generated = 0;
+        break;
+      case ArrivalPattern::kStaggered:
+        generated = static_cast<Time>(i) * period /
+                    static_cast<Time>(std::max<std::size_t>(n, 1));
+        break;
+      case ArrivalPattern::kRandomSporadic:
+        generated = rng_.uniform(0, period - 1);
+        break;
+      case ArrivalPattern::kExplicitOffsets:
+        TFA_EXPECTS(cfg_.offsets.size() == n);
+        generated = cfg_.offsets[i];
+        TFA_EXPECTS(generated >= 0);
+        break;
+    }
+
+    for (std::int64_t seq = 0; generated <= horizon_; ++seq) {
+      Time released = generated;
+      switch (cfg_.pattern) {
+        case ArrivalPattern::kSynchronousBurst:
+        case ArrivalPattern::kStaggered:
+          break;  // no jitter exercised: release = generation
+        case ArrivalPattern::kAdversarialJitter:
+          // Packets generated inside [0, J] all become visible at J:
+          // the densest legal burst.
+          released = std::max(generated, jitter);
+          break;
+        case ArrivalPattern::kRandomSporadic:
+          released = generated + (jitter > 0 ? rng_.uniform(0, jitter) : 0);
+          break;
+        case ArrivalPattern::kExplicitOffsets:
+          if (cfg_.offsets_jitter_burst)
+            released = std::max(generated,
+                                cfg_.offsets[i] + jitter);
+          break;
+      }
+
+      Packet p;
+      p.flow = fi;
+      p.sequence = seq;
+      p.generated = generated;
+      p.released = released;
+      p.absolute_deadline = generated + f.deadline();
+      p.position = 0;
+      p.service_class = f.service_class();
+      const NodeId ingress = f.path().first();
+      simulator_.schedule_at(released, [this, p, ingress] {
+        arrive(p, ingress);
+      });
+      ++injected_;
+
+      // Sporadic: successive generations at least one period apart.
+      Duration gap = period;
+      if (cfg_.pattern == ArrivalPattern::kRandomSporadic && rng_.chance(0.5))
+        gap += rng_.uniform(0, std::max<Duration>(period / 4, 1));
+      generated += gap;
+    }
+  }
+}
+
+void NetworkSim::arrive(Packet p, NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  p.cost = set_.flow(p.flow).cost_at_position(p.position);
+  p.hop_arrival = simulator_.now();
+  state.queue->enqueue(p, simulator_.now());
+  state.max_depth = std::max(state.max_depth, state.queue->size());
+  state.queued_work += p.cost;
+  const Duration residual =
+      state.busy ? state.busy_until - simulator_.now() : 0;
+  state.max_backlog =
+      std::max(state.max_backlog, state.queued_work + residual);
+  // Dispatch through a same-time event rather than immediately: all
+  // arrivals of this tick are then enqueued before the discipline picks,
+  // so an EF packet is never beaten to an idle server by a lower-priority
+  // packet that arrived in the same tick (the model's FP scheduler
+  // semantics, which Lemma 4's "C - 1" residual blocking relies on).
+  if (!state.busy)
+    simulator_.schedule_in(0, [this, node] { dispatch(node); });
+}
+
+void NetworkSim::dispatch(NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  if (state.busy) return;  // a sibling dispatch of this tick won already
+  if (auto next = state.queue->dequeue()) {
+    state.queued_work -= next->cost;
+    start_service(*next, node);
+  }
+}
+
+void NetworkSim::start_service(Packet p, NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  TFA_ASSERT(!state.busy);
+  state.busy = true;
+  TFA_ASSERT(p.cost > 0);
+  p.hop_start = simulator_.now();
+  state.busy_until = simulator_.now() + p.cost;
+  simulator_.schedule_in(p.cost, [this, p, node] { complete(p, node); });
+}
+
+void NetworkSim::complete(Packet p, NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  TFA_ASSERT(state.busy);
+
+  if (cfg_.record_trace)
+    trace_.add({p.flow, p.sequence, node, p.position, p.hop_arrival,
+                p.hop_start, simulator_.now()});
+
+  const model::SporadicFlow& f = set_.flow(p.flow);
+  if (p.position + 1 == f.path().size()) {
+    // Delivered: record the end-to-end response from generation time.
+    const Duration response = simulator_.now() - p.generated;
+    stats_[static_cast<std::size_t>(p.flow)].record(response, p.generated,
+                                                    p.sequence);
+    ++delivered_;
+  } else {
+    // Forward over the FIFO link to the next node on the path.
+    const NodeId next = f.path().at(p.position + 1);
+    Time delivery = simulator_.now() + sample_link_delay(node, next);
+    Time& front = link_front_[{node, next}];
+    delivery = std::max(delivery, front);  // links never reorder
+    front = delivery;
+
+    Packet forwarded = p;
+    forwarded.position = p.position + 1;
+    simulator_.schedule_at(delivery, [this, forwarded, next] {
+      arrive(forwarded, next);
+    });
+  }
+
+  // Non-preemptive server: pick the next queued packet, if any.
+  state.busy = false;
+  if (auto next_packet = state.queue->dequeue()) {
+    state.queued_work -= next_packet->cost;
+    start_service(*next_packet, node);
+  }
+}
+
+Duration NetworkSim::sample_link_delay(NodeId from, NodeId to) {
+  const Duration lmin = set_.network().link_lmin(from, to);
+  const Duration lmax = set_.network().link_lmax(from, to);
+  switch (cfg_.link_mode) {
+    case LinkDelayMode::kAlwaysMin: return lmin;
+    case LinkDelayMode::kAlwaysMax: return lmax;
+    case LinkDelayMode::kUniformRandom:
+      return lmin == lmax ? lmin : rng_.uniform(lmin, lmax);
+  }
+  return lmax;
+}
+
+}  // namespace tfa::sim

@@ -1,0 +1,131 @@
+// Packet-level simulation of a FlowSet over the paper's network model:
+// store-and-forward nodes with non-preemptive servers, FIFO links with
+// delay in [Lmin, Lmax], sporadic sources with release jitter.
+//
+// The paper proves its bounds but never measures anything; this simulator
+// is the substitute testbed (DESIGN.md Section 3): every analytic bound
+// can be checked against observed worst-case response times.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "sim/packet.h"
+#include "sim/queue_discipline.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace tfa::sim {
+
+/// Packet release pattern of the sporadic sources.
+enum class ArrivalPattern {
+  /// Every flow releases at t = 0 and then strictly periodically — the
+  /// classic synchronous critical instant.
+  kSynchronousBurst,
+  /// Releases delayed by the full release jitter so that every packet
+  /// generated inside [0, J] becomes visible at once: the densest burst a
+  /// jittery sporadic source can legally emit, aligned across flows.
+  kAdversarialJitter,
+  /// Flow k starts at offset k * T_k / n; periodic afterwards.
+  kStaggered,
+  /// Random initial offsets, random inter-arrival slack (sporadic, not
+  /// periodic), random per-packet release jitter.
+  kRandomSporadic,
+  /// Strictly periodic from the per-flow offsets in SimConfig::offsets
+  /// (used by the exhaustive verifier to enumerate release phasings).
+  kExplicitOffsets,
+};
+
+/// How each link traversal samples its delay within [Lmin, Lmax].
+enum class LinkDelayMode { kAlwaysMin, kAlwaysMax, kUniformRandom };
+
+/// One simulation scenario.
+struct SimConfig {
+  Time horizon = 0;  ///< 0 = auto (32 x the largest period).
+  ArrivalPattern pattern = ArrivalPattern::kAdversarialJitter;
+  LinkDelayMode link_mode = LinkDelayMode::kAlwaysMax;
+  std::uint64_t seed = 1;  ///< Drives every random choice (reproducible).
+  bool record_trace = false;  ///< Keep a per-packet HopRecord log.
+  /// kExplicitOffsets only: per-flow first-release offsets.
+  std::vector<Time> offsets;
+  /// kExplicitOffsets only: additionally delay releases to the flow's
+  /// jitter bound, clustering the packets generated inside [o, o+J]
+  /// (the densest legal burst, as in kAdversarialJitter).
+  bool offsets_jitter_burst = false;
+};
+
+/// A runnable simulation instance.
+class NetworkSim {
+ public:
+  /// Builds the simulation; `make_discipline` equips every node with its
+  /// queueing discipline (default: plain FIFO, the Sections 4-5 model).
+  explicit NetworkSim(const model::FlowSet& set, SimConfig cfg = {},
+                      DisciplineFactory make_discipline = make_fifo);
+
+  /// Runs to the horizon.  Call once.
+  void run();
+
+  /// Per-flow statistics (valid after run()).
+  [[nodiscard]] const FlowStats& stats() const noexcept { return stats_; }
+
+  /// Worst observed end-to-end response of flow `i`.
+  [[nodiscard]] Duration worst(FlowIndex i) const;
+
+  /// Deepest backlog observed at `node` (queued packets, server excluded).
+  [[nodiscard]] std::size_t max_queue_depth(NodeId node) const;
+
+  /// Largest unfinished *work* observed at `node`: queued processing
+  /// times plus the residual of the packet in service (compare against
+  /// netcalc::Result::node_backlog for buffer dimensioning).
+  [[nodiscard]] Duration max_backlog_work(NodeId node) const;
+
+  /// Total packets injected / delivered (delivery can lag the horizon).
+  [[nodiscard]] std::int64_t injected() const noexcept { return injected_; }
+  [[nodiscard]] std::int64_t delivered() const noexcept { return delivered_; }
+
+  /// The effective horizon used.
+  [[nodiscard]] Time horizon() const noexcept { return horizon_; }
+
+  /// Per-packet event log (empty unless SimConfig::record_trace).
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  struct NodeState {
+    std::unique_ptr<QueueDiscipline> queue;
+    bool busy = false;
+    std::size_t max_depth = 0;
+    Duration queued_work = 0;   ///< Sum of costs waiting in the queue.
+    Time busy_until = 0;        ///< Completion time of the in-service packet.
+    Duration max_backlog = 0;   ///< Peak queued + residual service work.
+  };
+
+  void inject_sources();
+  void arrive(Packet p, NodeId node);
+  void dispatch(NodeId node);
+  void start_service(Packet p, NodeId node);
+  void complete(Packet p, NodeId node);
+  [[nodiscard]] Duration sample_link_delay(NodeId from, NodeId to);
+
+  const model::FlowSet& set_;
+  SimConfig cfg_;
+  Simulator simulator_;
+  Rng rng_;
+  std::vector<NodeState> nodes_;
+  /// Per directed link (from, to): latest delivery time, to keep links
+  /// FIFO as the paper's network model requires.
+  std::map<std::pair<NodeId, NodeId>, Time> link_front_;
+  FlowStats stats_;
+  Trace trace_;
+  Time horizon_ = 0;
+  std::int64_t injected_ = 0;
+  std::int64_t delivered_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace tfa::sim

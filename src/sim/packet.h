@@ -1,0 +1,29 @@
+// The unit of traffic moving through the simulated network.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "model/flow.h"
+
+namespace tfa::sim {
+
+/// One packet instance of a sporadic flow.
+struct Packet {
+  FlowIndex flow = kNoFlow;          ///< Owning flow (index in the FlowSet).
+  std::int64_t sequence = 0;         ///< Per-flow packet number, from 0.
+  Time generated = 0;                ///< Generation instant (response times
+                                     ///< are measured from here, Section 2).
+  Time released = 0;                 ///< First visible to the ingress
+                                     ///< scheduler (generated + jitter).
+  Time absolute_deadline = 0;        ///< generated + flow deadline (used by
+                                     ///< deadline-driven disciplines).
+  std::size_t position = 0;          ///< Current index along the flow path.
+  Duration cost = 0;                 ///< Processing time at the current
+                                     ///< node (filled in on arrival).
+  Time hop_arrival = 0;              ///< Arrival at the current node.
+  Time hop_start = 0;                ///< Service start at the current node.
+  model::ServiceClass service_class = model::ServiceClass::kExpedited;
+};
+
+}  // namespace tfa::sim

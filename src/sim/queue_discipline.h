@@ -1,0 +1,64 @@
+// Pluggable per-node queueing disciplines.
+//
+// The analysis of Sections 4-5 assumes plain FIFO; the DiffServ router of
+// Section 6 replaces it with fixed-priority between classes and WFQ inside
+// the assured/best-effort aggregate (see src/diffserv).  Both plug into
+// the same non-preemptive server in NetworkSim through this interface.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "sim/packet.h"
+
+namespace tfa::sim {
+
+/// Order in which queued packets are served.  Implementations must be
+/// work-conserving: dequeue() returns a packet whenever !empty().
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  /// Admits `p`, which arrived at simulation time `now`.
+  virtual void enqueue(Packet p, Time now) = 0;
+
+  /// Removes and returns the next packet to serve.
+  [[nodiscard]] virtual std::optional<Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual bool empty() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+};
+
+/// Plain FIFO: serve in arrival order, ties broken by arrival sequence
+/// (paper Definition 1).
+class FifoDiscipline final : public QueueDiscipline {
+ public:
+  void enqueue(Packet p, Time /*now*/) override { queue_.push_back(p); }
+
+  std::optional<Packet> dequeue() override {
+    if (queue_.empty()) return std::nullopt;
+    Packet p = queue_.front();
+    queue_.pop_front();
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+
+ private:
+  std::deque<Packet> queue_;
+};
+
+/// Factory signature used by NetworkSim to equip every node.
+using DisciplineFactory = std::unique_ptr<QueueDiscipline> (*)();
+
+/// Default factory: plain FIFO on every node.
+[[nodiscard]] inline std::unique_ptr<QueueDiscipline> make_fifo() {
+  return std::make_unique<FifoDiscipline>();
+}
+
+}  // namespace tfa::sim

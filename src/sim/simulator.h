@@ -1,0 +1,77 @@
+// Deterministic discrete-event simulation core.
+//
+// Events fire in (time, insertion-sequence) order, so runs are exactly
+// reproducible — a property the worst-case search relies on to report a
+// *re-runnable* witness scenario for every observed response time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace tfa::sim {
+
+/// Discrete-event simulator with a deterministic tie-break.
+class Simulator {
+ public:
+  /// Current simulation time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `action` to run at absolute time `t` (>= now()).
+  void schedule_at(Time t, std::function<void()> action) {
+    TFA_EXPECTS(t >= now_);
+    queue_.push(Event{t, next_seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` to run `delay` ticks from now.
+  void schedule_in(Duration delay, std::function<void()> action) {
+    TFA_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue is empty or `horizon` is passed; events
+  /// scheduled strictly after `horizon` are left unexecuted.
+  void run_until(Time horizon) {
+    while (!queue_.empty() && queue_.top().time <= horizon) {
+      // Copy out before pop: the action may schedule new events.
+      Event ev = queue_.top();
+      queue_.pop();
+      TFA_ASSERT(ev.time >= now_);
+      now_ = ev.time;
+      ++executed_;
+      ev.action();
+    }
+    if (now_ < horizon) now_ = horizon;
+  }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// True when no event is pending.
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> action;
+
+    /// Min-heap on (time, seq): std::priority_queue keeps the *greatest*
+    /// element on top, so the comparison is inverted.
+    bool operator<(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tfa::sim

@@ -1,0 +1,59 @@
+// Per-flow response-time statistics collected by a simulation run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tfa::sim {
+
+/// Aggregate response-time record of one flow.
+struct ResponseStats {
+  std::int64_t completed = 0;   ///< Packets fully delivered.
+  Duration worst = 0;           ///< Max end-to-end response observed.
+  Duration best = std::numeric_limits<Duration>::max();  ///< Min observed.
+  double sum = 0.0;             ///< For the mean.
+  Time worst_generated = 0;     ///< Generation time of the worst packet.
+  std::int64_t worst_sequence = -1;  ///< Its per-flow sequence number.
+
+  void record(Duration response, Time generated, std::int64_t sequence) {
+    ++completed;
+    sum += static_cast<double>(response);
+    best = std::min(best, response);
+    if (response > worst) {
+      worst = response;
+      worst_generated = generated;
+      worst_sequence = sequence;
+    }
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return completed == 0 ? 0.0 : sum / static_cast<double>(completed);
+  }
+
+  /// Observed end-to-end jitter: worst - best (Definition 2, empirical).
+  [[nodiscard]] Duration observed_jitter() const noexcept {
+    return completed == 0 ? 0 : worst - best;
+  }
+
+  /// Folds another run's statistics into this one (used by the worst-case
+  /// search across scenarios).
+  void merge(const ResponseStats& other) {
+    completed += other.completed;
+    sum += other.sum;
+    best = std::min(best, other.best);
+    if (other.worst > worst) {
+      worst = other.worst;
+      worst_generated = other.worst_generated;
+      worst_sequence = other.worst_sequence;
+    }
+  }
+};
+
+/// Statistics for every flow of a set, indexed by flow index.
+using FlowStats = std::vector<ResponseStats>;
+
+}  // namespace tfa::sim

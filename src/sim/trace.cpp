@@ -1,0 +1,155 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+
+namespace tfa::sim {
+
+std::optional<HopRecord> Trace::find(FlowIndex flow, std::int64_t sequence,
+                                     NodeId node) const {
+  for (const HopRecord& r : records_)
+    if (r.flow == flow && r.sequence == sequence && r.node == node) return r;
+  return std::nullopt;
+}
+
+std::vector<HopRecord> Trace::at_node(NodeId node) const {
+  std::vector<HopRecord> out;
+  for (const HopRecord& r : records_)
+    if (r.node == node) out.push_back(r);
+  std::sort(out.begin(), out.end(),
+            [](const HopRecord& a, const HopRecord& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+namespace {
+
+/// The busy period containing `target` at its node: walk backwards through
+/// the service sequence while service is gap-free.
+std::pair<HopRecord, Time> busy_period_opener(
+    const std::vector<HopRecord>& node_records, const HopRecord& target) {
+  // Locate the target in the sorted service order.
+  std::size_t k = 0;
+  while (k < node_records.size() &&
+         !(node_records[k].flow == target.flow &&
+           node_records[k].sequence == target.sequence))
+    ++k;
+  TFA_ASSERT(k < node_records.size());
+
+  // Extend left while the server never idled *and* the next-earlier packet
+  // was already waiting when its predecessor completed (a busy period in
+  // the Section-4.1 sense: no idle time of the relevant level).
+  std::size_t first = k;
+  while (first > 0 &&
+         node_records[first - 1].completion == node_records[first].start)
+    --first;
+  return {node_records[first], node_records[first].start};
+}
+
+}  // namespace
+
+std::vector<ChainLink> busy_period_chain(const Trace& trace,
+                                         const model::FlowSet& set,
+                                         FlowIndex flow,
+                                         std::int64_t sequence) {
+  const model::SporadicFlow& f = set.flow(flow);
+  std::vector<ChainLink> chain;
+
+  // Start at the last node with m itself, then move backwards: at each
+  // node, find the busy period of the current target, and upstream pick
+  // p(h-1) — the earliest packet of that busy period that came through the
+  // previous node of m's path (Section 4.1's construction).
+  std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(f.path().size()) - 1;
+  auto target = trace.find(flow, sequence, f.path().at(
+                                               static_cast<std::size_t>(pos)));
+  if (!target) return chain;
+
+  while (pos >= 0) {
+    const NodeId node = f.path().at(static_cast<std::size_t>(pos));
+    const auto node_records = trace.at_node(node);
+    const auto [opener, busy_start] = busy_period_opener(node_records, *target);
+
+    ChainLink link;
+    link.node = node;
+    link.opener = opener;
+    link.target = *target;
+    link.busy_start = busy_start;
+    chain.push_back(link);
+
+    if (pos == 0) break;
+    const NodeId prev = f.path().at(static_cast<std::size_t>(pos - 1));
+
+    // p(h-1): earliest packet in [opener, target] (service order) whose
+    // previous hop was `prev`.
+    std::optional<HopRecord> upstream;
+    for (const HopRecord& r : node_records) {
+      if (r.start < opener.start) continue;
+      if (r.start > target->start) break;
+      const model::SporadicFlow& rf = set.flow(r.flow);
+      if (r.position == 0) continue;  // entered the network here
+      if (rf.path().at(r.position - 1) != prev) continue;
+      upstream = trace.find(r.flow, r.sequence, prev);
+      if (upstream) break;
+    }
+    if (!upstream) break;  // the chain starts here: upstream was idle
+    target = upstream;
+    --pos;
+  }
+
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<NodeBusyStats> busy_period_stats(const Trace& trace,
+                                             std::int32_t node_count) {
+  std::vector<NodeBusyStats> out(static_cast<std::size_t>(node_count));
+  for (std::int32_t h = 0; h < node_count; ++h) {
+    NodeBusyStats& s = out[static_cast<std::size_t>(h)];
+    s.node = h;
+    const auto records = trace.at_node(h);
+    Time run_start = 0;
+    Time run_end = -1;
+    for (const HopRecord& r : records) {
+      s.total_service += r.completion - r.start;
+      if (r.start > run_end) {
+        // A gap: close the previous run.
+        if (run_end >= 0) {
+          ++s.busy_periods;
+          s.longest = std::max(s.longest, run_end - run_start);
+        }
+        run_start = r.start;
+      }
+      run_end = std::max(run_end, r.completion);
+    }
+    if (run_end >= 0) {
+      ++s.busy_periods;
+      s.longest = std::max(s.longest, run_end - run_start);
+    }
+  }
+  return out;
+}
+
+Duration node_busy_period_bound(const model::FlowSet& set, NodeId node) {
+  // Least fixed point of B = sum_j ceil((B + J_j)/T_j) * C_j^node,
+  // iterated from the one-packet-each seed.
+  Duration b = 0;
+  for (const model::SporadicFlow& f : set.flows())
+    b += f.cost_on(node);
+  const Duration ceiling = Duration{1} << 40;
+  for (;;) {
+    Duration next = 0;
+    for (const model::SporadicFlow& f : set.flows()) {
+      const Duration c = f.cost_on(node);
+      if (c == 0) continue;
+      next += (b + f.jitter() + f.period() - 1) / f.period() * c;
+    }
+    if (next == b) return b;
+    TFA_ASSERT(next > b);
+    b = next;
+    if (b > ceiling) return kInfiniteDuration;
+  }
+}
+
+}  // namespace tfa::sim

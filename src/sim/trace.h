@@ -1,0 +1,90 @@
+// Per-packet event tracing and busy-period chain reconstruction.
+//
+// The trajectory analysis is built on the picture of Figure 2: the delay
+// of packet m decomposes into a chain of busy periods, one per visited
+// node, linked by the packets f(h) that started each one.  With tracing
+// enabled the simulator records every (arrival, start, completion) triple,
+// and busy_period_chain() rebuilds that exact structure for any delivered
+// packet — turning the paper's proof device into an inspectable object.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+
+namespace tfa::sim {
+
+/// One packet's visit to one node.
+struct HopRecord {
+  FlowIndex flow = kNoFlow;
+  std::int64_t sequence = 0;   ///< Per-flow packet number.
+  NodeId node = kNoNode;
+  std::size_t position = 0;    ///< Index of `node` on the flow's path.
+  Time arrival = 0;            ///< Entered the node's scheduler.
+  Time start = 0;              ///< Service began (non-preemptive).
+  Time completion = 0;         ///< Service finished.
+};
+
+/// Append-only event log of a simulation run.
+class Trace {
+ public:
+  void add(const HopRecord& r) { records_.push_back(r); }
+
+  [[nodiscard]] const std::vector<HopRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// The visit of packet (flow, sequence) to `node`, if recorded.
+  [[nodiscard]] std::optional<HopRecord> find(FlowIndex flow,
+                                              std::int64_t sequence,
+                                              NodeId node) const;
+
+  /// All visits to `node`, sorted by service start.
+  [[nodiscard]] std::vector<HopRecord> at_node(NodeId node) const;
+
+ private:
+  std::vector<HopRecord> records_;
+};
+
+/// One link of the Figure-2 chain: the busy period (at `node`) that the
+/// analysed packet's delay flows through, and the packet f(h) that opened
+/// it.
+struct ChainLink {
+  NodeId node = kNoNode;
+  HopRecord opener;   ///< f(h): first packet of the busy period.
+  HopRecord target;   ///< The packet whose delay is being traced
+                      ///< (m at the last node, p(h) upstream).
+  Time busy_start = 0;  ///< Start of the busy period.
+};
+
+/// Rebuilds the busy-period chain of delivered packet (flow, sequence),
+/// from its last node backwards to the first (paper Figure 2).  Returns
+/// links in path order (first node first).  Empty if the packet was not
+/// fully recorded.
+[[nodiscard]] std::vector<ChainLink> busy_period_chain(
+    const Trace& trace, const model::FlowSet& set, FlowIndex flow,
+    std::int64_t sequence);
+
+/// Aggregate busy-period statistics of one node, from a trace.
+struct NodeBusyStats {
+  NodeId node = kNoNode;
+  std::size_t busy_periods = 0;      ///< Maximal gap-free service runs.
+  Duration longest = 0;              ///< Longest run (ticks of service).
+  Duration total_service = 0;        ///< Work served overall.
+};
+
+/// Busy-period statistics for every node, from a traced run.
+[[nodiscard]] std::vector<NodeBusyStats> busy_period_stats(
+    const Trace& trace, std::int32_t node_count);
+
+/// Analytic bound on any busy period of `node`: the least fixed point of
+/// B = sum_j ceil((B + J_j)/T_j) * C_j^node over the flows visiting it
+/// (the node-level sibling of Lemma 3's B_i^slow; every observed run must
+/// stay below it).  kInfiniteDuration when the node is overloaded.
+[[nodiscard]] Duration node_busy_period_bound(const model::FlowSet& set,
+                                              NodeId node);
+
+}  // namespace tfa::sim

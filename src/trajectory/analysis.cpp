@@ -1,0 +1,94 @@
+#include "trajectory/analysis.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+#include "model/normalize.h"
+#include "trajectory/engine.h"
+
+namespace tfa::trajectory {
+
+Result analyze(const model::FlowSet& set, const Config& cfg) {
+  TFA_EXPECTS(!set.empty());
+  TFA_EXPECTS(set.validate().empty());
+
+  const model::NormalisationReport norm =
+      model::normalise(set, cfg.split_jitter);
+  const Engine engine(norm.flow_set, cfg);
+
+  Result result;
+  result.converged = engine.converged();
+  result.smax_iterations = engine.iterations();
+  result.split_count = norm.split_count;
+
+  bool all_ok = true;
+
+  for (std::size_t orig = 0; orig < set.size(); ++orig) {
+    const auto oi = static_cast<FlowIndex>(orig);
+    const model::SporadicFlow& flow = set.flow(oi);
+    if (cfg.ef_mode && !model::is_ef(flow.service_class())) continue;
+
+    const auto& segments = norm.segments[orig];
+    TFA_ASSERT(!segments.empty());
+
+    FlowBound b;
+    b.flow = oi;
+    b.composed = segments.size() > 1;
+
+    // Sum the per-segment trajectory bounds, plus one worst-case link
+    // traversal per junction between consecutive segments.
+    Duration total = 0;
+    bool finite = true;
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const PrefixBound& pb = engine.bound(segments[s]);
+      if (!pb.finite() || !engine.converged()) {
+        finite = false;
+        break;
+      }
+      total += pb.response;
+      if (s + 1 < segments.size()) {
+        // One link traversal between consecutive segments.
+        const model::FlowSet& nfs = norm.flow_set;
+        total += set.network().link_lmax(
+            nfs.flow(segments[s]).path().last(),
+            nfs.flow(segments[s + 1]).path().first());
+      }
+      b.delta += pb.delta;
+      if (s == 0) {
+        b.busy_period = pb.busy_period;
+        b.critical_instant = pb.critical_instant;
+      }
+    }
+
+    b.response = finite ? total : kInfiniteDuration;
+    b.schedulable = finite && b.response <= flow.deadline();
+    b.jitter = finite
+                   ? b.response - model::best_case_response(set.network(), flow)
+                   : kInfiniteDuration;
+
+    // Per-hop profile (single-segment flows only: prefixes of a composed
+    // flow are not prefixes of the original path).
+    if (!b.composed && finite) {
+      const std::size_t len = flow.path().size();
+      b.prefix_responses.reserve(len);
+      for (std::size_t k = 1; k <= len; ++k)
+        b.prefix_responses.push_back(
+            engine.prefix_bound(segments[0], k).response);
+    }
+    all_ok = all_ok && b.schedulable;
+    result.bounds.push_back(b);
+  }
+
+  result.all_schedulable = all_ok && !result.bounds.empty();
+  return result;
+}
+
+Duration response_bound(const model::FlowSet& set, FlowIndex i,
+                        const Config& cfg) {
+  const Result r = analyze(set, cfg);
+  const FlowBound* b = r.find(i);
+  TFA_EXPECTS(b != nullptr);
+  return b->response;
+}
+
+}  // namespace tfa::trajectory

@@ -1,0 +1,29 @@
+// Public entry point of the trajectory analysis (the paper's primary
+// contribution): computes worst-case end-to-end response-time bounds for a
+// FlowSet under distributed FIFO scheduling (Property 2), or for its EF
+// class over non-preemptable background traffic (Property 3).
+#pragma once
+
+#include "model/flow_set.h"
+#include "trajectory/types.h"
+
+namespace tfa::trajectory {
+
+/// Analyses `set` and returns one FlowBound per analysed flow (all flows,
+/// or only the EF flows when cfg.ef_mode).
+///
+/// Handles Assumption-1 violations by the paper's splitting recipe; a flow
+/// that had to be split receives a composed bound (trajectory bound per
+/// segment, summed across segments plus one link delay per junction) and
+/// is flagged `composed`.
+///
+/// Precondition: `set.validate()` reports no issues and `set` is
+/// non-empty.
+[[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg = {});
+
+/// Convenience: Property-2 response-time bound of a single flow (by
+/// original index).  Returns kInfiniteDuration when divergent.
+[[nodiscard]] Duration response_bound(const model::FlowSet& set, FlowIndex i,
+                                      const Config& cfg = {});
+
+}  // namespace tfa::trajectory

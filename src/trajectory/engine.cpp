@@ -1,0 +1,344 @@
+#include "trajectory/engine.h"
+
+#include <algorithm>
+
+#include "base/contracts.h"
+#include "base/fixed_point.h"
+#include "base/math.h"
+#include "model/normalize.h"
+#include "trajectory/delta.h"
+
+namespace tfa::trajectory {
+
+namespace {
+
+/// One interfering flow's contribution to W_i(t).
+struct InterferenceTerm {
+  Duration offset = 0;   ///< A_{i,j} (or J_i for the flow's own term).
+  Duration period = 1;   ///< T_j.
+  Duration cost = 0;     ///< C_j^{slow_{j,i}}.
+  bool own = false;      ///< True for tau_i's own term (no (.)^+ needed,
+                         ///< but t >= -J_i keeps it non-negative anyway).
+};
+
+}  // namespace
+
+namespace {
+
+/// Roles implied by Config::ef_mode: Property 2 (all FIFO, no blockers)
+/// or Property 3 (EF flows FIFO, everything else blocks).
+EngineRoles default_roles(const model::FlowSet& set, const Config& cfg) {
+  const std::size_t n = set.size();
+  EngineRoles roles;
+  roles.same.assign(n, true);
+  roles.higher.assign(n, false);
+  roles.blockers.assign(n, false);
+  if (cfg.ef_mode) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool ef =
+          model::is_ef(set.flow(static_cast<FlowIndex>(j)).service_class());
+      roles.same[j] = ef;
+      roles.blockers[j] = !ef;
+    }
+  }
+  return roles;
+}
+
+}  // namespace
+
+Engine::Engine(const model::FlowSet& set, const Config& cfg)
+    : Engine(set, cfg, default_roles(set, cfg)) {}
+
+Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles)
+    : set_(set), cfg_(cfg), geometry_(set) {
+  TFA_EXPECTS(model::satisfies_assumption1(set));
+
+  const std::size_t n = set.size();
+  TFA_EXPECTS(roles.same.size() == n && roles.higher.size() == n &&
+              roles.blockers.size() == n);
+  mask_ = std::move(roles.same);
+  hp_mask_ = std::move(roles.higher);
+  higher_smax_ = std::move(roles.higher_smax);
+  non_blockers_.assign(n, true);
+  bool any_blocker = false;
+  bool any_higher = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    TFA_EXPECTS(mask_[j] + hp_mask_[j] + roles.blockers[j] <= 1);
+    non_blockers_[j] = !roles.blockers[j];
+    any_blocker = any_blocker || roles.blockers[j];
+    any_higher = any_higher || hp_mask_[j];
+  }
+  TFA_EXPECTS(!any_higher || higher_smax_ != nullptr);
+  delta_enabled_ = any_blocker;
+
+  // Seed the Smax table with its certain lower bound: release jitter plus
+  // the uncontended traversal up to the node (arrival semantics) or
+  // through it (completion semantics).
+  const bool completion = cfg_.smax_semantics == SmaxSemantics::kCompletion;
+  smax_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    if (!mask_[i]) continue;  // background flows never need Smax
+    const model::SporadicFlow& f = set.flow(fi);
+    const std::size_t len = f.path().size();
+    smax_[i].resize(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      smax_[i][k] = f.jitter() + geometry_.smin(fi, k);
+      if (completion) smax_[i][k] += f.cost_at_position(k);
+    }
+  }
+
+  run_fixed_point();
+
+  full_bounds_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    if (!mask_[i]) continue;
+    full_bounds_[i] = prefix_bound(fi, set.flow(fi).path().size());
+  }
+}
+
+bool Engine::analysable(FlowIndex i) const {
+  TFA_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < mask_.size());
+  return mask_[static_cast<std::size_t>(i)];
+}
+
+const PrefixBound& Engine::bound(FlowIndex i) const {
+  TFA_EXPECTS(analysable(i));
+  return full_bounds_[static_cast<std::size_t>(i)];
+}
+
+Duration Engine::smax(FlowIndex i, std::size_t pos) const {
+  TFA_EXPECTS(analysable(i));
+  const auto& row = smax_[static_cast<std::size_t>(i)];
+  TFA_EXPECTS(pos < row.size());
+  return row[pos];
+}
+
+PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix) const {
+  const model::SporadicFlow& fi = set_.flow(i);
+  TFA_EXPECTS(analysable(i));
+  TFA_EXPECTS(prefix >= 1 && prefix <= fi.path().size());
+
+  const std::size_t n = set_.size();
+  const std::size_t iu = static_cast<std::size_t>(i);
+
+  // ---- Pairwise geometry of every interfering flow vs. this prefix
+  // (aggregate members and higher-priority flows alike).
+  std::vector<model::PairGeometry> pairs(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!mask_[j] && !hp_mask_[j]) continue;
+    pairs[j] = geometry_.pair(i, static_cast<FlowIndex>(j), prefix);
+  }
+
+  // ---- B^slow: busy-period fixed point over everything that can occupy
+  // the servers ahead of m (Lemma 3; higher-priority traffic included).
+  Duration seed = 0;
+  for (std::size_t j = 0; j < n; ++j)
+    if (mask_[j] || hp_mask_[j]) seed += pairs[j].c_slow_ji;  // incl. j == i
+  const FixedPointResult bp = iterate_fixed_point(
+      seed,
+      [&](Duration b) {
+        Duration sum = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if ((!mask_[j] && !hp_mask_[j]) || !pairs[j].intersects) continue;
+          sum += ceil_div(b, set_.flow(static_cast<FlowIndex>(j)).period()) *
+                 pairs[j].c_slow_ji;
+        }
+        return sum;
+      },
+      cfg_.divergence_ceiling);
+
+  PrefixBound out;
+  if (!bp.converged()) return out;  // divergent: response stays infinite
+  out.busy_period = bp.value;
+
+  // ---- Per-position same-direction joiner min/max over the aggregate.
+  std::vector<Duration> max_at(prefix, 0);
+  std::vector<Duration> min_at(prefix, 0);
+  for (std::size_t pos = 0; pos < prefix; ++pos) {
+    const NodeId h = fi.path().at(pos);
+    Duration mx = 0;
+    Duration mn = kInfiniteDuration;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!mask_[j] || !pairs[j].intersects || !pairs[j].same_direction)
+        continue;
+      const std::ptrdiff_t pj = geometry_.position(static_cast<FlowIndex>(j), h);
+      if (pj < 0) continue;
+      const Duration c = set_.flow(static_cast<FlowIndex>(j))
+                             .cost_at_position(static_cast<std::size_t>(pj));
+      mx = std::max(mx, c);
+      mn = std::min(mn, c);
+    }
+    TFA_ASSERT(mn != kInfiniteDuration);  // tau_i itself always qualifies
+    max_at[pos] = mx;
+    min_at[pos] = mn;
+  }
+
+  // M_i^{P_i[pos]} as a cumulative sum (paper Section 2.2).
+  std::vector<Duration> m_cum(prefix + 1, 0);
+  for (std::size_t pos = 0; pos < prefix; ++pos)
+    m_cum[pos + 1] = m_cum[pos] + min_at[pos] + set_.network().lmin();
+
+  // ---- Constant part of W: the third, fourth and fifth terms.
+  const std::size_t slow_pos = fi.truncated_to_prefix(prefix).slow_position();
+  const Duration c_slow_own = pairs[iu].c_slow_ji;
+  const Duration c_last = fi.cost_at_position(prefix - 1);
+  Duration constant =
+      -c_last + set_.network().path_lmax_sum(fi.path(), prefix - 1);
+  for (std::size_t pos = 0; pos < prefix; ++pos)
+    if (pos != slow_pos) constant += max_at[pos];
+
+  // ---- Non-preemption delay (Property 3 / FP-FIFO) — constant in t.
+  if (delta_enabled_) {
+    out.delta = non_preemption_delay(geometry_, i, prefix, non_blockers_);
+    constant += out.delta;
+  }
+
+  // ---- Interference terms with offset A_{i,j} (Lemma 2): the flow's own
+  // term, every aggregate flow meeting the prefix, and (FP/FIFO) every
+  // higher-priority flow — the latter with the window extended by the
+  // latest start time W, since priority lets them overtake anywhere.
+  std::vector<InterferenceTerm> terms;
+  std::vector<InterferenceTerm> hp_terms;
+  terms.push_back({fi.jitter(), fi.period(), c_slow_own, /*own=*/true});
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == iu || (!mask_[j] && !hp_mask_[j]) || !pairs[j].intersects)
+      continue;
+    const auto fj = static_cast<FlowIndex>(j);
+    const model::SporadicFlow& flow_j = set_.flow(fj);
+    const model::PairGeometry& g = pairs[j];
+
+    const auto pos_i_fji =
+        static_cast<std::size_t>(geometry_.position(i, g.first_ji));
+    const auto pos_j_fji =
+        static_cast<std::size_t>(geometry_.position(fj, g.first_ji));
+    const auto pos_i_fij =
+        static_cast<std::size_t>(geometry_.position(i, g.first_ij));
+    const auto pos_j_fij =
+        static_cast<std::size_t>(geometry_.position(fj, g.first_ij));
+    TFA_ASSERT(pos_i_fji < prefix && pos_i_fij < prefix);
+
+    const Duration smax_i_at = smax_[iu][pos_i_fji];
+    const Duration smax_j_at =
+        mask_[j] ? smax_[j][pos_j_fij] : higher_smax_(fj, pos_j_fij);
+    if (is_infinite(smax_i_at) || is_infinite(smax_j_at))
+      return out;  // upstream divergence poisons this bound
+
+    const Duration a_ij = smax_i_at - geometry_.smin(fj, pos_j_fji) -
+                          m_cum[pos_i_fij] + smax_j_at + flow_j.jitter();
+    if (mask_[j])
+      terms.push_back({a_ij, flow_j.period(), g.c_slow_ji, /*own=*/false});
+    else
+      hp_terms.push_back({a_ij, flow_j.period(), g.c_slow_ji, /*own=*/false});
+  }
+
+  const Time t_begin = -fi.jitter();
+  const Time t_end = t_begin + out.busy_period;
+
+  auto aggregate_workload = [&](Time t) {
+    Duration w = constant;
+    for (const InterferenceTerm& term : terms)
+      w += sporadic_count(t + term.offset, term.period) * term.cost;
+    return w;
+  };
+
+  Duration best = -1;
+  Time best_t = t_begin;
+
+  if (hp_terms.empty()) {
+    // ---- Exact sweep over the candidate activation instants: t = -J_i
+    // plus every point where some interference count steps.
+    std::vector<Time> candidates{t_begin};
+    for (const InterferenceTerm& term : terms) {
+      // Steps occur at t = k * T - offset.
+      const std::int64_t k_lo = ceil_div(t_begin + term.offset, term.period);
+      for (std::int64_t k = k_lo;; ++k) {
+        const Time t = k * term.period - term.offset;
+        if (t >= t_end) break;
+        if (t > t_begin) candidates.push_back(t);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    for (const Time t : candidates) {
+      const Duration r = aggregate_workload(t) + c_last - t;
+      if (r > best) {
+        best = r;
+        best_t = t;
+      }
+    }
+  } else {
+    // ---- FP/FIFO: W(t) solves W = base(t) + sum_hp count(t + W + A) * C,
+    // a monotone per-instant fixed point; the count windows move with W,
+    // so the sweep is exhaustive over the (discrete-time) busy period.
+    if (out.busy_period > cfg_.exhaustive_sweep_limit)
+      return out;  // too long to sweep: report as divergent
+    for (Time t = t_begin; t < t_end; ++t) {
+      const Duration base = aggregate_workload(t);
+      Duration w = base;
+      for (;;) {
+        Duration next = base;
+        for (const InterferenceTerm& term : hp_terms)
+          next += sporadic_count(t + w + term.offset, term.period) *
+                  term.cost;
+        TFA_ASSERT(next >= w);
+        if (next == w) break;
+        w = next;
+        if (w > cfg_.divergence_ceiling) return out;  // divergent
+      }
+      const Duration r = w + c_last - t;
+      if (r > best) {
+        best = r;
+        best_t = t;
+      }
+    }
+  }
+  TFA_ASSERT(best >= 0);
+
+  out.response = best;
+  out.critical_instant = best_t;
+  return out;
+}
+
+void Engine::run_fixed_point() {
+  const std::size_t n = set_.size();
+  const bool completion = cfg_.smax_semantics == SmaxSemantics::kCompletion;
+  for (iterations_ = 0; iterations_ < cfg_.max_smax_iterations; ++iterations_) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask_[i]) continue;
+      const auto fi = static_cast<FlowIndex>(i);
+      const std::size_t len = set_.flow(fi).path().size();
+      // Arrival semantics: Smax at position k is the worst response over
+      // the k-node prefix plus that hop's worst-case link traversal (so
+      // position 0 stays at the release jitter).  Completion semantics:
+      // the worst response over the prefix *including* position k.
+      const model::Path& path = set_.flow(fi).path();
+      for (std::size_t k = completion ? 0u : 1u; k < len; ++k) {
+        const PrefixBound pb = prefix_bound(fi, completion ? k + 1 : k);
+        Duration next = kInfiniteDuration;
+        if (pb.finite())
+          next = completion
+                     ? pb.response
+                     : pb.response + set_.network().link_lmax(
+                                         path.at(k - 1), path.at(k));
+        TFA_ASSERT(next >= smax_[i][k]);  // monotone from below
+        if (next != smax_[i][k]) {
+          smax_[i][k] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      converged_ = true;
+      ++iterations_;
+      return;
+    }
+  }
+  converged_ = false;
+}
+
+}  // namespace tfa::trajectory

@@ -1,0 +1,131 @@
+// The trajectory-approach computation engine (paper Section 4).
+//
+// Operates on an Assumption-1-compliant FlowSet and produces, for every
+// analysable flow, the Property-2 (or, in EF mode, Property-3) worst-case
+// end-to-end response-time bound:
+//
+//   R_i = max_{-J_i <= t < -J_i + B_i^slow} { W_i^{last_i}(t) + C_i^{last_i} - t }
+//
+//   W_i(t) = sum_{j != i} (1 + floor((t + A_{i,j}) / T_j))^+ * C_j^{slow_{j,i}}
+//          + (1 + floor((t + J_i) / T_i)) * C_i^{slow_i}
+//          + sum_{h != slow_i} max_joiner C^h  -  C_i^{last_i}
+//          + (|P_i| - 1) * Lmax   [ + delta_i in EF mode ]
+//
+// The offsets A_{i,j} need the maximum source-to-node times Smax, for
+// which the paper gives no closed form.  We use the standard prefix
+// recursion, Smax_i^h = R_i(prefix up to pre_i(h)) + Lmax, solved as a
+// global monotone fixed point over the whole table {Smax_i^h} (see
+// DESIGN.md Section 4).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "model/path_algebra.h"
+#include "trajectory/types.h"
+
+namespace tfa::trajectory {
+
+/// Bound for one flow over a path prefix.
+struct PrefixBound {
+  Duration response = kInfiniteDuration;  ///< R over the prefix.
+  Duration busy_period = kInfiniteDuration;  ///< B^slow over the prefix.
+  Duration delta = 0;                     ///< Non-preemption delay (EF mode).
+  Time critical_instant = 0;              ///< Activation offset attaining R.
+
+  [[nodiscard]] bool finite() const noexcept { return !is_infinite(response); }
+};
+
+/// Scheduling role of every flow relative to the aggregate under analysis
+/// (used by the FP/FIFO extension; plain Property-2/3 runs derive roles
+/// from Config::ef_mode).
+struct EngineRoles {
+  /// Flows scheduled FIFO inside the analysed aggregate.
+  std::vector<bool> same;
+  /// Flows of strictly higher priority: they can overtake at every node,
+  /// so they are counted with a window extended by the (implicit) latest
+  /// start time — a per-instant fixed point.
+  std::vector<bool> higher;
+  /// Flows of strictly lower priority: contribute only the non-preemption
+  /// blocking of Lemma 4.
+  std::vector<bool> blockers;
+  /// Smax accessor for `higher` flows (their tables live in the engine of
+  /// their own class): (flow, path position) -> Smax.
+  std::function<Duration(FlowIndex, std::size_t)> higher_smax;
+};
+
+/// Trajectory computation over a *normalised* flow set.  The referenced
+/// set must satisfy Assumption 1 and outlive the engine.
+class Engine {
+ public:
+  /// Builds the engine and runs the global Smax fixed point.  Roles come
+  /// from Config::ef_mode (Property 2: everyone FIFO; Property 3: EF flows
+  /// FIFO, everything else blocking).
+  Engine(const model::FlowSet& set, const Config& cfg);
+
+  /// Explicit-roles constructor (FP/FIFO extension).
+  Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles);
+
+  /// True when the Smax table stabilised within the iteration budget.
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+  /// Number of fixed-point passes executed.
+  [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+
+  /// Whether flow `i` participates in the FIFO aggregate under analysis
+  /// (in EF mode: is an EF flow).
+  [[nodiscard]] bool analysable(FlowIndex i) const;
+
+  /// Full-path bound for analysable flow `i`.
+  [[nodiscard]] const PrefixBound& bound(FlowIndex i) const;
+
+  /// Converged Smax_i^{P_i[pos]} (max generation-to-arrival time).
+  [[nodiscard]] Duration smax(FlowIndex i, std::size_t pos) const;
+
+  /// The geometry the engine computed (exposed for tests/explainers).
+  [[nodiscard]] const model::FlowSetGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+
+  /// Membership of the analysed FIFO aggregate (exposed for explainers).
+  [[nodiscard]] const std::vector<bool>& aggregate_mask() const noexcept {
+    return mask_;
+  }
+
+  /// True when some flow plays the higher-priority role (FP/FIFO mode).
+  [[nodiscard]] bool has_higher_priority_flows() const noexcept {
+    for (const bool h : hp_mask_)
+      if (h) return true;
+    return false;
+  }
+
+  /// Complement of the blocking set (exposed for explainers).
+  [[nodiscard]] const std::vector<bool>& non_blockers() const noexcept {
+    return non_blockers_;
+  }
+
+  /// Recomputes the bound for a prefix of flow `i` with the current Smax
+  /// table (exposed for tests; `prefix` in [1, |P_i|]).
+  [[nodiscard]] PrefixBound prefix_bound(FlowIndex i, std::size_t prefix) const;
+
+ private:
+  void run_fixed_point();
+
+  const model::FlowSet& set_;
+  Config cfg_;
+  model::FlowSetGeometry geometry_;
+  std::vector<bool> mask_;       ///< FIFO-aggregate membership per flow.
+  std::vector<bool> hp_mask_;    ///< Higher-priority flows.
+  std::vector<bool> non_blockers_;  ///< Complement of the blocking set.
+  std::function<Duration(FlowIndex, std::size_t)> higher_smax_;
+  std::vector<std::vector<Duration>> smax_;  ///< [flow][position].
+  std::vector<PrefixBound> full_bounds_;     ///< [flow], analysable only.
+  bool delta_enabled_ = false;  ///< Some flow plays the blocker role.
+  bool converged_ = false;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace tfa::trajectory

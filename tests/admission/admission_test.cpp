@@ -1,0 +1,125 @@
+// Tests of the edge admission controller.
+#include <gtest/gtest.h>
+
+#include "admission/admission.h"
+#include "model/paper_example.h"
+
+namespace tfa::admission {
+namespace {
+
+using model::Network;
+using model::Path;
+using model::ServiceClass;
+using model::SporadicFlow;
+
+SporadicFlow flow(const std::string& name, Path p, Duration period,
+                  Duration cost, Duration deadline,
+                  ServiceClass c = ServiceClass::kExpedited) {
+  return SporadicFlow(name, std::move(p), period, cost, 0, deadline, c);
+}
+
+TEST(Admission, AdmitsTheWholePaperExample) {
+  AdmissionController ac(Network(12, 1, 1));
+  const model::FlowSet example = model::paper_example();
+  for (const SporadicFlow& f : example.flows()) {
+    const Decision d = ac.request(f);
+    EXPECT_TRUE(d.admitted) << f.name() << ": " << d.reason;
+  }
+  EXPECT_EQ(ac.admitted().size(), 5u);
+  // The certified bounds are exactly the analysis results.
+  const auto bounds = ac.certified_bounds();
+  ASSERT_EQ(bounds.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(bounds[i].second, model::kArrivalTrajectoryBounds[i]);
+}
+
+TEST(Admission, RejectsFlowThatWouldBreakAnExistingDeadline) {
+  AdmissionController ac(Network(2, 1, 1));
+  ASSERT_TRUE(ac.request(flow("a", Path{0, 1}, 50, 4, /*deadline=*/13))
+                  .admitted);  // bound: 4+4+1 = 9
+  // A heavy newcomer on the same path pushes a's bound past 13.
+  const Decision d = ac.request(flow("big", Path{0, 1}, 50, 10, 1000));
+  EXPECT_FALSE(d.admitted);
+  ASSERT_FALSE(d.violating.empty());
+  EXPECT_EQ(d.violating.front(), "a");
+  // State unchanged: the rejected flow is not kept.
+  EXPECT_EQ(ac.admitted().size(), 1u);
+}
+
+TEST(Admission, RejectsFlowMissingItsOwnDeadline) {
+  AdmissionController ac(Network(2, 1, 1));
+  ASSERT_TRUE(ac.request(flow("a", Path{0, 1}, 50, 4, 100)).admitted);
+  const Decision d = ac.request(flow("tight", Path{0, 1}, 50, 4, 10));
+  EXPECT_FALSE(d.admitted);
+  ASSERT_FALSE(d.violating.empty());
+  EXPECT_EQ(d.violating.front(), "tight");
+  EXPECT_GT(d.candidate_bound, 10);
+}
+
+TEST(Admission, RejectsDuplicateNames) {
+  AdmissionController ac(Network(2, 1, 1));
+  ASSERT_TRUE(ac.request(flow("a", Path{0}, 50, 4, 100)).admitted);
+  const Decision d = ac.request(flow("a", Path{1}, 50, 4, 100));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("already admitted"), std::string::npos);
+}
+
+TEST(Admission, RejectsPathOutsideNetwork) {
+  AdmissionController ac(Network(2, 1, 1));
+  const Decision d = ac.request(flow("x", Path{0, 7}, 50, 4, 100));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("invalid request"), std::string::npos);
+}
+
+TEST(Admission, RejectsOverloadBeforeRunningAnalysis) {
+  AdmissionController ac(Network(1, 1, 1));
+  ASSERT_TRUE(ac.request(flow("a", Path{0}, 10, 6, 1000)).admitted);
+  const Decision d = ac.request(flow("b", Path{0}, 10, 6, 1000));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.reason.find("capacity"), std::string::npos);
+}
+
+TEST(Admission, ReleaseMakesRoomAgain) {
+  AdmissionController ac(Network(2, 1, 1));
+  ASSERT_TRUE(ac.request(flow("a", Path{0, 1}, 50, 4, 13)).admitted);
+  ASSERT_FALSE(ac.request(flow("big", Path{0, 1}, 50, 10, 1000)).admitted);
+  EXPECT_TRUE(ac.release("a"));
+  EXPECT_FALSE(ac.release("a"));  // already gone
+  EXPECT_TRUE(ac.request(flow("big", Path{0, 1}, 50, 10, 1000)).admitted);
+}
+
+TEST(Admission, EfModeIgnoresBackgroundDeadlines) {
+  AdmissionController ac(Network(2, 1, 1), AnalysisKind::kTrajectoryEf);
+  // Background flow with a hopeless deadline: not analysed, not a blocker
+  // for admission of EF flows (it only contributes delta).
+  ASSERT_TRUE(ac.request(flow("bulk", Path{0, 1}, 50, 10, /*deadline=*/21,
+                              ServiceClass::kBestEffort))
+                  .admitted);
+  const Decision d = ac.request(flow("voice", Path{0, 1}, 50, 2, 40));
+  EXPECT_TRUE(d.admitted) << d.reason;
+  EXPECT_GT(d.candidate_bound, 0);
+}
+
+TEST(Admission, HolisticBackendIsMoreConservative) {
+  // A request set the trajectory analysis admits but holistic rejects.
+  const model::FlowSet example = model::paper_example();
+  AdmissionController traj(Network(12, 1, 1), AnalysisKind::kTrajectory);
+  AdmissionController holi(Network(12, 1, 1), AnalysisKind::kHolistic);
+  bool holistic_rejected_any = false;
+  for (const SporadicFlow& f : example.flows()) {
+    EXPECT_TRUE(traj.request(f).admitted);
+    if (!holi.request(f).admitted) holistic_rejected_any = true;
+  }
+  EXPECT_TRUE(holistic_rejected_any);
+}
+
+TEST(Admission, NetworkCalculusBackendWorks) {
+  AdmissionController ac(Network(2, 1, 1), AnalysisKind::kNetworkCalculus);
+  const Decision d = ac.request(flow("a", Path{0, 1}, 50, 4, 100));
+  EXPECT_TRUE(d.admitted) << d.reason;
+  EXPECT_GT(d.candidate_bound, 0);
+  EXPECT_LE(d.candidate_bound, 100);
+}
+
+}  // namespace
+}  // namespace tfa::admission

@@ -1,0 +1,51 @@
+// Tests of the monotone fixed-point driver.
+#include <gtest/gtest.h>
+
+#include "base/fixed_point.h"
+#include "base/math.h"
+
+namespace tfa {
+namespace {
+
+TEST(FixedPoint, FindsLeastFixedPointOfBusyPeriodEquation) {
+  // B = ceil(B/36)*4*4: the paper example's B_1^slow = 16.
+  const auto r = iterate_fixed_point(
+      16, [](Duration b) { return ceil_div(b, 36) * 16; }, 1 << 20);
+  ASSERT_TRUE(r.converged());
+  EXPECT_EQ(r.value, 16);
+}
+
+TEST(FixedPoint, ConvergesFromSeedBelow) {
+  // x = min(x + 3, 30): least fixed point above seed 0 is 30.
+  const auto r = iterate_fixed_point(
+      0, [](Duration x) { return x >= 30 ? 30 : x + 3; }, 1000);
+  ASSERT_TRUE(r.converged());
+  EXPECT_EQ(r.value, 30);
+}
+
+TEST(FixedPoint, ReportsDivergenceAtCeiling) {
+  // Utilisation 1: B = B + 1 never stabilises.
+  const auto r = iterate_fixed_point(
+      1, [](Duration b) { return b + 1; }, 500);
+  EXPECT_EQ(r.status, FixedPointStatus::kDiverged);
+  EXPECT_TRUE(is_infinite(r.value));
+}
+
+TEST(FixedPoint, ImmediateFixedPoint) {
+  const auto r = iterate_fixed_point(
+      7, [](Duration x) { return x; }, 100);
+  ASSERT_TRUE(r.converged());
+  EXPECT_EQ(r.value, 7);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(FixedPoint, MaxIterationsBudgetRespected) {
+  const auto r = iterate_fixed_point(
+      0, [](Duration x) { return x + 1; }, Duration{1} << 40,
+      /*max_iterations=*/10);
+  EXPECT_EQ(r.status, FixedPointStatus::kMaxIterations);
+  EXPECT_EQ(r.value, 10);
+}
+
+}  // namespace
+}  // namespace tfa

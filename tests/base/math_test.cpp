@@ -1,0 +1,113 @@
+// Unit and property tests for the integer helpers every analysis builds on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/math.h"
+
+namespace tfa {
+namespace {
+
+TEST(FloorDiv, MatchesMathematicalFloor) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(-1, 36), -1);
+  EXPECT_EQ(floor_div(35, 36), 0);
+  EXPECT_EQ(floor_div(36, 36), 1);
+}
+
+TEST(CeilDiv, MatchesMathematicalCeil) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 36), 1);
+  EXPECT_EQ(ceil_div(-36, 36), -1);
+}
+
+TEST(PosPart, ClampsAtZero) {
+  EXPECT_EQ(pos_part(5), 5);
+  EXPECT_EQ(pos_part(0), 0);
+  EXPECT_EQ(pos_part(-3), 0);
+}
+
+TEST(SporadicCount, PaperOperatorValues) {
+  // (1 + floor(a/T))^+ from Section 2.2.
+  EXPECT_EQ(sporadic_count(-1, 36), 0);   // window empty
+  EXPECT_EQ(sporadic_count(0, 36), 1);    // one release at the window start
+  EXPECT_EQ(sporadic_count(35, 36), 1);
+  EXPECT_EQ(sporadic_count(36, 36), 2);
+  EXPECT_EQ(sporadic_count(71, 36), 2);
+  EXPECT_EQ(sporadic_count(72, 36), 3);
+  EXPECT_EQ(sporadic_count(-100, 7), 0);
+}
+
+TEST(RoundUp, SmallestMultipleNotBelow) {
+  EXPECT_EQ(round_up(0, 5), 0);
+  EXPECT_EQ(round_up(1, 5), 5);
+  EXPECT_EQ(round_up(5, 5), 5);
+  EXPECT_EQ(round_up(-3, 5), 0);
+  EXPECT_EQ(round_up(-5, 5), -5);
+}
+
+/// Property sweep: floor/ceil division agree with the double-precision
+/// reference on a grid including negatives and both parities.
+class DivisionProperty
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(DivisionProperty, AgreesWithFloatingPointReference) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(floor_div(a, b),
+            static_cast<std::int64_t>(
+                std::floor(static_cast<double>(a) / static_cast<double>(b))));
+  EXPECT_EQ(ceil_div(a, b),
+            static_cast<std::int64_t>(
+                std::ceil(static_cast<double>(a) / static_cast<double>(b))));
+  // Duality: ceil(a/b) == -floor(-a/b).
+  EXPECT_EQ(ceil_div(a, b), -floor_div(-a, b));
+  // Sandwich: b*floor <= a <= b*ceil.
+  EXPECT_LE(b * floor_div(a, b), a);
+  EXPECT_GE(b * ceil_div(a, b), a);
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> division_grid() {
+  std::vector<std::pair<std::int64_t, std::int64_t>> grid;
+  for (std::int64_t a = -25; a <= 25; ++a)
+    for (std::int64_t b : {1, 2, 3, 7, 36})
+      grid.emplace_back(a, b);
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DivisionProperty,
+                         ::testing::ValuesIn(division_grid()));
+
+/// sporadic_count is the exact maximum number of sporadic releases in a
+/// closed window [0, a] with minimum spacing T: brute-force comparison.
+class SporadicCountProperty
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(SporadicCountProperty, MatchesGreedyPacking) {
+  const auto [a, T] = GetParam();
+  std::int64_t brute = 0;
+  if (a >= 0)
+    for (std::int64_t t = 0; t <= a; t += T) ++brute;
+  EXPECT_EQ(sporadic_count(a, T), brute);
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> count_grid() {
+  std::vector<std::pair<std::int64_t, std::int64_t>> grid;
+  for (std::int64_t a = -5; a <= 120; a += 3)
+    for (std::int64_t T : {1, 4, 36, 100})
+      grid.emplace_back(a, T);
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SporadicCountProperty,
+                         ::testing::ValuesIn(count_grid()));
+
+}  // namespace
+}  // namespace tfa

@@ -1,0 +1,49 @@
+// Tests of the parallel sweep helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "base/parallel.h"
+
+namespace tfa {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoOp) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleWorkerIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(64, [&](std::size_t i) { order.push_back(i); },
+               /*workers=*/1);
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, SumMatchesSequentialReference) {
+  constexpr std::size_t kCount = 5000;
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(kCount, [&](std::size_t i) {
+    sum.fetch_add(static_cast<std::int64_t>(i));
+  });
+  EXPECT_EQ(sum.load(),
+            static_cast<std::int64_t>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(DefaultWorkerCount, AtLeastOne) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tfa

@@ -1,0 +1,67 @@
+// Tests of the deterministic PRNG used by generators and the simulator.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "base/rng.h"
+
+namespace tfa {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInClosedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, UniformCoversEveryValue) {
+  Rng rng(11);
+  std::array<int, 6> hits{};
+  for (int i = 0; i < 6000; ++i)
+    ++hits[static_cast<std::size_t>(rng.uniform(0, 5))];
+  for (const int h : hits) {
+    EXPECT_GT(h, 700);   // roughly uniform: expectation 1000
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace tfa

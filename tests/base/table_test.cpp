@@ -1,0 +1,52 @@
+// Tests of the bench-output table formatter.
+#include <gtest/gtest.h>
+
+#include "base/table.h"
+#include "base/types.h"
+
+namespace tfa {
+namespace {
+
+TEST(TextTable, AlignsColumnsToWidestCell) {
+  TextTable t({"flow", "bound"});
+  t.add_row({"tau1", "31"});
+  t.add_row({"a-very-long-name", "7"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| flow             | bound |"), std::string::npos);
+  EXPECT_NE(out.find("| tau1             | 31    |"), std::string::npos);
+  EXPECT_NE(out.find("| a-very-long-name | 7     |"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracksDataRowsOnly) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, EveryLineTerminated) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(FormatDuration, RendersDivergenceAsUnbounded) {
+  EXPECT_EQ(format_duration(31), "31");
+  EXPECT_EQ(format_duration(kInfiniteDuration), "unbounded");
+}
+
+TEST(FormatFixed, RespectsDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatPercent, OneDecimal) {
+  EXPECT_EQ(format_percent(0.279), "27.9%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace tfa

@@ -1,0 +1,110 @@
+// Tests of the DiffServ scheduler: strict EF priority, FIFO within EF,
+// weighted sharing across AF/BE (paper Figure 3).
+#include <gtest/gtest.h>
+
+#include "diffserv/discipline.h"
+#include "diffserv/dscp.h"
+
+namespace tfa::diffserv {
+namespace {
+
+sim::Packet make(FlowIndex flow, model::ServiceClass c, Duration cost = 4) {
+  sim::Packet p;
+  p.flow = flow;
+  p.service_class = c;
+  p.cost = cost;
+  return p;
+}
+
+TEST(Dscp, RoundTripsEveryClass) {
+  for (const auto c :
+       {model::ServiceClass::kExpedited, model::ServiceClass::kAssured1,
+        model::ServiceClass::kAssured2, model::ServiceClass::kAssured3,
+        model::ServiceClass::kAssured4, model::ServiceClass::kBestEffort})
+    EXPECT_EQ(class_of(dscp_of(c)), c);
+  EXPECT_EQ(dscp_of(model::ServiceClass::kExpedited), Dscp::kEf);
+}
+
+TEST(DiffServDiscipline, EfAlwaysBeatsLowerClasses) {
+  DiffServDiscipline d;
+  d.enqueue(make(0, model::ServiceClass::kBestEffort), 0);
+  d.enqueue(make(1, model::ServiceClass::kAssured1), 0);
+  d.enqueue(make(2, model::ServiceClass::kExpedited), 0);
+  d.enqueue(make(3, model::ServiceClass::kExpedited), 0);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.ef_backlog(), 2u);
+  EXPECT_EQ(d.dequeue()->flow, 2);  // EF first, FIFO within EF
+  EXPECT_EQ(d.dequeue()->flow, 3);
+  // Only then the WFQ aggregate.
+  const auto next = d.dequeue();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NE(next->service_class, model::ServiceClass::kExpedited);
+}
+
+TEST(DiffServDiscipline, FifoWithinEf) {
+  DiffServDiscipline d;
+  for (FlowIndex k = 0; k < 6; ++k)
+    d.enqueue(make(k, model::ServiceClass::kExpedited), k);
+  for (FlowIndex k = 0; k < 6; ++k) EXPECT_EQ(d.dequeue()->flow, k);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(DiffServDiscipline, EmptyDequeueReturnsNothing) {
+  DiffServDiscipline d;
+  EXPECT_FALSE(d.dequeue().has_value());
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DiffServDiscipline, WfqSharesFollowWeights) {
+  // Default weights AF1:4, BE:1 — with a long backlog of equal-cost
+  // packets, AF1 should drain roughly 4x faster.
+  DiffServDiscipline d;
+  for (FlowIndex k = 0; k < 40; ++k) {
+    d.enqueue(make(100 + k, model::ServiceClass::kAssured1), 0);
+    d.enqueue(make(200 + k, model::ServiceClass::kBestEffort), 0);
+  }
+  int af1_in_first_20 = 0;
+  for (int k = 0; k < 20; ++k) {
+    const auto p = d.dequeue();
+    ASSERT_TRUE(p.has_value());
+    if (p->service_class == model::ServiceClass::kAssured1) ++af1_in_first_20;
+  }
+  // Ideal share: 16 of 20.  Allow slack for SFQ quantisation.
+  EXPECT_GE(af1_in_first_20, 13);
+  EXPECT_LE(af1_in_first_20, 18);
+}
+
+TEST(DiffServDiscipline, HeavierPacketsGetProportionallyFewerSlots) {
+  // Equal weights, BE packets twice the cost: AF4 (weight 1) with cost 4
+  // vs BE (weight 1) with cost 8 — AF4 should send ~2 packets per BE.
+  WfqWeights w;
+  w.weight = {1, 1, 1, 1, 1};
+  DiffServDiscipline d(w);
+  for (FlowIndex k = 0; k < 30; ++k) {
+    d.enqueue(make(100 + k, model::ServiceClass::kAssured4, 4), 0);
+    d.enqueue(make(200 + k, model::ServiceClass::kBestEffort, 8), 0);
+  }
+  int af4_in_first_21 = 0;
+  for (int k = 0; k < 21; ++k) {
+    const auto p = d.dequeue();
+    ASSERT_TRUE(p.has_value());
+    if (p->service_class == model::ServiceClass::kAssured4) ++af4_in_first_21;
+  }
+  EXPECT_GE(af4_in_first_21, 12);  // ~14 expected
+  EXPECT_LE(af4_in_first_21, 16);
+}
+
+TEST(DiffServDiscipline, StarvationOfBestEffortUnderEfLoadIsTotal) {
+  // The paper's model: EF is served as long as it is not empty.
+  DiffServDiscipline d;
+  d.enqueue(make(0, model::ServiceClass::kBestEffort), 0);
+  for (FlowIndex k = 1; k <= 10; ++k)
+    d.enqueue(make(k, model::ServiceClass::kExpedited), k);
+  for (FlowIndex k = 1; k <= 10; ++k)
+    EXPECT_EQ(d.dequeue()->service_class, model::ServiceClass::kExpedited);
+  EXPECT_EQ(d.dequeue()->flow, 0);  // BE only after EF drains
+}
+
+}  // namespace
+}  // namespace tfa::diffserv

@@ -1,0 +1,58 @@
+// Tests of the strict-priority discipline.
+#include <gtest/gtest.h>
+
+#include "diffserv/strict_priority.h"
+
+namespace tfa::diffserv {
+namespace {
+
+sim::Packet make(FlowIndex flow, model::ServiceClass c) {
+  sim::Packet p;
+  p.flow = flow;
+  p.service_class = c;
+  p.cost = 4;
+  return p;
+}
+
+TEST(StrictPriority, RankOrderIsEfDownToBe) {
+  EXPECT_LT(StrictPriorityDiscipline::rank(model::ServiceClass::kExpedited),
+            StrictPriorityDiscipline::rank(model::ServiceClass::kAssured1));
+  EXPECT_LT(StrictPriorityDiscipline::rank(model::ServiceClass::kAssured1),
+            StrictPriorityDiscipline::rank(model::ServiceClass::kAssured2));
+  EXPECT_LT(StrictPriorityDiscipline::rank(model::ServiceClass::kAssured4),
+            StrictPriorityDiscipline::rank(model::ServiceClass::kBestEffort));
+}
+
+TEST(StrictPriority, DequeuesInClassOrder) {
+  StrictPriorityDiscipline d;
+  d.enqueue(make(0, model::ServiceClass::kBestEffort), 0);
+  d.enqueue(make(1, model::ServiceClass::kAssured3), 0);
+  d.enqueue(make(2, model::ServiceClass::kExpedited), 0);
+  d.enqueue(make(3, model::ServiceClass::kAssured1), 0);
+  EXPECT_EQ(d.dequeue()->flow, 2);  // EF
+  EXPECT_EQ(d.dequeue()->flow, 3);  // AF1
+  EXPECT_EQ(d.dequeue()->flow, 1);  // AF3
+  EXPECT_EQ(d.dequeue()->flow, 0);  // BE
+  EXPECT_FALSE(d.dequeue().has_value());
+}
+
+TEST(StrictPriority, FifoWithinEachClass) {
+  StrictPriorityDiscipline d;
+  for (FlowIndex k = 0; k < 4; ++k)
+    d.enqueue(make(k, model::ServiceClass::kAssured2), k);
+  for (FlowIndex k = 0; k < 4; ++k) EXPECT_EQ(d.dequeue()->flow, k);
+}
+
+TEST(StrictPriority, SizeCountsAllClasses) {
+  StrictPriorityDiscipline d;
+  EXPECT_TRUE(d.empty());
+  d.enqueue(make(0, model::ServiceClass::kExpedited), 0);
+  d.enqueue(make(1, model::ServiceClass::kBestEffort), 0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.empty());
+  (void)d.dequeue();
+  EXPECT_EQ(d.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tfa::diffserv

@@ -1,0 +1,76 @@
+// Tests of the ingress token-bucket conditioner.
+#include <gtest/gtest.h>
+
+#include "diffserv/token_bucket.h"
+
+namespace tfa::diffserv {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(/*tokens_per_period=*/1, /*period=*/10, /*burst=*/5);
+  EXPECT_EQ(tb.available(0), 5);
+  EXPECT_TRUE(tb.conforms(0, 5));
+  EXPECT_FALSE(tb.conforms(0, 6));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(1, 10, 5);
+  tb.consume(0, 5);
+  EXPECT_EQ(tb.available(0), 0);
+  EXPECT_EQ(tb.available(9), 0);
+  EXPECT_EQ(tb.available(10), 1);
+  EXPECT_EQ(tb.available(35), 3);
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(1, 10, 5);
+  tb.consume(0, 1);
+  EXPECT_EQ(tb.available(1000), 5);
+}
+
+TEST(TokenBucket, NextConformanceWhenAlreadyConformant) {
+  TokenBucket tb(1, 10, 5);
+  EXPECT_EQ(tb.next_conformance(7, 3), 7);
+}
+
+TEST(TokenBucket, NextConformancePredictsRefill) {
+  TokenBucket tb(1, 10, 5);
+  tb.consume(0, 5);
+  // Needs 2 tokens: they arrive at t = 20.
+  const Time t = tb.next_conformance(0, 2);
+  EXPECT_EQ(t, 20);
+  EXPECT_TRUE(tb.conforms(t, 2));
+  EXPECT_FALSE(tb.conforms(t - 1, 2));
+}
+
+TEST(TokenBucket, FractionalRateAccumulatesAcrossQueries) {
+  TokenBucket tb(/*tokens_per_period=*/3, /*period=*/7, /*burst=*/100);
+  tb.consume(0, 100);
+  // After 14 ticks: 6 tokens.
+  EXPECT_EQ(tb.available(14), 6);
+  tb.consume(14, 6);
+  // Remainder carries: at t=20 (6 ticks later within a period) still 0,
+  // at t=21 a full period since 14 has elapsed: 3 tokens.
+  EXPECT_EQ(tb.available(20), 0);
+  EXPECT_EQ(tb.available(21), 3);
+}
+
+TEST(TokenBucket, ConsumeThenConformSequence) {
+  TokenBucket tb(2, 5, 10);
+  Time now = 0;
+  for (int burst = 0; burst < 4; ++burst) {
+    now = tb.next_conformance(now, 4);
+    tb.consume(now, 4);
+  }
+  // 16 tokens consumed, 10 initial: 6 must have been earned, needing at
+  // least 3 periods: final conformance no earlier than t = 15.
+  EXPECT_GE(now, 15);
+}
+
+TEST(TokenBucketDeathTest, RejectsOverdraw) {
+  TokenBucket tb(1, 10, 5);
+  EXPECT_DEATH(tb.consume(0, 6), "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::diffserv

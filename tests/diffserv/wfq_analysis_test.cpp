@@ -1,0 +1,127 @@
+// Tests of the AF/BE class-level bounds under the Figure-3 router.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "diffserv/discipline.h"
+#include "diffserv/wfq_analysis.h"
+#include "model/generators.h"
+#include "sim/worst_case_search.h"
+
+namespace tfa::diffserv {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::ServiceClass;
+using model::SporadicFlow;
+
+TEST(WfqAnalysis, OnlyNonEfFlowsAreReported) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1}, 50, 4, 0, 500));
+  set.add(SporadicFlow("af", Path{0, 1}, 80, 6, 0, 800,
+                       ServiceClass::kAssured1));
+  const WfqResult r = analyze_wfq(set);
+  ASSERT_EQ(r.bounds.size(), 1u);
+  EXPECT_EQ(r.bounds[0].flow, 1);
+  EXPECT_EQ(r.find(0), nullptr);
+  EXPECT_FALSE(is_infinite(r.bounds[0].response));
+}
+
+TEST(WfqAnalysis, HigherWeightMeansTighterBound) {
+  // Same traffic in AF1 (weight 4) vs BE (weight 1): the AF1 bound wins.
+  auto bound_in = [](ServiceClass c) {
+    FlowSet set(Network(2, 1, 1));
+    set.add(SporadicFlow("probe", Path{0, 1}, 100, 6, 0, 100000, c));
+    set.add(SporadicFlow("rival", Path{0, 1}, 100, 6, 0, 100000,
+                         c == ServiceClass::kAssured1
+                             ? ServiceClass::kBestEffort
+                             : ServiceClass::kAssured1));
+    const WfqResult r = analyze_wfq(set);
+    return r.find(0)->response;
+  };
+  EXPECT_LT(bound_in(ServiceClass::kAssured1),
+            bound_in(ServiceClass::kBestEffort));
+}
+
+TEST(WfqAnalysis, EfLoadInflatesEveryClassBound) {
+  auto bound_with_ef = [](Duration ef_cost) {
+    FlowSet set(Network(2, 1, 1));
+    set.add(SporadicFlow("af", Path{0, 1}, 120, 6, 0, 100000,
+                         ServiceClass::kAssured2));
+    set.add(SporadicFlow("voice", Path{0, 1}, 60, ef_cost, 0, 100000));
+    return analyze_wfq(set).find(0)->response;
+  };
+  Duration prev = bound_with_ef(2);
+  for (const Duration c : {4, 8, 16}) {
+    const Duration next = bound_with_ef(c);
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(WfqAnalysis, DivergesWhenShareIsOversubscribed) {
+  // BE (weight 1 of 11) cannot carry 30% of the link.
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("be", Path{0}, 10, 3, 0, 100000,
+                       ServiceClass::kBestEffort));
+  const WfqResult r = analyze_wfq(set);
+  EXPECT_TRUE(is_infinite(r.bounds[0].response));
+}
+
+void expect_wfq_sound(const FlowSet& set, std::uint64_t seed) {
+  const WfqResult r = analyze_wfq(set);
+  sim::SearchConfig scfg;
+  scfg.random_runs = 12;
+  scfg.base_seed = seed;
+  scfg.discipline = make_diffserv;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+  for (const WfqFlowBound& b : r.bounds) {
+    if (is_infinite(b.response)) continue;
+    EXPECT_LE(obs.stats[static_cast<std::size_t>(b.flow)].worst, b.response)
+        << "WFQ bound violated for "
+        << set.flow(b.flow).name();
+  }
+}
+
+TEST(WfqAnalysis, SoundAgainstRouterSimulationMixedSet) {
+  FlowSet set(Network(4, 1, 2));
+  set.add(SporadicFlow("voice", Path{0, 1, 2}, 80, 4, 2, 400));
+  set.add(SporadicFlow("erp", Path{0, 1, 2, 3}, 120, 8, 0, 100000,
+                       ServiceClass::kAssured1));
+  set.add(SporadicFlow("video", Path{3, 1, 2}, 100, 10, 0, 100000,
+                       ServiceClass::kAssured3));
+  set.add(SporadicFlow("backup", Path{0, 1, 3}, 300, 14, 0, 100000,
+                       ServiceClass::kBestEffort));
+  expect_wfq_sound(set, 11);
+}
+
+/// Random mixed-class sweep against the DiffServ router simulation.
+class RandomWfq : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWfq, BoundsDominateSimulation) {
+  Rng rng(GetParam());
+  model::RandomConfig rc;
+  rc.nodes = 7;
+  rc.flows = 5;
+  rc.max_path = 3;
+  rc.max_jitter = 4;
+  rc.max_utilisation = 0.35;  // leave room for the weighted shares
+  const FlowSet base = model::make_random(rc, rng);
+
+  FlowSet set(base.network());
+  const ServiceClass classes[] = {
+      ServiceClass::kExpedited, ServiceClass::kAssured1,
+      ServiceClass::kAssured2, ServiceClass::kBestEffort};
+  for (std::size_t i = 0; i < base.size(); ++i)
+    set.add(base.flow(static_cast<FlowIndex>(i))
+                .with_class(classes[rng.uniform(0, 3)]));
+  expect_wfq_sound(set, GetParam() * 5 + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWfq,
+                         ::testing::Values(91, 92, 93, 94, 95, 96, 97, 98, 99,
+                                           100));
+
+}  // namespace
+}  // namespace tfa::diffserv

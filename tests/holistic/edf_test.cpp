@@ -1,0 +1,111 @@
+// Tests of the EDF holistic analysis and its agreement with the EDF
+// simulation discipline.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "holistic/edf.h"
+#include "holistic/holistic.h"
+#include "model/generators.h"
+#include "sim/edf_discipline.h"
+#include "sim/worst_case_search.h"
+
+namespace tfa::holistic {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(EdfAnalysis, LoneFlowIsBestCasePlusJitter) {
+  FlowSet set(Network(3, 2, 2));
+  set.add(SporadicFlow("f", Path{0, 1, 2}, 100, 5, 3, 200));
+  const EdfResult r = analyze_edf(set);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.bounds[0].response, 3 + 3 * 5 + 2 * 2);
+}
+
+TEST(EdfAnalysis, TightDeadlineFlowWinsTheNode) {
+  // Two flows on one node; EDF serves the tight-deadline flow first, so
+  // its bound is close to its own cost plus blocking, while FIFO would
+  // charge it the full burst.
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("urgent", Path{0}, 100, 4, 0, 12));
+  set.add(SporadicFlow("lazy", Path{0}, 100, 9, 0, 400));
+  const EdfResult edf = analyze_edf(set);
+  ASSERT_TRUE(edf.converged);
+  // urgent: own 4 + non-preemptive blocking (9 - 1) = 12.
+  EXPECT_EQ(edf.bounds[0].response, 12);
+  EXPECT_TRUE(edf.bounds[0].schedulable);
+  // lazy absorbs urgent's interference: >= 4 + 9.
+  EXPECT_GE(edf.bounds[1].response, 13);
+
+  const Result fifo = analyze(set);
+  // FIFO cannot protect the urgent flow: its bound is the full burst.
+  EXPECT_GT(fifo.bounds[0].response, 12);
+}
+
+TEST(EdfAnalysis, DivergesOnOverload) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  const EdfResult r = analyze_edf(set);
+  EXPECT_TRUE(is_infinite(r.bounds[0].response));
+  EXPECT_FALSE(r.all_schedulable);
+}
+
+TEST(EdfAnalysis, JitterPropagatesDownstream) {
+  FlowSet low(Network(2, 1, 1));
+  low.add(SporadicFlow("f", Path{0, 1}, 60, 4, 0, 500));
+  low.add(SporadicFlow("g", Path{0, 1}, 60, 4, 0, 500));
+  FlowSet high(Network(2, 1, 1));
+  high.add(SporadicFlow("f", Path{0, 1}, 60, 4, 12, 500));
+  high.add(SporadicFlow("g", Path{0, 1}, 60, 4, 0, 500));
+  const EdfResult a = analyze_edf(low);
+  const EdfResult b = analyze_edf(high);
+  EXPECT_GE(b.bounds[0].response, a.bounds[0].response + 12);
+  EXPECT_GE(b.bounds[1].response, a.bounds[1].response);
+}
+
+void expect_edf_sound(const FlowSet& set, std::uint64_t seed) {
+  const EdfResult r = analyze_edf(set);
+  sim::SearchConfig scfg;
+  scfg.random_runs = 12;
+  scfg.base_seed = seed;
+  scfg.discipline = sim::make_edf;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (is_infinite(r.bounds[i].response)) continue;
+    EXPECT_LE(obs.stats[i].worst, r.bounds[i].response)
+        << "EDF analysis unsound for " << set.flow(static_cast<FlowIndex>(i)).name();
+  }
+}
+
+TEST(EdfAnalysis, SoundAgainstEdfSimulationMixedSet) {
+  FlowSet set(Network(4, 1, 2));
+  set.add(SporadicFlow("a", Path{0, 1, 2}, 60, 4, 2, 200));
+  set.add(SporadicFlow("b", Path{3, 1, 2}, 80, 5, 0, 300));
+  set.add(SporadicFlow("c", Path{1, 2}, 100, 7, 3, 500));
+  expect_edf_sound(set, 3);
+}
+
+/// Property sweep: random sets stay sound under the EDF simulation.
+class RandomEdf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomEdf, AnalysisDominatesSimulation) {
+  Rng rng(GetParam());
+  model::RandomConfig rc;
+  rc.nodes = 8;
+  rc.flows = 6;
+  rc.max_path = 4;
+  rc.max_jitter = 6;
+  rc.max_utilisation = 0.45;
+  rc.deadline_factor = 20.0;
+  expect_edf_sound(model::make_random(rc, rng), GetParam() * 7 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEdf,
+                         ::testing::Values(71, 72, 73, 74, 75, 76, 77, 78));
+
+}  // namespace
+}  // namespace tfa::holistic

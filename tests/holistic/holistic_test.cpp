@@ -1,0 +1,102 @@
+// Unit tests of the holistic baseline.
+#include <gtest/gtest.h>
+
+#include "holistic/holistic.h"
+#include "model/paper_example.h"
+
+namespace tfa::holistic {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(Holistic, LoneFlowMatchesBestCase) {
+  FlowSet set(Network(3, 2, 2));
+  set.add(SporadicFlow("f", Path{0, 1, 2}, 100, 5, 0, 100));
+  const Result r = analyze(set);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.bounds[0].response, 3 * 5 + 2 * 2);
+  EXPECT_EQ(r.bounds[0].node_responses, (std::vector<Duration>{5, 5, 5}));
+}
+
+TEST(Holistic, SingleNodeBurst) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 50));
+  set.add(SporadicFlow("b", Path{0}, 100, 7, 0, 50));
+  const Result r = analyze(set);
+  EXPECT_EQ(r.bounds[0].response, 11);
+  EXPECT_EQ(r.bounds[1].response, 11);
+}
+
+TEST(Holistic, ReleaseJitterAddsToEndToEnd) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("f", Path{0}, 100, 4, 9, 100));
+  const Result r = analyze(set);
+  EXPECT_EQ(r.bounds[0].response, 4 + 9);
+}
+
+TEST(Holistic, PaperExampleRegressionValues) {
+  // Our holistic (arrival sweep + response-minus-cost jitter rule) on the
+  // paper's example.  The paper's own holistic row is (43,63,73,73,56)
+  // computed with unstated rules; ours is the classic recurrence.
+  const Result r = analyze(model::paper_example());
+  ASSERT_TRUE(r.converged);
+  const std::vector<Duration> expected{43, 59, 113, 113, 80};
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(r.bounds[i].response, expected[i]) << "tau" << i + 1;
+}
+
+TEST(Holistic, BusyPeriodBoundDominatesArrivalSweep) {
+  Config sweep, busy;
+  busy.node_bound = NodeBound::kBusyPeriod;
+  const Result a = analyze(model::paper_example(), sweep);
+  const Result b = analyze(model::paper_example(), busy);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_GE(b.bounds[i].response, a.bounds[i].response);
+}
+
+TEST(Holistic, FullResponseJitterRuleDominatesClassicRule) {
+  Config classic, full;
+  full.jitter_rule = JitterPropagation::kFullResponse;
+  const Result a = analyze(model::paper_example(), classic);
+  const Result b = analyze(model::paper_example(), full);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_GE(b.bounds[i].response, a.bounds[i].response);
+}
+
+TEST(Holistic, DivergesOnOverload) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  const Result r = analyze(set);
+  EXPECT_TRUE(is_infinite(r.bounds[0].response));
+  EXPECT_FALSE(r.all_schedulable);
+}
+
+TEST(Holistic, CyclicJitterDependencyConverges) {
+  // tau_a runs 0 -> 1, tau_b runs 1 -> 0: each one's jitter at its second
+  // node depends on the other's response — a dependency cycle the global
+  // iteration must resolve.
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("a", Path{0, 1}, 50, 4, 0, 500));
+  set.add(SporadicFlow("b", Path{1, 0}, 50, 4, 0, 500));
+  const Result r = analyze(set);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(is_infinite(r.bounds[0].response));
+  EXPECT_EQ(r.bounds[0].response, r.bounds[1].response);  // symmetric
+}
+
+TEST(Holistic, SchedulabilityVerdictAgainstDeadline) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("tight", Path{0}, 100, 4, 0, 7));
+  set.add(SporadicFlow("loose", Path{0}, 100, 4, 0, 8));
+  const Result r = analyze(set);
+  EXPECT_FALSE(r.bounds[0].schedulable);  // bound 8 > 7
+  EXPECT_TRUE(r.bounds[1].schedulable);   // bound 8 <= 8
+  EXPECT_FALSE(r.all_schedulable);
+}
+
+}  // namespace
+}  // namespace tfa::holistic

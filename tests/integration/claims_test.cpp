@@ -1,0 +1,118 @@
+// Calibration tests: every quantitative claim EXPERIMENTS.md makes about
+// the benches is enforced here, so the documentation cannot drift from
+// the code.
+#include <gtest/gtest.h>
+
+#include "holistic/edf.h"
+#include "holistic/holistic.h"
+#include "model/generators.h"
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "trajectory/analysis.h"
+
+namespace tfa {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(Claims, Table2HeadlineNumbers) {
+  // "trajectory (31,37,47,47,40); holistic (43,59,113,113,80);
+  //  improvement 27.9%..58.4%".
+  const FlowSet set = model::paper_example();
+  const trajectory::Result tr = trajectory::analyze(set);
+  const holistic::Result ho = holistic::analyze(set);
+  const Duration expect_tr[] = {31, 37, 47, 47, 40};
+  const Duration expect_ho[] = {43, 59, 113, 113, 80};
+  double min_gain = 1.0, max_gain = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tr.bounds[i].response, expect_tr[i]);
+    EXPECT_EQ(ho.bounds[i].response, expect_ho[i]);
+    const double gain =
+        1.0 - static_cast<double>(tr.bounds[i].response) /
+                  static_cast<double>(ho.bounds[i].response);
+    min_gain = std::min(min_gain, gain);
+    max_gain = std::max(max_gain, gain);
+  }
+  EXPECT_NEAR(min_gain, 0.279, 0.001);
+  EXPECT_NEAR(max_gain, 0.584, 0.001);
+}
+
+TEST(Claims, X1ImprovementGrowsWithPathLength) {
+  // "the gain over holistic grows from 26.7% (3 hops) to 29.9% (12 hops)".
+  auto gain_at = [](std::int32_t hops) {
+    model::ParkingLotConfig cfg;
+    cfg.hops = hops;
+    cfg.cross_flows = hops - 1;
+    cfg.cross_span = 2;
+    cfg.period = 120;
+    const FlowSet set = model::make_parking_lot(cfg);
+    const Duration t = trajectory::analyze(set).bounds[0].response;
+    const Duration h = holistic::analyze(set).bounds[0].response;
+    return 1.0 - static_cast<double>(t) / static_cast<double>(h);
+  };
+  const double g3 = gain_at(3);
+  const double g12 = gain_at(12);
+  EXPECT_NEAR(g3, 0.267, 0.001);
+  EXPECT_NEAR(g12, 0.299, 0.001);
+  EXPECT_GT(g12, g3);
+}
+
+TEST(Claims, X8JitterBoundsAtZeroAndFullLoad) {
+  // "tau3's jitter bound grows 18 -> 36 while holistic grows 84 -> 236".
+  auto loaded = [](int extra) {
+    FlowSet set = model::paper_example();
+    for (int k = 0; k < extra; ++k)
+      set.add(SporadicFlow("load" + std::to_string(k), Path{2, 3, 4}, 72, 4,
+                           0, 100000));
+    return set;
+  };
+  EXPECT_EQ(trajectory::analyze(loaded(0)).bounds[2].jitter, 18);
+  EXPECT_EQ(trajectory::analyze(loaded(4)).bounds[2].jitter, 36);
+  EXPECT_EQ(holistic::analyze(loaded(0)).bounds[2].jitter, 84);
+  EXPECT_EQ(holistic::analyze(loaded(4)).bounds[2].jitter, 236);
+}
+
+TEST(Claims, X9EdfCertifiesWhatFifoCannot) {
+  // "EDF/holistic certifies 4/4 where FIFO certifies 2/4" on the
+  // bench_edf_vs_fifo workload.
+  FlowSet set(Network(5, 1, 1));
+  set.add(SporadicFlow("ctl-a", Path{0, 2, 3}, 80, 3, 0, 48));
+  set.add(SporadicFlow("ctl-b", Path{1, 2, 3}, 80, 3, 0, 48));
+  set.add(SporadicFlow("bulk-a", Path{0, 2, 3, 4}, 120, 9, 0, 400));
+  set.add(SporadicFlow("bulk-b", Path{1, 2, 4}, 150, 12, 0, 400));
+
+  const trajectory::Result tr = trajectory::analyze(set);
+  const holistic::EdfResult edf = holistic::analyze_edf(set);
+  int tr_ok = 0, edf_ok = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    tr_ok += tr.bounds[i].schedulable ? 1 : 0;
+    edf_ok += edf.bounds[i].schedulable ? 1 : 0;
+  }
+  EXPECT_EQ(tr_ok, 2);
+  EXPECT_EQ(edf_ok, 4);
+}
+
+TEST(Claims, SmaxSemanticsBracketRegression) {
+  // "(31,37,47,47,40) <= paper (31,43,53,53,44) <= (43,51,57,57,48)".
+  const FlowSet set = model::paper_example();
+  trajectory::Config hi;
+  hi.smax_semantics = trajectory::SmaxSemantics::kCompletion;
+  const trajectory::Result completion = trajectory::analyze(set, hi);
+  const Duration expect_hi[] = {43, 51, 57, 57, 48};
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(completion.bounds[i].response, expect_hi[i]);
+}
+
+TEST(Claims, NetcalcRowOfTable2) {
+  // "network calculus (ours, extra): 67, 97, 183, 183, 123".
+  const netcalc::Result nc = netcalc::analyze(model::paper_example());
+  const Duration expect[] = {67, 97, 183, 183, 123};
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(nc.bounds[i].response, expect[i]);
+}
+
+}  // namespace
+}  // namespace tfa

@@ -1,0 +1,95 @@
+// Tests of FlowSet bookkeeping, validation and utilisation accounting.
+#include <gtest/gtest.h>
+
+#include "model/flow_set.h"
+#include "model/paper_example.h"
+
+namespace tfa::model {
+namespace {
+
+FlowSet small_set() {
+  FlowSet set(Network(4, 1, 2));
+  set.add(SporadicFlow("a", Path{0, 1}, 10, 2, 0, 20));
+  set.add(SporadicFlow("b", Path{1, 2, 3}, 20, 4, 0, 60));
+  return set;
+}
+
+TEST(FlowSet, AddAndLookup) {
+  FlowSet set = small_set();
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.find("a"), std::optional<FlowIndex>(0));
+  EXPECT_EQ(set.find("b"), std::optional<FlowIndex>(1));
+  EXPECT_FALSE(set.find("c").has_value());
+  EXPECT_EQ(set.flow(1).name(), "b");
+}
+
+TEST(FlowSet, ValidateAcceptsWellFormedSet) {
+  EXPECT_TRUE(small_set().validate().empty());
+  EXPECT_TRUE(paper_example().validate().empty());
+}
+
+TEST(FlowSet, ValidateFlagsDuplicateNames) {
+  FlowSet set = small_set();
+  set.add(SporadicFlow("a", Path{2}, 10, 1, 0, 5));
+  const auto issues = set.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().message.find("duplicate"), std::string::npos);
+}
+
+TEST(FlowSet, ValidateFlagsPathOutsideNetwork) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("x", Path{0, 5}, 10, 1, 0, 20));
+  const auto issues = set.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().flow, 0);
+}
+
+TEST(FlowSet, ValidateFlagsImpossibleDeadline) {
+  FlowSet set(Network(3, 2, 2));
+  // Best case = 2 + 2 + 2(link) = ... costs 2+2, link lmin 2 => 6 > D = 5.
+  set.add(SporadicFlow("x", Path{0, 1}, 10, 2, 0, 5));
+  EXPECT_FALSE(set.validate().empty());
+}
+
+TEST(FlowSet, NodeUtilisationSumsCostOverPeriod) {
+  const FlowSet set = small_set();
+  EXPECT_DOUBLE_EQ(set.node_utilisation(0), 0.2);        // 2/10
+  EXPECT_DOUBLE_EQ(set.node_utilisation(1), 0.2 + 0.2);  // 2/10 + 4/20
+  EXPECT_DOUBLE_EQ(set.node_utilisation(3), 0.2);
+  EXPECT_DOUBLE_EQ(set.max_node_utilisation(), 0.4);
+}
+
+TEST(FlowSet, ClassRestriction) {
+  FlowSet set(Network(4, 1, 1));
+  set.add(SporadicFlow("ef1", Path{0, 1}, 10, 1, 0, 30));
+  set.add(SporadicFlow("be1", Path{0, 1}, 10, 1, 0, 30,
+                       ServiceClass::kBestEffort));
+  set.add(SporadicFlow("ef2", Path{2}, 10, 1, 0, 30));
+  const auto ef = set.indices_of_class(ServiceClass::kExpedited);
+  EXPECT_EQ(ef, (std::vector<FlowIndex>{0, 2}));
+  const FlowSet only_ef = set.restricted_to_class(ServiceClass::kExpedited);
+  EXPECT_EQ(only_ef.size(), 2u);
+  EXPECT_EQ(only_ef.flow(1).name(), "ef2");
+}
+
+TEST(FlowSet, ReplaceSwapsInPlace) {
+  FlowSet set = small_set();
+  set.replace(0, SporadicFlow("a2", Path{3}, 5, 1, 0, 9));
+  EXPECT_EQ(set.flow(0).name(), "a2");
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Network, NamesDefaultToIds) {
+  Network net(3, 1, 2);
+  EXPECT_EQ(net.node_name(2), "2");
+  net.set_node_name(2, "core-2");
+  EXPECT_EQ(net.node_name(2), "core-2");
+  EXPECT_EQ(net.node_name(1), "1");
+}
+
+TEST(NetworkDeathTest, RejectsInvertedDelayBounds) {
+  EXPECT_DEATH(Network(3, 5, 2), "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::model

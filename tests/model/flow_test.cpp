@@ -1,0 +1,94 @@
+// Tests of the sporadic flow model.
+#include <gtest/gtest.h>
+
+#include "model/flow.h"
+
+namespace tfa::model {
+namespace {
+
+SporadicFlow uniform_flow() {
+  return SporadicFlow("f", Path{1, 3, 4}, /*period=*/36, /*cost=*/4,
+                      /*jitter=*/2, /*deadline=*/50);
+}
+
+TEST(SporadicFlow, UniformCostOnEveryPathNode) {
+  const SporadicFlow f = uniform_flow();
+  EXPECT_EQ(f.cost_on(1), 4);
+  EXPECT_EQ(f.cost_on(3), 4);
+  EXPECT_EQ(f.cost_on(4), 4);
+  EXPECT_EQ(f.cost_on(2), 0);  // the paper's convention for h not on P_i
+}
+
+TEST(SporadicFlow, PerNodeCosts) {
+  const SporadicFlow f("g", Path{0, 1, 2}, 100, {2, 9, 5}, 0, 60);
+  EXPECT_EQ(f.cost_on(0), 2);
+  EXPECT_EQ(f.cost_on(1), 9);
+  EXPECT_EQ(f.cost_on(2), 5);
+  EXPECT_EQ(f.total_cost(), 16);
+  EXPECT_EQ(f.max_cost(), 9);
+  EXPECT_EQ(f.slow_position(), 1u);  // slow_g = node 1
+}
+
+TEST(SporadicFlow, SlowPositionPrefersFirstOnTies) {
+  const SporadicFlow f("g", Path{0, 1, 2}, 100, {5, 5, 5}, 0, 60);
+  EXPECT_EQ(f.slow_position(), 0u);
+}
+
+TEST(SporadicFlow, BestCaseResponseMatchesDefinition2Floor) {
+  // sum C + (|P|-1) * Lmin.
+  const SporadicFlow f = uniform_flow();
+  EXPECT_EQ(f.best_case_response(/*lmin=*/1), 12 + 2);
+  EXPECT_EQ(f.best_case_response(/*lmin=*/3), 12 + 6);
+}
+
+TEST(SporadicFlow, TruncatedToPrefixKeepsParameters) {
+  const SporadicFlow f = uniform_flow();
+  const SporadicFlow p = f.truncated_to_prefix(2);
+  EXPECT_EQ(p.path(), (Path{1, 3}));
+  EXPECT_EQ(p.period(), f.period());
+  EXPECT_EQ(p.jitter(), f.jitter());
+  EXPECT_EQ(p.total_cost(), 8);
+}
+
+TEST(SporadicFlow, SplitTailRenamesAndRejitters) {
+  const SporadicFlow f = uniform_flow();
+  const SporadicFlow t = f.split_tail(1, /*new_jitter=*/9);
+  EXPECT_EQ(t.name(), "f'");
+  EXPECT_EQ(t.path(), (Path{3, 4}));
+  EXPECT_EQ(t.jitter(), 9);
+  EXPECT_EQ(t.period(), f.period());
+}
+
+TEST(SporadicFlow, WithClassReplacesOnlyTheClass) {
+  const SporadicFlow f = uniform_flow();
+  const SporadicFlow b = f.with_class(ServiceClass::kBestEffort);
+  EXPECT_EQ(b.service_class(), ServiceClass::kBestEffort);
+  EXPECT_EQ(b.name(), f.name());
+  EXPECT_EQ(b.period(), f.period());
+}
+
+TEST(ServiceClass, NamesAndEfPredicate) {
+  EXPECT_STREQ(to_string(ServiceClass::kExpedited), "EF");
+  EXPECT_STREQ(to_string(ServiceClass::kAssured3), "AF3");
+  EXPECT_STREQ(to_string(ServiceClass::kBestEffort), "BE");
+  EXPECT_TRUE(is_ef(ServiceClass::kExpedited));
+  EXPECT_FALSE(is_ef(ServiceClass::kAssured1));
+}
+
+TEST(SporadicFlowDeathTest, RejectsNonPositivePeriod) {
+  EXPECT_DEATH(SporadicFlow("f", Path{1}, 0, 4, 0, 10), "precondition");
+}
+
+TEST(SporadicFlowDeathTest, RejectsCostVectorMismatch) {
+  EXPECT_DEATH(SporadicFlow("f", Path{1, 2}, 10, std::vector<Duration>{4}, 0,
+                            10),
+               "precondition");
+}
+
+TEST(SporadicFlowDeathTest, RejectsZeroCost) {
+  EXPECT_DEATH(SporadicFlow("f", Path{1, 2}, 10, {4, 0}, 0, 10),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::model

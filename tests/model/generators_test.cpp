@@ -1,0 +1,142 @@
+// Tests of the workload / topology generators.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/generators.h"
+#include "model/normalize.h"
+
+namespace tfa::model {
+namespace {
+
+TEST(ParkingLot, BackboneSpansAllHopsAndCrossFlowsStagger) {
+  ParkingLotConfig cfg;
+  cfg.hops = 6;
+  cfg.cross_flows = 4;
+  cfg.cross_span = 2;
+  const FlowSet set = make_parking_lot(cfg);
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set.validate().empty());
+  EXPECT_EQ(set.flow(0).name(), "main");
+  EXPECT_EQ(set.flow(0).path().size(), 6u);
+  for (FlowIndex i = 1; i <= 4; ++i) {
+    EXPECT_EQ(set.flow(i).path().size(), 2u);
+    // Cross flows live on the backbone.
+    for (const NodeId h : set.flow(i).path().nodes()) {
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, 6);
+    }
+  }
+  // Staggering: cross0 and cross1 start at different offsets.
+  EXPECT_NE(set.flow(1).path().first(), set.flow(2).path().first());
+  EXPECT_TRUE(satisfies_assumption1(set));
+}
+
+TEST(ParkingLot, DeadlineScalesWithBestCase) {
+  ParkingLotConfig cfg;
+  cfg.deadline_factor = 3.0;
+  const FlowSet set = make_parking_lot(cfg);
+  for (const SporadicFlow& f : set.flows())
+    EXPECT_EQ(f.deadline(),
+              3 * f.best_case_response(set.network().lmin()));
+}
+
+TEST(Ring, WrapsAroundAndStaysValid) {
+  RingConfig cfg;
+  cfg.nodes = 5;
+  cfg.flows = 5;
+  cfg.span = 3;
+  const FlowSet set = make_ring(cfg);
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set.validate().empty());
+  // Flow 3 starts at node 3 and wraps: 3, 4, 0.
+  EXPECT_EQ(set.flow(3).path(), (Path{3, 4, 0}));
+}
+
+TEST(RandomSet, RespectsStructureBounds) {
+  Rng rng(123);
+  RandomConfig cfg;
+  cfg.nodes = 10;
+  cfg.flows = 12;
+  cfg.min_path = 2;
+  cfg.max_path = 5;
+  cfg.min_cost = 1;
+  cfg.max_cost = 6;
+  const FlowSet set = make_random(cfg, rng);
+  ASSERT_EQ(set.size(), 12u);
+  EXPECT_TRUE(set.validate().empty());
+  for (const SporadicFlow& f : set.flows()) {
+    EXPECT_GE(f.path().size(), 2u);
+    EXPECT_LE(f.path().size(), 5u);
+    for (const Duration c : f.costs()) {
+      EXPECT_GE(c, 1);
+      EXPECT_LE(c, 6);
+    }
+    EXPECT_GE(f.jitter(), 0);
+    EXPECT_LE(f.jitter(), cfg.max_jitter);
+  }
+}
+
+TEST(RandomSet, UtilisationCapHolds) {
+  Rng rng(7);
+  RandomConfig cfg;
+  cfg.nodes = 8;
+  cfg.flows = 20;
+  cfg.max_utilisation = 0.5;
+  const FlowSet set = make_random(cfg, rng);
+  EXPECT_LE(set.max_node_utilisation(), 0.5 + 1e-9);
+}
+
+TEST(Afdx, TopologyAndLinkBounds) {
+  AfdxConfig cfg;
+  cfg.end_systems = 3;
+  cfg.switches = 2;
+  cfg.virtual_links = 6;
+  const FlowSet set = make_afdx(cfg);
+  ASSERT_EQ(set.size(), 6u);
+  EXPECT_TRUE(set.validate().empty());
+  EXPECT_TRUE(satisfies_assumption1(set));
+  // Uplinks slow, fabric fast.
+  EXPECT_EQ(set.network().link_lmax(0, 3), cfg.uplink_lmax);
+  EXPECT_EQ(set.network().link_lmax(3, 4), cfg.fabric_lmax);
+  // Every VL crosses the whole backbone: leaf + 2 switches + leaf.
+  for (const SporadicFlow& f : set.flows()) {
+    EXPECT_EQ(f.path().size(), 4u);
+    EXPECT_EQ(f.period(), cfg.bag);
+  }
+  // Round-robin sources.
+  EXPECT_NE(set.flow(0).path().first(), set.flow(1).path().first());
+}
+
+TEST(Tree, LeavesFunnelToTheRoot) {
+  TreeConfig cfg;
+  cfg.depth = 3;
+  const FlowSet set = make_tree(cfg);
+  ASSERT_EQ(set.size(), 8u);  // 2^3 leaves
+  EXPECT_TRUE(set.validate().empty());
+  EXPECT_TRUE(satisfies_assumption1(set));
+  for (const SporadicFlow& f : set.flows()) {
+    EXPECT_EQ(f.path().size(), 4u);      // leaf, two inner levels, root
+    EXPECT_EQ(f.path().last(), 0);       // all sink at the root
+  }
+  // The root carries every flow: utilisation concentrates there.
+  EXPECT_GT(set.node_utilisation(0), set.node_utilisation(1));
+  EXPECT_GT(set.node_utilisation(1),
+            set.node_utilisation(set.network().node_count() - 1));
+}
+
+TEST(RandomSet, DeterministicForSameSeed) {
+  RandomConfig cfg;
+  Rng r1(99), r2(99);
+  const FlowSet a = make_random(cfg, r1);
+  const FlowSet b = make_random(cfg, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    EXPECT_EQ(a.flow(fi).path(), b.flow(fi).path());
+    EXPECT_EQ(a.flow(fi).period(), b.flow(fi).period());
+    EXPECT_EQ(a.flow(fi).costs(), b.flow(fi).costs());
+  }
+}
+
+}  // namespace
+}  // namespace tfa::model

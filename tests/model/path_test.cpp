@@ -1,0 +1,67 @@
+// Tests of the Path route type.
+#include <gtest/gtest.h>
+
+#include "model/path.h"
+
+namespace tfa::model {
+namespace {
+
+TEST(Path, BasicAccessors) {
+  const Path p{1, 3, 4, 5};
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.first(), 1);
+  EXPECT_EQ(p.last(), 5);
+  EXPECT_EQ(p.at(1), 3);
+  EXPECT_EQ(p.max_node(), 5);
+}
+
+TEST(Path, IndexOfAndContains) {
+  const Path p{9, 10, 7, 6};
+  EXPECT_EQ(p.index_of(9), 0);
+  EXPECT_EQ(p.index_of(7), 2);
+  EXPECT_EQ(p.index_of(11), -1);
+  EXPECT_TRUE(p.contains(10));
+  EXPECT_FALSE(p.contains(0));
+}
+
+TEST(Path, PredecessorSuccessor) {
+  const Path p{2, 3, 4, 7};
+  EXPECT_EQ(p.predecessor(3), 2);
+  EXPECT_EQ(p.predecessor(7), 4);
+  EXPECT_EQ(p.successor(2), 3);
+  EXPECT_EQ(p.successor(4), 7);
+}
+
+TEST(Path, PrefixAndSuffix) {
+  const Path p{2, 3, 4, 7, 10, 11};
+  EXPECT_EQ(p.prefix(3), (Path{2, 3, 4}));
+  EXPECT_EQ(p.prefix(6), p);
+  EXPECT_EQ(p.suffix_from(4), (Path{10, 11}));
+  EXPECT_EQ(p.suffix_from(0), p);
+}
+
+TEST(Path, ToStringRendersArrows) {
+  EXPECT_EQ((Path{1, 3}).to_string(), "1 -> 3");
+  EXPECT_EQ((Path{5}).to_string(), "5");
+}
+
+TEST(Path, EqualityIsStructural) {
+  EXPECT_EQ((Path{1, 2}), (Path{1, 2}));
+  EXPECT_NE((Path{1, 2}), (Path{2, 1}));
+}
+
+TEST(PathDeathTest, RejectsDuplicateNodes) {
+  EXPECT_DEATH((Path{1, 2, 1}), "precondition");
+}
+
+TEST(PathDeathTest, RejectsNegativeNodes) {
+  EXPECT_DEATH((Path{-1, 2}), "precondition");
+}
+
+TEST(PathDeathTest, EmptyPathHasNoEndpoints) {
+  const Path p;
+  EXPECT_DEATH((void)p.first(), "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::model

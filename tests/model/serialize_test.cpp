@@ -1,0 +1,147 @@
+// Tests of the flow-set text format.
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "model/serialize.h"
+
+namespace tfa::model {
+namespace {
+
+constexpr const char* kSample = R"(# two flows
+network 4 1 2
+flow voice EF 50 3 120 path 0 1 2 costs 4
+flow bulk BE 200 0 900 path 3 1 2 costs 10 8 6
+)";
+
+TEST(Serialize, ParsesWellFormedInput) {
+  const ParseResult r = parse_flow_set(kSample);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const FlowSet& set = *r.flow_set;
+  EXPECT_EQ(set.network().node_count(), 4);
+  EXPECT_EQ(set.network().lmin(), 1);
+  EXPECT_EQ(set.network().lmax(), 2);
+  ASSERT_EQ(set.size(), 2u);
+
+  const SporadicFlow& voice = set.flow(0);
+  EXPECT_EQ(voice.name(), "voice");
+  EXPECT_EQ(voice.service_class(), ServiceClass::kExpedited);
+  EXPECT_EQ(voice.period(), 50);
+  EXPECT_EQ(voice.jitter(), 3);
+  EXPECT_EQ(voice.deadline(), 120);
+  EXPECT_EQ(voice.path(), (Path{0, 1, 2}));
+  EXPECT_EQ(voice.cost_on(1), 4);  // uniform cost expansion
+
+  const SporadicFlow& bulk = set.flow(1);
+  EXPECT_EQ(bulk.service_class(), ServiceClass::kBestEffort);
+  EXPECT_EQ(bulk.costs(), (std::vector<Duration>{10, 8, 6}));
+}
+
+TEST(Serialize, RoundTripsThePaperExample) {
+  const FlowSet original = paper_example();
+  const std::string text = serialize_flow_set(original);
+  const ParseResult r = parse_flow_set(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.flow_set->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const SporadicFlow& a = original.flow(fi);
+    const SporadicFlow& b = r.flow_set->flow(fi);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.path(), b.path());
+    EXPECT_EQ(a.period(), b.period());
+    EXPECT_EQ(a.jitter(), b.jitter());
+    EXPECT_EQ(a.deadline(), b.deadline());
+    EXPECT_EQ(a.costs(), b.costs());
+    EXPECT_EQ(a.service_class(), b.service_class());
+  }
+}
+
+TEST(Serialize, RoundTripsPerNodeCosts) {
+  FlowSet set(Network(3, 0, 5));
+  set.add(SporadicFlow("v", Path{0, 1, 2}, 77, {3, 9, 1}, 2, 500,
+                       ServiceClass::kAssured2));
+  const ParseResult r = parse_flow_set(serialize_flow_set(set));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.flow_set->flow(0).costs(), (std::vector<Duration>{3, 9, 1}));
+  EXPECT_EQ(r.flow_set->flow(0).service_class(), ServiceClass::kAssured2);
+}
+
+struct BadCase {
+  const char* text;
+  const char* expect;  // substring of the error
+  int line;
+};
+
+class SerializeErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(SerializeErrors, ReportsLocatedError) {
+  const ParseResult r = parse_flow_set(GetParam().text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find(GetParam().expect), std::string::npos)
+      << "got: " << r.error;
+  EXPECT_EQ(r.error_line, GetParam().line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SerializeErrors,
+    ::testing::Values(
+        BadCase{"flow f EF 1 0 1 path 0 costs 1\n", "before 'network'", 1},
+        BadCase{"network 2 1 1\nnetwork 2 1 1\n", "duplicate 'network'", 2},
+        BadCase{"network 2 2 1\n", "invalid network", 1},
+        BadCase{"network 2 1 1\nflow f XX 1 0 1 path 0 costs 1\n",
+                "unknown service class", 2},
+        BadCase{"network 2 1 1\nflow f EF 0 0 1 path 0 costs 1\n",
+                "out of range", 2},
+        BadCase{"network 2 1 1\nflow f EF 5 0 9 path costs 1\n",
+                "empty path", 2},
+        BadCase{"network 2 1 1\nflow f EF 5 0 9 path 0 0 costs 1\n",
+                "repeated node", 2},
+        BadCase{"network 2 1 1\nflow f EF 5 0 9 path 0 7 costs 1\n",
+                "outside the network", 2},
+        BadCase{"network 2 1 1\nflow f EF 5 0 9 path 0 1 costs 1 2 3\n",
+                "arity", 2},
+        BadCase{"network 2 1 1\nbogus\n", "unknown directive", 2},
+        BadCase{"network 2 1 1\nflow a EF 5 0 9 path 0 costs 1\n"
+                "flow a EF 5 0 9 path 1 costs 1\n",
+                "duplicate flow name", 3},
+        BadCase{"# only a comment\n", "missing 'network'", 2}));
+
+TEST(Serialize, ParsesLinkOverrides) {
+  const ParseResult r = parse_flow_set(
+      "network 3 1 2\nlink 0 1 5 9\nflow f EF 50 0 200 path 0 1 2 costs 4\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.flow_set->network().link_lmin(0, 1), 5);
+  EXPECT_EQ(r.flow_set->network().link_lmax(0, 1), 9);
+  EXPECT_EQ(r.flow_set->network().link_lmax(1, 2), 2);  // default
+}
+
+TEST(Serialize, RoundTripsLinkOverrides) {
+  Network net(3, 1, 2);
+  net.set_link(0, 1, 5, 9);
+  net.set_link(2, 1, 0, 4);
+  FlowSet set(net);
+  set.add(SporadicFlow("f", Path{0, 1}, 50, 4, 0, 200));
+  const ParseResult r = parse_flow_set(serialize_flow_set(set));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.flow_set->network().link_overrides(),
+            net.link_overrides());
+}
+
+TEST(Serialize, RejectsBadLinkLines) {
+  EXPECT_FALSE(parse_flow_set("link 0 1 1 2\n").ok());  // before network
+  EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 0 1 2\n").ok());
+  EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 5 1 2\n").ok());
+  EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 1 5 2\n").ok());
+  EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 1 2\n").ok());
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const ParseResult r = parse_flow_set(
+      "\n# header\n\nnetwork 2 1 1\n\n# flows\nflow f EF 5 0 9 path 0 "
+      "costs 1\n\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.flow_set->size(), 1u);
+}
+
+}  // namespace
+}  // namespace tfa::model

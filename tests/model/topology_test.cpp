@@ -1,0 +1,90 @@
+// Tests of the link-level topology and its route computation.
+#include <gtest/gtest.h>
+
+#include "model/topology.h"
+
+namespace tfa::model {
+namespace {
+
+/// A 2x3 grid with one slow diagonal shortcut:
+///   0 - 1 - 2
+///   |   |   |
+///   3 - 4 - 5   plus a slow link 0 - 5.
+Topology grid() {
+  Topology t(6, 1, 2);
+  t.add_link({0, 1, 1, 2});
+  t.add_link({1, 2, 1, 2});
+  t.add_link({3, 4, 1, 2});
+  t.add_link({4, 5, 1, 2});
+  t.add_link({0, 3, 1, 2});
+  t.add_link({1, 4, 1, 2});
+  t.add_link({2, 5, 1, 2});
+  t.add_link({0, 5, 1, 9});  // direct but slow
+  return t;
+}
+
+TEST(Topology, LinkBookkeeping) {
+  const Topology t = grid();
+  EXPECT_EQ(t.link_count(), 16u);  // 8 bidirectional links
+  EXPECT_TRUE(t.has_link(0, 1));
+  EXPECT_TRUE(t.has_link(1, 0));
+  EXPECT_FALSE(t.has_link(0, 4));
+}
+
+TEST(Topology, DirectionalLinks) {
+  Topology t(3, 1, 1);
+  LinkSpec one_way{0, 1, 1, 1, /*bidirectional=*/false};
+  t.add_link(one_way);
+  EXPECT_TRUE(t.has_link(0, 1));
+  EXPECT_FALSE(t.has_link(1, 0));
+  EXPECT_FALSE(t.route(1, 0).has_value());
+  ASSERT_TRUE(t.route(0, 1).has_value());
+}
+
+TEST(Topology, ToNetworkCarriesTheOverrides) {
+  const Network net = grid().to_network();
+  EXPECT_EQ(net.link_lmax(0, 5), 9);
+  EXPECT_EQ(net.link_lmax(0, 1), 2);
+  EXPECT_TRUE(net.has_link_overrides());
+}
+
+TEST(Topology, HopMetricTakesTheShortcut) {
+  const auto p = grid().route(0, 5, RouteMetric::kHops);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 5}));  // one slow hop beats two fast ones
+}
+
+TEST(Topology, DelayMetricAvoidsTheSlowLink) {
+  const auto p = grid().route(0, 5, RouteMetric::kWorstDelay);
+  ASSERT_TRUE(p.has_value());
+  // Any three-fast-hop route costs 6 < 9, so the direct slow link loses;
+  // ties settle toward smaller node ids: 0 -> 1 -> 2 -> 5.
+  EXPECT_EQ(*p, (Path{0, 1, 2, 5}));
+}
+
+TEST(Topology, RouteToSelfIsTrivial) {
+  const auto p = grid().route(2, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Path{2});
+}
+
+TEST(Topology, UnreachableReturnsNothing) {
+  Topology t(4, 1, 1);
+  t.add_link({0, 1, 1, 1});
+  EXPECT_FALSE(t.route(0, 3).has_value());
+}
+
+TEST(Topology, DeterministicTieBreak) {
+  // Two equal-cost routes 0-1-3 and 0-2-3: the smaller intermediate wins.
+  Topology t(4, 1, 1);
+  t.add_link({0, 1, 1, 1});
+  t.add_link({0, 2, 1, 1});
+  t.add_link({1, 3, 1, 1});
+  t.add_link({2, 3, 1, 1});
+  const auto p = t.route(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace tfa::model

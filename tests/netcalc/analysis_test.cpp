@@ -1,0 +1,108 @@
+// Tests of the end-to-end network-calculus analysis.
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "sim/worst_case_search.h"
+
+namespace tfa::netcalc {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(NetCalc, LoneFlowSingleNodeDelayIsBurst) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("f", Path{0}, 36, 4, 0, 100));
+  const Result r = analyze(set);
+  ASSERT_TRUE(r.converged);
+  // Unit-rate server, burst 4 work units: delay bound 4.
+  EXPECT_EQ(r.bounds[0].response, 4);
+}
+
+TEST(NetCalc, LoneFlowMultiHopAddsLinksAndPerNodeBursts) {
+  FlowSet set(Network(3, 2, 2));
+  set.add(SporadicFlow("f", Path{0, 1, 2}, 100, 5, 0, 100));
+  const Result r = analyze(set);
+  ASSERT_TRUE(r.converged);
+  // Every node sees only this flow; its burst grows hop by hop.
+  EXPECT_GE(r.bounds[0].response, 3 * 5 + 2 * 2);
+  EXPECT_FALSE(is_infinite(r.bounds[0].response));
+}
+
+TEST(NetCalc, JitterEntersBurstAndEndToEnd) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("f", Path{0}, 36, 4, 18, 100));
+  const Result r = analyze(set);
+  // sigma = 4 * 1.5 = 6; end-to-end = J + 6 = 24... (release jitter adds).
+  EXPECT_EQ(r.bounds[0].response, 18 + 6);
+}
+
+TEST(NetCalc, DivergesOnOverloadedNode) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  const Result r = analyze(set);
+  EXPECT_TRUE(is_infinite(r.bounds[0].response));
+  EXPECT_TRUE(is_infinite(r.bounds[1].response));
+}
+
+TEST(NetCalc, PaperExampleFiniteAndSound) {
+  const FlowSet set = model::paper_example();
+  const Result r = analyze(set);
+  ASSERT_TRUE(r.converged);
+  sim::SearchConfig scfg;
+  scfg.random_runs = 16;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(is_infinite(r.bounds[i].response));
+    EXPECT_LE(obs.stats[i].worst, r.bounds[i].response)
+        << "netcalc unsound for tau" << i + 1;
+  }
+}
+
+TEST(NetCalc, NodeLatencyModelsNonPreemption) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1}, 100, 4, 0, 100));
+  Config plain, blocked;
+  blocked.node_latency = 9;
+  const Result a = analyze(set, plain);
+  const Result b = analyze(set, blocked);
+  EXPECT_GT(b.bounds[0].response, a.bounds[0].response);
+  // Each of the two nodes contributes the extra latency (plus the burst
+  // growth it induces downstream).
+  EXPECT_GE(b.bounds[0].response, a.bounds[0].response + 2 * 9);
+}
+
+TEST(NetCalc, CyclicDependencyConverges) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("a", Path{0, 1}, 50, 4, 0, 500));
+  set.add(SporadicFlow("b", Path{1, 0}, 50, 4, 0, 500));
+  const Result r = analyze(set);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.bounds[0].response, r.bounds[1].response);
+  EXPECT_FALSE(is_infinite(r.bounds[0].response));
+}
+
+TEST(NetCalc, MoreInterferenceMeansLargerBound) {
+  auto bound_with_flows = [](int extra) {
+    FlowSet set(Network(2, 1, 1));
+    set.add(SporadicFlow("f", Path{0, 1}, 100, 4, 0, 10000));
+    for (int k = 0; k < extra; ++k)
+      set.add(SporadicFlow("x" + std::to_string(k), Path{0, 1}, 100, 4, 0,
+                           10000));
+    const Result r = analyze(set);
+    return r.bounds[0].response;
+  };
+  Duration prev = bound_with_flows(0);
+  for (const int extra : {1, 2, 4}) {
+    const Duration next = bound_with_flows(extra);
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+}  // namespace
+}  // namespace tfa::netcalc

@@ -1,0 +1,95 @@
+// Buffer dimensioning: the network-calculus backlog bound per node must
+// dominate every backlog the simulator can produce.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/generators.h"
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "sim/network_sim.h"
+
+namespace tfa::netcalc {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+void expect_backlog_sound(const FlowSet& set, std::uint64_t seed) {
+  const Result nc = analyze(set);
+  ASSERT_TRUE(nc.converged);
+
+  for (const auto pattern :
+       {sim::ArrivalPattern::kSynchronousBurst,
+        sim::ArrivalPattern::kAdversarialJitter,
+        sim::ArrivalPattern::kRandomSporadic}) {
+    sim::SimConfig cfg;
+    cfg.pattern = pattern;
+    cfg.seed = seed;
+    sim::NetworkSim s(set, cfg);
+    s.run();
+    for (NodeId h = 0; h < set.network().node_count(); ++h) {
+      const Rational bound = nc.node_backlog[static_cast<std::size_t>(h)];
+      if (bound == Rational(kInfiniteDuration)) continue;
+      EXPECT_LE(s.max_backlog_work(h), bound.ceil())
+          << "node " << h << " pattern " << static_cast<int>(pattern);
+    }
+  }
+}
+
+TEST(Backlog, SingleNodeBurstEqualsSigma) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 100, 7, 0, 1000));
+  const Result nc = analyze(set);
+  // sigma = 4 + 7 work units, rho small, latency 0.
+  EXPECT_EQ(nc.node_backlog[0], Rational(11));
+
+  sim::SimConfig cfg;
+  cfg.pattern = sim::ArrivalPattern::kSynchronousBurst;
+  sim::NetworkSim s(set, cfg);
+  s.run();
+  EXPECT_EQ(s.max_backlog_work(0), 11);  // the bound is attained
+}
+
+TEST(Backlog, JitterInflatesTheBound) {
+  FlowSet set_j0(Network(1, 1, 1));
+  set_j0.add(SporadicFlow("a", Path{0}, 36, 4, 0, 1000));
+  FlowSet set_j18(Network(1, 1, 1));
+  set_j18.add(SporadicFlow("a", Path{0}, 36, 4, 18, 1000));
+  EXPECT_LT(analyze(set_j0).node_backlog[0],
+            analyze(set_j18).node_backlog[0]);
+}
+
+TEST(Backlog, UnstableNodeReportedInfinite) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  const Result nc = analyze(set);
+  EXPECT_EQ(nc.node_backlog[0], Rational(kInfiniteDuration));
+}
+
+TEST(Backlog, PaperExampleBufferSizing) {
+  expect_backlog_sound(model::paper_example(), 5);
+  // Concrete provisioning numbers for the example's hottest node (3).
+  const Result nc = analyze(model::paper_example());
+  const Rational at3 = nc.node_backlog[3];
+  EXPECT_GT(at3, Rational(12));   // at least the 4-flow burst minus one
+  EXPECT_LT(at3, Rational(100));  // and a sane finite figure
+}
+
+TEST(Backlog, RandomFamiliesStaySound) {
+  for (const std::uint64_t seed : {61u, 62u, 63u, 64u}) {
+    Rng rng(seed);
+    model::RandomConfig rc;
+    rc.nodes = 8;
+    rc.flows = 6;
+    rc.max_jitter = 10;
+    rc.max_utilisation = 0.5;
+    expect_backlog_sound(model::make_random(rc, rng), seed);
+  }
+}
+
+}  // namespace
+}  // namespace tfa::netcalc

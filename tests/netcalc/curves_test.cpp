@@ -1,0 +1,77 @@
+// Tests of the min-plus curve algebra.
+#include <gtest/gtest.h>
+
+#include "netcalc/curves.h"
+
+namespace tfa::netcalc {
+namespace {
+
+TEST(ArrivalCurve, EvaluatesAffineForm) {
+  const ArrivalCurve a{Rational(5), Rational(1, 2)};
+  EXPECT_EQ(a.at(Rational(-1)), Rational(0));
+  EXPECT_EQ(a.at(Rational(0)), Rational(5));
+  EXPECT_EQ(a.at(Rational(4)), Rational(7));
+}
+
+TEST(ArrivalCurve, AggregationAddsComponentwise) {
+  const ArrivalCurve a{Rational(5), Rational(1, 2)};
+  const ArrivalCurve b{Rational(3), Rational(1, 4)};
+  const ArrivalCurve sum = a + b;
+  EXPECT_EQ(sum.sigma, Rational(8));
+  EXPECT_EQ(sum.rho, Rational(3, 4));
+}
+
+TEST(ArrivalCurve, DelayedGrowsBurstByRhoTimesDelay) {
+  const ArrivalCurve a{Rational(5), Rational(1, 2)};
+  const ArrivalCurve d = a.delayed(Rational(6));
+  EXPECT_EQ(d.sigma, Rational(8));
+  EXPECT_EQ(d.rho, a.rho);
+}
+
+TEST(SporadicArrival, MatchesStaircaseEnvelope) {
+  // cost 4, period 36, jitter 0: sigma = 4, rho = 1/9.
+  const ArrivalCurve a = sporadic_arrival(4, 36, 0);
+  EXPECT_EQ(a.sigma, Rational(4));
+  EXPECT_EQ(a.rho, Rational(1, 9));
+  // With jitter 18: sigma = 4 * (1 + 18/36) = 6.
+  const ArrivalCurve j = sporadic_arrival(4, 36, 18);
+  EXPECT_EQ(j.sigma, Rational(6));
+}
+
+TEST(SporadicArrival, DominatesExactCountEverywhere) {
+  // The affine envelope must upper-bound C * (1 + floor((t+J)/T)).
+  const Duration c = 4, T = 36, J = 10;
+  const ArrivalCurve a = sporadic_arrival(c, T, J);
+  for (Duration t = 0; t <= 5 * T; ++t) {
+    const Rational exact(c * (1 + (t + J) / T));
+    EXPECT_GE(a.at(Rational(t)), exact) << "t=" << t;
+  }
+}
+
+TEST(HorizontalDeviation, UnitRateNoLatencyIsSigma) {
+  const ArrivalCurve a{Rational(12), Rational(1, 3)};
+  const ServiceCurve beta{Rational(1), Rational(0)};
+  EXPECT_EQ(horizontal_deviation(a, beta), Rational(12));
+}
+
+TEST(HorizontalDeviation, LatencyAndRateEnter) {
+  const ArrivalCurve a{Rational(12), Rational(1, 3)};
+  const ServiceCurve beta{Rational(1, 2), Rational(5)};
+  // 5 + 12 / (1/2) = 29.
+  EXPECT_EQ(horizontal_deviation(a, beta), Rational(29));
+}
+
+TEST(BacklogBound, SigmaPlusRhoLatency) {
+  const ArrivalCurve a{Rational(12), Rational(1, 3)};
+  const ServiceCurve beta{Rational(1), Rational(6)};
+  EXPECT_EQ(backlog_bound(a, beta), Rational(14));
+}
+
+TEST(HorizontalDeviationDeathTest, RequiresStability) {
+  const ArrivalCurve a{Rational(1), Rational(2)};
+  const ServiceCurve beta{Rational(1), Rational(0)};
+  EXPECT_DEATH((void)horizontal_deviation(a, beta), "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::netcalc

@@ -1,0 +1,107 @@
+// Tests of the pay-bursts-only-once network-calculus mode.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/generators.h"
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "sim/worst_case_search.h"
+
+namespace tfa::netcalc {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+Config pboo() {
+  Config cfg;
+  cfg.mode = Mode::kPayBurstsOnlyOnce;
+  return cfg;
+}
+
+TEST(Pboo, LoneFlowBoundIsExactlyTheBestCase) {
+  FlowSet set(Network(4, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1, 2, 3}, 100, 5, 0, 1000));
+  const Result agg = analyze(set);
+  const Result once = analyze(set, pboo());
+  // PBOO: burst 5 charged once + 3 store-and-forward hops + 3 links —
+  // exactly the uncontended traversal.  Aggregate mode re-pays the
+  // (growing) burst at every hop and lands higher.
+  EXPECT_EQ(once.bounds[0].response, 5 + 3 * 5 + 3);
+  EXPECT_GT(agg.bounds[0].response, once.bounds[0].response);
+}
+
+TEST(Pboo, FiniteOnThePaperExample) {
+  // PBOO and the per-node aggregate are incomparable in general: PBOO's
+  // per-node latency charges sigma_cross/(1-rho) even where the aggregate
+  // deviation is small, but it never re-pays the flow's own burst.  On
+  // the (heavily shared) paper example the aggregate mode happens to win;
+  // both must be finite and sound.
+  const FlowSet set = model::paper_example();
+  const Result once = analyze(set, pboo());
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_FALSE(is_infinite(once.bounds[i].response)) << "tau" << i + 1;
+}
+
+TEST(Pboo, WinsOnLongLightlyLoadedChains) {
+  // An 8-hop flow with one small crossing flow: the aggregate mode
+  // re-pays the (hop-by-hop growing) burst at every node, PBOO pays it
+  // once plus the store-and-forward serialisation.
+  FlowSet set(Network(8, 1, 1));
+  set.add(SporadicFlow("long", Path{0, 1, 2, 3, 4, 5, 6, 7}, 100, 5, 0,
+                       4000));
+  set.add(SporadicFlow("cross", Path{3}, 200, 2, 0, 4000));
+  const Result agg = analyze(set);
+  const Result once = analyze(set, pboo());
+  EXPECT_LT(once.bounds[0].response, agg.bounds[0].response);
+  EXPECT_FALSE(is_infinite(once.bounds[0].response));
+}
+
+TEST(Pboo, SoundAgainstSimulationOnThePaperExample) {
+  const FlowSet set = model::paper_example();
+  const Result once = analyze(set, pboo());
+  sim::SearchConfig scfg;
+  scfg.random_runs = 32;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_LE(obs.stats[i].worst, once.bounds[i].response) << "tau" << i + 1;
+}
+
+TEST(Pboo, DivergesWhenCrossTrafficSaturates) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("probe", Path{0}, 100, 1, 0, 1000));
+  set.add(SporadicFlow("hog", Path{0}, 10, 10, 0, 1000));  // rho_cross = 1
+  const Result once = analyze(set, pboo());
+  EXPECT_TRUE(is_infinite(once.bounds[0].response));
+}
+
+/// Random sweep: PBOO stays sound and never beats the simulator.
+class RandomPboo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPboo, SoundOnRandomFamilies) {
+  Rng rng(GetParam());
+  model::RandomConfig rc;
+  rc.nodes = 9;
+  rc.flows = 6;
+  rc.max_jitter = 8;
+  rc.max_utilisation = 0.5;
+  const FlowSet set = model::make_random(rc, rng);
+
+  const Result once = analyze(set, pboo());
+  sim::SearchConfig scfg;
+  scfg.random_runs = 16;
+  scfg.base_seed = GetParam() * 3 + 7;
+  const sim::SearchOutcome obs = sim::find_worst_case(set, scfg);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (is_infinite(once.bounds[i].response)) continue;
+    EXPECT_LE(obs.stats[i].worst, once.bounds[i].response) << "flow " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPboo,
+                         ::testing::Values(81, 82, 83, 84, 85, 86, 87, 88));
+
+}  // namespace
+}  // namespace tfa::netcalc

@@ -1,0 +1,68 @@
+// Tests of the exact rational arithmetic under the network calculus.
+#include <gtest/gtest.h>
+
+#include "netcalc/rational.h"
+
+namespace tfa::netcalc {
+namespace {
+
+TEST(Rational, NormalisesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  const Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 4);
+  r += Rational(1, 4);
+  EXPECT_EQ(r, Rational(1, 2));
+  r *= Rational(4);
+  EXPECT_EQ(r, Rational(2));
+  r -= Rational(1, 2);
+  EXPECT_EQ(r, Rational(3, 2));
+  r /= Rational(3);
+  EXPECT_EQ(r, Rational(1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+}
+
+TEST(Rational, CeilAndFloor) {
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(6).ceil(), 6);
+  EXPECT_EQ(Rational(6).floor(), 6);
+}
+
+TEST(Rational, LargeIntermediateProductsStayExact) {
+  // (a/b) * (b/a) == 1 with large co-prime operands.
+  const Rational a(1'000'000'007, 998'244'353);
+  EXPECT_EQ(a * (Rational(1) / a), Rational(1));
+  // Sum of many small terms: 36 * (1/36) == 1.
+  Rational sum(0);
+  for (int i = 0; i < 36; ++i) sum += Rational(1, 36);
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(Rational, ToDoubleIsClose) {
+  EXPECT_NEAR(Rational(1, 3).to_double(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tfa::netcalc

@@ -1,0 +1,79 @@
+// Tests of the Markdown report generator.
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "report/report.h"
+
+namespace tfa::report {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(Report, PaperExampleContainsAllSections) {
+  ReportConfig cfg;
+  cfg.title = "Paper example";
+  const std::string doc = markdown_report(model::paper_example(), cfg);
+  EXPECT_NE(doc.find("# Paper example"), std::string::npos);
+  EXPECT_NE(doc.find("## Network"), std::string::npos);
+  EXPECT_NE(doc.find("## Flows"), std::string::npos);
+  EXPECT_NE(doc.find("## Certified bounds"), std::string::npos);
+  EXPECT_NE(doc.find("## Bound decompositions"), std::string::npos);
+  EXPECT_NE(doc.find("All analysed flows meet their deadlines"),
+            std::string::npos);
+  // Every flow appears with its bound.
+  for (const char* name : {"tau1", "tau2", "tau3", "tau4", "tau5"})
+    EXPECT_NE(doc.find(name), std::string::npos) << name;
+  EXPECT_NE(doc.find("| tau1 | 40 | 31 |"), std::string::npos);
+}
+
+TEST(Report, MissesAreHighlighted) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 50, 4, 0, 100));
+  set.add(SporadicFlow("tight", Path{0}, 50, 4, 0, 6));
+  const std::string doc = markdown_report(set);
+  EXPECT_NE(doc.find("**MISSES**"), std::string::npos);
+  EXPECT_NE(doc.find("At least one flow misses"), std::string::npos);
+}
+
+TEST(Report, SimulationSectionOnRequest) {
+  ReportConfig off;
+  off.include_simulation = false;
+  ReportConfig on;
+  on.include_simulation = true;
+  on.simulation_runs = 4;
+  const FlowSet set = model::paper_example();
+  EXPECT_EQ(markdown_report(set, off).find("Simulation cross-check"),
+            std::string::npos);
+  EXPECT_NE(markdown_report(set, on).find("Simulation cross-check"),
+            std::string::npos);
+}
+
+TEST(Report, LinkOverridesListed) {
+  Network net(3, 1, 2);
+  net.set_link(0, 1, 5, 9);
+  FlowSet set(net);
+  set.add(SporadicFlow("f", Path{0, 1, 2}, 100, 4, 0, 200));
+  const std::string doc = markdown_report(set);
+  EXPECT_NE(doc.find("0 -> 1: [5, 9]"), std::string::npos);
+}
+
+TEST(Report, ExplanationsCanBeDisabled) {
+  ReportConfig cfg;
+  cfg.include_explanations = false;
+  const std::string doc = markdown_report(model::paper_example(), cfg);
+  EXPECT_EQ(doc.find("Bound decompositions"), std::string::npos);
+}
+
+TEST(Report, SplitFlowsAreCalledOut) {
+  FlowSet set(Network(8, 1, 1));
+  set.add(SporadicFlow("i", Path{1, 2, 3, 4, 5}, 100, 4, 0, 400));
+  set.add(SporadicFlow("j", Path{0, 2, 6, 4, 7}, 100, 4, 0, 400));
+  const std::string doc = markdown_report(set);
+  EXPECT_NE(doc.find("Assumption-1 split"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfa::report

@@ -1,0 +1,98 @@
+// Tests of the trace busy-period statistics and the empirical validation
+// of the node-level busy-period bound (the Lemma-3 quantity the trajectory
+// sweep range is built on).
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "sim/network_sim.h"
+#include "sim/trace.h"
+
+namespace tfa::sim {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(BusyStats, LoneFlowRunsAreItsServiceTimes) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("f", Path{0}, 100, 7, 0, 1000));
+  SimConfig cfg;
+  cfg.pattern = ArrivalPattern::kSynchronousBurst;
+  cfg.record_trace = true;
+  NetworkSim s(set, cfg);
+  s.run();
+  const auto stats = busy_period_stats(s.trace(), 1);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].longest, 7);
+  EXPECT_EQ(stats[0].busy_periods,
+            static_cast<std::size_t>(s.delivered()));
+  EXPECT_EQ(stats[0].total_service, 7 * s.delivered());
+}
+
+TEST(BusyStats, BurstMergesIntoOneRun) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 200, 4, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 200, 7, 0, 1000));
+  SimConfig cfg;
+  cfg.pattern = ArrivalPattern::kSynchronousBurst;
+  cfg.record_trace = true;
+  NetworkSim s(set, cfg);
+  s.run();
+  const auto stats = busy_period_stats(s.trace(), 1);
+  EXPECT_EQ(stats[0].longest, 11);  // back-to-back burst
+}
+
+TEST(BusyStats, NodeBoundMatchesHandComputation) {
+  // Paper example, node 3: flows tau1, tau3, tau4, tau5 at cost 4 each,
+  // period 36, no jitter: B = 16.
+  const FlowSet set = model::paper_example();
+  EXPECT_EQ(node_busy_period_bound(set, 3), 16);
+  // Node 1: only tau1.
+  EXPECT_EQ(node_busy_period_bound(set, 1), 4);
+  // Node 6: only tau2.
+  EXPECT_EQ(node_busy_period_bound(set, 6), 4);
+}
+
+TEST(BusyStats, OverloadedNodeIsUnbounded) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  EXPECT_TRUE(is_infinite(node_busy_period_bound(set, 0)));
+}
+
+TEST(BusyStats, ObservedRunsNeverExceedTheBound) {
+  const FlowSet set = model::paper_example();
+  for (const auto pattern :
+       {ArrivalPattern::kSynchronousBurst, ArrivalPattern::kAdversarialJitter,
+        ArrivalPattern::kStaggered, ArrivalPattern::kRandomSporadic}) {
+    SimConfig cfg;
+    cfg.pattern = pattern;
+    cfg.record_trace = true;
+    cfg.seed = 99;
+    NetworkSim s(set, cfg);
+    s.run();
+    const auto stats =
+        busy_period_stats(s.trace(), set.network().node_count());
+    for (const NodeBusyStats& st : stats) {
+      const Duration bound = node_busy_period_bound(set, st.node);
+      if (st.busy_periods == 0) continue;
+      EXPECT_LE(st.longest, bound)
+          << "node " << st.node << " pattern " << static_cast<int>(pattern);
+    }
+  }
+}
+
+TEST(BusyStats, JitterEntersTheBound) {
+  FlowSet no_jitter(Network(1, 1, 1));
+  no_jitter.add(SporadicFlow("f", Path{0}, 10, 3, 0, 1000));
+  FlowSet with_jitter(Network(1, 1, 1));
+  with_jitter.add(SporadicFlow("f", Path{0}, 10, 3, 25, 1000));
+  EXPECT_EQ(node_busy_period_bound(no_jitter, 0), 3);
+  // Jitter 25 packs ceil((B+25)/10) releases into one busy period.
+  EXPECT_GT(node_busy_period_bound(with_jitter, 0), 3);
+}
+
+}  // namespace
+}  // namespace tfa::sim

@@ -1,0 +1,119 @@
+// Tests of the exhaustive offset-enumeration verifier and the tightness
+// evidence it provides for the trajectory bound.
+#include <gtest/gtest.h>
+
+#include "holistic/holistic.h"
+#include "sim/exhaustive.h"
+#include "trajectory/analysis.h"
+
+namespace tfa::sim {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(Exhaustive, SingleNodeBurstBoundIsTight) {
+  // Two flows, one node: the trajectory bound C_a + C_b = 11 is attained
+  // at the synchronous offsets by whichever packet loses the simultaneous-
+  // arrival tie.  Definition 1 allows either order for ties; our simulator
+  // resolves them deterministically by injection order, so flow b (second)
+  // attains the bound exactly and flow a lands within one tick of it.
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 12, 4, 0, 50));
+  set.add(SporadicFlow("b", Path{0}, 15, 7, 0, 50));
+  const ExhaustiveOutcome out = exhaustive_worst_case(set);
+  EXPECT_FALSE(out.truncated);
+  EXPECT_EQ(out.combinations, 15u);  // flow a pinned at offset 0
+
+  const trajectory::Result tr = trajectory::analyze(set);
+  EXPECT_EQ(out.stats[1].worst, tr.bounds[1].response);  // tight: 11
+  EXPECT_LE(out.stats[0].worst, tr.bounds[0].response);
+  EXPECT_GE(out.stats[0].worst, tr.bounds[0].response - 1);
+}
+
+TEST(Exhaustive, TrueWorstNeverExceedsAnyAnalyticBound) {
+  // A 3-flow, 3-node merge with co-prime-ish periods.
+  FlowSet set(Network(3, 1, 2));
+  set.add(SporadicFlow("x", Path{0, 2}, 10, 3, 0, 200));
+  set.add(SporadicFlow("y", Path{1, 2}, 14, 4, 2, 200));
+  set.add(SporadicFlow("z", Path{2}, 21, 5, 0, 200));
+  const ExhaustiveOutcome out = exhaustive_worst_case(set);
+  const trajectory::Result tr = trajectory::analyze(set);
+  const holistic::Result ho = holistic::analyze(set);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(out.stats[i].worst, tr.bounds[i].response) << "flow " << i;
+    EXPECT_LE(out.stats[i].worst, ho.bounds[i].response) << "flow " << i;
+  }
+}
+
+TEST(Exhaustive, FindsWorseCasesThanTheSynchronousPattern) {
+  // With unequal periods the synchronous release at t=0 is generally NOT
+  // the worst phasing; the enumeration must do at least as well.
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("long", Path{0, 1}, 30, 9, 0, 400));
+  set.add(SporadicFlow("short", Path{0, 1}, 11, 3, 0, 400));
+
+  SimConfig sync;
+  sync.pattern = ArrivalPattern::kSynchronousBurst;
+  NetworkSim sim(set, sync);
+  sim.run();
+
+  const ExhaustiveOutcome out = exhaustive_worst_case(set);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_GE(out.stats[i].worst, sim.stats()[i].worst);
+}
+
+TEST(Exhaustive, JitterBurstVariantExercisesReleaseJitter) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("j", Path{0}, 10, 3, 25, 500));
+  ExhaustiveConfig cfg;
+  const ExhaustiveOutcome out = exhaustive_worst_case(set, cfg);
+  // Packets generated at 0, 10, 20 all released at 25: the third one
+  // waits 6 and completes at 34 — response 14 measured from generation 20;
+  // the first one completes at 28 — response 28.
+  EXPECT_EQ(out.stats[0].worst, 28);
+  const trajectory::Result tr = trajectory::analyze(set);
+  EXPECT_LE(out.stats[0].worst, tr.bounds[0].response);
+}
+
+TEST(Exhaustive, WitnessOffsetsReproduceTheWorstCase) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("p", Path{0, 1}, 9, 2, 0, 300));
+  set.add(SporadicFlow("q", Path{1}, 13, 6, 0, 300));
+  const ExhaustiveOutcome out = exhaustive_worst_case(set);
+  ASSERT_EQ(out.witness_offsets[0].size(), 2u);
+
+  // Re-run the witness scenario (worst link mode) and confirm the value.
+  Duration best = 0;
+  for (const LinkDelayMode mode :
+       {LinkDelayMode::kAlwaysMax, LinkDelayMode::kAlwaysMin}) {
+    SimConfig sc;
+    sc.pattern = ArrivalPattern::kExplicitOffsets;
+    sc.offsets = out.witness_offsets[0];
+    sc.link_mode = mode;
+    NetworkSim sim(set, sc);
+    sim.run();
+    best = std::max(best, sim.stats()[0].worst);
+  }
+  EXPECT_EQ(best, out.stats[0].worst);
+}
+
+TEST(Exhaustive, StrideCoarseningKicksInUnderBudget) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 1000, 3, 0, 5000));
+  set.add(SporadicFlow("b", Path{0}, 1000, 3, 0, 5000));
+  set.add(SporadicFlow("c", Path{0}, 1000, 3, 0, 5000));
+  ExhaustiveConfig cfg;
+  cfg.max_combinations = 1024;  // grid would be 10^6
+  const ExhaustiveOutcome out = exhaustive_worst_case(set, cfg);
+  EXPECT_TRUE(out.truncated);
+  EXPECT_LE(out.combinations, 1024u);
+  // The burst (all offsets equal) is on every stride grid, so the bound
+  // stays tight even after coarsening.
+  EXPECT_EQ(out.stats[2].worst, 9);
+}
+
+}  // namespace
+}  // namespace tfa::sim

@@ -1,0 +1,75 @@
+// Tests of the discrete-event core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tfa::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(5, [&] { order.push_back(1); });
+  s.schedule_at(5, [&] { order.push_back(2); });
+  s.schedule_at(5, [&] { order.push_back(3); });
+  s.run_until(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator s;
+  std::vector<Time> fired;
+  std::function<void()> chain = [&] {
+    fired.push_back(s.now());
+    if (s.now() < 50) s.schedule_in(10, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_until(1000);
+  EXPECT_EQ(fired, (std::vector<Time>{0, 10, 20, 30, 40, 50}));
+}
+
+TEST(Simulator, HorizonCutsOffLaterEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(20, [&] { ++fired; });
+  s.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 15);
+  EXPECT_FALSE(s.idle());
+  s.run_until(25);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator s;
+  Time seen = -1;
+  s.schedule_at(42, [&] { seen = s.now(); });
+  s.run_until(100);
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.now(), 100);  // clamped to the horizon afterwards
+}
+
+TEST(SimulatorDeathTest, RejectsSchedulingInThePast) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.run_until(10);
+  EXPECT_DEATH(s.schedule_at(5, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::sim

@@ -1,0 +1,132 @@
+// Tests of packet tracing and the Figure-2 busy-period chain
+// reconstruction.
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "sim/network_sim.h"
+#include "sim/trace.h"
+
+namespace tfa::sim {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+SimConfig traced(ArrivalPattern p = ArrivalPattern::kSynchronousBurst) {
+  SimConfig cfg;
+  cfg.pattern = p;
+  cfg.link_mode = LinkDelayMode::kAlwaysMax;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+TEST(Trace, RecordsEveryHopWithConsistentTimestamps) {
+  FlowSet set(Network(3, 2, 2));
+  set.add(SporadicFlow("f", Path{0, 1, 2}, 100, 5, 0, 1000));
+  NetworkSim sim(set, traced());
+  sim.run();
+  const auto& records = sim.trace().records();
+  ASSERT_FALSE(records.empty());
+  // 3 hops per delivered packet.
+  EXPECT_EQ(records.size(),
+            static_cast<std::size_t>(sim.delivered()) * 3u);
+  for (const HopRecord& r : records) {
+    EXPECT_LE(r.arrival, r.start);
+    EXPECT_EQ(r.completion - r.start, 5);
+  }
+}
+
+TEST(Trace, FindAndAtNode) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1}, 100, 4, 0, 1000));
+  NetworkSim sim(set, traced());
+  sim.run();
+  const auto hop = sim.trace().find(0, 0, 1);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->position, 1u);
+  EXPECT_EQ(hop->arrival, 5);  // C + Lmax
+  const auto at1 = sim.trace().at_node(1);
+  ASSERT_FALSE(at1.empty());
+  for (std::size_t k = 1; k < at1.size(); ++k)
+    EXPECT_LE(at1[k - 1].start, at1[k].start);
+}
+
+TEST(Trace, DisabledByDefault) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1}, 100, 4, 0, 1000));
+  SimConfig cfg;
+  cfg.pattern = ArrivalPattern::kSynchronousBurst;
+  NetworkSim sim(set, cfg);
+  sim.run();
+  EXPECT_TRUE(sim.trace().records().empty());
+}
+
+TEST(BusyPeriodChain, LoneFlowChainsThroughItself) {
+  FlowSet set(Network(3, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1, 2}, 100, 5, 0, 1000));
+  NetworkSim sim(set, traced());
+  sim.run();
+  const auto chain = busy_period_chain(sim.trace(), set, 0, 0);
+  ASSERT_EQ(chain.size(), 3u);
+  // Uncontended: every busy period is opened by the packet itself.
+  for (const ChainLink& link : chain) {
+    EXPECT_EQ(link.opener.flow, 0);
+    EXPECT_EQ(link.opener.sequence, 0);
+    EXPECT_EQ(link.busy_start, link.target.start);
+  }
+  EXPECT_EQ(chain.front().node, 0);
+  EXPECT_EQ(chain.back().node, 2);
+}
+
+TEST(BusyPeriodChain, BurstOpenerIsTheFirstServedPacket) {
+  // Two flows sharing one node, synchronous burst: the second-served
+  // packet's busy period is opened by the first.
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 100, 7, 0, 1000));
+  NetworkSim sim(set, traced());
+  sim.run();
+  const auto chain = busy_period_chain(sim.trace(), set, 1, 0);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].opener.flow, 0);     // a opened the busy period
+  EXPECT_EQ(chain[0].busy_start, 0);
+  EXPECT_EQ(chain[0].target.flow, 1);
+}
+
+TEST(BusyPeriodChain, PaperExampleChainsAreWellFormed) {
+  const FlowSet set = model::paper_example();
+  NetworkSim sim(set, traced());
+  sim.run();
+  for (FlowIndex flow = 0; flow < 5; ++flow) {
+    const auto chain = busy_period_chain(sim.trace(), set, flow, 0);
+    ASSERT_FALSE(chain.empty()) << "flow " << flow;
+    // The chain covers a suffix of the path ending at the last node.
+    const auto& path = set.flow(flow).path();
+    EXPECT_EQ(chain.back().node, path.last());
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      const std::size_t pos = path.size() - chain.size() + k;
+      EXPECT_EQ(chain[k].node, path.at(pos));
+      // Openers start no later than targets; busy periods are gap-free by
+      // construction.
+      EXPECT_LE(chain[k].opener.start, chain[k].target.start);
+      EXPECT_EQ(chain[k].busy_start, chain[k].opener.start);
+    }
+    // Links are causally ordered: the upstream target completes before
+    // the downstream target starts.
+    for (std::size_t k = 1; k < chain.size(); ++k)
+      EXPECT_LE(chain[k - 1].target.completion, chain[k].target.start);
+  }
+}
+
+TEST(BusyPeriodChain, MissingPacketYieldsEmptyChain) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1}, 100, 4, 0, 1000));
+  NetworkSim sim(set, traced());
+  sim.run();
+  EXPECT_TRUE(busy_period_chain(sim.trace(), set, 0, 999999).empty());
+}
+
+}  // namespace
+}  // namespace tfa::sim

@@ -1,0 +1,70 @@
+// Tests of the adversarial worst-case search harness itself.
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "sim/worst_case_search.h"
+
+namespace tfa::sim {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+TEST(WorstCaseSearch, RunsTheWholeBattery) {
+  const FlowSet set = model::paper_example();
+  SearchConfig cfg;
+  cfg.random_runs = 10;
+  const SearchOutcome out = find_worst_case(set, cfg);
+  // 3 deterministic patterns x 2 link extremes + 10 random runs.
+  EXPECT_EQ(out.runs, 16u);
+  ASSERT_EQ(out.stats.size(), 5u);
+  for (const ResponseStats& s : out.stats) EXPECT_GT(s.completed, 0);
+}
+
+TEST(WorstCaseSearch, WitnessReproducesTheObservation) {
+  const FlowSet set = model::paper_example();
+  SearchConfig cfg;
+  cfg.random_runs = 24;
+  const SearchOutcome out = find_worst_case(set, cfg);
+
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Witness& w = out.witnesses[i];
+    SimConfig sc;
+    sc.pattern = w.pattern;
+    sc.link_mode = w.link_mode;
+    sc.seed = w.seed;
+    NetworkSim sim(set, sc);
+    sim.run();
+    EXPECT_EQ(sim.stats()[i].worst, out.stats[i].worst)
+        << "witness failed to reproduce for flow " << i;
+  }
+}
+
+TEST(WorstCaseSearch, MoreRunsNeverReduceTheWorst) {
+  const FlowSet set = model::paper_example();
+  SearchConfig small;
+  small.random_runs = 4;
+  SearchConfig big;
+  big.random_runs = 32;
+  const SearchOutcome a = find_worst_case(set, small);
+  const SearchOutcome b = find_worst_case(set, big);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    EXPECT_GE(b.stats[i].worst, a.stats[i].worst);
+}
+
+TEST(WorstCaseSearch, DeterministicForSameConfig) {
+  const FlowSet set = model::paper_example();
+  SearchConfig cfg;
+  cfg.random_runs = 8;
+  const SearchOutcome a = find_worst_case(set, cfg);
+  const SearchOutcome b = find_worst_case(set, cfg);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(a.stats[i].worst, b.stats[i].worst);
+    EXPECT_EQ(a.stats[i].completed, b.stats[i].completed);
+  }
+}
+
+}  // namespace
+}  // namespace tfa::sim

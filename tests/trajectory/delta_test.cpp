@@ -1,0 +1,128 @@
+// Unit tests of Lemma 4: the non-preemption delay delta_i an EF packet
+// accumulates from lower-priority (non-EF) traffic.
+#include <gtest/gtest.h>
+
+#include "model/path_algebra.h"
+#include "trajectory/delta.h"
+
+namespace tfa::trajectory {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::ServiceClass;
+using model::SporadicFlow;
+
+std::vector<bool> ef_mask(const FlowSet& set) {
+  std::vector<bool> mask(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i)
+    mask[i] = model::is_ef(set.flow(static_cast<FlowIndex>(i)).service_class());
+  return mask;
+}
+
+TEST(Delta, ZeroWithoutBackgroundTraffic) {
+  FlowSet set(Network(3, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 200));
+  const model::FlowSetGeometry geo(set);
+  EXPECT_EQ(non_preemption_delay(geo, 0, 3, ef_mask(set)), 0);
+}
+
+TEST(Delta, Case1BlockingAtEveryEntryNode) {
+  // One BE flow enters P_i at node 1 (not the ingress): C - 1 blocking.
+  FlowSet set(Network(4, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{3, 1}, 50, 9, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  EXPECT_EQ(non_preemption_delay(geo, 0, 3, ef_mask(set)), 9 - 1);
+}
+
+TEST(Delta, IngressBlockingRequiresSharedIngress) {
+  // BE flow crossing the EF ingress node: (C-1)^+ at the first node.
+  FlowSet set(Network(4, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{3, 0}, 50, 6, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  // first_{be,ef} = 0 = first_i: case 1 applies at the ingress.
+  EXPECT_EQ(non_preemption_delay(geo, 0, 2, ef_mask(set)), 6 - 1);
+}
+
+TEST(Delta, Case2ReverseDirectionBlocksPerNode) {
+  // BE flow traverses two shared nodes in the opposite direction: each
+  // visit can block a fresh (C-1).
+  FlowSet set(Network(6, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1, 2, 3}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{4, 2, 1, 5}, 50, 7, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  // Entry of be into P_ef is node 2 (case 1 there), node 1 is case 2.
+  EXPECT_EQ(non_preemption_delay(geo, 0, 4, ef_mask(set)), (7 - 1) + (7 - 1));
+}
+
+TEST(Delta, Case3SameDirectionResidualOnly) {
+  // BE flow travelling *with* the EF flow: after the entry node, only the
+  // residual C_be - C_ef^{pre} + Lmax - Lmin can block.
+  FlowSet set(Network(5, 1, 1));  // Lmax == Lmin -> slack 0
+  set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{0, 1, 2}, 50, 6, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  // Ingress: case 1 => 5.  Nodes 1, 2: case 3 => (6 - 4 + 0)^+ = 2 each.
+  EXPECT_EQ(non_preemption_delay(geo, 0, 3, ef_mask(set)), 5 + 2 + 2);
+}
+
+TEST(Delta, Case3ClampsToZeroWhenResidualNegative) {
+  FlowSet set(Network(5, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 8, 0, 200));
+  set.add(SporadicFlow("be", Path{0, 1, 2}, 50, 3, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  // Ingress: 3-1 = 2.  Later nodes: (3 - 8 + 0)^+ = 0.
+  EXPECT_EQ(non_preemption_delay(geo, 0, 3, ef_mask(set)), 2);
+}
+
+TEST(Delta, LinkSlackEntersCase3) {
+  FlowSet set(Network(5, 1, 4));  // Lmax - Lmin = 3
+  set.add(SporadicFlow("ef", Path{0, 1}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{0, 1}, 50, 4, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  // Ingress: 3.  Node 1: (4 - 4 + 3)^+ = 3.
+  EXPECT_EQ(non_preemption_delay(geo, 0, 2, ef_mask(set)), 6);
+}
+
+TEST(Delta, WorstOfSeveralBackgroundFlowsPerNode) {
+  FlowSet set(Network(6, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be1", Path{4, 1}, 50, 5, 0, 200,
+                       ServiceClass::kBestEffort));
+  set.add(SporadicFlow("af", Path{5, 1}, 50, 9, 0, 200,
+                       ServiceClass::kAssured2));
+  const model::FlowSetGeometry geo(set);
+  // Only the worst blocker counts at node 1: max(5, 9) - 1.
+  EXPECT_EQ(non_preemption_delay(geo, 0, 2, ef_mask(set)), 8);
+}
+
+TEST(Delta, PrefixTruncationDropsDownstreamBlocking) {
+  FlowSet set(Network(6, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{5, 2}, 50, 9, 0, 200,
+                       ServiceClass::kBestEffort));
+  const model::FlowSetGeometry geo(set);
+  const auto mask = ef_mask(set);
+  EXPECT_EQ(non_preemption_delay(geo, 0, 3, mask), 8);  // blocker at node 2
+  EXPECT_EQ(non_preemption_delay(geo, 0, 2, mask), 0);  // truncated away
+}
+
+TEST(Delta, OtherEfFlowsNeverBlock) {
+  FlowSet set(Network(4, 1, 1));
+  set.add(SporadicFlow("ef1", Path{0, 1}, 50, 4, 0, 200));
+  set.add(SporadicFlow("ef2", Path{3, 1}, 50, 9, 0, 200));
+  const model::FlowSetGeometry geo(set);
+  EXPECT_EQ(non_preemption_delay(geo, 0, 2, ef_mask(set)), 0);
+}
+
+}  // namespace
+}  // namespace tfa::trajectory

@@ -1,0 +1,117 @@
+// Tests of the EF-class analysis (Property 3): EF flows analysed FIFO
+// among themselves, background AF/BE traffic contributing only the
+// non-preemption delay.
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+#include "trajectory/analysis.h"
+
+namespace tfa::trajectory {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::ServiceClass;
+using model::SporadicFlow;
+
+Config ef_config() {
+  Config cfg;
+  cfg.ef_mode = true;
+  return cfg;
+}
+
+TEST(EfAnalysis, PureEfSetMatchesProperty2) {
+  // With no background traffic Property 3 degenerates to Property 2.
+  const FlowSet set = model::paper_example();  // all flows default to EF
+  const Result p2 = analyze(set);
+  const Result p3 = analyze(set, ef_config());
+  ASSERT_EQ(p2.bounds.size(), p3.bounds.size());
+  for (std::size_t i = 0; i < p2.bounds.size(); ++i) {
+    EXPECT_EQ(p3.bounds[i].response, p2.bounds[i].response);
+    EXPECT_EQ(p3.bounds[i].delta, 0);
+  }
+}
+
+TEST(EfAnalysis, OnlyEfFlowsAreReported) {
+  FlowSet set(Network(4, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1}, 50, 4, 0, 200));
+  set.add(SporadicFlow("be", Path{0, 1}, 50, 4, 0, 200,
+                       ServiceClass::kBestEffort));
+  const Result r = analyze(set, ef_config());
+  ASSERT_EQ(r.bounds.size(), 1u);
+  EXPECT_EQ(r.bounds[0].flow, 0);
+  EXPECT_EQ(r.find(1), nullptr);
+}
+
+TEST(EfAnalysis, BackgroundTrafficAddsExactlyDelta) {
+  FlowSet with_bg(Network(4, 1, 1));
+  with_bg.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 200));
+  with_bg.add(SporadicFlow("be", Path{3, 1}, 50, 9, 0, 200,
+                           ServiceClass::kBestEffort));
+
+  FlowSet without_bg(Network(4, 1, 1));
+  without_bg.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 200));
+
+  const Result with = analyze(with_bg, ef_config());
+  const Result without = analyze(without_bg, ef_config());
+  ASSERT_EQ(with.bounds.size(), 1u);
+  EXPECT_EQ(with.bounds[0].delta, 8);  // (9-1) at node 1
+  EXPECT_EQ(with.bounds[0].response,
+            without.bounds[0].response + with.bounds[0].delta);
+}
+
+TEST(EfAnalysis, BackgroundDoesNotEnterFifoInterference) {
+  // A heavy BE flow sharing the whole path adds only its per-node residual
+  // blocking, not full FIFO interference: the EF bound must stay far below
+  // the Property-2 bound of the same set analysed as one FIFO class.
+  FlowSet set(Network(3, 1, 1));
+  set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 500));
+  set.add(SporadicFlow("bulk", Path{0, 1, 2}, 50, 20, 0, 500,
+                       ServiceClass::kBestEffort));
+
+  const Result p3 = analyze(set, ef_config());
+  ASSERT_EQ(p3.bounds.size(), 1u);
+
+  FlowSet as_fifo(Network(3, 1, 1));
+  as_fifo.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 500));
+  as_fifo.add(SporadicFlow("bulk", Path{0, 1, 2}, 50, 20, 0, 500));
+  const Result p2 = analyze(as_fifo);
+
+  EXPECT_LT(p3.bounds[0].response, p2.bounds[0].response);
+}
+
+TEST(EfAnalysis, DeltaGrowsWithBackgroundPacketSize) {
+  auto bound_with_bulk = [](Duration bulk_cost) {
+    FlowSet set(Network(3, 1, 1));
+    set.add(SporadicFlow("ef", Path{0, 1, 2}, 50, 4, 0, 500));
+    set.add(SporadicFlow("bulk", Path{0, 1, 2}, 200, bulk_cost, 0, 4000,
+                         ServiceClass::kBestEffort));
+    const Result r = analyze(set, ef_config());
+    return r.bounds[0].response;
+  };
+  Duration prev = bound_with_bulk(2);
+  for (const Duration c : {6, 10, 20, 40}) {
+    const Duration next = bound_with_bulk(c);
+    EXPECT_GE(next, prev);
+    prev = next;
+  }
+}
+
+TEST(EfAnalysis, MultipleEfFlowsPlusBackground) {
+  FlowSet set(Network(5, 1, 1));
+  set.add(SporadicFlow("voice1", Path{0, 1, 2}, 100, 2, 1, 300));
+  set.add(SporadicFlow("voice2", Path{3, 1, 2}, 100, 2, 1, 300));
+  set.add(SporadicFlow("bulk", Path{0, 1, 2, 4}, 400, 12, 0, 4000,
+                       ServiceClass::kBestEffort));
+  const Result r = analyze(set, ef_config());
+  ASSERT_EQ(r.bounds.size(), 2u);
+  EXPECT_TRUE(r.converged);
+  for (const auto& b : r.bounds) {
+    EXPECT_GT(b.delta, 0);
+    EXPECT_TRUE(b.schedulable);
+  }
+}
+
+}  // namespace
+}  // namespace tfa::trajectory
