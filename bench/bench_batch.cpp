@@ -1,0 +1,151 @@
+// Experiment: cost of the batch / incremental analysis front end
+// (trajectory/batch.h) on an admission-control-sized workload.
+//
+// Three comparisons on one generated ~200-flow set:
+//   1. sequential vs. parallel engine (Config::workers = 1 vs. hardware):
+//      identical bounds, wall-time speedup scales with real cores;
+//   2. from-scratch vs. warm-started re-analysis after adding one flow:
+//      the warm start must converge in strictly fewer Smax passes;
+//   3. analyze_many() fan-out over independent sets.
+//
+// Prints the EngineStats of every run.  Wall times depend on the host;
+// the pass/test-point counters are deterministic (docs/performance.md).
+#include <chrono>
+#include <cstdio>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/table.h"
+#include "model/generators.h"
+#include "trajectory/analysis.h"
+#include "trajectory/batch.h"
+
+namespace {
+
+using namespace tfa;
+
+model::FlowSet make_workload(std::uint64_t seed, std::int32_t flows) {
+  Rng rng(seed);
+  model::RandomConfig cfg;
+  cfg.nodes = 48;
+  cfg.flows = flows;
+  cfg.min_path = 2;
+  cfg.max_path = 4;
+  cfg.max_jitter = 8;
+  cfg.max_utilisation = 0.5;
+  return model::make_random(cfg, rng);
+}
+
+double run_ms(const model::FlowSet& set, const trajectory::Config& cfg,
+              trajectory::Result* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = trajectory::analyze(set, cfg);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool same_bounds(const trajectory::Result& a, const trajectory::Result& b) {
+  if (a.bounds.size() != b.bounds.size()) return false;
+  for (std::size_t i = 0; i < a.bounds.size(); ++i)
+    if (a.bounds[i].response != b.bounds[i].response) return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const model::FlowSet set = make_workload(/*seed=*/7, /*flows=*/200);
+  std::printf("workload: %zu flows, %d nodes, peak utilisation %.2f\n\n",
+              set.size(), set.network().node_count(),
+              set.max_node_utilisation());
+
+  // ---- 1. sequential vs. parallel engine.
+  const std::size_t hw = default_worker_count();
+  const std::size_t parallel_workers = hw < 4 ? 4 : hw;
+  trajectory::Config seq_cfg;
+  seq_cfg.workers = 1;
+  trajectory::Config par_cfg;
+  par_cfg.workers = parallel_workers;
+
+  trajectory::Result seq, par;
+  const double seq_ms = run_ms(set, seq_cfg, &seq);
+  const double par_ms = run_ms(set, par_cfg, &par);
+
+  TextTable t({"run", "wall ms", "passes", "test points", "speedup"});
+  t.add_row({"sequential (1 worker)", format_fixed(seq_ms, 1),
+             std::to_string(seq.stats.smax_passes),
+             std::to_string(seq.stats.test_points), "1.00"});
+  t.add_row({"parallel (" + std::to_string(parallel_workers) + " workers)",
+             format_fixed(par_ms, 1), std::to_string(par.stats.smax_passes),
+             std::to_string(par.stats.test_points),
+             format_fixed(seq_ms / par_ms, 2)});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("bounds identical: %s (hardware threads: %zu)\n\n",
+              same_bounds(seq, par) ? "yes" : "NO — BUG",
+              hw);
+
+  // ---- 2. incremental re-analysis after one flow add.
+  trajectory::AnalysisCache cache;
+  const trajectory::Result base =
+      trajectory::reanalyze_with(set, cache, seq_cfg);
+
+  model::FlowSet grown = set;
+  grown.add(model::SporadicFlow("newcomer", model::Path{0, 1, 2}, 500, 2, 0,
+                                100000));
+
+  const auto warm_start = std::chrono::steady_clock::now();
+  const trajectory::Result warm =
+      trajectory::reanalyze_with(grown, cache, seq_cfg);
+  const double warm_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - warm_start)
+                             .count();
+  trajectory::Result cold;
+  const double cold_ms = run_ms(grown, seq_cfg, &cold);
+
+  TextTable t2({"run", "wall ms", "passes", "cache hits", "warm entries"});
+  t2.add_row({"from scratch", format_fixed(cold_ms, 1),
+              std::to_string(cold.stats.smax_passes), "0", "0"});
+  t2.add_row({"warm start", format_fixed(warm_ms, 1),
+              std::to_string(warm.stats.smax_passes),
+              std::to_string(warm.stats.cache_hits),
+              std::to_string(warm.stats.warm_seeded_entries)});
+  std::printf("%s", t2.to_string().c_str());
+  const bool fewer = warm.stats.smax_passes < cold.stats.smax_passes;
+  std::printf("bounds identical: %s; warm start saved %zu of %zu passes%s\n\n",
+              same_bounds(warm, cold) ? "yes" : "NO — BUG",
+              cold.stats.smax_passes - warm.stats.smax_passes,
+              cold.stats.smax_passes,
+              fewer ? "" : " (EXPECTED STRICTLY FEWER — BUG)");
+
+  // ---- 3. fan-out over independent sets.
+  std::vector<model::FlowSet> fleet;
+  for (std::uint64_t s = 0; s < 16; ++s)
+    fleet.push_back(make_workload(100 + s, 48));
+
+  const auto seq_fleet_start = std::chrono::steady_clock::now();
+  const auto fleet_seq = trajectory::analyze_many(fleet, {}, 1);
+  const double fleet_seq_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - seq_fleet_start)
+          .count();
+  const auto par_fleet_start = std::chrono::steady_clock::now();
+  const auto fleet_par =
+      trajectory::analyze_many(fleet, {}, parallel_workers);
+  const double fleet_par_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - par_fleet_start)
+          .count();
+  bool fleet_same = true;
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    fleet_same = fleet_same && same_bounds(fleet_seq[i], fleet_par[i]);
+  std::printf(
+      "analyze_many over %zu sets: %.1f ms sequential, %.1f ms at %zu "
+      "workers (speedup %.2f, results identical: %s)\n",
+      fleet.size(), fleet_seq_ms, fleet_par_ms, parallel_workers,
+      fleet_seq_ms / fleet_par_ms, fleet_same ? "yes" : "NO — BUG");
+
+  const bool ok = same_bounds(seq, par) && same_bounds(warm, cold) && fewer &&
+                  fleet_same && base.converged;
+  return ok ? 0 : 1;
+}

@@ -6,6 +6,10 @@
 //   tfa_tool admit    <flowset.txt>            replay flows through admission
 //   tfa_tool generate <seed> [flows] [nodes]   emit a random set (text format)
 //
+// `analyze` and `admit` accept a trailing `--stats` flag that appends the
+// run's EngineStats (fixed-point passes, test points, wall time per phase,
+// cache hits — see docs/performance.md).
+//
 // Run without arguments for this usage text; every subcommand exits 0 on
 // success, 1 on a negative verdict, 2 on usage/parse errors.
 #include <cstdio>
@@ -30,7 +34,8 @@ using namespace tfa;
 int usage() {
   std::fprintf(stderr,
                "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
-               "       tfa_tool generate <seed> [flows] [nodes]\n");
+               "       tfa_tool generate <seed> [flows] [nodes]\n"
+               "       (analyze/admit take --stats to print analysis cost)\n");
   return 2;
 }
 
@@ -52,7 +57,7 @@ bool load(const char* path, model::FlowSet& out) {
   return true;
 }
 
-int cmd_analyze(const model::FlowSet& set) {
+int cmd_analyze(const model::FlowSet& set, bool with_stats) {
   const trajectory::Result r = trajectory::analyze(set);
   TextTable t({"flow", "deadline", "bound", "jitter", "verdict"});
   for (const auto& b : r.bounds) {
@@ -62,6 +67,7 @@ int cmd_analyze(const model::FlowSet& set) {
                b.schedulable ? "meets" : "MISSES"});
   }
   std::printf("%s", t.to_string().c_str());
+  if (with_stats) std::printf("\n%s", report::stats_text(r.stats).c_str());
   return r.all_schedulable ? 0 : 1;
 }
 
@@ -107,7 +113,7 @@ int cmd_simulate(const model::FlowSet& set, std::size_t runs) {
   return sound ? 0 : 1;
 }
 
-int cmd_admit(const model::FlowSet& set) {
+int cmd_admit(const model::FlowSet& set, bool with_stats) {
   admission::AdmissionController ctrl(set.network());
   int rejected = 0;
   for (const auto& f : set.flows()) {
@@ -119,6 +125,10 @@ int cmd_admit(const model::FlowSet& set) {
   }
   std::printf("%zu admitted, %d rejected\n", ctrl.admitted().size(),
               rejected);
+  // Stats of the final request: a warm-started incremental re-analysis
+  // whenever the previous request was admitted.
+  if (with_stats)
+    std::printf("\n%s", report::stats_text(ctrl.last_stats()).c_str());
   return rejected == 0 ? 0 : 1;
 }
 
@@ -138,6 +148,17 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
+  // A trailing --stats anywhere after the subcommand enables the
+  // EngineStats dump (analyze/admit).
+  bool with_stats = false;
+  for (int a = argc - 1; a >= 2; --a) {
+    if (std::string(argv[a]) == "--stats") {
+      with_stats = true;
+      for (int b = a; b + 1 < argc; ++b) argv[b] = argv[b + 1];
+      --argc;
+    }
+  }
+
   if (cmd == "generate") {
     if (argc < 3) return usage();
     const auto seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
@@ -156,12 +177,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (cmd == "analyze") return cmd_analyze(set);
+  if (cmd == "analyze") return cmd_analyze(set, with_stats);
   if (cmd == "report") return cmd_report(set, argc > 3 ? argv[3] : nullptr);
   if (cmd == "simulate")
     return cmd_simulate(set, argc > 3
                                  ? static_cast<std::size_t>(std::atoi(argv[3]))
                                  : 32);
-  if (cmd == "admit") return cmd_admit(set);
+  if (cmd == "admit") return cmd_admit(set, with_stats);
   return usage();
 }

@@ -95,7 +95,7 @@ AdmissionController::certified_bounds() const {
 bool AdmissionController::schedulable(const model::FlowSet& candidate,
                                       std::vector<std::string>* violating,
                                       Duration* newcomer_bound,
-                                      std::string_view newcomer) const {
+                                      std::string_view newcomer) {
   TFA_EXPECTS(violating != nullptr && newcomer_bound != nullptr);
 
   auto harvest = [&](const auto& bounds, bool converged) {
@@ -114,8 +114,13 @@ bool AdmissionController::schedulable(const model::FlowSet& candidate,
   switch (kind_) {
     case AnalysisKind::kTrajectory:
     case AnalysisKind::kTrajectoryEf: {
+      // Incremental API: in the common admit sequence the candidate set
+      // extends the previously analysed one by the newcomer, so the Smax
+      // fixed point warm-starts from the cached table instead of from the
+      // cold seed (trajectory/batch.h).
       const trajectory::Result r =
-          trajectory::analyze(candidate, trajectory_cfg_);
+          trajectory::reanalyze_with(candidate, cache_, trajectory_cfg_);
+      last_stats_ = r.stats;
       return harvest(r.bounds, r.converged);
     }
     case AnalysisKind::kHolistic: {

@@ -13,6 +13,7 @@
 
 #include "base/types.h"
 #include "model/flow_set.h"
+#include "trajectory/batch.h"
 #include "trajectory/types.h"
 
 namespace tfa::admission {
@@ -61,15 +62,30 @@ class AdmissionController {
   [[nodiscard]] std::vector<std::pair<std::string, Duration>>
   certified_bounds() const;
 
+  /// Instrumentation of the most recent admission analysis (trajectory
+  /// backends only; zeroes otherwise).  In a steady admit sequence the
+  /// controller warm-starts each request from the previous run's
+  /// AnalysisCache, which shows up here as cache hits and a reduced
+  /// smax_passes count.
+  [[nodiscard]] const trajectory::EngineStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+
  private:
   [[nodiscard]] bool schedulable(const model::FlowSet& candidate,
                                  std::vector<std::string>* violating,
                                  Duration* newcomer_bound,
-                                 std::string_view newcomer) const;
+                                 std::string_view newcomer);
 
   model::FlowSet set_;
   AnalysisKind kind_;
   trajectory::Config trajectory_cfg_;
+  /// Memoized Smax state of the last trajectory analysis.  Always updated
+  /// to the last analysed candidate; reanalyze_with()'s validity check
+  /// makes a stale cache (rejected candidate, released flow) fall back to
+  /// a cold start rather than an unsound warm one.
+  trajectory::AnalysisCache cache_;
+  trajectory::EngineStats last_stats_;
 };
 
 }  // namespace tfa::admission

@@ -16,6 +16,15 @@ namespace tfa::detail {
   std::abort();
 }
 
+[[noreturn]] inline void contract_failure_msg(const char* kind,
+                                              const char* expr,
+                                              const char* message,
+                                              const char* file, int line) {
+  std::fprintf(stderr, "tfa: %s violated: (%s) at %s:%d: %s\n", kind, expr,
+               file, line, message);
+  std::abort();
+}
+
 }  // namespace tfa::detail
 
 /// Precondition check.
@@ -23,6 +32,14 @@ namespace tfa::detail {
   ((cond) ? static_cast<void>(0)                                           \
           : ::tfa::detail::contract_failure("precondition", #cond,         \
                                             __FILE__, __LINE__))
+
+/// Precondition check with an explanatory message; `msg` is a const char*
+/// evaluated only on failure (so e.g. `issues.front().message.c_str()` is
+/// fine as long as the owner outlives the check site).
+#define TFA_EXPECTS_MSG(cond, msg)                                         \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::tfa::detail::contract_failure_msg("precondition", #cond,     \
+                                                (msg), __FILE__, __LINE__))
 
 /// Postcondition check.
 #define TFA_ENSURES(cond)                                                  \

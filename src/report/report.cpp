@@ -1,6 +1,8 @@
 #include "report/report.h"
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "base/contracts.h"
 #include "base/table.h"
@@ -27,7 +29,35 @@ void markdown_rule(std::ostringstream& out, std::size_t arity) {
   out << '\n';
 }
 
+/// (label, value) rows of the stats table — one source for the Markdown
+/// section and the plain-text rendering.
+std::vector<std::pair<std::string, std::string>> stats_rows(
+    const trajectory::EngineStats& st) {
+  const auto ms = [](std::int64_t ns) {
+    return format_fixed(static_cast<double>(ns) / 1e6, 2) + " ms";
+  };
+  return {
+      {"Smax fixed-point passes", std::to_string(st.smax_passes)},
+      {"prefix bounds evaluated", std::to_string(st.prefix_bounds)},
+      {"test points evaluated", std::to_string(st.test_points)},
+      {"busy-period iterations", std::to_string(st.busy_period_iterations)},
+      {"warm-seeded Smax entries", std::to_string(st.warm_seeded_entries)},
+      {"cache hits / misses", std::to_string(st.cache_hits) + " / " +
+                                 std::to_string(st.cache_misses)},
+      {"fixed-point wall time", ms(st.fixed_point_ns)},
+      {"bound-extraction wall time", ms(st.extract_ns)},
+      {"worker threads", std::to_string(st.workers)},
+  };
+}
+
 }  // namespace
+
+std::string stats_text(const trajectory::EngineStats& stats) {
+  TextTable t({"metric", "value"});
+  for (const auto& [label, value] : stats_rows(stats))
+    t.add_row({label, value});
+  return t.to_string();
+}
 
 std::string markdown_report(const model::FlowSet& set,
                             const ReportConfig& cfg) {
@@ -97,6 +127,16 @@ std::string markdown_report(const model::FlowSet& set,
     out << "_(" << traj.split_count
         << " Assumption-1 split(s) were applied; affected flows carry "
            "composed bounds.)_\n\n";
+
+  // ---- Analysis cost (EngineStats).
+  if (cfg.include_stats) {
+    out << "## Analysis cost\n\n";
+    markdown_row(out, {"metric", "value"});
+    markdown_rule(out, 2);
+    for (const auto& [label, value] : stats_rows(traj.stats))
+      markdown_row(out, {label, value});
+    out << '\n';
+  }
 
   // ---- Optional simulation cross-check.
   if (cfg.include_simulation) {

@@ -20,11 +20,17 @@ struct ReportConfig {
   bool include_explanations = true;   ///< Per-flow bound decomposition.
   bool include_simulation = false;    ///< Run the adversarial search and
                                       ///< report observed worst cases.
+  bool include_stats = true;          ///< "Analysis cost" section
+                                      ///< (EngineStats of the run).
   std::size_t simulation_runs = 16;   ///< Random scenarios when enabled.
 };
 
 /// Renders the full Markdown document.
 [[nodiscard]] std::string markdown_report(const model::FlowSet& set,
                                           const ReportConfig& cfg = {});
+
+/// Renders EngineStats as a plain-text table (the `tfa_tool --stats`
+/// output; the Markdown report embeds the same rows).
+[[nodiscard]] std::string stats_text(const trajectory::EngineStats& stats);
 
 }  // namespace tfa::report

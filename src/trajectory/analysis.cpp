@@ -8,14 +8,10 @@
 
 namespace tfa::trajectory {
 
-Result analyze(const model::FlowSet& set, const Config& cfg) {
-  TFA_EXPECTS(!set.empty());
-  TFA_EXPECTS(set.validate().empty());
+namespace detail {
 
-  const model::NormalisationReport norm =
-      model::normalise(set, cfg.split_jitter);
-  const Engine engine(norm.flow_set, cfg);
-
+Result compose(const model::FlowSet& set, const Config& cfg,
+               const model::NormalisationReport& norm, const Engine& engine) {
   Result result;
   result.converged = engine.converged();
   result.smax_iterations = engine.iterations();
@@ -80,6 +76,26 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
   }
 
   result.all_schedulable = all_ok && !result.bounds.empty();
+  return result;
+}
+
+}  // namespace detail
+
+Result analyze(const model::FlowSet& set, const Config& cfg) {
+  TFA_EXPECTS(!set.empty());
+  const auto issues = set.validate();
+  TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
+
+  const model::NormalisationReport norm =
+      model::normalise(set, cfg.split_jitter);
+
+  EngineStats stats;
+  EngineOptions opts;
+  opts.stats = &stats;
+  const Engine engine(norm.flow_set, cfg, opts);
+
+  Result result = detail::compose(set, cfg, norm, engine);
+  result.stats = stats;
   return result;
 }
 

@@ -26,4 +26,17 @@ namespace tfa::trajectory {
 [[nodiscard]] Duration response_bound(const model::FlowSet& set, FlowIndex i,
                                       const Config& cfg = {});
 
+class Engine;
+
+namespace detail {
+
+/// Maps a finished engine's per-segment bounds back onto the original
+/// set's flows (composing Assumption-1 splits).  Shared by analyze() and
+/// the batch driver (trajectory/batch.h); not part of the public API.
+[[nodiscard]] Result compose(const model::FlowSet& set, const Config& cfg,
+                             const model::NormalisationReport& norm,
+                             const Engine& engine);
+
+}  // namespace detail
+
 }  // namespace tfa::trajectory

@@ -1,0 +1,198 @@
+#include "trajectory/batch.h"
+
+#include <utility>
+
+#include "base/contracts.h"
+#include "base/parallel.h"
+#include "model/normalize.h"
+#include "trajectory/analysis.h"
+#include "trajectory/engine.h"
+
+namespace tfa::trajectory {
+
+namespace {
+
+/// FNV-1a over the mixed-in words; enough to detect accidental reuse of a
+/// cache against a different problem (not a cryptographic guarantee).
+class Fnv {
+ public:
+  void mix(std::uint64_t word) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (word >> (byte * 8)) & 0xffu;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+
+  void mix(const std::string& s) noexcept {
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ull;
+    }
+    mix(s.size());
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Identity of one (normalised) flow as far as the Smax fixed point is
+/// concerned: route, per-position costs, period, jitter, class.  The
+/// deadline is deliberately excluded — it only affects verdicts, never
+/// the table, so a deadline-only change keeps warm starts sound.
+std::uint64_t flow_fingerprint(const model::SporadicFlow& f) {
+  Fnv h;
+  h.mix(f.name());
+  for (const NodeId node : f.path().nodes()) h.mix(static_cast<std::uint64_t>(node));
+  for (const Duration c : f.costs()) h.mix(static_cast<std::uint64_t>(c));
+  h.mix(static_cast<std::uint64_t>(f.period()));
+  h.mix(static_cast<std::uint64_t>(f.jitter()));
+  h.mix(static_cast<std::uint64_t>(f.service_class()));
+  return h.value();
+}
+
+/// Everything besides the flows that shapes the fixed point: the network
+/// and the analysis configuration (workers excluded — it never changes
+/// the result).
+std::uint64_t context_fingerprint(const model::Network& net,
+                                  const Config& cfg) {
+  Fnv h;
+  h.mix(static_cast<std::uint64_t>(net.node_count()));
+  h.mix(static_cast<std::uint64_t>(net.lmin()));
+  h.mix(static_cast<std::uint64_t>(net.lmax()));
+  for (const auto& [link, bounds] : net.link_overrides()) {
+    h.mix(static_cast<std::uint64_t>(link.first));
+    h.mix(static_cast<std::uint64_t>(link.second));
+    h.mix(static_cast<std::uint64_t>(bounds.first));
+    h.mix(static_cast<std::uint64_t>(bounds.second));
+  }
+  h.mix(static_cast<std::uint64_t>(cfg.smax_semantics));
+  h.mix(static_cast<std::uint64_t>(cfg.ef_mode));
+  h.mix(static_cast<std::uint64_t>(cfg.split_jitter));
+  h.mix(static_cast<std::uint64_t>(cfg.divergence_ceiling));
+  h.mix(cfg.max_smax_iterations);
+  h.mix(static_cast<std::uint64_t>(cfg.exhaustive_sweep_limit));
+  return h.value();
+}
+
+/// Whether `flow` belongs to the analysed FIFO aggregate under `cfg`
+/// (mirrors the engine's default roles: everyone in Property 2, EF flows
+/// only in Property 3).
+bool analysable_under(const model::SporadicFlow& flow, const Config& cfg) {
+  return !cfg.ef_mode || model::is_ef(flow.service_class());
+}
+
+}  // namespace
+
+Duration AnalysisCache::busy_period(const std::string& name) const {
+  const auto it = rows_.find(name);
+  return it == rows_.end() ? kInfiniteDuration : it->second.busy_period;
+}
+
+void AnalysisCache::clear() {
+  rows_.clear();
+  context_ = 0;
+}
+
+Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
+                      const Config& cfg) {
+  TFA_EXPECTS(!set.empty());
+  const auto issues = set.validate();
+  TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
+
+  const model::NormalisationReport norm =
+      model::normalise(set, cfg.split_jitter);
+  const model::FlowSet& fs = norm.flow_set;
+  const std::size_t n = fs.size();
+  const std::uint64_t context = context_fingerprint(set.network(), cfg);
+
+  EngineStats stats;
+
+  // ---- Warm-start validity: every cached row must correspond to an
+  // unchanged flow of the new normalised set, i.e. the cached run covered
+  // a SUBSET of the new flows under the same network/config.  Then the
+  // cached table underestimates the new least fixed point (adding flows
+  // only adds interference) and remains a pre-fixed point — the
+  // monotonicity argument in docs/math.md.  A removal or modification
+  // breaks the subset relation, so the whole cache is discarded.
+  bool warm = !cache.rows_.empty() && cache.context_ == context;
+  if (warm) {
+    for (const auto& [name, row] : cache.rows_) {
+      const auto idx = fs.find(name);
+      if (!idx || flow_fingerprint(fs.flow(*idx)) != row.fingerprint) {
+        warm = false;
+        break;
+      }
+    }
+  }
+
+  // Seed rows resolved up front so the engine's hook is just a lookup.
+  std::vector<const std::vector<Duration>*> seed(n, nullptr);
+  EngineOptions opts;
+  opts.stats = &stats;
+  if (warm) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const model::SporadicFlow& f = fs.flow(static_cast<FlowIndex>(i));
+      if (!analysable_under(f, cfg)) continue;
+      const auto it = cache.rows_.find(f.name());
+      if (it != cache.rows_.end() && !it->second.smax.empty()) {
+        TFA_ASSERT(it->second.smax.size() == f.path().size());
+        seed[i] = &it->second.smax;
+        ++stats.cache_hits;
+      } else {
+        ++stats.cache_misses;  // newly added flow: cold row
+      }
+    }
+    opts.warm_seed = [&seed](FlowIndex i, std::size_t pos) {
+      const auto* row = seed[static_cast<std::size_t>(i)];
+      return row != nullptr ? (*row)[pos] : Duration{-1};
+    };
+  } else if (!cache.rows_.empty()) {
+    // Invalidated: every analysable flow restarts from the cold seed.
+    for (std::size_t i = 0; i < n; ++i)
+      if (analysable_under(fs.flow(static_cast<FlowIndex>(i)), cfg))
+        ++stats.cache_misses;
+  }
+
+  const Engine engine(fs, cfg, opts);
+
+  // ---- Refresh the cache with this run's state.  Unconverged tables are
+  // cached too: every Kleene iterate from a pre-fixed point is itself a
+  // pre-fixed point, so they stay sound warm seeds.  Background flows (EF
+  // mode) carry no Smax row but ARE fingerprinted — their removal lowers
+  // the delta term, so it must invalidate the cache like any other
+  // removal.
+  cache.rows_.clear();
+  cache.context_ = context;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    const model::SporadicFlow& f = fs.flow(fi);
+    AnalysisCache::Row row;
+    row.fingerprint = flow_fingerprint(f);
+    if (engine.analysable(fi)) {
+      row.smax.reserve(f.path().size());
+      for (std::size_t k = 0; k < f.path().size(); ++k)
+        row.smax.push_back(engine.smax(fi, k));
+      row.busy_period = engine.bound(fi).busy_period;
+    }
+    cache.rows_.emplace(f.name(), std::move(row));
+  }
+
+  Result result = detail::compose(set, cfg, norm, engine);
+  result.stats = stats;
+  return result;
+}
+
+std::vector<Result> analyze_many(const std::vector<model::FlowSet>& sets,
+                                 const Config& cfg, std::size_t workers) {
+  Config per_set = cfg;
+  per_set.workers = 1;  // the fan-out is the parallelism
+  std::vector<Result> out(sets.size());
+  parallel_for(
+      sets.size(), [&](std::size_t i) { out[i] = analyze(sets[i], per_set); },
+      workers);
+  return out;
+}
+
+}  // namespace tfa::trajectory

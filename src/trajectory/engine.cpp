@@ -1,10 +1,13 @@
 #include "trajectory/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "base/contracts.h"
 #include "base/fixed_point.h"
 #include "base/math.h"
+#include "base/parallel.h"
 #include "model/normalize.h"
 #include "trajectory/delta.h"
 
@@ -46,12 +49,32 @@ EngineRoles default_roles(const model::FlowSet& set, const Config& cfg) {
 
 }  // namespace
 
+namespace {
+
+[[nodiscard]] std::int64_t elapsed_ns(
+    std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 Engine::Engine(const model::FlowSet& set, const Config& cfg)
-    : Engine(set, cfg, default_roles(set, cfg)) {}
+    : Engine(set, cfg, default_roles(set, cfg), EngineOptions{}) {}
+
+Engine::Engine(const model::FlowSet& set, const Config& cfg,
+               const EngineOptions& opts)
+    : Engine(set, cfg, default_roles(set, cfg), opts) {}
 
 Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles)
+    : Engine(set, cfg, std::move(roles), EngineOptions{}) {}
+
+Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles,
+               const EngineOptions& opts)
     : set_(set), cfg_(cfg), geometry_(set) {
   TFA_EXPECTS(model::satisfies_assumption1(set));
+  workers_ = cfg_.workers == 0 ? default_worker_count() : cfg_.workers;
 
   const std::size_t n = set.size();
   TFA_EXPECTS(roles.same.size() == n && roles.higher.size() == n &&
@@ -73,8 +96,11 @@ Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles)
 
   // Seed the Smax table with its certain lower bound: release jitter plus
   // the uncontended traversal up to the node (arrival semantics) or
-  // through it (completion semantics).
+  // through it (completion semantics).  A warm-start seed may lift entries
+  // above that floor; soundness only needs the seed to stay below the
+  // least fixed point (any pre-fixed point works, see docs/math.md).
   const bool completion = cfg_.smax_semantics == SmaxSemantics::kCompletion;
+  std::size_t warm_entries = 0;
   smax_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto fi = static_cast<FlowIndex>(i);
@@ -85,16 +111,46 @@ Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles)
     for (std::size_t k = 0; k < len; ++k) {
       smax_[i][k] = f.jitter() + geometry_.smin(fi, k);
       if (completion) smax_[i][k] += f.cost_at_position(k);
+      if (opts.warm_seed) {
+        const Duration warm = opts.warm_seed(fi, k);
+        if (warm > smax_[i][k]) {
+          smax_[i][k] = warm;
+          ++warm_entries;
+        }
+      }
     }
   }
 
-  run_fixed_point();
+  // Per-flow stat partials, merged in index order below so every counter
+  // is independent of the worker schedule.
+  std::vector<EngineStats> partials(opts.stats != nullptr ? n : 0);
 
+  const auto fp_start = std::chrono::steady_clock::now();
+  run_fixed_point(opts.stats != nullptr ? &partials : nullptr);
+  const std::int64_t fp_ns = elapsed_ns(fp_start);
+
+  const auto extract_start = std::chrono::steady_clock::now();
   full_bounds_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto fi = static_cast<FlowIndex>(i);
-    if (!mask_[i]) continue;
-    full_bounds_[i] = prefix_bound(fi, set.flow(fi).path().size());
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        if (!mask_[i]) return;
+        const auto fi = static_cast<FlowIndex>(i);
+        full_bounds_[i] =
+            prefix_bound(fi, set_.flow(fi).path().size(),
+                         opts.stats != nullptr ? &partials[i] : nullptr);
+      },
+      workers_);
+
+  if (opts.stats != nullptr) {
+    EngineStats total;
+    for (const EngineStats& p : partials) total.merge(p);
+    total.smax_passes = iterations_;
+    total.warm_seeded_entries = warm_entries;
+    total.fixed_point_ns = fp_ns;
+    total.extract_ns = elapsed_ns(extract_start);
+    total.workers = workers_;
+    opts.stats->merge(total);
   }
 }
 
@@ -115,10 +171,12 @@ Duration Engine::smax(FlowIndex i, std::size_t pos) const {
   return row[pos];
 }
 
-PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix) const {
+PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
+                                 EngineStats* stats) const {
   const model::SporadicFlow& fi = set_.flow(i);
   TFA_EXPECTS(analysable(i));
   TFA_EXPECTS(prefix >= 1 && prefix <= fi.path().size());
+  if (stats != nullptr) ++stats->prefix_bounds;
 
   const std::size_t n = set_.size();
   const std::size_t iu = static_cast<std::size_t>(i);
@@ -148,6 +206,7 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix) const {
         return sum;
       },
       cfg_.divergence_ceiling);
+  if (stats != nullptr) stats->busy_period_iterations += bp.iterations;
 
   PrefixBound out;
   if (!bp.converged()) return out;  // divergent: response stays infinite
@@ -262,6 +321,7 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix) const {
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
+    if (stats != nullptr) stats->test_points += candidates.size();
 
     for (const Time t : candidates) {
       const Duration r = aggregate_workload(t) + c_last - t;
@@ -277,9 +337,11 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix) const {
     if (out.busy_period > cfg_.exhaustive_sweep_limit)
       return out;  // too long to sweep: report as divergent
     for (Time t = t_begin; t < t_end; ++t) {
+      if (stats != nullptr) ++stats->test_points;
       const Duration base = aggregate_workload(t);
       Duration w = base;
       for (;;) {
+        if (stats != nullptr) ++stats->busy_period_iterations;
         Duration next = base;
         for (const InterferenceTerm& term : hp_terms)
           next += sporadic_count(t + w + term.offset, term.period) *
@@ -303,35 +365,58 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix) const {
   return out;
 }
 
-void Engine::run_fixed_point() {
+void Engine::run_fixed_point(std::vector<EngineStats>* partials) {
   const std::size_t n = set_.size();
   const bool completion = cfg_.smax_semantics == SmaxSemantics::kCompletion;
+
+  // Jacobi iteration: every pass evaluates the whole table against a
+  // frozen snapshot (`smax_`) and writes into `next` (disjoint rows), then
+  // the tables swap.  Unlike the natural Gauss-Seidel sweep this makes a
+  // pass embarrassingly parallel across flows AND schedule-independent:
+  // the sequence of tables — hence the converged result and every work
+  // counter — is identical for any worker count.  Both schemes reach the
+  // same least fixed point (monotone operator, pre-fixed-point seed);
+  // Jacobi may just need more passes.
+  std::vector<std::vector<Duration>> next = smax_;
+  std::vector<char> row_changed(n, 0);
+
   for (iterations_ = 0; iterations_ < cfg_.max_smax_iterations; ++iterations_) {
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          row_changed[i] = 0;
+          if (!mask_[i]) return;
+          const auto fi = static_cast<FlowIndex>(i);
+          EngineStats* stats = partials != nullptr ? &(*partials)[i] : nullptr;
+          const model::Path& path = set_.flow(fi).path();
+          const std::size_t len = path.size();
+          next[i] = smax_[i];
+          // Arrival semantics: Smax at position k is the worst response
+          // over the k-node prefix plus that hop's worst-case link
+          // traversal (so position 0 stays at the release jitter).
+          // Completion semantics: the worst response over the prefix
+          // *including* position k.
+          for (std::size_t k = completion ? 0u : 1u; k < len; ++k) {
+            const PrefixBound pb =
+                prefix_bound(fi, completion ? k + 1 : k, stats);
+            Duration value = kInfiniteDuration;
+            if (pb.finite())
+              value = completion
+                          ? pb.response
+                          : pb.response + set_.network().link_lmax(
+                                              path.at(k - 1), path.at(k));
+            TFA_ASSERT(value >= smax_[i][k]);  // monotone from below
+            if (value != smax_[i][k]) {
+              next[i][k] = value;
+              row_changed[i] = 1;
+            }
+          }
+        },
+        workers_);
+
     bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!mask_[i]) continue;
-      const auto fi = static_cast<FlowIndex>(i);
-      const std::size_t len = set_.flow(fi).path().size();
-      // Arrival semantics: Smax at position k is the worst response over
-      // the k-node prefix plus that hop's worst-case link traversal (so
-      // position 0 stays at the release jitter).  Completion semantics:
-      // the worst response over the prefix *including* position k.
-      const model::Path& path = set_.flow(fi).path();
-      for (std::size_t k = completion ? 0u : 1u; k < len; ++k) {
-        const PrefixBound pb = prefix_bound(fi, completion ? k + 1 : k);
-        Duration next = kInfiniteDuration;
-        if (pb.finite())
-          next = completion
-                     ? pb.response
-                     : pb.response + set_.network().link_lmax(
-                                         path.at(k - 1), path.at(k));
-        TFA_ASSERT(next >= smax_[i][k]);  // monotone from below
-        if (next != smax_[i][k]) {
-          smax_[i][k] = next;
-          changed = true;
-        }
-      }
-    }
+    for (std::size_t i = 0; i < n; ++i) changed = changed || row_changed[i];
+    smax_.swap(next);
     if (!changed) {
       converged_ = true;
       ++iterations_;

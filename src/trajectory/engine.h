@@ -25,6 +25,7 @@
 #include "base/types.h"
 #include "model/flow_set.h"
 #include "model/path_algebra.h"
+#include "trajectory/stats.h"
 #include "trajectory/types.h"
 
 namespace tfa::trajectory {
@@ -57,6 +58,22 @@ struct EngineRoles {
   std::function<Duration(FlowIndex, std::size_t)> higher_smax;
 };
 
+/// Optional hooks of an engine run: instrumentation sink and warm-start
+/// seed (both may be empty).
+struct EngineOptions {
+  /// When non-null, receives the run's work/time accounting.  The sink is
+  /// written once, at the end of construction; counters are merged in
+  /// flow-index order and therefore identical for every worker count.
+  EngineStats* stats = nullptr;
+  /// Warm-start seed for the Smax table: (flow, path position) -> a value
+  /// known to UNDERESTIMATE the table's least fixed point for this set
+  /// (e.g. the converged table of a subset of the flows — see
+  /// docs/math.md, "Warm-starting the fixed point").  Entries below the
+  /// cold seed are ignored.  Seeding from an overestimate is a contract
+  /// violation and aborts via the monotonicity assert.
+  std::function<Duration(FlowIndex, std::size_t)> warm_seed;
+};
+
 /// Trajectory computation over a *normalised* flow set.  The referenced
 /// set must satisfy Assumption 1 and outlive the engine.
 class Engine {
@@ -66,8 +83,16 @@ class Engine {
   /// FIFO, everything else blocking).
   Engine(const model::FlowSet& set, const Config& cfg);
 
+  /// Default-roles constructor with instrumentation / warm-start hooks.
+  Engine(const model::FlowSet& set, const Config& cfg,
+         const EngineOptions& opts);
+
   /// Explicit-roles constructor (FP/FIFO extension).
   Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles);
+
+  /// Explicit everything: roles plus instrumentation / warm-start hooks.
+  Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles,
+         const EngineOptions& opts);
 
   /// True when the Smax table stabilised within the iteration budget.
   [[nodiscard]] bool converged() const noexcept { return converged_; }
@@ -108,14 +133,18 @@ class Engine {
   }
 
   /// Recomputes the bound for a prefix of flow `i` with the current Smax
-  /// table (exposed for tests; `prefix` in [1, |P_i|]).
-  [[nodiscard]] PrefixBound prefix_bound(FlowIndex i, std::size_t prefix) const;
+  /// table (exposed for tests; `prefix` in [1, |P_i|]).  When `stats` is
+  /// non-null the evaluation's work counters are accumulated into it (the
+  /// caller owns the sink, so concurrent callers must pass distinct ones).
+  [[nodiscard]] PrefixBound prefix_bound(FlowIndex i, std::size_t prefix,
+                                         EngineStats* stats = nullptr) const;
 
  private:
-  void run_fixed_point();
+  void run_fixed_point(std::vector<EngineStats>* partials);
 
   const model::FlowSet& set_;
   Config cfg_;
+  std::size_t workers_ = 1;      ///< Resolved from Config::workers.
   model::FlowSetGeometry geometry_;
   std::vector<bool> mask_;       ///< FIFO-aggregate membership per flow.
   std::vector<bool> hp_mask_;    ///< Higher-priority flows.

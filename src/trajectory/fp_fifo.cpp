@@ -22,7 +22,8 @@ constexpr std::array<model::ServiceClass, 6> kPriorityOrder = {
 
 FpFifoResult analyze_fp_fifo(const model::FlowSet& set, Config cfg) {
   TFA_EXPECTS(!set.empty());
-  TFA_EXPECTS(set.validate().empty());
+  const auto issues = set.validate();
+  TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
   cfg.ef_mode = false;  // roles are explicit below
 
   const model::NormalisationReport norm =
@@ -62,7 +63,10 @@ FpFifoResult analyze_fp_fifo(const model::FlowSet& set, Config cfg) {
       return e->smax(j, pos);
     };
 
-    engines.push_back(std::make_unique<Engine>(fs, cfg, std::move(roles)));
+    EngineOptions opts;
+    opts.stats = &result.stats;
+    engines.push_back(
+        std::make_unique<Engine>(fs, cfg, std::move(roles), opts));
     const Engine& engine = *engines.back();
 
     ClassBounds cb;

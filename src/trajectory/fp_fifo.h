@@ -37,6 +37,7 @@ struct FpFifoResult {
   std::vector<ClassBounds> classes;  ///< Highest priority first; only
                                      ///< classes that have flows appear.
   bool all_schedulable = false;
+  EngineStats stats;  ///< Work/time accounting summed over all classes.
 
   /// Bound of original flow `i`, or null if the flow does not exist.
   [[nodiscard]] const FlowBound* find(FlowIndex i) const noexcept {

@@ -1,0 +1,59 @@
+// Lightweight instrumentation of the trajectory analysis: where the time
+// goes (fixed point vs. bound extraction), how much work each phase did
+// (passes, prefix bounds, test points), and how effective warm starts are
+// (cache hits/misses).  Counters are plain integers accumulated
+// deterministically — per-flow partials are merged in flow-index order, so
+// the numbers are identical for every worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tfa::trajectory {
+
+/// Work and wall-time accounting of one analysis run.  Every counter is a
+/// total over the whole run (all Smax passes plus the final bound
+/// extraction).
+struct EngineStats {
+  /// Passes of the global Smax fixed-point iteration (Jacobi rounds).
+  std::size_t smax_passes = 0;
+  /// Prefix-bound evaluations (the unit of per-flow work: one W_i sweep
+  /// over one path prefix).
+  std::size_t prefix_bounds = 0;
+  /// Candidate activation instants t at which W_i(t) was evaluated.
+  std::size_t test_points = 0;
+  /// Iterations of the Lemma-3 busy-period fixed points (B_i^slow),
+  /// including the per-instant FP/FIFO fixed points.
+  std::size_t busy_period_iterations = 0;
+  /// Smax entries seeded from an AnalysisCache instead of the cold lower
+  /// bound (0 on a from-scratch run).
+  std::size_t warm_seeded_entries = 0;
+  /// Flow rows found in / missing from the cache by the warm-start
+  /// validity check (both 0 when no cache was supplied).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Wall time solving the global Smax fixed point, nanoseconds.
+  std::int64_t fixed_point_ns = 0;
+  /// Wall time extracting the final full-path bounds, nanoseconds.
+  std::int64_t extract_ns = 0;
+  /// Worker threads the run was configured with (after clamping 0 to the
+  /// hardware default).
+  std::size_t workers = 1;
+
+  /// Accumulates another partial into this one (wall times add; `workers`
+  /// takes the maximum so class-by-class FP/FIFO merges keep the setting).
+  void merge(const EngineStats& other) noexcept {
+    smax_passes += other.smax_passes;
+    prefix_bounds += other.prefix_bounds;
+    test_points += other.test_points;
+    busy_period_iterations += other.busy_period_iterations;
+    warm_seeded_entries += other.warm_seeded_entries;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    fixed_point_ns += other.fixed_point_ns;
+    extract_ns += other.extract_ns;
+    workers = workers > other.workers ? workers : other.workers;
+  }
+};
+
+}  // namespace tfa::trajectory

@@ -7,6 +7,7 @@
 #include "base/types.h"
 #include "model/flow_set.h"
 #include "model/normalize.h"
+#include "trajectory/stats.h"
 
 namespace tfa::trajectory {
 
@@ -52,6 +53,13 @@ struct Config {
   /// sweeps every integer offset of the busy period.  Busy periods longer
   /// than this are reported divergent instead of swept.
   Duration exhaustive_sweep_limit = Duration{1} << 16;
+
+  /// Worker threads for the per-flow sweeps inside the engine: 1 runs
+  /// in-place on the calling thread, 0 uses every hardware thread.  The
+  /// computed bounds are identical for every value (the Smax iteration is
+  /// a Jacobi scheme over a frozen table, so the schedule cannot influence
+  /// the result — see docs/architecture.md, "Determinism").
+  std::size_t workers = 1;
 };
 
 /// Per-flow outcome.
@@ -97,6 +105,7 @@ struct Result {
   bool converged = false;         ///< The Smax fixed point stabilised.
   std::size_t smax_iterations = 0;
   std::size_t split_count = 0;    ///< Assumption-1 splits performed.
+  EngineStats stats;              ///< Work/time accounting of the run.
 
   /// Bound of the original flow `i`, or null when `i` was not analysed
   /// (e.g. a non-EF flow in ef_mode).

@@ -113,6 +113,37 @@ TEST(Admission, HolisticBackendIsMoreConservative) {
   EXPECT_TRUE(holistic_rejected_any);
 }
 
+TEST(Admission, SuccessiveRequestsWarmStartTheAnalysis) {
+  // The controller keeps an AnalysisCache across requests: after the
+  // first admitted flow, analysing "previous set + candidate" warm-starts
+  // from the previous run's converged Smax table.
+  AdmissionController ac(model::paper_example().network());
+  const model::FlowSet example = model::paper_example();
+  ASSERT_TRUE(ac.request(example.flow(0)).admitted);
+  EXPECT_EQ(ac.last_stats().cache_hits, 0u);  // nothing cached yet
+  ASSERT_TRUE(ac.request(example.flow(1)).admitted);
+  EXPECT_GT(ac.last_stats().cache_hits, 0u);
+  ASSERT_TRUE(ac.request(example.flow(2)).admitted);
+  // tau3 crosses both earlier (disjoint) flows, so the table cached for
+  // {tau1, tau2, tau3} carries interference-raised entries; admitting
+  // tau4 warm-starts strictly above the cold initialisation.
+  ASSERT_TRUE(ac.request(example.flow(3)).admitted);
+  EXPECT_GT(ac.last_stats().cache_hits, 0u);
+  EXPECT_GT(ac.last_stats().warm_seeded_entries, 0u);
+  // A candidate rejected BY the analysis (deadline above best-case but
+  // below the certified bound) leaves a stale cache entry behind; the
+  // next request must detect it and fall back to a cold start, not reuse
+  // it.
+  const Decision hog =
+      ac.request(flow("hog", example.flow(0).path(), 50, 4, /*deadline=*/20));
+  ASSERT_FALSE(hog.admitted);
+  ASSERT_FALSE(hog.violating.empty());  // the analysis ran and certified it
+  const Decision d = ac.request(example.flow(4));
+  EXPECT_TRUE(d.admitted) << d.reason;
+  EXPECT_EQ(ac.last_stats().warm_seeded_entries, 0u);  // cold restart
+  EXPECT_EQ(ac.admitted().size(), 5u);
+}
+
 TEST(Admission, NetworkCalculusBackendWorks) {
   AdmissionController ac(Network(2, 1, 1), AnalysisKind::kNetworkCalculus);
   const Decision d = ac.request(flow("a", Path{0, 1}, 50, 4, 100));

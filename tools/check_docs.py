@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Verify that docs/*.md and README.md only reference things that exist.
+
+Two kinds of references are checked:
+
+  * path-like tokens (``src/trajectory/batch.h``, ``docs/math.md``,
+    ``tests/trajectory/batch_test.cpp``, ``bench/bench_batch.cpp``,
+    ``build/bench/bench_batch``) must resolve to a file in the tree
+    (``build/...`` paths are mapped back to their sources);
+  * C++ symbol tokens (``trajectory::reanalyze_with``,
+    ``Engine::run_fixed_point``, ``EngineStats::test_points``) — the
+    final identifier, together with its qualifier, must appear somewhere
+    under src/ or tests/.
+
+Usage: check_docs.py [repo_root]   (exits non-zero listing every broken
+reference; wired into ctest as `docs_check`).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CODE_DIRS = ("src", "tests", "bench", "examples", "tools")
+DOC_FILES = ("README.md", "docs")
+
+# `inline code` spans are where docs make checkable claims.
+INLINE_CODE = re.compile(r"`([^`\n]+)`")
+PATH_TOKEN = re.compile(
+    r"^(?:src|tests|bench|examples|tools|docs|build)/[\w./\-]+$")
+SYMBOL_TOKEN = re.compile(r"^[A-Za-z_]\w*(?:::[A-Za-z_~]\w*)+(?:\(\))?$")
+# Markdown links: [text](target)
+MD_LINK = re.compile(r"\]\(([^)#\s]+)\)")
+
+# Qualified names whose left part is a namespace alias the docs use
+# informally; the right part is still required to exist.
+IGNORED_QUALIFIERS = {"std", "tfa"}
+
+
+def list_doc_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def load_code(root: Path) -> str:
+    chunks = []
+    for d in CODE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in {".h", ".cpp", ".py", ".txt", ".cmake"}:
+                chunks.append(p.read_text(errors="replace"))
+    return "\n".join(chunks)
+
+
+def resolve_path(root: Path, token: str) -> bool:
+    token = token.rstrip("/.,;:")
+    if (root / token).exists():
+        return True
+    if token.startswith("build/"):
+        # Build artefacts: map bench/test/example binaries to sources.
+        stem = Path(token).name
+        for d in ("bench", "examples", "tests", "tools"):
+            if (root / d / f"{stem}.cpp").exists():
+                return True
+        # Directories like build/examples/ refer to the build tree.
+        return token.rstrip("/") in {"build", "build/bench", "build/examples"}
+    return False
+
+
+def check_symbol(code: str, token: str):
+    """Return None if ok, else a short explanation."""
+    token = token.rstrip("().")
+    parts = token.split("::")
+    if parts[0] in IGNORED_QUALIFIERS:
+        parts = parts[1:]
+    if len(parts) == 1:
+        return None  # bare identifier after alias stripping: not checkable
+    leaf = parts[-1]
+    qualifier = parts[-2]
+    if re.search(re.escape(leaf) + r"\b", code) is None:
+        return f"identifier '{leaf}' not found in the tree"
+    # The qualifier must exist too (class, namespace, or struct name).
+    if re.search(re.escape(qualifier) + r"\b", code) is None:
+        return f"qualifier '{qualifier}' not found in the tree"
+    return None
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parents[1]
+    code = load_code(root)
+    errors = []
+    for doc in list_doc_files(root):
+        text = doc.read_text(errors="replace")
+        rel = doc.relative_to(root)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            tokens = INLINE_CODE.findall(line)
+            tokens += MD_LINK.findall(line)
+            for tok in tokens:
+                tok = tok.strip()
+                if PATH_TOKEN.match(tok):
+                    if not resolve_path(root, tok):
+                        errors.append(f"{rel}:{lineno}: missing file '{tok}'")
+                elif SYMBOL_TOKEN.match(tok):
+                    why = check_symbol(code, tok)
+                    if why:
+                        errors.append(f"{rel}:{lineno}: '{tok}': {why}")
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"{len(errors)} broken doc reference(s)")
+        return 1
+    print("all doc references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
