@@ -1,0 +1,74 @@
+// Experiment: throughput and determinism of the differential fuzzing
+// harness (src/proptest).
+//
+// Runs the same fixed-seed sweep at 1 worker and at the hardware worker
+// count, prints cases/second for both, and checks the determinism
+// contract end to end: per-invariant pass/skip/violation counters must be
+// bit-identical whatever the worker count (run_fuzz shards over
+// parallel_shards and reduces sequentially in case order).
+#include <chrono>
+#include <cstdio>
+
+#include "base/parallel.h"
+#include "base/table.h"
+#include "proptest/fuzzer.h"
+
+namespace {
+
+using namespace tfa;
+
+double run_ms(const proptest::FuzzConfig& cfg, proptest::FuzzReport* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = proptest::run_fuzz(cfg);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool same_counters(const proptest::FuzzReport& a,
+                   const proptest::FuzzReport& b) {
+  if (a.counters.size() != b.counters.size()) return false;
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    const auto& x = a.counters[i];
+    const auto& y = b.counters[i];
+    if (x.name != y.name || x.passes != y.passes || x.skips != y.skips ||
+        x.violations != y.violations)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  proptest::FuzzConfig cfg;
+  cfg.cases = 200;
+
+  const std::size_t hw = default_worker_count();
+  const std::size_t parallel_workers = hw < 4 ? 4 : hw;
+
+  proptest::FuzzReport seq, par;
+  cfg.workers = 1;
+  const double seq_ms = run_ms(cfg, &seq);
+  cfg.workers = parallel_workers;
+  const double par_ms = run_ms(cfg, &par);
+
+  TextTable t({"run", "wall ms", "cases/s", "violations", "speedup"});
+  t.add_row({"1 worker", format_fixed(seq_ms, 1),
+             format_fixed(1000.0 * static_cast<double>(cfg.cases) / seq_ms, 1),
+             std::to_string(seq.violations.size()), "1.00"});
+  t.add_row({std::to_string(parallel_workers) + " workers",
+             format_fixed(par_ms, 1),
+             format_fixed(1000.0 * static_cast<double>(cfg.cases) / par_ms, 1),
+             std::to_string(par.violations.size()),
+             format_fixed(seq_ms / par_ms, 2)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("%s", proptest::report_text(par).c_str());
+
+  const bool deterministic = same_counters(seq, par);
+  std::printf("\ncounters identical across worker counts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  return deterministic && seq.clean() && par.clean() ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 //   tfa_tool simulate <flowset.txt> [runs]     adversarial worst-case search
 //   tfa_tool admit    <flowset.txt>            replay flows through admission
 //   tfa_tool generate <seed> [flows] [nodes]   emit a random set (text format)
+//   tfa_tool fuzz     [cases] [seed] [workers]  differential property sweep
+//                     [--corpus DIR]            (write shrunk repros to DIR)
 //
 // `analyze` and `admit` accept a trailing `--stats` flag that appends the
 // run's EngineStats (fixed-point passes, test points, wall time per phase,
@@ -23,6 +25,7 @@
 #include "base/table.h"
 #include "model/generators.h"
 #include "model/serialize.h"
+#include "proptest/fuzzer.h"
 #include "report/report.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
@@ -35,6 +38,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
                "       tfa_tool generate <seed> [flows] [nodes]\n"
+               "       tfa_tool fuzz [cases] [seed] [workers] [--corpus DIR]\n"
                "       (analyze/admit take --stats to print analysis cost)\n");
   return 2;
 }
@@ -142,6 +146,18 @@ int cmd_generate(std::uint64_t seed, std::int32_t flows, std::int32_t nodes) {
   return 0;
 }
 
+int cmd_fuzz(std::size_t cases, std::uint64_t seed, std::size_t workers,
+             const char* corpus_dir) {
+  proptest::FuzzConfig cfg;
+  if (cases > 0) cfg.cases = cases;
+  if (seed != 0) cfg.seed = seed;
+  cfg.workers = workers;
+  if (corpus_dir != nullptr) cfg.corpus_dir = corpus_dir;
+  const proptest::FuzzReport report = proptest::run_fuzz(cfg);
+  std::printf("%s", proptest::report_text(report).c_str());
+  return report.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +173,26 @@ int main(int argc, char** argv) {
       for (int b = a; b + 1 < argc; ++b) argv[b] = argv[b + 1];
       --argc;
     }
+  }
+
+  if (cmd == "fuzz") {
+    const char* corpus_dir = nullptr;
+    for (int a = 2; a + 1 < argc; ++a) {
+      if (std::string(argv[a]) == "--corpus") {
+        corpus_dir = argv[a + 1];
+        for (int b = a; b + 2 < argc; ++b) argv[b] = argv[b + 2];
+        argc -= 2;
+        break;
+      }
+    }
+    const auto cases =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+    // Base 0 so hex sweep seeds round-trip ("fuzz 2000 0xbeef").
+    const auto seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : std::uint64_t{0};
+    const auto workers =
+        argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 0;
+    return cmd_fuzz(cases, seed, workers, corpus_dir);
   }
 
   if (cmd == "generate") {

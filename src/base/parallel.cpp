@@ -44,4 +44,26 @@ void parallel_for(std::size_t count,
   worker();  // the calling thread participates
 }
 
+void parallel_shards(
+    std::size_t count, std::size_t shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t workers) {
+  if (count == 0) return;
+  if (shards == 0) shards = default_worker_count();
+  shards = std::min(shards, count);
+
+  // Shard s covers [s*q + min(s, r), ...): the first r shards take one
+  // extra index, so the layout is a pure function of (count, shards).
+  const std::size_t q = count / shards;
+  const std::size_t r = count % shards;
+  parallel_for(
+      shards,
+      [&](std::size_t s) {
+        const std::size_t begin = s * q + std::min(s, r);
+        const std::size_t end = begin + q + (s < r ? 1 : 0);
+        body(s, begin, end);
+      },
+      workers);
+}
+
 }  // namespace tfa

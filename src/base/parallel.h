@@ -26,4 +26,19 @@ namespace tfa {
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t workers = 0);
 
+/// Splits [0, count) into `shards` contiguous ranges (sized within one of
+/// each other, earlier shards larger) and runs `body(shard, begin, end)`
+/// once per non-empty shard, distributing shards over `workers` threads.
+///
+/// The shard layout depends only on (count, shards) — never on `workers`
+/// or scheduling — so per-shard accumulators merged in shard order give
+/// bit-identical totals for every worker count (the property the fuzzing
+/// harness's per-invariant counters rely on).  `shards` == 0 defaults to
+/// default_worker_count().
+void parallel_shards(
+    std::size_t count, std::size_t shards,
+    const std::function<void(std::size_t shard, std::size_t begin,
+                             std::size_t end)>& body,
+    std::size_t workers = 0);
+
 }  // namespace tfa

@@ -31,6 +31,27 @@ class Rng {
     for (auto& word : state_) word = splitmix64(sm);
   }
 
+  /// Key of the `index`-th substream of `seed`: both words are pushed
+  /// through SplitMix64 before the state expansion, so adjacent indices
+  /// (the common case: one stream per shard or per fuzz case) yield
+  /// statistically independent streams.
+  [[nodiscard]] static constexpr std::uint64_t stream_key(
+      std::uint64_t seed, std::uint64_t index) noexcept {
+    std::uint64_t sm = seed;
+    std::uint64_t key = splitmix64(sm);
+    sm ^= index + 0x632BE59BD9B4E019ull;
+    key ^= splitmix64(sm);
+    return key;
+  }
+
+  /// The `index`-th independent substream of `seed` — Rng(stream_key()).
+  /// Deterministic: the stream depends only on (seed, index), never on how
+  /// many other streams exist or which thread draws from them.
+  [[nodiscard]] static constexpr Rng stream(std::uint64_t seed,
+                                            std::uint64_t index) noexcept {
+    return Rng(stream_key(seed, index));
+  }
+
   /// Next raw 64-bit value.
   constexpr std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

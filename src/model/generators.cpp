@@ -18,6 +18,45 @@ Duration scaled_deadline(const SporadicFlow& f, Duration lmin, double factor) {
   return std::max<Duration>(1, static_cast<Duration>(std::ceil(best * factor)));
 }
 
+/// Random simple path of `len` distinct nodes from a pool of `nodes`:
+/// a random permutation prefix (every simple path equally likely).
+std::vector<NodeId> random_simple_path(Rng& rng, std::int32_t nodes,
+                                       std::size_t len) {
+  std::vector<NodeId> pool(static_cast<std::size_t>(nodes));
+  std::iota(pool.begin(), pool.end(), NodeId{0});
+  for (std::size_t a = 0; a < len; ++a) {
+    const auto b = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::int64_t>(a),
+                    static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[a], pool[b]);
+  }
+  pool.resize(len);
+  return pool;
+}
+
+/// Rescales periods (stretching, never shrinking) until every node's
+/// utilisation is at most `cap`.
+void cap_utilisation(std::int32_t nodes, const Network& net,
+                     std::vector<SporadicFlow>& flows, double cap) {
+  for (bool again = true; again;) {
+    again = false;
+    FlowSet probe(net, flows);
+    for (NodeId h = 0; h < nodes; ++h) {
+      const double u = probe.node_utilisation(h);
+      if (u <= cap) continue;
+      const double scale = u / cap;
+      for (auto& f : flows) {
+        if (f.cost_on(h) == 0) continue;
+        const auto np = static_cast<Duration>(
+            std::ceil(static_cast<double>(f.period()) * scale));
+        f = SporadicFlow(f.name(), f.path(), np, f.costs(), f.jitter(),
+                         f.deadline(), f.service_class());
+      }
+      again = true;
+    }
+  }
+}
+
 }  // namespace
 
 FlowSet make_parking_lot(const ParkingLotConfig& cfg) {
@@ -88,17 +127,7 @@ FlowSet make_random(const RandomConfig& cfg, Rng& rng) {
   for (std::int32_t k = 0; k < cfg.flows; ++k) {
     const auto len = static_cast<std::size_t>(
         rng.uniform(cfg.min_path, cfg.max_path));
-
-    // Random simple path: a random permutation prefix.
-    std::vector<NodeId> pool(static_cast<std::size_t>(cfg.nodes));
-    std::iota(pool.begin(), pool.end(), NodeId{0});
-    for (std::size_t a = 0; a < len; ++a) {
-      const auto b = static_cast<std::size_t>(
-          rng.uniform(static_cast<std::int64_t>(a),
-                      static_cast<std::int64_t>(pool.size()) - 1));
-      std::swap(pool[a], pool[b]);
-    }
-    pool.resize(len);
+    std::vector<NodeId> pool = random_simple_path(rng, cfg.nodes, len);
 
     std::vector<Duration> costs(len);
     for (auto& c : costs) c = rng.uniform(cfg.min_cost, cfg.max_cost);
@@ -110,24 +139,7 @@ FlowSet make_random(const RandomConfig& cfg, Rng& rng) {
                        period, std::move(costs), jitter, /*deadline=*/1);
   }
 
-  // Rescale periods until every node's utilisation is below the cap.
-  for (bool again = true; again;) {
-    again = false;
-    FlowSet probe(set.network(), flows);
-    for (NodeId h = 0; h < cfg.nodes; ++h) {
-      const double u = probe.node_utilisation(h);
-      if (u <= cfg.max_utilisation) continue;
-      const double scale = u / cfg.max_utilisation;
-      for (auto& f : flows) {
-        if (f.cost_on(h) == 0) continue;
-        const auto np = static_cast<Duration>(
-            std::ceil(static_cast<double>(f.period()) * scale));
-        f = SporadicFlow(f.name(), f.path(), np, f.costs(), f.jitter(),
-                         f.deadline(), f.service_class());
-      }
-      again = true;
-    }
-  }
+  cap_utilisation(cfg.nodes, set.network(), flows, cfg.max_utilisation);
 
   for (auto& f : flows) {
     const Duration d = scaled_deadline(f, cfg.lmin, cfg.deadline_factor);
@@ -180,6 +192,132 @@ FlowSet make_afdx(const AfdxConfig& cfg) {
                          f.service_class()));
   }
   return set;
+}
+
+const char* to_string(CornerFamily family) noexcept {
+  switch (family) {
+    case CornerFamily::kBaseline: return "baseline";
+    case CornerFamily::kZeroJitter: return "zero-jitter";
+    case CornerFamily::kJitterNearPeriod: return "jitter-near-period";
+    case CornerFamily::kDegenerateLinks: return "degenerate-links";
+    case CornerFamily::kSingleNodePaths: return "single-node-paths";
+    case CornerFamily::kFullyOverlappingPaths: return "fully-overlapping";
+    case CornerFamily::kNearSaturation: return "near-saturation";
+    case CornerFamily::kHeterogeneousLinks: return "heterogeneous-links";
+    case CornerFamily::kMixedClasses: return "mixed-classes";
+  }
+  return "unknown";
+}
+
+FlowSet make_corner(const CornerConfig& cfg, Rng& rng) {
+  RandomConfig rc = cfg.base;
+  switch (cfg.family) {
+    case CornerFamily::kZeroJitter:
+      rc.max_jitter = 0;
+      break;
+    case CornerFamily::kDegenerateLinks:
+      rc.lmin = rc.lmax = rng.uniform(0, 3);
+      break;
+    case CornerFamily::kSingleNodePaths:
+      rc.min_path = rc.max_path = 1;
+      break;
+    case CornerFamily::kNearSaturation:
+      rc.max_utilisation = 0.85 + 0.1 * rng.uniform01();
+      break;
+    default:
+      break;
+  }
+
+  if (cfg.family == CornerFamily::kFullyOverlappingPaths) {
+    // One shared route, drawn once; every flow rides it end to end, so
+    // the whole set contends in lockstep at every hop.
+    TFA_EXPECTS(rc.max_path >= 2);
+    const auto len = static_cast<std::size_t>(
+        rng.uniform(std::max<std::int32_t>(2, rc.min_path), rc.max_path));
+    const Path route(random_simple_path(rng, rc.nodes, len));
+
+    FlowSet set(Network(rc.nodes, rc.lmin, rc.lmax));
+    std::vector<SporadicFlow> flows;
+    for (std::int32_t k = 0; k < rc.flows; ++k) {
+      std::vector<Duration> costs(len);
+      for (auto& c : costs) c = rng.uniform(rc.min_cost, rc.max_cost);
+      const Duration period = rng.uniform(rc.min_period, rc.max_period);
+      const Duration jitter =
+          rc.max_jitter > 0 ? rng.uniform(0, rc.max_jitter) : 0;
+      flows.emplace_back("ovl" + std::to_string(k), route, period,
+                         std::move(costs), jitter, /*deadline=*/1);
+    }
+    cap_utilisation(rc.nodes, set.network(), flows, rc.max_utilisation);
+    for (auto& f : flows)
+      set.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
+                           f.jitter(),
+                           scaled_deadline(f, rc.lmin, rc.deadline_factor),
+                           f.service_class()));
+    return set;
+  }
+
+  FlowSet base = make_random(rc, rng);
+
+  switch (cfg.family) {
+    case CornerFamily::kJitterNearPeriod: {
+      // J in [3T/4, T): legal, but each source can cluster almost a full
+      // period's worth of packets into one burst.
+      FlowSet out(base.network());
+      for (const SporadicFlow& f : base.flows()) {
+        const Duration hi = std::max<Duration>(0, f.period() - 1);
+        const Duration lo = std::min(hi, 3 * f.period() / 4);
+        out.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
+                             rng.uniform(lo, hi), f.deadline(),
+                             f.service_class()));
+      }
+      return out;
+    }
+
+    case CornerFamily::kHeterogeneousLinks: {
+      // Random per-link overrides on the links the paths actually use.
+      Network net(base.network().node_count(), base.network().lmin(),
+                  base.network().lmax());
+      for (const SporadicFlow& f : base.flows()) {
+        const auto& nodes = f.path().nodes();
+        for (std::size_t h = 0; h + 1 < nodes.size(); ++h) {
+          if (!rng.chance(0.6)) continue;
+          const Duration lo = rng.uniform(0, 6);
+          net.set_link(nodes[h], nodes[h + 1], lo, lo + rng.uniform(0, 6));
+        }
+      }
+      FlowSet out(net);
+      // Overrides can raise the best-case response above the deadline
+      // computed for the homogeneous network; stretch where needed.
+      for (const SporadicFlow& f : base.flows()) {
+        const Duration floor_d = static_cast<Duration>(
+            std::ceil(static_cast<double>(best_case_response(net, f)) *
+                      rc.deadline_factor));
+        out.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
+                             f.jitter(), std::max(f.deadline(), floor_d),
+                             f.service_class()));
+      }
+      return out;
+    }
+
+    case CornerFamily::kMixedClasses: {
+      // EF flows over AF/BE background; at least one of each so Property-3
+      // analyses see both a FIFO aggregate and a non-preemption term.
+      FlowSet out(base.network());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        const SporadicFlow& f = base.flow(static_cast<FlowIndex>(i));
+        ServiceClass c = rng.chance(0.5) ? ServiceClass::kExpedited
+                                         : static_cast<ServiceClass>(
+                                               1 + rng.uniform(0, 4));
+        if (i == 0) c = ServiceClass::kExpedited;
+        if (i == 1) c = ServiceClass::kBestEffort;
+        out.add(f.with_class(c));
+      }
+      return out;
+    }
+
+    default:
+      return base;
+  }
 }
 
 FlowSet make_tree(const TreeConfig& cfg) {

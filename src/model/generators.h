@@ -105,4 +105,38 @@ struct TreeConfig {
 
 [[nodiscard]] FlowSet make_tree(const TreeConfig& cfg);
 
+/// Adversarial corner distributions for the property-fuzzing harness
+/// (src/proptest): each family pins one parameter region where FIFO delay
+/// analyses historically go wrong — degenerate jitter, degenerate links,
+/// trivial paths, maximal path overlap, near-saturation load,
+/// heterogeneous per-link bounds, and mixed DiffServ classes.
+enum class CornerFamily {
+  kBaseline,              ///< Plain make_random draw (control group).
+  kZeroJitter,            ///< J = 0 for every flow.
+  kJitterNearPeriod,      ///< J in [3T/4, T): the densest legal bursts.
+  kDegenerateLinks,       ///< Lmin = Lmax (zero link-delay spread).
+  kSingleNodePaths,       ///< Every path is one node (no links at all).
+  kFullyOverlappingPaths, ///< All flows share one identical route.
+  kNearSaturation,        ///< Per-node utilisation pushed close to 1.
+  kHeterogeneousLinks,    ///< Random per-link [Lmin, Lmax] overrides.
+  kMixedClasses,          ///< EF flows over random AF/BE background.
+};
+
+/// Number of CornerFamily values (for uniform family draws).
+inline constexpr std::int32_t kCornerFamilyCount = 9;
+
+/// Short stable name of a family ("zero-jitter", "near-saturation", ...).
+[[nodiscard]] const char* to_string(CornerFamily family) noexcept;
+
+/// A corner draw: `base` shapes the underlying random set, `family`
+/// selects the adversarial constraint imposed on top of it.
+struct CornerConfig {
+  RandomConfig base;
+  CornerFamily family = CornerFamily::kBaseline;
+};
+
+/// Samples one flow set from the corner family.  Deterministic in `rng`'s
+/// state; every returned set passes FlowSet::validate().
+[[nodiscard]] FlowSet make_corner(const CornerConfig& cfg, Rng& rng);
+
 }  // namespace tfa::model

@@ -1,0 +1,228 @@
+#include "proptest/fuzzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "base/contracts.h"
+#include "base/parallel.h"
+#include "base/table.h"
+#include "model/serialize.h"
+#include "proptest/shrink.h"
+
+namespace tfa::proptest {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// File name of a violation's repro: invariant + case seed identify it
+/// uniquely within a sweep, and the seed keeps re-runs stable.
+std::string corpus_file_name(const Violation& v) {
+  std::ostringstream os;
+  os << v.invariant << "-" << std::hex << v.spec.case_seed << ".tfa";
+  return os.str();
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzConfig& cfg) {
+  TFA_EXPECTS(cfg.cases > 0);
+
+  const std::vector<Invariant>& registry = invariant_registry();
+
+  // One slot per case, filled by whichever worker runs the case and read
+  // back sequentially — the reduction below never depends on scheduling.
+  std::vector<std::vector<CheckOutcome>> outcomes(cfg.cases);
+  parallel_shards(
+      cfg.cases, cfg.shards,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const FuzzCase fc = generate_case(cfg.seed, i);
+          const CaseAnalysis a = analyze_case(fc.set, fc.ctx, cfg.budget);
+          std::vector<CheckOutcome>& out = outcomes[i];
+          out.reserve(registry.size());
+          for (const Invariant& inv : registry) out.push_back(inv.check(a));
+        }
+      },
+      cfg.workers);
+
+  FuzzReport report;
+  report.config = cfg;
+  report.counters.reserve(registry.size());
+  for (const Invariant& inv : registry)
+    report.counters.push_back({inv.name, 0, 0, 0});
+
+  for (std::size_t i = 0; i < cfg.cases; ++i) {
+    for (std::size_t k = 0; k < registry.size(); ++k) {
+      const CheckOutcome& o = outcomes[i][k];
+      switch (o.verdict) {
+        case Verdict::kPass: ++report.counters[k].passes; break;
+        case Verdict::kSkip: ++report.counters[k].skips; break;
+        case Verdict::kViolation: {
+          ++report.counters[k].violations;
+          Violation v;
+          v.spec = generate_case(cfg.seed, i).spec;
+          v.invariant = registry[k].name;
+          v.detail = o.detail;
+          report.violations.push_back(std::move(v));
+          break;
+        }
+      }
+    }
+  }
+
+  // Minimise the first few violations; the rest keep their full sets.
+  std::size_t shrunk = 0;
+  for (Violation& v : report.violations) {
+    const FuzzCase fc = generate_case(v.spec.sweep_seed, v.spec.index);
+    v.shrunk = fc.set;
+    if (shrunk >= cfg.max_shrunk) continue;
+    ++shrunk;
+    const Invariant* inv = find_invariant(v.invariant);
+    const ShrinkOutcome s = shrink(
+        fc.set,
+        [&](const model::FlowSet& cand) {
+          const CaseAnalysis a = analyze_case(cand, fc.ctx, cfg.budget);
+          return inv->check(a).verdict == Verdict::kViolation;
+        },
+        cfg.shrink_attempts);
+    v.shrunk = s.set;
+    v.shrink_steps = s.steps;
+    v.shrink_attempts = s.attempts;
+  }
+
+  if (!cfg.corpus_dir.empty() && !report.violations.empty()) {
+    std::filesystem::create_directories(cfg.corpus_dir);
+    for (Violation& v : report.violations) {
+      const std::filesystem::path path =
+          std::filesystem::path(cfg.corpus_dir) / corpus_file_name(v);
+      std::ofstream out(path);
+      if (!out) continue;  // corpus is best-effort; the report stands alone
+      out << serialize_corpus_case(v);
+      v.corpus_file = path.string();
+    }
+  }
+  return report;
+}
+
+std::string report_text(const FuzzReport& report) {
+  std::ostringstream os;
+  os << "fuzz sweep: seed " << hex64(report.config.seed) << ", "
+     << report.config.cases << " cases, " << report.violations.size()
+     << " violation(s)\n\n";
+  TextTable t({"invariant", "pass", "skip", "violation"});
+  for (const InvariantCounters& c : report.counters)
+    t.add_row({c.name, std::to_string(c.passes), std::to_string(c.skips),
+               std::to_string(c.violations)});
+  os << t.to_string();
+  for (const Violation& v : report.violations) {
+    os << "\nviolation: " << v.invariant << " at case #" << v.spec.index
+       << " (family " << model::to_string(v.spec.family) << ", case seed "
+       << hex64(v.spec.case_seed) << ")\n  " << v.detail << "\n";
+    if (v.shrink_steps > 0)
+      os << "  shrunk to " << v.shrunk.size() << " flow(s) in "
+         << v.shrink_steps << " step(s), " << v.shrink_attempts
+         << " attempt(s)\n";
+    if (!v.corpus_file.empty()) os << "  repro: " << v.corpus_file << "\n";
+  }
+  return os.str();
+}
+
+std::string serialize_corpus_case(const Violation& v) {
+  std::ostringstream os;
+  os << "# tfa proptest corpus repro (replayed by tests/proptest)\n"
+     << "# invariant: " << v.invariant << "\n"
+     << "# sweep-seed: " << hex64(v.spec.sweep_seed) << "\n"
+     << "# case-index: " << v.spec.index << "\n"
+     << "# case-seed: " << hex64(v.spec.case_seed) << "\n"
+     << "# family: " << model::to_string(v.spec.family) << "\n"
+     << "# detail: " << v.detail << "\n"
+     << model::serialize_flow_set(v.shrunk);
+  return os.str();
+}
+
+namespace {
+
+/// Value of a `# key: value` header line, if `line` carries that key.
+bool header_value(std::string_view line, std::string_view key,
+                  std::string& out) {
+  std::string prefix = "# ";
+  prefix += key;
+  prefix += ": ";
+  if (line.rfind(prefix, 0) != 0) return false;
+  out = std::string(line.substr(prefix.size()));
+  while (!out.empty() && (out.back() == '\r' || out.back() == ' '))
+    out.pop_back();
+  return true;
+}
+
+}  // namespace
+
+ReplayResult replay_corpus_text(std::string_view text) {
+  ReplayResult r;
+  std::string seed_text;
+  std::istringstream lines{std::string(text)};
+  for (std::string line; std::getline(lines, line);) {
+    std::string value;
+    if (header_value(line, "invariant", value)) r.invariant = value;
+    if (header_value(line, "case-seed", value)) seed_text = value;
+  }
+  if (r.invariant.empty() || seed_text.empty()) {
+    r.error = "missing '# invariant:' or '# case-seed:' header";
+    return r;
+  }
+  const Invariant* inv = find_invariant(r.invariant);
+  if (inv == nullptr) {
+    r.error = "unknown invariant '" + r.invariant + "'";
+    return r;
+  }
+  try {
+    r.case_seed = std::stoull(seed_text, nullptr, 0);
+  } catch (...) {
+    r.error = "malformed case seed '" + seed_text + "'";
+    return r;
+  }
+  const model::ParseResult parsed = model::parse_flow_set(text);
+  if (!parsed.ok()) {
+    r.error = "flow set: " + parsed.error + " (line " +
+              std::to_string(parsed.error_line) + ")";
+    return r;
+  }
+  r.ok = true;
+  const CaseAnalysis a =
+      analyze_case(*parsed.flow_set, derive_context(r.case_seed));
+  r.outcome = inv->check(a);
+  return r;
+}
+
+ReplayResult replay_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ReplayResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return replay_corpus_text(text.str());
+}
+
+std::vector<std::string> corpus_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tfa")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace tfa::proptest

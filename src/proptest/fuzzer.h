@@ -1,0 +1,100 @@
+// The differential fuzzing driver (docs/testing.md).
+//
+// run_fuzz() sweeps `cases` generated flow sets through analyze_case()
+// and every registered invariant, sharding the loop over base/parallel's
+// parallel_shards so per-invariant counters are bit-identical for every
+// worker count: each case's outcomes land in a pre-sized slot, and the
+// reduction walks the slots sequentially in case order.
+//
+// A violated invariant is greedily minimised (proptest/shrink.h) against
+// the same invariant and written — when `corpus_dir` is set — as a
+// replayable corpus file: the model/serialize text of the shrunk set
+// preceded by `# key: value` headers carrying the invariant name and the
+// case seed (from which replay_corpus_text() re-derives the CaseContext).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/flow_set.h"
+#include "proptest/generate.h"
+#include "proptest/invariants.h"
+
+namespace tfa::proptest {
+
+/// Knobs of one fuzz sweep.
+struct FuzzConfig {
+  std::uint64_t seed = 0xF1F0'0EF1ull;  ///< Sweep seed (fixed by default).
+  std::size_t cases = 500;
+  std::size_t workers = 0;  ///< Threads; 0 = hardware default.
+  std::size_t shards = 64;  ///< Shard count (worker-independent layout).
+  AnalysisBudget budget;
+  std::size_t max_shrunk = 4;          ///< Violations to minimise.
+  std::size_t shrink_attempts = 400;   ///< Predicate budget per shrink.
+  std::string corpus_dir;  ///< Write shrunk repros here when non-empty.
+};
+
+/// Pass/skip/violation tallies of one invariant over a sweep.
+struct InvariantCounters {
+  std::string name;
+  std::size_t passes = 0;
+  std::size_t skips = 0;
+  std::size_t violations = 0;
+};
+
+/// One invariant violation, plus its minimised repro.
+struct Violation {
+  CaseSpec spec;
+  std::string invariant;
+  std::string detail;       ///< Witness from the first (unshrunk) failure.
+  model::FlowSet shrunk;    ///< Minimal failing set (== original if not
+                            ///< selected for shrinking).
+  std::size_t shrink_steps = 0;
+  std::size_t shrink_attempts = 0;
+  std::string corpus_file;  ///< Path written, when corpus_dir was set.
+};
+
+/// Outcome of a sweep.
+struct FuzzReport {
+  FuzzConfig config;
+  std::vector<InvariantCounters> counters;  ///< Registry order.
+  std::vector<Violation> violations;        ///< Ascending case index.
+
+  [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
+};
+
+/// Runs the sweep.  Deterministic in everything but wall time: the same
+/// config yields the same counters and violations for every worker count.
+/// Precondition: cases > 0.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzConfig& cfg);
+
+/// Human-readable summary: the per-invariant table plus one block per
+/// violation.
+[[nodiscard]] std::string report_text(const FuzzReport& report);
+
+/// Renders a violation as a corpus file (headers + serialized set).
+[[nodiscard]] std::string serialize_corpus_case(const Violation& v);
+
+/// Outcome of replaying one corpus file.
+struct ReplayResult {
+  bool ok = false;          ///< File parsed and the invariant exists.
+  std::string error;        ///< Parse / lookup problem when !ok.
+  std::string invariant;
+  std::uint64_t case_seed = 0;
+  CheckOutcome outcome;     ///< The invariant re-evaluated on the repro.
+};
+
+/// Re-runs the invariant recorded in a corpus text on its flow set, with
+/// the CaseContext re-derived from the recorded case seed.
+[[nodiscard]] ReplayResult replay_corpus_text(std::string_view text);
+
+/// replay_corpus_text() over the contents of `path`.
+[[nodiscard]] ReplayResult replay_corpus_file(const std::string& path);
+
+/// The `.tfa` corpus files under `dir`, lexicographically sorted (empty
+/// when the directory does not exist).
+[[nodiscard]] std::vector<std::string> corpus_files(const std::string& dir);
+
+}  // namespace tfa::proptest

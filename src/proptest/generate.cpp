@@ -1,0 +1,73 @@
+#include "proptest/generate.h"
+
+#include <algorithm>
+
+#include "base/rng.h"
+
+namespace tfa::proptest {
+
+const char* to_string(PerturbKind kind) noexcept {
+  switch (kind) {
+    case PerturbKind::kCostUp: return "cost-up";
+    case PerturbKind::kJitterUp: return "jitter-up";
+    case PerturbKind::kPeriodDown: return "period-down";
+  }
+  return "unknown";
+}
+
+const char* to_string(WarmMutation kind) noexcept {
+  switch (kind) {
+    case WarmMutation::kGrow: return "grow";
+    case WarmMutation::kRemoveFlow: return "remove-flow";
+    case WarmMutation::kConfigChange: return "config-change";
+  }
+  return "unknown";
+}
+
+CaseContext derive_context(std::uint64_t case_seed) {
+  // A *substream* of the case seed, so the context stays stable however
+  // many draws the set generation consumed.
+  Rng rng = Rng::stream(case_seed, 0xC0);
+  CaseContext ctx;
+  ctx.perturb = static_cast<PerturbKind>(rng.uniform(0, 2));
+  ctx.perturb_flow = static_cast<FlowIndex>(rng.uniform(0, 1 << 16));
+  ctx.warm = static_cast<WarmMutation>(rng.uniform(0, 2));
+  ctx.det_workers = static_cast<std::size_t>(rng.uniform(2, 8));
+  return ctx;
+}
+
+FuzzCase generate_case(std::uint64_t sweep_seed, std::size_t index) {
+  FuzzCase out;
+  out.spec.sweep_seed = sweep_seed;
+  out.spec.index = index;
+  out.spec.case_seed = Rng::stream_key(sweep_seed, index);
+
+  Rng rng(out.spec.case_seed);
+  out.spec.family = static_cast<model::CornerFamily>(
+      rng.uniform(0, model::kCornerFamilyCount - 1));
+
+  // Small shapes on purpose: the differential oracle needs the simulator
+  // (and sometimes the exhaustive enumerator) per case, and shrunk repros
+  // should start close to minimal.
+  model::CornerConfig cc;
+  cc.family = out.spec.family;
+  cc.base.nodes = static_cast<std::int32_t>(rng.uniform(4, 12));
+  cc.base.flows = static_cast<std::int32_t>(rng.uniform(2, 9));
+  cc.base.min_path = 1;
+  cc.base.max_path = static_cast<std::int32_t>(
+      rng.uniform(2, std::min<std::int64_t>(5, cc.base.nodes)));
+  cc.base.min_cost = 1;
+  cc.base.max_cost = rng.uniform(2, 8);
+  cc.base.min_period = 20;
+  cc.base.max_period = rng.uniform(60, 300);
+  cc.base.max_jitter = rng.uniform(0, 12);
+  cc.base.max_utilisation = 0.35 + 0.3 * rng.uniform01();
+  cc.base.lmin = rng.uniform(0, 2);
+  cc.base.lmax = cc.base.lmin + rng.uniform(0, 3);
+
+  out.set = model::make_corner(cc, rng);
+  out.ctx = derive_context(out.spec.case_seed);
+  return out;
+}
+
+}  // namespace tfa::proptest

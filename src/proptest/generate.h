@@ -1,0 +1,78 @@
+// Seed-driven case generation for the differential property-fuzzing
+// harness (docs/testing.md).
+//
+// A fuzz sweep is identified by one 64-bit seed; case `index` of the
+// sweep draws everything it needs from the independent RNG substream
+// Rng::stream(seed, index).  Each case consists of
+//
+//   * a flow set sampled from one of the adversarial corner families
+//     (model::CornerFamily) with randomised shape parameters, and
+//   * a CaseContext — the per-case sub-choices (which flow to perturb and
+//     how, which warm-start mutation to exercise, which worker count to
+//     compare against) that the invariants needing a *second* analysis
+//     run draw from.
+//
+// Both are pure functions of (seed, index), so any case — and any shrunk
+// counterexample derived from it — can be replayed from two integers.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "model/generators.h"
+
+namespace tfa::proptest {
+
+/// Identity of one case inside a sweep.
+struct CaseSpec {
+  std::uint64_t sweep_seed = 0;
+  std::size_t index = 0;
+  /// Rng::stream_key(sweep_seed, index) — the only value a corpus file
+  /// needs to record to reproduce the case's context.
+  std::uint64_t case_seed = 0;
+  model::CornerFamily family = model::CornerFamily::kBaseline;
+};
+
+/// Workload-increasing perturbation applied for the monotonicity check.
+enum class PerturbKind {
+  kCostUp,      ///< +1 processing time on every node of one flow.
+  kJitterUp,    ///< Release jitter grows by half a period.
+  kPeriodDown,  ///< Period halves (denser arrivals).
+};
+
+[[nodiscard]] const char* to_string(PerturbKind kind) noexcept;
+
+/// Cache mutation exercised by the warm-start-identity check.
+enum class WarmMutation {
+  kGrow,          ///< Add a flow (the sound warm path).
+  kRemoveFlow,    ///< Drop a flow (must invalidate the cache).
+  kConfigChange,  ///< Flip the Smax semantics (must invalidate).
+};
+
+[[nodiscard]] const char* to_string(WarmMutation kind) noexcept;
+
+/// Per-case sub-choices, derived deterministically from the case seed.
+struct CaseContext {
+  PerturbKind perturb = PerturbKind::kCostUp;
+  FlowIndex perturb_flow = 0;  ///< Taken modulo the set size when applied.
+  WarmMutation warm = WarmMutation::kGrow;
+  std::size_t det_workers = 2;  ///< In [2, 8]; compared against workers=1.
+};
+
+/// One generated case.
+struct FuzzCase {
+  CaseSpec spec;
+  CaseContext ctx;
+  model::FlowSet set;
+};
+
+/// Context of a case (or of a replayed corpus repro) from its seed.
+[[nodiscard]] CaseContext derive_context(std::uint64_t case_seed);
+
+/// Generates case `index` of the sweep `sweep_seed`.  Deterministic, and
+/// independent of every other index (per-case RNG substreams).
+[[nodiscard]] FuzzCase generate_case(std::uint64_t sweep_seed,
+                                     std::size_t index);
+
+}  // namespace tfa::proptest

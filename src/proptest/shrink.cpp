@@ -1,0 +1,149 @@
+#include "proptest/shrink.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/contracts.h"
+
+namespace tfa::proptest {
+
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::SporadicFlow;
+
+bool usable(const FlowSet& s) { return !s.empty() && s.validate().empty(); }
+
+FlowSet without_flow(const FlowSet& set, std::size_t drop) {
+  FlowSet out(set.network());
+  for (std::size_t i = 0; i < set.size(); ++i)
+    if (i != drop) out.add(set.flow(static_cast<FlowIndex>(i)));
+  return out;
+}
+
+FlowSet with_flow(const FlowSet& set, std::size_t idx, SporadicFlow f) {
+  FlowSet out(set.network());
+  for (std::size_t i = 0; i < set.size(); ++i)
+    out.add(i == idx ? f : set.flow(static_cast<FlowIndex>(i)));
+  return out;
+}
+
+FlowSet with_network(const FlowSet& set, Network net) {
+  FlowSet out(std::move(net));
+  for (const SporadicFlow& f : set.flows()) out.add(f);
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink(
+    const model::FlowSet& start,
+    const std::function<bool(const model::FlowSet&)>& still_fails,
+    std::size_t max_attempts) {
+  TFA_EXPECTS(!start.empty());
+  TFA_EXPECTS(still_fails != nullptr);
+  TFA_EXPECTS(max_attempts > 0);
+
+  ShrinkOutcome out;
+  out.set = start;
+
+  // Evaluates one candidate; adopts it when the failure persists.
+  auto try_adopt = [&](FlowSet cand) {
+    if (out.attempts >= max_attempts || !usable(cand)) return false;
+    ++out.attempts;
+    if (!still_fails(cand)) return false;
+    out.set = std::move(cand);
+    ++out.steps;
+    return true;
+  };
+
+  // One round of edits against the current set; true when any was
+  // adopted (indices shift after an adoption, so the caller restarts).
+  auto round = [&]() -> bool {
+    const FlowSet& s = out.set;
+
+    // Drop whole flows first — the largest wins come cheapest.
+    if (s.size() >= 2)
+      for (std::size_t i = s.size(); i-- > 0;)
+        if (try_adopt(without_flow(s, i))) return true;
+
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const SporadicFlow& f = s.flow(static_cast<FlowIndex>(i));
+      // Chop the last, then the first path node.
+      if (f.path().size() >= 2) {
+        if (try_adopt(with_flow(s, i, f.truncated_to_prefix(
+                                          f.path().size() - 1))))
+          return true;
+        if (try_adopt(with_flow(s, i, f.split_tail(1, f.jitter()))))
+          return true;
+      }
+      // Halve parameters toward their floors.
+      if (f.period() >= 2 &&
+          try_adopt(with_flow(
+              s, i,
+              SporadicFlow(f.name(), f.path(), f.period() / 2, f.costs(),
+                           f.jitter(), f.deadline(), f.service_class()))))
+        return true;
+      if (f.jitter() >= 1 &&
+          try_adopt(with_flow(
+              s, i,
+              SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
+                           f.jitter() / 2, f.deadline(), f.service_class()))))
+        return true;
+      bool reducible = false;
+      std::vector<Duration> costs = f.costs();
+      for (Duration& c : costs)
+        if (c >= 2) {
+          c /= 2;
+          reducible = true;
+        }
+      if (reducible &&
+          try_adopt(with_flow(
+              s, i,
+              SporadicFlow(f.name(), f.path(), f.period(), std::move(costs),
+                           f.jitter(), f.deadline(), f.service_class()))))
+        return true;
+    }
+
+    // Network edits: drop per-link overrides, then collapse the default
+    // link-delay spread toward [0, 0].
+    {
+      const auto& overrides = s.network().link_overrides();
+      std::size_t k = 0;
+      for (const auto& [link, bounds] : overrides) {
+        (void)bounds;
+        Network net(s.network().node_count(), s.network().lmin(),
+                    s.network().lmax());
+        std::size_t j = 0;
+        for (const auto& [l2, b2] : overrides) {
+          if (j++ != k) net.set_link(l2.first, l2.second, b2.first, b2.second);
+        }
+        ++k;
+        if (try_adopt(with_network(s, std::move(net)))) return true;
+      }
+    }
+    if (s.network().lmax() > s.network().lmin()) {
+      Network net(s.network().node_count(), s.network().lmin(),
+                  s.network().lmin() +
+                      (s.network().lmax() - s.network().lmin()) / 2);
+      for (const auto& [link, bounds] : s.network().link_overrides())
+        net.set_link(link.first, link.second, bounds.first, bounds.second);
+      if (try_adopt(with_network(s, std::move(net)))) return true;
+    }
+    if (s.network().lmin() >= 1) {
+      Network net(s.network().node_count(), s.network().lmin() / 2,
+                  s.network().lmax());
+      for (const auto& [link, bounds] : s.network().link_overrides())
+        net.set_link(link.first, link.second, bounds.first, bounds.second);
+      if (try_adopt(with_network(s, std::move(net)))) return true;
+    }
+    return false;
+  };
+
+  while (out.attempts < max_attempts && round()) {
+  }
+  return out;
+}
+
+}  // namespace tfa::proptest

@@ -1,0 +1,36 @@
+// Greedy counterexample minimisation for the property-fuzzing harness.
+//
+// Given a failing flow set and a predicate that re-evaluates the failure,
+// the shrinker repeatedly tries size-reducing edits — drop a flow, chop a
+// path node (front or back), halve a period / cost / jitter, drop a
+// per-link override, collapse the default link spread — and keeps every
+// edit under which the failure persists.  Each accepted edit strictly
+// decreases a well-founded measure (flow count, node count, parameter
+// magnitudes, override count), so the loop terminates; the result is
+// 1-minimal with respect to the edit set.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "model/flow_set.h"
+
+namespace tfa::proptest {
+
+struct ShrinkOutcome {
+  model::FlowSet set;        ///< Minimal set still failing the predicate.
+  std::size_t steps = 0;     ///< Accepted edits.
+  std::size_t attempts = 0;  ///< Predicate evaluations.
+};
+
+/// Minimises `start` while `still_fails` holds.  `still_fails(start)` must
+/// be true (precondition); every candidate handed to the predicate is
+/// non-empty and passes FlowSet::validate().  `max_attempts` caps the
+/// number of predicate evaluations (the predicate typically re-runs every
+/// analysis engine, so it is the cost unit).
+[[nodiscard]] ShrinkOutcome shrink(
+    const model::FlowSet& start,
+    const std::function<bool(const model::FlowSet&)>& still_fails,
+    std::size_t max_attempts = 2000);
+
+}  // namespace tfa::proptest

@@ -133,13 +133,15 @@ void NetworkSim::arrive(Packet p, NodeId node) {
       state.busy ? state.busy_until - simulator_.now() : 0;
   state.max_backlog =
       std::max(state.max_backlog, state.queued_work + residual);
-  // Dispatch through a same-time event rather than immediately: all
+  // Dispatch through a late-phase event rather than immediately: all
   // arrivals of this tick are then enqueued before the discipline picks,
   // so an EF packet is never beaten to an idle server by a lower-priority
   // packet that arrived in the same tick (the model's FP scheduler
   // semantics, which Lemma 4's "C - 1" residual blocking relies on).
+  // The late phase covers arrivals that materialise *during* this tick —
+  // a forward over a zero-delay link scheduled by a completion at now().
   if (!state.busy)
-    simulator_.schedule_in(0, [this, node] { dispatch(node); });
+    simulator_.schedule_late(simulator_.now(), [this, node] { dispatch(node); });
 }
 
 void NetworkSim::dispatch(NodeId node) {
@@ -191,12 +193,11 @@ void NetworkSim::complete(Packet p, NodeId node) {
     });
   }
 
-  // Non-preemptive server: pick the next queued packet, if any.
+  // Non-preemptive server: pick the next queued packet — but only in the
+  // late phase, so same-tick arrivals (source releases and zero-delay-link
+  // forwards alike) are all enqueued before the discipline chooses.
   state.busy = false;
-  if (auto next_packet = state.queue->dequeue()) {
-    state.queued_work -= next_packet->cost;
-    start_service(*next_packet, node);
-  }
+  simulator_.schedule_late(simulator_.now(), [this, node] { dispatch(node); });
 }
 
 Duration NetworkSim::sample_link_delay(NodeId from, NodeId to) {

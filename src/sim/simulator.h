@@ -24,13 +24,23 @@ class Simulator {
   /// Schedules `action` to run at absolute time `t` (>= now()).
   void schedule_at(Time t, std::function<void()> action) {
     TFA_EXPECTS(t >= now_);
-    queue_.push(Event{t, next_seq_++, std::move(action)});
+    queue_.push(Event{t, /*phase=*/0, next_seq_++, std::move(action)});
   }
 
   /// Schedules `action` to run `delay` ticks from now.
   void schedule_in(Duration delay, std::function<void()> action) {
     TFA_EXPECTS(delay >= 0);
     schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at time `t` in the *late* phase: it runs after
+  /// every normally-scheduled event at `t`, even ones inserted later.
+  /// Server dispatch decisions use this so the discipline sees every
+  /// packet arriving at `t` — including forwards over zero-delay links
+  /// scheduled by completions firing at `t` itself.
+  void schedule_late(Time t, std::function<void()> action) {
+    TFA_EXPECTS(t >= now_);
+    queue_.push(Event{t, /*phase=*/1, next_seq_++, std::move(action)});
   }
 
   /// Runs events until the queue is empty or `horizon` is passed; events
@@ -57,13 +67,15 @@ class Simulator {
  private:
   struct Event {
     Time time;
+    std::uint8_t phase;
     std::uint64_t seq;
     std::function<void()> action;
 
-    /// Min-heap on (time, seq): std::priority_queue keeps the *greatest*
-    /// element on top, so the comparison is inverted.
+    /// Min-heap on (time, phase, seq): std::priority_queue keeps the
+    /// *greatest* element on top, so the comparison is inverted.
     bool operator<(const Event& other) const noexcept {
       if (time != other.time) return time > other.time;
+      if (phase != other.phase) return phase > other.phase;
       return seq > other.seq;
     }
   };

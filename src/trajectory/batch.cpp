@@ -186,6 +186,14 @@ Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
 
 std::vector<Result> analyze_many(const std::vector<model::FlowSet>& sets,
                                  const Config& cfg, std::size_t workers) {
+  TFA_EXPECTS(!sets.empty());
+  // Validate up front, on the caller's thread: a malformed set should die
+  // with its diagnostic here, not from inside a worker.
+  for (const model::FlowSet& s : sets) {
+    TFA_EXPECTS(!s.empty());
+    const auto issues = s.validate();
+    TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
+  }
   Config per_set = cfg;
   per_set.workers = 1;  // the fan-out is the parallelism
   std::vector<Result> out(sets.size());

@@ -189,15 +189,26 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
     pairs[j] = geometry_.pair(i, static_cast<FlowIndex>(j), prefix);
   }
 
+  // ---- Non-preemption delay (Property 3 / FP-FIFO) — constant in t.
+  // Computed up front because it belongs inside the busy period below.
+  const Duration delta =
+      delta_enabled_ ? non_preemption_delay(geometry_, i, prefix, non_blockers_)
+                     : 0;
+
   // ---- B^slow: busy-period fixed point over everything that can occupy
   // the servers ahead of m (Lemma 3; higher-priority traffic included).
-  Duration seed = 0;
+  // The blocking delta is part of the fixed point, not a constant added
+  // after it: a blocked aggregate must drain the blocking work too, and at
+  // aggregate utilisation 1 a positive delta correctly makes B diverge
+  // (B = delta + B has no finite solution) instead of converging to a
+  // spurious small fixed point that undercuts the simulator.
+  Duration seed = delta;
   for (std::size_t j = 0; j < n; ++j)
     if (mask_[j] || hp_mask_[j]) seed += pairs[j].c_slow_ji;  // incl. j == i
   const FixedPointResult bp = iterate_fixed_point(
       seed,
       [&](Duration b) {
-        Duration sum = 0;
+        Duration sum = delta;
         for (std::size_t j = 0; j < n; ++j) {
           if ((!mask_[j] && !hp_mask_[j]) || !pairs[j].intersects) continue;
           sum += ceil_div(b, set_.flow(static_cast<FlowIndex>(j)).period()) *
@@ -248,10 +259,9 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
   for (std::size_t pos = 0; pos < prefix; ++pos)
     if (pos != slow_pos) constant += max_at[pos];
 
-  // ---- Non-preemption delay (Property 3 / FP-FIFO) — constant in t.
   if (delta_enabled_) {
-    out.delta = non_preemption_delay(geometry_, i, prefix, non_blockers_);
-    constant += out.delta;
+    out.delta = delta;
+    constant += delta;
   }
 
   // ---- Interference terms with offset A_{i,j} (Lemma 2): the flow's own
@@ -284,8 +294,12 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
     if (is_infinite(smax_i_at) || is_infinite(smax_j_at))
       return out;  // upstream divergence poisons this bound
 
+    // The Smax table is generation-referenced (seeded with jitter + Smin,
+    // updated from responses that include the release jitter), so J_j is
+    // already inside smax_j_at; adding flow_j.jitter() on top would widen
+    // Lemma 2's interference window by J_j twice.
     const Duration a_ij = smax_i_at - geometry_.smin(fj, pos_j_fji) -
-                          m_cum[pos_i_fij] + smax_j_at + flow_j.jitter();
+                          m_cum[pos_i_fij] + smax_j_at;
     if (mask_[j])
       terms.push_back({a_ij, flow_j.period(), g.c_slow_ji, /*own=*/false});
     else

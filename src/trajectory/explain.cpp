@@ -67,7 +67,7 @@ Explanation explain(const Engine& engine, FlowIndex i) {
     term.same_direction = g.same_direction;
     term.a_offset = engine.smax(i, pos_i_fji) - geo.smin(fj, pos_j_fji) -
                     geo.m_term(i, pos_i_fij, len, &mask) +
-                    engine.smax(fj, pos_j_fij) + flow_j.jitter();
+                    engine.smax(fj, pos_j_fij);
     term.period = flow_j.period();
     term.c_slow = g.c_slow_ji;
     term.packets = sporadic_count(t + term.a_offset, term.period);

@@ -41,6 +41,43 @@ TEST(ParallelFor, SumMatchesSequentialReference) {
             static_cast<std::int64_t>(kCount) * (kCount - 1) / 2);
 }
 
+TEST(ParallelShards, CoversEveryIndexOnceWithContiguousRanges) {
+  constexpr std::size_t kCount = 1003;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_shards(kCount, 7, [&](std::size_t, std::size_t begin,
+                                 std::size_t end) {
+    EXPECT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelShards, LayoutIndependentOfWorkerCount) {
+  // The (shard -> range) map must be a pure function of (count, shards):
+  // record it at workers=1 and at workers=4 and compare.
+  auto layout = [](std::size_t workers) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(5);
+    parallel_shards(
+        42, 5,
+        [&](std::size_t s, std::size_t b, std::size_t e) {
+          ranges[s] = {b, e};
+        },
+        workers);
+    return ranges;
+  };
+  EXPECT_EQ(layout(1), layout(4));
+}
+
+TEST(ParallelShards, MoreShardsThanIndicesClamps) {
+  std::atomic<int> calls{0};
+  parallel_shards(3, 16, [&](std::size_t, std::size_t begin,
+                             std::size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(end, begin + 1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
 TEST(DefaultWorkerCount, AtLeastOne) {
   EXPECT_GE(default_worker_count(), 1u);
 }

@@ -55,6 +55,26 @@ TEST(Rng, Uniform01InHalfOpenUnitInterval) {
   }
 }
 
+TEST(RngStream, SameKeySameStream) {
+  Rng a = Rng::stream(99, 5);
+  Rng b = Rng::stream(99, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStream, AdjacentIndicesDecorrelated) {
+  Rng a = Rng::stream(99, 5);
+  Rng b = Rng::stream(99, 6);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngStream, DistinctSeedsGiveDistinctKeys) {
+  EXPECT_NE(Rng::stream_key(1, 0), Rng::stream_key(2, 0));
+  EXPECT_NE(Rng::stream_key(1, 0), Rng::stream_key(1, 1));
+}
+
 TEST(Rng, ChanceExtremes) {
   Rng rng(17);
   for (int i = 0; i < 100; ++i) {

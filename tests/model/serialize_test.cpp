@@ -1,6 +1,8 @@
 // Tests of the flow-set text format.
 #include <gtest/gtest.h>
 
+#include "base/rng.h"
+#include "model/generators.h"
 #include "model/paper_example.h"
 #include "model/serialize.h"
 
@@ -133,6 +135,65 @@ TEST(Serialize, RejectsBadLinkLines) {
   EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 5 1 2\n").ok());
   EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 1 5 2\n").ok());
   EXPECT_FALSE(parse_flow_set("network 2 1 1\nlink 0 1 2\n").ok());
+}
+
+TEST(Serialize, RoundTripsGeneratedCornerTopologies) {
+  // Property form over the fuzzing harness's corner families: for every
+  // family, serialize -> parse -> serialize is the identity on the text,
+  // and the parsed set is structurally equal (network, overrides, flows).
+  for (std::int32_t fam = 0; fam < kCornerFamilyCount; ++fam) {
+    for (const std::uint64_t seed : {1u, 9u, 27u}) {
+      Rng rng(seed);
+      CornerConfig cfg;
+      cfg.family = static_cast<CornerFamily>(fam);
+      const FlowSet set = make_corner(cfg, rng);
+      SCOPED_TRACE(std::string(to_string(cfg.family)) + ", seed " +
+                   std::to_string(seed));
+
+      const std::string text = serialize_flow_set(set);
+      const ParseResult r = parse_flow_set(text);
+      ASSERT_TRUE(r.ok()) << r.error;
+      EXPECT_EQ(serialize_flow_set(*r.flow_set), text);
+
+      const Network& a = set.network();
+      const Network& b = r.flow_set->network();
+      EXPECT_EQ(a.node_count(), b.node_count());
+      EXPECT_EQ(a.lmin(), b.lmin());
+      EXPECT_EQ(a.lmax(), b.lmax());
+      EXPECT_EQ(a.link_overrides(), b.link_overrides());
+      ASSERT_EQ(r.flow_set->size(), set.size());
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        const auto fi = static_cast<FlowIndex>(i);
+        const SporadicFlow& x = set.flow(fi);
+        const SporadicFlow& y = r.flow_set->flow(fi);
+        EXPECT_EQ(x.name(), y.name());
+        EXPECT_EQ(x.path(), y.path());
+        EXPECT_EQ(x.period(), y.period());
+        EXPECT_EQ(x.jitter(), y.jitter());
+        EXPECT_EQ(x.deadline(), y.deadline());
+        EXPECT_EQ(x.costs(), y.costs());
+        EXPECT_EQ(x.service_class(), y.service_class());
+      }
+    }
+  }
+}
+
+TEST(Serialize, HeterogeneousLinkFamilyCarriesOverridesThroughTheText) {
+  // The family exists to stress per-link [Lmin, Lmax] spreads; the text
+  // format must preserve every override byte-exactly.
+  bool saw_overrides = false;
+  for (const std::uint64_t seed : {2u, 4u, 8u, 16u}) {
+    Rng rng(seed);
+    CornerConfig cfg;
+    cfg.family = CornerFamily::kHeterogeneousLinks;
+    const FlowSet set = make_corner(cfg, rng);
+    const ParseResult r = parse_flow_set(serialize_flow_set(set));
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.flow_set->network().link_overrides(),
+              set.network().link_overrides());
+    saw_overrides |= set.network().has_link_overrides();
+  }
+  EXPECT_TRUE(saw_overrides);
 }
 
 TEST(Serialize, CommentsAndBlankLinesIgnored) {

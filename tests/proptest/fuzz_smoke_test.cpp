@@ -1,0 +1,78 @@
+// The fuzz-smoke gate: a fixed-seed differential sweep that must come
+// back clean on every commit, plus the determinism properties the
+// harness itself promises (identical counters for every worker count,
+// case generation as a pure function of the seed pair).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "model/generators.h"
+#include "model/serialize.h"
+#include "proptest/fuzzer.h"
+#include "proptest/generate.h"
+#include "proptest/invariants.h"
+
+namespace tfa::proptest {
+namespace {
+
+TEST(FuzzSmoke, FixedSeedSweepIsClean) {
+  FuzzConfig cfg;  // default seed, 500 cases, hardware workers
+  const FuzzReport report = run_fuzz(cfg);
+  EXPECT_TRUE(report.clean()) << report_text(report);
+
+  // Counters cover the whole registry, in order, and tally every case.
+  const auto& registry = invariant_registry();
+  ASSERT_EQ(report.counters.size(), registry.size());
+  for (std::size_t k = 0; k < registry.size(); ++k) {
+    const InvariantCounters& c = report.counters[k];
+    EXPECT_EQ(c.name, registry[k].name);
+    EXPECT_EQ(c.passes + c.skips + c.violations, cfg.cases) << c.name;
+  }
+}
+
+TEST(FuzzSmoke, CountersBitIdenticalAcrossWorkerCounts) {
+  FuzzConfig cfg;
+  cfg.cases = 80;
+  cfg.workers = 1;
+  const FuzzReport serial = run_fuzz(cfg);
+  for (const std::size_t workers : {2u, 5u, 8u}) {
+    cfg.workers = workers;
+    const FuzzReport par = run_fuzz(cfg);
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    ASSERT_EQ(par.counters.size(), serial.counters.size());
+    for (std::size_t k = 0; k < serial.counters.size(); ++k) {
+      EXPECT_EQ(par.counters[k].name, serial.counters[k].name);
+      EXPECT_EQ(par.counters[k].passes, serial.counters[k].passes);
+      EXPECT_EQ(par.counters[k].skips, serial.counters[k].skips);
+      EXPECT_EQ(par.counters[k].violations, serial.counters[k].violations);
+    }
+    ASSERT_EQ(par.violations.size(), serial.violations.size());
+  }
+}
+
+TEST(FuzzGenerate, CaseIsAPureFunctionOfTheSeedPair) {
+  for (const std::size_t index : {0u, 17u, 255u}) {
+    const FuzzCase a = generate_case(0xABCDEFull, index);
+    const FuzzCase b = generate_case(0xABCDEFull, index);
+    EXPECT_EQ(model::serialize_flow_set(a.set),
+              model::serialize_flow_set(b.set));
+    EXPECT_EQ(a.spec.case_seed, b.spec.case_seed);
+    EXPECT_EQ(a.ctx.perturb, b.ctx.perturb);
+    EXPECT_EQ(a.ctx.perturb_flow, b.ctx.perturb_flow);
+    EXPECT_EQ(a.ctx.warm, b.ctx.warm);
+    EXPECT_EQ(a.ctx.det_workers, b.ctx.det_workers);
+    EXPECT_TRUE(a.set.validate().empty());
+  }
+}
+
+TEST(FuzzGenerate, SweepVisitsEveryCornerFamily) {
+  std::set<model::CornerFamily> seen;
+  for (std::size_t index = 0; index < 200; ++index)
+    seen.insert(generate_case(1, index).spec.family);
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(model::kCornerFamilyCount));
+}
+
+}  // namespace
+}  // namespace tfa::proptest

@@ -1,0 +1,108 @@
+// Tests of the greedy counterexample minimiser (proptest/shrink.h) and
+// the contracts of the proptest entry points.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "base/rng.h"
+#include "model/generators.h"
+#include "model/serialize.h"
+#include "proptest/fuzzer.h"
+#include "proptest/generate.h"
+#include "proptest/shrink.h"
+
+namespace tfa::proptest {
+namespace {
+
+using model::FlowSet;
+
+FlowSet corner_set(std::uint64_t seed,
+                   model::CornerFamily family = model::CornerFamily::kBaseline) {
+  Rng rng(seed);
+  model::CornerConfig cfg;
+  cfg.family = family;
+  return model::make_corner(cfg, rng);
+}
+
+/// The predicate the shrink tests minimise against: some flow has a
+/// per-node cost of at least 4.  Cheap to evaluate, survives most edits,
+/// and has an obvious 1-minimal shape (one flow, one node, cost in
+/// [4, 7] — halving once more would leave the failing region).
+bool has_expensive_flow(const FlowSet& set) {
+  for (const model::SporadicFlow& f : set.flows())
+    if (f.max_cost() >= 4) return true;
+  return false;
+}
+
+TEST(Shrink, ReachesOneMinimalSetUnderSimplePredicate) {
+  const FlowSet start = corner_set(7);
+  ASSERT_TRUE(has_expensive_flow(start));
+  const ShrinkOutcome out = shrink(start, has_expensive_flow);
+  EXPECT_TRUE(has_expensive_flow(out.set));
+  EXPECT_TRUE(out.set.validate().empty());
+  EXPECT_LE(out.set.size(), start.size());
+  EXPECT_GT(out.steps, 0u);
+  // 1-minimal for this predicate: a single single-node flow whose cost
+  // sits where one more halving would leave the failing region.
+  EXPECT_EQ(out.set.size(), 1u);
+  EXPECT_EQ(out.set.flow(0).path().size(), 1u);
+  EXPECT_GE(out.set.flow(0).max_cost(), 4);
+  EXPECT_LE(out.set.flow(0).max_cost(), 7);
+}
+
+TEST(Shrink, EveryCandidateHandedToThePredicateValidates) {
+  const FlowSet start = corner_set(3, model::CornerFamily::kHeterogeneousLinks);
+  ASSERT_TRUE(has_expensive_flow(start));
+  const ShrinkOutcome out = shrink(start, [](const FlowSet& s) {
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(s.validate().empty());
+    return has_expensive_flow(s);
+  });
+  EXPECT_TRUE(has_expensive_flow(out.set));
+}
+
+TEST(Shrink, AttemptBudgetIsRespected) {
+  const FlowSet start = corner_set(11);
+  ASSERT_TRUE(has_expensive_flow(start));
+  const ShrinkOutcome out = shrink(start, has_expensive_flow, 5);
+  EXPECT_LE(out.attempts, 5u);
+  EXPECT_TRUE(has_expensive_flow(out.set));
+}
+
+TEST(Shrink, IsDeterministic) {
+  const FlowSet start = corner_set(19);
+  ASSERT_TRUE(has_expensive_flow(start));
+  const ShrinkOutcome a = shrink(start, has_expensive_flow);
+  const ShrinkOutcome b = shrink(start, has_expensive_flow);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(model::serialize_flow_set(a.set), model::serialize_flow_set(b.set));
+}
+
+TEST(ShrinkContracts, RejectsEmptyStartNullPredicateAndZeroBudget) {
+  const FlowSet start = corner_set(5);
+  const FlowSet empty{model::Network(2, 1, 1)};
+  EXPECT_DEATH((void)shrink(empty, has_expensive_flow), "precondition");
+  EXPECT_DEATH((void)shrink(start, nullptr), "precondition");
+  EXPECT_DEATH((void)shrink(start, has_expensive_flow, 0), "precondition");
+}
+
+TEST(FuzzerContracts, RunFuzzRejectsZeroCases) {
+  FuzzConfig cfg;
+  cfg.cases = 0;
+  EXPECT_DEATH((void)run_fuzz(cfg), "precondition");
+}
+
+TEST(FuzzerContracts, ReplayReportsGarbageInputAsError) {
+  const ReplayResult r = replay_corpus_text("not a corpus file at all");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(InvariantContracts, AnalyzeCaseRejectsEmptySet) {
+  const FlowSet empty{model::Network(2, 1, 1)};
+  EXPECT_DEATH((void)analyze_case(empty, CaseContext{}), "precondition");
+}
+
+}  // namespace
+}  // namespace tfa::proptest

@@ -106,7 +106,7 @@ TEST(BatchParallel, Table2ValuesUnchangedThroughBatchPath) {
 }
 
 TEST(BatchWarmStart, AddEqualsFromScratchWithFewerPasses) {
-  for (const std::uint64_t seed : {5u, 7u, 17u}) {
+  for (const std::uint64_t seed : {5u, 7u, 23u}) {
     FlowSet set = batch_workload(seed);
     AnalysisCache cache;
     const Result before = reanalyze_with(set, cache);
@@ -182,6 +182,64 @@ TEST(BatchWarmStart, ParameterChangeInvalidatesTheCache) {
   EXPECT_EQ(warm.stats.warm_seeded_entries, 0u);
 }
 
+TEST(BatchWarmStart, ConfigChangeFallsBackToColdStartAndMatches) {
+  const FlowSet set = random_set(31);
+  AnalysisCache cache;
+  (void)reanalyze_with(set, cache);
+
+  // Same flows, different Smax semantics: the cached table belongs to a
+  // different fixed point, so the context fingerprint must discard it.
+  Config completion;
+  completion.smax_semantics = SmaxSemantics::kCompletion;
+  const Result warm = reanalyze_with(set, cache, completion);
+  expect_identical(analyze(set, completion), warm);
+  EXPECT_EQ(warm.stats.warm_seeded_entries, 0u);
+  EXPECT_EQ(warm.stats.cache_hits, 0u);
+  EXPECT_GT(warm.stats.cache_misses, 0u);
+}
+
+TEST(BatchWarmStart, RandomizedFallbacksAlwaysMatchColdExactly) {
+  // Property form of the fallback guarantee: across random sets, every
+  // cache-invalidating mutation — flow removal, flow re-split via a
+  // changed split policy, config change — must produce bounds bit-equal
+  // to a cold analysis, with nothing warm-seeded.
+  for (const std::uint64_t seed : {41u, 43u, 59u, 61u, 73u}) {
+    const FlowSet full = random_set(seed, 10);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    {  // Removal of the last flow.
+      AnalysisCache cache;
+      (void)reanalyze_with(full, cache);
+      FlowSet reduced(full.network());
+      for (std::size_t i = 0; i + 1 < full.size(); ++i)
+        reduced.add(full.flow(static_cast<FlowIndex>(i)));
+      const Result warm = reanalyze_with(reduced, cache);
+      expect_identical(analyze(reduced), warm);
+      EXPECT_EQ(warm.stats.warm_seeded_entries, 0u);
+    }
+
+    {  // Re-split: the split-jitter policy reshapes normalised segments.
+      AnalysisCache cache;
+      (void)reanalyze_with(full, cache);
+      Config resplit;
+      resplit.split_jitter = model::SplitJitterPolicy::kInflateCrude;
+      const Result warm = reanalyze_with(full, cache, resplit);
+      expect_identical(analyze(full, resplit), warm);
+      EXPECT_EQ(warm.stats.warm_seeded_entries, 0u);
+    }
+
+    {  // Config change: completion semantics.
+      AnalysisCache cache;
+      (void)reanalyze_with(full, cache);
+      Config completion;
+      completion.smax_semantics = SmaxSemantics::kCompletion;
+      const Result warm = reanalyze_with(full, cache, completion);
+      expect_identical(analyze(full, completion), warm);
+      EXPECT_EQ(warm.stats.warm_seeded_entries, 0u);
+    }
+  }
+}
+
 TEST(BatchWarmStart, RepeatedReanalysisConvergesInOnePass) {
   const FlowSet set = random_set(5);
   AnalysisCache cache;
@@ -217,6 +275,28 @@ TEST(BatchContracts, AnalyzeRejectsInvalidSetWithClearMessage) {
 TEST(BatchContracts, AnalyzeRejectsEmptySet) {
   const FlowSet set(Network(2, 1, 1));
   EXPECT_DEATH((void)analyze(set), "precondition");
+}
+
+TEST(BatchContracts, AnalyzeManyRejectsEmptyBatch) {
+  EXPECT_DEATH((void)analyze_many({}), "precondition");
+}
+
+TEST(BatchContracts, AnalyzeManyRejectsEmptyMemberSet) {
+  std::vector<FlowSet> sets;
+  sets.push_back(random_set(2, 4));
+  sets.emplace_back(Network(2, 1, 1));  // empty straggler
+  EXPECT_DEATH((void)analyze_many(sets), "precondition");
+}
+
+TEST(BatchContracts, AnalyzeManyRejectsDuplicateFlowIdsWithDiagnostic) {
+  FlowSet bad(Network(2, 1, 1));
+  bad.add(SporadicFlow("dup", Path{0, 1}, 100, 2, 0, 50));
+  bad.add(SporadicFlow("dup", Path{0, 1}, 100, 2, 0, 50));
+  std::vector<FlowSet> sets;
+  sets.push_back(random_set(2, 4));
+  sets.push_back(bad);
+  EXPECT_DEATH((void)analyze_many(sets), "precondition");
+  EXPECT_DEATH((void)analyze_many(sets), "dup");  // names the flow
 }
 
 }  // namespace
