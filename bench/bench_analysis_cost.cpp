@@ -3,6 +3,11 @@
 // so its latency determines how fast an edge router can take decisions.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/options.h"
 #include "base/rng.h"
 #include "holistic/holistic.h"
 #include "model/generators.h"
@@ -97,4 +102,34 @@ BENCHMARK(BM_EfAnalysisWithBackground);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--json FILE` is sugar for
+// google-benchmark's --benchmark_out=FILE --benchmark_out_format=json, so
+// every bench binary shares one flag for machine-readable records
+// (BENCH_analysis_cost.json; docs/observability.md).
+int main(int argc, char** argv) {
+  tfa::OptionParser opts(argc, argv);
+  const auto json_path = opts.value("--json");
+  std::vector<std::string> args{argv[0]};
+  if (json_path) {
+    args.push_back("--benchmark_out=" + *json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  // Everything else passes through to google-benchmark untouched.
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--json") {
+      ++a;  // skip its value, already consumed
+      continue;
+    }
+    args.emplace_back(arg);
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& s : args) argv2.push_back(s.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

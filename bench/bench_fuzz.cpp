@@ -6,11 +6,19 @@
 // contract end to end: per-invariant pass/skip/violation counters must be
 // bit-identical whatever the worker count (run_fuzz shards over
 // parallel_shards and reduces sequentially in case order).
+// With `--json FILE` a machine-readable BENCH_fuzz.json record is written
+// next to the console output: {"bench","schema","wall_ms","checks",
+// "metrics"}, where "metrics" is the registry dump of the parallel sweep
+// (docs/observability.md).
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
+#include "base/options.h"
 #include "base/parallel.h"
 #include "base/table.h"
+#include "obs/telemetry.h"
 #include "proptest/fuzzer.h"
 
 namespace {
@@ -40,18 +48,29 @@ bool same_counters(const proptest::FuzzReport& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  OptionParser opts(argc, argv);
+  const auto json_path = opts.value("--json");
+  if (!opts.error().empty() || !opts.unknown_options().empty() ||
+      !opts.positionals().empty()) {
+    std::fprintf(stderr, "usage: bench_fuzz [--json FILE]\n");
+    return 2;
+  }
+
   proptest::FuzzConfig cfg;
   cfg.cases = 200;
 
   const std::size_t hw = default_worker_count();
   const std::size_t parallel_workers = hw < 4 ? 4 : hw;
 
+  obs::Telemetry tel;
   proptest::FuzzReport seq, par;
   cfg.workers = 1;
   const double seq_ms = run_ms(cfg, &seq);
   cfg.workers = parallel_workers;
+  cfg.telemetry = &tel;  // instrument the parallel sweep only
   const double par_ms = run_ms(cfg, &par);
+  cfg.telemetry = nullptr;
 
   TextTable t({"run", "wall ms", "cases/s", "violations", "speedup"});
   t.add_row({"1 worker", format_fixed(seq_ms, 1),
@@ -70,5 +89,26 @@ int main() {
   std::printf("\ncounters identical across worker counts: %s\n",
               deterministic ? "yes" : "NO — BUG");
 
-  return deterministic && seq.clean() && par.clean() ? 0 : 1;
+  const bool ok = deterministic && seq.clean() && par.clean();
+  if (json_path) {
+    const auto b = [](bool v) { return v ? "true" : "false"; };
+    std::ostringstream js;
+    js << "{\"bench\":\"bench_fuzz\",\"schema\":1,"
+       << "\"workload\":{\"cases\":" << cfg.cases
+       << ",\"workers\":" << parallel_workers << "},"
+       << "\"wall_ms\":{\"sequential\":" << seq_ms
+       << ",\"parallel\":" << par_ms << "},"
+       << "\"checks\":{\"deterministic\":" << b(deterministic)
+       << ",\"clean\":" << b(seq.clean() && par.clean())
+       << ",\"ok\":" << b(ok) << "},"
+       << "\"metrics\":" << tel.metrics.to_json() << "}\n";
+    std::ofstream out(*json_path);
+    if (out) out << js.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 2;
+    }
+    std::printf("json record written to %s\n", json_path->c_str());
+  }
+  return ok ? 0 : 1;
 }

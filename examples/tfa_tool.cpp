@@ -10,21 +10,30 @@
 //
 // `analyze` and `admit` accept a trailing `--stats` flag that appends the
 // run's EngineStats (fixed-point passes, test points, wall time per phase,
-// cache hits — see docs/performance.md).
+// cache hits — see docs/performance.md).  `analyze`, `admit` and `fuzz`
+// additionally accept `--trace-out FILE` (Chrome trace-event JSON, load in
+// chrome://tracing or Perfetto) and `--metrics-out FILE` (the metric
+// registry dump — see docs/observability.md).
 //
-// Run without arguments for this usage text; every subcommand exits 0 on
-// success, 1 on a negative verdict, 2 on usage/parse errors.
+// Options are extracted with base/options.h (OptionParser); an
+// unrecognised `--option` is a usage error.  Run without arguments for the
+// usage text; every subcommand exits 0 on success, 1 on a negative
+// verdict, 2 on usage/parse errors.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "admission/admission.h"
+#include "base/options.h"
 #include "base/rng.h"
 #include "base/table.h"
 #include "model/generators.h"
 #include "model/serialize.h"
+#include "obs/telemetry.h"
 #include "proptest/fuzzer.h"
 #include "report/report.h"
 #include "sim/worst_case_search.h"
@@ -35,25 +44,28 @@ namespace {
 using namespace tfa;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
-               "       tfa_tool generate <seed> [flows] [nodes]\n"
-               "       tfa_tool fuzz [cases] [seed] [workers] [--corpus DIR]\n"
-               "       (analyze/admit take --stats to print analysis cost)\n");
+  std::fprintf(
+      stderr,
+      "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
+      "       tfa_tool generate <seed> [flows] [nodes]\n"
+      "       tfa_tool fuzz [cases] [seed] [workers] [--corpus DIR]\n"
+      "       (analyze/admit take --stats to print analysis cost;\n"
+      "        analyze/admit/fuzz take --trace-out FILE and\n"
+      "        --metrics-out FILE for Chrome-trace / metric JSON dumps)\n");
   return 2;
 }
 
-bool load(const char* path, model::FlowSet& out) {
+bool load(const std::string& path, model::FlowSet& out) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path);
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return false;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
   const model::ParseResult parsed = model::parse_flow_set(buf.str());
   if (!parsed.ok()) {
-    std::fprintf(stderr, "%s:%d: %s\n", path, parsed.error_line,
+    std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), parsed.error_line,
                  parsed.error.c_str());
     return false;
   }
@@ -61,8 +73,44 @@ bool load(const char* path, model::FlowSet& out) {
   return true;
 }
 
-int cmd_analyze(const model::FlowSet& set, bool with_stats) {
-  const trajectory::Result r = trajectory::analyze(set);
+/// Observability sinks requested on the command line.  The Telemetry is
+/// only materialised when at least one output file was asked for, so runs
+/// without the flags keep the exact zero-instrumentation paths.
+struct ObsOutputs {
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
+  obs::Telemetry telemetry;
+
+  [[nodiscard]] bool wanted() const noexcept {
+    return trace_path.has_value() || metrics_path.has_value();
+  }
+  [[nodiscard]] obs::Telemetry* sink() noexcept {
+    return wanted() ? &telemetry : nullptr;
+  }
+
+  /// Writes the requested dumps; returns false (after a diagnostic) when
+  /// a file cannot be written.
+  [[nodiscard]] bool flush() {
+    const auto write = [](const std::string& path, const std::string& body) {
+      std::ofstream out(path);
+      if (out) out << body;
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+      }
+      return true;
+    };
+    bool ok = true;
+    if (trace_path)
+      ok = write(*trace_path, telemetry.trace.chrome_trace_json()) && ok;
+    if (metrics_path)
+      ok = write(*metrics_path, telemetry.metrics.to_json()) && ok;
+    return ok;
+  }
+};
+
+int cmd_analyze(const model::FlowSet& set, bool with_stats, ObsOutputs& obs) {
+  const trajectory::Result r = trajectory::analyze(set, {}, obs.sink());
   TextTable t({"flow", "deadline", "bound", "jitter", "verdict"});
   for (const auto& b : r.bounds) {
     const auto& f = set.flow(b.flow);
@@ -72,6 +120,7 @@ int cmd_analyze(const model::FlowSet& set, bool with_stats) {
   }
   std::printf("%s", t.to_string().c_str());
   if (with_stats) std::printf("\n%s", report::stats_text(r.stats).c_str());
+  if (!obs.flush()) return 2;
   return r.all_schedulable ? 0 : 1;
 }
 
@@ -117,8 +166,9 @@ int cmd_simulate(const model::FlowSet& set, std::size_t runs) {
   return sound ? 0 : 1;
 }
 
-int cmd_admit(const model::FlowSet& set, bool with_stats) {
+int cmd_admit(const model::FlowSet& set, bool with_stats, ObsOutputs& obs) {
   admission::AdmissionController ctrl(set.network());
+  ctrl.attach_telemetry(obs.sink());
   int rejected = 0;
   for (const auto& f : set.flows()) {
     const admission::Decision d = ctrl.request(f);
@@ -133,6 +183,7 @@ int cmd_admit(const model::FlowSet& set, bool with_stats) {
   // whenever the previous request was admitted.
   if (with_stats)
     std::printf("\n%s", report::stats_text(ctrl.last_stats()).c_str());
+  if (!obs.flush()) return 2;
   return rejected == 0 ? 0 : 1;
 }
 
@@ -147,78 +198,87 @@ int cmd_generate(std::uint64_t seed, std::int32_t flows, std::int32_t nodes) {
 }
 
 int cmd_fuzz(std::size_t cases, std::uint64_t seed, std::size_t workers,
-             const char* corpus_dir) {
+             const std::optional<std::string>& corpus_dir, ObsOutputs& obs) {
   proptest::FuzzConfig cfg;
   if (cases > 0) cfg.cases = cases;
   if (seed != 0) cfg.seed = seed;
   cfg.workers = workers;
-  if (corpus_dir != nullptr) cfg.corpus_dir = corpus_dir;
+  if (corpus_dir) cfg.corpus_dir = *corpus_dir;
+  cfg.telemetry = obs.sink();
   const proptest::FuzzReport report = proptest::run_fuzz(cfg);
   std::printf("%s", proptest::report_text(report).c_str());
+  if (!obs.flush()) return 2;
   return report.clean() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  OptionParser opts(argc, argv);
 
-  // A trailing --stats anywhere after the subcommand enables the
-  // EngineStats dump (analyze/admit).
-  bool with_stats = false;
-  for (int a = argc - 1; a >= 2; --a) {
-    if (std::string(argv[a]) == "--stats") {
-      with_stats = true;
-      for (int b = a; b + 1 < argc; ++b) argv[b] = argv[b + 1];
-      --argc;
-    }
+  // Every option any subcommand understands is extracted here; whatever
+  // still looks like an option afterwards is unknown and rejected, so a
+  // typo fails loudly instead of being read as a positional.
+  const bool with_stats = opts.flag("--stats");
+  const std::optional<std::string> corpus_dir = opts.value("--corpus");
+
+  ObsOutputs obs;
+  obs.trace_path = opts.value("--trace-out");
+  obs.metrics_path = opts.value("--metrics-out");
+
+  if (!opts.error().empty()) {
+    std::fprintf(stderr, "tfa_tool: %s\n", opts.error().c_str());
+    return usage();
+  }
+  if (const auto unknown = opts.unknown_options(); !unknown.empty()) {
+    std::fprintf(stderr, "tfa_tool: unknown option %s\n",
+                 unknown.front().c_str());
+    return usage();
   }
 
+  const std::vector<std::string> pos = opts.positionals();
+  if (pos.empty()) return usage();
+  const std::string& cmd = pos[0];
+
   if (cmd == "fuzz") {
-    const char* corpus_dir = nullptr;
-    for (int a = 2; a + 1 < argc; ++a) {
-      if (std::string(argv[a]) == "--corpus") {
-        corpus_dir = argv[a + 1];
-        for (int b = a; b + 2 < argc; ++b) argv[b] = argv[b + 2];
-        argc -= 2;
-        break;
-      }
-    }
     const auto cases =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+        pos.size() > 1 ? static_cast<std::size_t>(std::atoll(pos[1].c_str()))
+                       : std::size_t{0};
     // Base 0 so hex sweep seeds round-trip ("fuzz 2000 0xbeef").
-    const auto seed =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : std::uint64_t{0};
+    const auto seed = pos.size() > 2
+                          ? std::strtoull(pos[2].c_str(), nullptr, 0)
+                          : std::uint64_t{0};
     const auto workers =
-        argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 0;
-    return cmd_fuzz(cases, seed, workers, corpus_dir);
+        pos.size() > 3 ? static_cast<std::size_t>(std::atoi(pos[3].c_str()))
+                       : std::size_t{0};
+    return cmd_fuzz(cases, seed, workers, corpus_dir, obs);
   }
 
   if (cmd == "generate") {
-    if (argc < 3) return usage();
-    const auto seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
-    const std::int32_t flows = argc > 3 ? std::atoi(argv[3]) : 8;
-    const std::int32_t nodes = argc > 4 ? std::atoi(argv[4]) : 12;
+    if (pos.size() < 2) return usage();
+    const auto seed = static_cast<std::uint64_t>(std::atoll(pos[1].c_str()));
+    const std::int32_t flows = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 8;
+    const std::int32_t nodes = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 12;
     if (flows <= 0 || nodes <= 1) return usage();
     return cmd_generate(seed, flows, nodes);
   }
 
-  if (argc < 3) return usage();
+  if (pos.size() < 2) return usage();
   model::FlowSet set;
-  if (!load(argv[2], set)) return 2;
+  if (!load(pos[1], set)) return 2;
   if (const auto issues = set.validate(); !issues.empty()) {
     std::fprintf(stderr, "invalid flow set: %s\n",
                  issues.front().message.c_str());
     return 2;
   }
 
-  if (cmd == "analyze") return cmd_analyze(set, with_stats);
-  if (cmd == "report") return cmd_report(set, argc > 3 ? argv[3] : nullptr);
+  if (cmd == "analyze") return cmd_analyze(set, with_stats, obs);
+  if (cmd == "report")
+    return cmd_report(set, pos.size() > 2 ? pos[2].c_str() : nullptr);
   if (cmd == "simulate")
-    return cmd_simulate(set, argc > 3
-                                 ? static_cast<std::size_t>(std::atoi(argv[3]))
-                                 : 32);
-  if (cmd == "admit") return cmd_admit(set, with_stats);
+    return cmd_simulate(
+        set, pos.size() > 2 ? static_cast<std::size_t>(std::atoi(pos[2].c_str()))
+                            : 32);
+  if (cmd == "admit") return cmd_admit(set, with_stats, obs);
   return usage();
 }

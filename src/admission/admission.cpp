@@ -5,6 +5,7 @@
 #include "base/contracts.h"
 #include "holistic/holistic.h"
 #include "netcalc/analysis.h"
+#include "obs/telemetry.h"
 #include "trajectory/analysis.h"
 
 namespace tfa::admission {
@@ -17,26 +18,43 @@ AdmissionController::AdmissionController(model::Network network,
   trajectory_cfg_.ef_mode = (kind_ == AnalysisKind::kTrajectoryEf);
 }
 
+void AdmissionController::attach_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  // A controller is long-lived: bound the convergence series so telemetry
+  // stays O(1) per request (overflow lands in the obs.series_dropped
+  // counter instead of memory).
+  if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
+}
+
 Decision AdmissionController::request(const model::SporadicFlow& flow) {
+  obs::Span request_span = obs::span(telemetry_, "admission.request");
+  auto decide = [&](Decision d) {
+    if (telemetry_ != nullptr) {
+      ++telemetry_->metrics.counter("admission.requests");
+      ++telemetry_->metrics.counter(d.admitted ? "admission.admitted"
+                                               : "admission.rejected");
+    }
+    return d;
+  };
   Decision d;
 
   // Structural rejections first: name clash, path outside the network.
   if (set_.find(flow.name())) {
     d.reason = "a flow named '" + flow.name() + "' is already admitted";
-    return d;
+    return decide(std::move(d));
   }
   model::FlowSet candidate = set_;
   candidate.add(flow);
   if (const auto issues = candidate.validate(); !issues.empty()) {
     d.reason = "invalid request: " + issues.front().message;
-    return d;
+    return decide(std::move(d));
   }
 
   // Necessary condition: no node may exceed full utilisation.
   for (const NodeId h : flow.path().nodes()) {
     if (candidate.node_utilisation(h) > 1.0) {
       d.reason = "node " + std::to_string(h) + " would exceed capacity";
-      return d;
+      return decide(std::move(d));
     }
   }
 
@@ -44,18 +62,19 @@ Decision AdmissionController::request(const model::SporadicFlow& flow) {
     d.reason = d.violating.empty()
                    ? "analysis did not converge"
                    : "deadline miss certified for: " + d.violating.front();
-    return d;
+    return decide(std::move(d));
   }
 
   set_ = std::move(candidate);
   d.admitted = true;
   d.reason = "admitted";
-  return d;
+  return decide(std::move(d));
 }
 
 bool AdmissionController::release(std::string_view name) {
   const auto idx = set_.find(name);
   if (!idx) return false;
+  if (telemetry_ != nullptr) ++telemetry_->metrics.counter("admission.released");
   model::FlowSet next(set_.network());
   for (std::size_t i = 0; i < set_.size(); ++i)
     if (static_cast<FlowIndex>(i) != *idx)
@@ -118,17 +137,17 @@ bool AdmissionController::schedulable(const model::FlowSet& candidate,
       // extends the previously analysed one by the newcomer, so the Smax
       // fixed point warm-starts from the cached table instead of from the
       // cold seed (trajectory/batch.h).
-      const trajectory::Result r =
-          trajectory::reanalyze_with(candidate, cache_, trajectory_cfg_);
-      last_stats_ = r.stats;
+      const trajectory::Result r = trajectory::reanalyze_with(
+          candidate, cache_, trajectory_cfg_, telemetry_);
+      last_stats_ = r.stats;  // already this call's delta, registry or not
       return harvest(r.bounds, r.converged);
     }
     case AnalysisKind::kHolistic: {
-      const holistic::Result r = holistic::analyze(candidate);
+      const holistic::Result r = holistic::analyze(candidate, {}, telemetry_);
       return harvest(r.bounds, r.converged);
     }
     case AnalysisKind::kNetworkCalculus: {
-      const netcalc::Result r = netcalc::analyze(candidate);
+      const netcalc::Result r = netcalc::analyze(candidate, {}, telemetry_);
       return harvest(r.bounds, r.converged);
     }
   }

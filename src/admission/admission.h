@@ -16,6 +16,10 @@
 #include "trajectory/batch.h"
 #include "trajectory/types.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::admission {
 
 /// Which worst-case analysis backs the admission test.
@@ -71,6 +75,16 @@ class AdmissionController {
     return last_stats_;
   }
 
+  /// Attaches a long-lived observability sink (nullptr detaches).  Every
+  /// subsequent request() opens an "admission.request" span and bumps the
+  /// admission.requests / admission.admitted / admission.rejected
+  /// counters (release() bumps admission.released); the backing analysis
+  /// accumulates its own telemetry into the same registry.  The
+  /// controller caps the registry's series length so a long admit
+  /// sequence cannot grow telemetry without bound.  The sink must outlive
+  /// the controller or be detached first.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
  private:
   [[nodiscard]] bool schedulable(const model::FlowSet& candidate,
                                  std::vector<std::string>* violating,
@@ -86,6 +100,7 @@ class AdmissionController {
   /// a cold start rather than an unsound warm one.
   trajectory::AnalysisCache cache_;
   trajectory::EngineStats last_stats_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace tfa::admission

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "base/contracts.h"
 #include "base/types.h"
@@ -35,17 +36,31 @@ struct FixedPointResult {
   }
 };
 
+/// Optional convergence telemetry of one iterate_fixed_point() run: the
+/// sequence of iterates, starting with the seed.  The series is what the
+/// observability layer exports per flow (the Lemma-3 busy-period climb —
+/// see docs/observability.md); recording is opt-in because the busy-period
+/// fixed points sit on the analysis hot path.
+struct FixedPointTrace {
+  std::vector<Duration> iterates;
+};
+
 /// Iterates `x <- f(x)` from `seed` until convergence.
 ///
 /// Requirements: `f` must be monotone non-decreasing and `seed <= f(seed)`
 /// (start below the least fixed point).  `ceiling` bounds the search; if an
 /// iterate exceeds it the computation reports divergence.
+///
+/// When `trace` is non-null every iterate (seed included, final value
+/// last) is appended to it.
 template <typename F>
 [[nodiscard]] FixedPointResult iterate_fixed_point(
     Duration seed, const F& f, Duration ceiling,
-    std::size_t max_iterations = 1u << 20) {
+    std::size_t max_iterations = 1u << 20,
+    FixedPointTrace* trace = nullptr) {
   FixedPointResult r;
   Duration x = seed;
+  if (trace != nullptr) trace->iterates.push_back(x);
   for (std::size_t k = 0; k < max_iterations; ++k) {
     if (x > ceiling || is_infinite(x)) {
       r.status = FixedPointStatus::kDiverged;
@@ -62,6 +77,7 @@ template <typename F>
       return r;
     }
     x = next;
+    if (trace != nullptr) trace->iterates.push_back(x);
   }
   r.status = FixedPointStatus::kMaxIterations;
   r.value = x;

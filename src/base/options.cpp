@@ -1,0 +1,54 @@
+#include "base/options.h"
+
+namespace tfa {
+
+OptionParser::OptionParser(int argc, char** argv) {
+  args_.reserve(argc > 0 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int a = 1; a < argc; ++a) args_.emplace_back(argv[a]);
+}
+
+bool OptionParser::flag(std::string_view name) {
+  bool found = false;
+  for (std::size_t k = args_.size(); k-- > 0;) {
+    if (args_[k] == name) {
+      args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(k));
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::optional<std::string> OptionParser::value(std::string_view name) {
+  std::optional<std::string> out;
+  for (std::size_t k = 0; k < args_.size();) {
+    if (args_[k] != name) {
+      ++k;
+      continue;
+    }
+    if (k + 1 >= args_.size()) {
+      error_ = std::string(name) + " requires a value";
+      args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(k));
+      return out;
+    }
+    out = args_[k + 1];
+    args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(k),
+                args_.begin() + static_cast<std::ptrdiff_t>(k) + 2);
+  }
+  return out;
+}
+
+std::vector<std::string> OptionParser::positionals() const {
+  std::vector<std::string> out;
+  for (const std::string& a : args_)
+    if (a.rfind("--", 0) != 0) out.push_back(a);
+  return out;
+}
+
+std::vector<std::string> OptionParser::unknown_options() const {
+  std::vector<std::string> out;
+  for (const std::string& a : args_)
+    if (a.rfind("--", 0) == 0) out.push_back(a);
+  return out;
+}
+
+}  // namespace tfa

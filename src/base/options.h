@@ -1,0 +1,56 @@
+// Small reusable command-line option extractor shared by tfa_tool and the
+// benchmark binaries.  It replaces the ad-hoc argv-shuffling each tool
+// grew for flags like `--stats` and `--corpus`: options are *consumed*
+// from the argument list on demand, and whatever remains is either a
+// positional argument or an unrecognised option the caller can reject.
+//
+// Usage:
+//   OptionParser opts(argc, argv);
+//   const bool with_stats = opts.flag("--stats");
+//   const auto corpus = opts.value("--corpus");       // --corpus DIR
+//   if (!opts.error().empty() || !opts.unknown_options().empty()) usage();
+//   const std::vector<std::string>& pos = opts.positionals();
+//
+// Deliberately minimal: no `--name=value` syntax, no option bundling —
+// the tools only ever used `--name` and `--name VALUE` forms.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tfa {
+
+class OptionParser {
+ public:
+  /// Captures argv[1..argc).  argv[0] (the program name) is dropped.
+  OptionParser(int argc, char** argv);
+
+  /// Consumes every occurrence of the standalone flag `name` (e.g.
+  /// "--stats"); returns true when it appeared at least once.
+  [[nodiscard]] bool flag(std::string_view name);
+
+  /// Consumes every `name VALUE` pair (e.g. "--corpus DIR"); returns the
+  /// last value, or nullopt when absent.  A `name` with no following
+  /// argument sets error().
+  [[nodiscard]] std::optional<std::string> value(std::string_view name);
+
+  /// Arguments not consumed by flag()/value() and not starting with
+  /// "--", in their original order.
+  [[nodiscard]] std::vector<std::string> positionals() const;
+
+  /// Unconsumed arguments starting with "--" — unrecognised options the
+  /// caller should reject.
+  [[nodiscard]] std::vector<std::string> unknown_options() const;
+
+  /// Non-empty after a malformed extraction (value option missing its
+  /// argument).
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  std::vector<std::string> args_;
+  std::string error_;
+};
+
+}  // namespace tfa

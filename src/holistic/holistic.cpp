@@ -5,6 +5,7 @@
 #include "base/contracts.h"
 #include "base/fixed_point.h"
 #include "base/math.h"
+#include "obs/telemetry.h"
 
 namespace tfa::holistic {
 
@@ -182,6 +183,20 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
   }
   result.all_schedulable = all_ok;
   return result;
+}
+
+Result analyze(const model::FlowSet& set, const Config& cfg,
+               obs::Telemetry* telemetry) {
+  obs::Span analyze_span = obs::span(telemetry, "holistic.analyze");
+  Result r = analyze(set, cfg);
+  if (telemetry != nullptr) {
+    ++telemetry->metrics.counter("holistic.runs");
+    telemetry->metrics.counter("holistic.iterations") +=
+        static_cast<std::int64_t>(r.iterations);
+    telemetry->metrics.counter("holistic.flows") +=
+        static_cast<std::int64_t>(r.bounds.size());
+  }
+  return r;
 }
 
 }  // namespace tfa::holistic

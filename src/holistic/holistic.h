@@ -19,6 +19,10 @@
 #include "base/types.h"
 #include "model/flow_set.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::holistic {
 
 /// How arrival jitter grows from one node to the next.
@@ -76,5 +80,11 @@ struct Result {
 
 /// Runs the holistic analysis on every flow of `set`.
 [[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg = {});
+
+/// analyze() with an observability sink: a "holistic.analyze" span plus
+/// the holistic.runs / holistic.iterations / holistic.flows counters.
+/// nullptr behaves exactly like the two-argument overload.
+[[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg,
+                             obs::Telemetry* telemetry);
 
 }  // namespace tfa::holistic

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/contracts.h"
+#include "obs/telemetry.h"
 
 namespace tfa::netcalc {
 
@@ -230,6 +231,20 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
   }
   result.all_schedulable = all_ok;
   return result;
+}
+
+Result analyze(const model::FlowSet& set, const Config& cfg,
+               obs::Telemetry* telemetry) {
+  obs::Span analyze_span = obs::span(telemetry, "netcalc.analyze");
+  Result r = analyze(set, cfg);
+  if (telemetry != nullptr) {
+    ++telemetry->metrics.counter("netcalc.runs");
+    telemetry->metrics.counter("netcalc.iterations") +=
+        static_cast<std::int64_t>(r.iterations);
+    telemetry->metrics.counter("netcalc.flows") +=
+        static_cast<std::int64_t>(r.bounds.size());
+  }
+  return r;
 }
 
 }  // namespace tfa::netcalc

@@ -11,6 +11,10 @@
 #include "model/flow_set.h"
 #include "netcalc/curves.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::netcalc {
 
 /// How the end-to-end delay is assembled from the per-node curves.
@@ -68,5 +72,11 @@ struct Result {
 
 /// Runs the analysis on every flow of `set`.
 [[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg = {});
+
+/// analyze() with an observability sink: a "netcalc.analyze" span plus
+/// the netcalc.runs / netcalc.iterations / netcalc.flows counters.
+/// nullptr behaves exactly like the two-argument overload.
+[[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg,
+                             obs::Telemetry* telemetry);
 
 }  // namespace tfa::netcalc

@@ -1,0 +1,28 @@
+// The bundle a run threads through the analysis layers: one metric
+// registry plus one span tracer.  Everything that accepts telemetry takes
+// a `Telemetry*` and treats nullptr as "observability off" (zero-cost
+// paths stay zero-cost); the helpers below make optional tracing terse at
+// the call sites.
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace tfa::obs {
+
+/// One run's observability state.  Like its parts, single-threaded by
+/// contract; parallel producers accumulate partials and merge them in a
+/// deterministic order (see docs/observability.md).
+struct Telemetry {
+  MetricRegistry metrics;
+  Tracer trace;
+};
+
+/// Opens a span on `t`'s tracer, or a no-op handle when `t` is null.
+[[nodiscard]] inline Span span(Telemetry* t, std::string_view name) {
+  return t != nullptr ? t->trace.span(name) : Span{};
+}
+
+}  // namespace tfa::obs

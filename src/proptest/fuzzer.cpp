@@ -10,6 +10,7 @@
 #include "base/parallel.h"
 #include "base/table.h"
 #include "model/serialize.h"
+#include "obs/telemetry.h"
 #include "proptest/shrink.h"
 
 namespace tfa::proptest {
@@ -40,18 +41,21 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   // One slot per case, filled by whichever worker runs the case and read
   // back sequentially — the reduction below never depends on scheduling.
   std::vector<std::vector<CheckOutcome>> outcomes(cfg.cases);
-  parallel_shards(
-      cfg.cases, cfg.shards,
-      [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const FuzzCase fc = generate_case(cfg.seed, i);
-          const CaseAnalysis a = analyze_case(fc.set, fc.ctx, cfg.budget);
-          std::vector<CheckOutcome>& out = outcomes[i];
-          out.reserve(registry.size());
-          for (const Invariant& inv : registry) out.push_back(inv.check(a));
-        }
-      },
-      cfg.workers);
+  {
+    obs::Span sweep_span = obs::span(cfg.telemetry, "fuzz.sweep");
+    parallel_shards(
+        cfg.cases, cfg.shards,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const FuzzCase fc = generate_case(cfg.seed, i);
+            const CaseAnalysis a = analyze_case(fc.set, fc.ctx, cfg.budget);
+            std::vector<CheckOutcome>& out = outcomes[i];
+            out.reserve(registry.size());
+            for (const Invariant& inv : registry) out.push_back(inv.check(a));
+          }
+        },
+        cfg.workers);
+  }
 
   FuzzReport report;
   report.config = cfg;
@@ -59,6 +63,7 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   for (const Invariant& inv : registry)
     report.counters.push_back({inv.name, 0, 0, 0});
 
+  obs::Span reduce_span = obs::span(cfg.telemetry, "fuzz.reduce");
   for (std::size_t i = 0; i < cfg.cases; ++i) {
     for (std::size_t k = 0; k < registry.size(); ++k) {
       const CheckOutcome& o = outcomes[i][k];
@@ -78,7 +83,24 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
     }
   }
 
+  reduce_span.end();
+
+  if (cfg.telemetry != nullptr) {
+    obs::MetricRegistry& m = cfg.telemetry->metrics;
+    m.counter("fuzz.cases") += static_cast<std::int64_t>(cfg.cases);
+    m.counter("fuzz.violations") +=
+        static_cast<std::int64_t>(report.violations.size());
+    for (const InvariantCounters& c : report.counters) {
+      const std::string prefix = "fuzz." + c.name;
+      m.counter(prefix + ".pass") += static_cast<std::int64_t>(c.passes);
+      m.counter(prefix + ".skip") += static_cast<std::int64_t>(c.skips);
+      m.counter(prefix + ".violation") +=
+          static_cast<std::int64_t>(c.violations);
+    }
+  }
+
   // Minimise the first few violations; the rest keep their full sets.
+  obs::Span shrink_span = obs::span(cfg.telemetry, "fuzz.shrink");
   std::size_t shrunk = 0;
   for (Violation& v : report.violations) {
     const FuzzCase fc = generate_case(v.spec.sweep_seed, v.spec.index);
@@ -97,8 +119,10 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
     v.shrink_steps = s.steps;
     v.shrink_attempts = s.attempts;
   }
+  shrink_span.end();
 
   if (!cfg.corpus_dir.empty() && !report.violations.empty()) {
+    obs::Span corpus_span = obs::span(cfg.telemetry, "fuzz.corpus_write");
     std::filesystem::create_directories(cfg.corpus_dir);
     for (Violation& v : report.violations) {
       const std::filesystem::path path =

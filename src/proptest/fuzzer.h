@@ -22,6 +22,10 @@
 #include "proptest/generate.h"
 #include "proptest/invariants.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::proptest {
 
 /// Knobs of one fuzz sweep.
@@ -34,6 +38,13 @@ struct FuzzConfig {
   std::size_t max_shrunk = 4;          ///< Violations to minimise.
   std::size_t shrink_attempts = 400;   ///< Predicate budget per shrink.
   std::string corpus_dir;  ///< Write shrunk repros here when non-empty.
+  /// When non-null, the sweep opens fuzz.sweep / fuzz.reduce /
+  /// fuzz.shrink / fuzz.corpus_write spans and publishes the fuzz.cases /
+  /// fuzz.violations totals plus one fuzz.<invariant>.{pass,skip,violation}
+  /// counter triple per registered invariant — the same numbers as
+  /// FuzzReport::counters, straight from the reduction, so they inherit
+  /// its worker-count independence.  Must outlive the run_fuzz() call.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Pass/skip/violation tallies of one invariant over a sweep.

@@ -44,10 +44,30 @@ Duration NetworkSim::max_backlog_work(NodeId node) const {
 void NetworkSim::run() {
   TFA_EXPECTS(!ran_);
   ran_ = true;
+  obs::Span run_span = obs::span(cfg_.telemetry, "sim.run");
   inject_sources();
   // Let in-flight packets drain: the horizon bounds generation, not
   // delivery, so responses of late packets are still observed in full.
   simulator_.run_until(horizon_ + horizon_ / 2 + 1024);
+
+  if (cfg_.telemetry != nullptr) {
+    obs::MetricRegistry& m = cfg_.telemetry->metrics;
+    ++m.counter("sim.runs");
+    m.counter("sim.injected") += injected_;
+    m.counter("sim.delivered") += delivered_;
+    std::int64_t& horizon_gauge = m.gauge("sim.horizon");
+    horizon_gauge = std::max(horizon_gauge, horizon_);
+    // Peak-per-node distributions, folded in node order (deterministic:
+    // the simulator itself is sequential and seed-driven).
+    obs::Histogram& depth =
+        m.histogram("sim.max_queue_depth", {1, 2, 4, 8, 16, 32, 64, 128});
+    obs::Histogram& backlog = m.histogram(
+        "sim.max_backlog_work", {4, 16, 64, 256, 1024, 4096, 16384, 65536});
+    for (const NodeState& n : nodes_) {
+      depth.record(static_cast<std::int64_t>(n.max_depth));
+      backlog.record(n.max_backlog);
+    }
+  }
 }
 
 void NetworkSim::inject_sources() {

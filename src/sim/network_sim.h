@@ -15,6 +15,7 @@
 #include "base/rng.h"
 #include "base/types.h"
 #include "model/flow_set.h"
+#include "obs/telemetry.h"
 #include "sim/packet.h"
 #include "sim/queue_discipline.h"
 #include "sim/simulator.h"
@@ -58,6 +59,12 @@ struct SimConfig {
   /// jitter bound, clustering the packets generated inside [o, o+J]
   /// (the densest legal burst, as in kAdversarialJitter).
   bool offsets_jitter_burst = false;
+  /// When non-null, run() opens a "sim.run" span and publishes the
+  /// scenario's outcome: sim.runs / sim.injected / sim.delivered
+  /// counters, a sim.horizon gauge, and the per-node peaks folded into
+  /// the "sim.max_queue_depth" and "sim.max_backlog_work" histograms in
+  /// node order.  Must outlive the NetworkSim.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// A runnable simulation instance.

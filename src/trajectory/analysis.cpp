@@ -4,6 +4,7 @@
 
 #include "base/contracts.h"
 #include "model/normalize.h"
+#include "obs/telemetry.h"
 #include "trajectory/engine.h"
 
 namespace tfa::trajectory {
@@ -82,20 +83,40 @@ Result compose(const model::FlowSet& set, const Config& cfg,
 }  // namespace detail
 
 Result analyze(const model::FlowSet& set, const Config& cfg) {
+  return analyze(set, cfg, nullptr);
+}
+
+Result analyze(const model::FlowSet& set, const Config& cfg,
+               obs::Telemetry* telemetry) {
   TFA_EXPECTS(!set.empty());
   const auto issues = set.validate();
   TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
 
-  const model::NormalisationReport norm =
-      model::normalise(set, cfg.split_jitter);
+  // All accounting flows through a registry — EngineStats is a view over
+  // it (stats_view).  With no caller-supplied telemetry a run-local one
+  // plays the sink; with a shared one, the delta against the pre-run
+  // snapshot keeps Result::stats per-call (no wall-time double-count
+  // across warm-start re-analyses — see EngineStats::merge).
+  obs::Telemetry local;
+  obs::Telemetry* t = telemetry != nullptr ? telemetry : &local;
+  const EngineStats before = stats_view(t->metrics);
 
-  EngineStats stats;
+  obs::Span analyze_span = obs::span(t, "trajectory.analyze");
+
+  const model::NormalisationReport norm = [&] {
+    obs::Span norm_span = obs::span(t, "trajectory.normalise");
+    return model::normalise(set, cfg.split_jitter);
+  }();
+
   EngineOptions opts;
-  opts.stats = &stats;
+  opts.telemetry = t;
   const Engine engine(norm.flow_set, cfg, opts);
 
-  Result result = detail::compose(set, cfg, norm, engine);
-  result.stats = stats;
+  Result result = [&] {
+    obs::Span compose_span = obs::span(t, "trajectory.compose");
+    return detail::compose(set, cfg, norm, engine);
+  }();
+  result.stats = stats_view(t->metrics).delta_since(before);
   return result;
 }
 

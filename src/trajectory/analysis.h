@@ -7,6 +7,10 @@
 #include "model/flow_set.h"
 #include "trajectory/types.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::trajectory {
 
 /// Analyses `set` and returns one FlowBound per analysed flow (all flows,
@@ -20,6 +24,15 @@ namespace tfa::trajectory {
 /// Precondition: `set.validate()` reports no issues and `set` is
 /// non-empty.
 [[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg = {});
+
+/// analyze() with an observability sink: spans ("trajectory.analyze" >
+/// normalise / engine / compose), convergence series, and the run's work
+/// counters land in `telemetry` (accumulating — a long-lived Telemetry
+/// collects totals across calls).  Result::stats always reports THIS
+/// call's share only, however many runs the registry has seen.  nullptr
+/// behaves exactly like the two-argument overload.
+[[nodiscard]] Result analyze(const model::FlowSet& set, const Config& cfg,
+                             obs::Telemetry* telemetry);
 
 /// Convenience: Property-2 response-time bound of a single flow (by
 /// original index).  Returns kInfiniteDuration when divergent.

@@ -5,6 +5,7 @@
 #include "base/contracts.h"
 #include "base/parallel.h"
 #include "model/normalize.h"
+#include "obs/telemetry.h"
 #include "trajectory/analysis.h"
 #include "trajectory/engine.h"
 
@@ -96,18 +97,30 @@ void AnalysisCache::clear() {
 }
 
 Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
-                      const Config& cfg) {
+                      const Config& cfg, obs::Telemetry* telemetry) {
   TFA_EXPECTS(!set.empty());
   const auto issues = set.validate();
   TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
 
-  const model::NormalisationReport norm =
-      model::normalise(set, cfg.split_jitter);
+  // Registry-first accounting, like analyze(): a run-local Telemetry
+  // stands in when the caller passes none, and Result::stats is the delta
+  // against the pre-run snapshot so a persistent registry never
+  // double-counts wall times across re-analyses.
+  obs::Telemetry local;
+  obs::Telemetry* t = telemetry != nullptr ? telemetry : &local;
+  const EngineStats before = stats_view(t->metrics);
+  obs::Span reanalyze_span = obs::span(t, "trajectory.reanalyze");
+
+  const model::NormalisationReport norm = [&] {
+    obs::Span norm_span = obs::span(t, "trajectory.normalise");
+    return model::normalise(set, cfg.split_jitter);
+  }();
   const model::FlowSet& fs = norm.flow_set;
   const std::size_t n = fs.size();
   const std::uint64_t context = context_fingerprint(set.network(), cfg);
 
-  EngineStats stats;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
 
   // ---- Warm-start validity: every cached row must correspond to an
   // unchanged flow of the new normalised set, i.e. the cached run covered
@@ -130,7 +143,7 @@ Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
   // Seed rows resolved up front so the engine's hook is just a lookup.
   std::vector<const std::vector<Duration>*> seed(n, nullptr);
   EngineOptions opts;
-  opts.stats = &stats;
+  opts.telemetry = t;
   if (warm) {
     for (std::size_t i = 0; i < n; ++i) {
       const model::SporadicFlow& f = fs.flow(static_cast<FlowIndex>(i));
@@ -139,9 +152,9 @@ Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
       if (it != cache.rows_.end() && !it->second.smax.empty()) {
         TFA_ASSERT(it->second.smax.size() == f.path().size());
         seed[i] = &it->second.smax;
-        ++stats.cache_hits;
+        ++hits;
       } else {
-        ++stats.cache_misses;  // newly added flow: cold row
+        ++misses;  // newly added flow: cold row
       }
     }
     opts.warm_seed = [&seed](FlowIndex i, std::size_t pos) {
@@ -152,8 +165,10 @@ Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
     // Invalidated: every analysable flow restarts from the cold seed.
     for (std::size_t i = 0; i < n; ++i)
       if (analysable_under(fs.flow(static_cast<FlowIndex>(i)), cfg))
-        ++stats.cache_misses;
+        ++misses;
   }
+  t->metrics.counter("trajectory.cache_hits") += hits;
+  t->metrics.counter("trajectory.cache_misses") += misses;
 
   const Engine engine(fs, cfg, opts);
 
@@ -179,13 +194,22 @@ Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
     cache.rows_.emplace(f.name(), std::move(row));
   }
 
-  Result result = detail::compose(set, cfg, norm, engine);
-  result.stats = stats;
+  Result result = [&] {
+    obs::Span compose_span = obs::span(t, "trajectory.compose");
+    return detail::compose(set, cfg, norm, engine);
+  }();
+  result.stats = stats_view(t->metrics).delta_since(before);
   return result;
 }
 
 std::vector<Result> analyze_many(const std::vector<model::FlowSet>& sets,
                                  const Config& cfg, std::size_t workers) {
+  return analyze_many(sets, cfg, workers, nullptr);
+}
+
+std::vector<Result> analyze_many(const std::vector<model::FlowSet>& sets,
+                                 const Config& cfg, std::size_t workers,
+                                 obs::Telemetry* telemetry) {
   TFA_EXPECTS(!sets.empty());
   // Validate up front, on the caller's thread: a malformed set should die
   // with its diagnostic here, not from inside a worker.
@@ -194,12 +218,23 @@ std::vector<Result> analyze_many(const std::vector<model::FlowSet>& sets,
     const auto issues = s.validate();
     TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
   }
+  obs::Span many_span = obs::span(telemetry, "trajectory.analyze_many");
   Config per_set = cfg;
   per_set.workers = 1;  // the fan-out is the parallelism
   std::vector<Result> out(sets.size());
   parallel_for(
       sets.size(), [&](std::size_t i) { out[i] = analyze(sets[i], per_set); },
       workers);
+  // Aggregate publish, after the barrier and in set order: each per-set
+  // run collected into its own local sink (workers never touch the shared
+  // registry), so the totals are identical for every `workers`.
+  if (telemetry != nullptr) {
+    telemetry->metrics.counter("trajectory.sets_analyzed") +=
+        static_cast<std::int64_t>(sets.size());
+    EngineStats total;
+    for (const Result& r : out) total.merge(r.stats);
+    publish_stats(total, telemetry->metrics);
+  }
   return out;
 }
 

@@ -26,6 +26,10 @@
 #include "trajectory/stats.h"
 #include "trajectory/types.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::trajectory {
 
 /// Memoized state of one analysis run: the Smax table rows and full-path
@@ -59,7 +63,7 @@ class AnalysisCache {
   std::uint64_t context_ = 0;  ///< Network + Config fingerprint.
 
   friend Result reanalyze_with(const model::FlowSet& set, AnalysisCache& cache,
-                               const Config& cfg);
+                               const Config& cfg, obs::Telemetry* telemetry);
 };
 
 /// Analyses `set` exactly like analyze() (same Result, same bounds — the
@@ -75,9 +79,21 @@ class AnalysisCache {
 /// the cached table could overestimate the new least fixed point.
 ///
 /// Precondition: `set` is non-empty and `set.validate()` is clean.
+[[nodiscard]] inline Result reanalyze_with(const model::FlowSet& set,
+                                           AnalysisCache& cache,
+                                           const Config& cfg = {}) {
+  return reanalyze_with(set, cache, cfg, nullptr);
+}
+
+/// reanalyze_with() with an observability sink.  The registry ACCUMULATES
+/// across calls (counters, timers, convergence series) — the natural use
+/// is one long-lived Telemetry per cache lineage — while Result::stats is
+/// computed as a delta against the pre-call snapshot, so each call's wall
+/// times are reported exactly once (the regression test in
+/// tests/trajectory/stats_semantics_test.cpp pins both halves).
 [[nodiscard]] Result reanalyze_with(const model::FlowSet& set,
-                                    AnalysisCache& cache,
-                                    const Config& cfg = {});
+                                    AnalysisCache& cache, const Config& cfg,
+                                    obs::Telemetry* telemetry);
 
 /// Analyses many independent sets, fanning them out over `workers`
 /// threads (0 = hardware default).  Results are ordered like `sets`
@@ -87,5 +103,15 @@ class AnalysisCache {
 [[nodiscard]] std::vector<Result> analyze_many(
     const std::vector<model::FlowSet>& sets, const Config& cfg = {},
     std::size_t workers = 0);
+
+/// analyze_many() with an observability sink: one "trajectory.analyze_many"
+/// span, a "trajectory.sets_analyzed" counter, and the summed per-set work
+/// counters, published once after the fan-out in set order (per-set runs
+/// collect into private sinks, so the totals are deterministic for every
+/// `workers`).  Per-set series/spans are NOT forwarded — fan-out telemetry
+/// is aggregate by design.
+[[nodiscard]] std::vector<Result> analyze_many(
+    const std::vector<model::FlowSet>& sets, const Config& cfg,
+    std::size_t workers, obs::Telemetry* telemetry);
 
 }  // namespace tfa::trajectory

@@ -9,6 +9,7 @@
 #include "base/math.h"
 #include "base/parallel.h"
 #include "model/normalize.h"
+#include "obs/telemetry.h"
 #include "trajectory/delta.h"
 
 namespace tfa::trajectory {
@@ -123,26 +124,44 @@ Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles,
 
   // Per-flow stat partials, merged in index order below so every counter
   // is independent of the worker schedule.
-  std::vector<EngineStats> partials(opts.stats != nullptr ? n : 0);
+  obs::Telemetry* tel = opts.telemetry;
+  const bool instrument = opts.stats != nullptr || tel != nullptr;
+  std::vector<EngineStats> partials(instrument ? n : 0);
+
+  obs::Span engine_span = obs::span(tel, "trajectory.engine");
 
   const auto fp_start = std::chrono::steady_clock::now();
-  run_fixed_point(opts.stats != nullptr ? &partials : nullptr);
+  {
+    obs::Span fp_span = obs::span(tel, "trajectory.fixed_point");
+    run_fixed_point(instrument ? &partials : nullptr, tel);
+  }
   const std::int64_t fp_ns = elapsed_ns(fp_start);
+
+  // Snapshot the fixed-point phase's work so the registry can split the
+  // counters by phase (the extraction share is the remainder).
+  EngineStats fp_work;
+  if (tel != nullptr)
+    for (const EngineStats& p : partials) fp_work.merge(p);
 
   const auto extract_start = std::chrono::steady_clock::now();
   full_bounds_.resize(n);
-  parallel_for(
-      n,
-      [&](std::size_t i) {
-        if (!mask_[i]) return;
-        const auto fi = static_cast<FlowIndex>(i);
-        full_bounds_[i] =
-            prefix_bound(fi, set_.flow(fi).path().size(),
-                         opts.stats != nullptr ? &partials[i] : nullptr);
-      },
-      workers_);
+  std::vector<FixedPointTrace> bp_traces(tel != nullptr ? n : 0);
+  {
+    obs::Span extract_span = obs::span(tel, "trajectory.extract");
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          if (!mask_[i]) return;
+          const auto fi = static_cast<FlowIndex>(i);
+          full_bounds_[i] = prefix_bound(
+              fi, set_.flow(fi).path().size(),
+              instrument ? &partials[i] : nullptr,
+              tel != nullptr ? &bp_traces[i] : nullptr);
+        },
+        workers_);
+  }
 
-  if (opts.stats != nullptr) {
+  if (instrument) {
     EngineStats total;
     for (const EngineStats& p : partials) total.merge(p);
     total.smax_passes = iterations_;
@@ -150,7 +169,32 @@ Engine::Engine(const model::FlowSet& set, const Config& cfg, EngineRoles roles,
     total.fixed_point_ns = fp_ns;
     total.extract_ns = elapsed_ns(extract_start);
     total.workers = workers_;
-    opts.stats->merge(total);
+    if (opts.stats != nullptr) opts.stats->merge(total);
+    if (tel != nullptr) {
+      publish_stats(total, tel->metrics);
+      auto publish_phase = [&](std::string_view phase, const EngineStats& s) {
+        const std::string prefix = "trajectory." + std::string(phase);
+        tel->metrics.counter(prefix + ".prefix_bounds") +=
+            static_cast<std::int64_t>(s.prefix_bounds);
+        tel->metrics.counter(prefix + ".test_points") +=
+            static_cast<std::int64_t>(s.test_points);
+        tel->metrics.counter(prefix + ".bp_iterations") +=
+            static_cast<std::int64_t>(s.busy_period_iterations);
+      };
+      publish_phase("fixed_point", fp_work);
+      publish_phase("extract", total.delta_since(fp_work));
+      // The full-path Lemma-3 iterate climbs, one series per analysable
+      // flow, appended in flow-index order.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!mask_[i]) continue;
+        const std::string series_name = "trajectory.flow." +
+                                        set_.flow(static_cast<FlowIndex>(i))
+                                            .name() +
+                                        ".busy_period";
+        for (const Duration it : bp_traces[i].iterates)
+          tel->metrics.append_series(series_name, it);
+      }
+    }
   }
 }
 
@@ -172,7 +216,8 @@ Duration Engine::smax(FlowIndex i, std::size_t pos) const {
 }
 
 PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
-                                 EngineStats* stats) const {
+                                 EngineStats* stats,
+                                 FixedPointTrace* bp_trace) const {
   const model::SporadicFlow& fi = set_.flow(i);
   TFA_EXPECTS(analysable(i));
   TFA_EXPECTS(prefix >= 1 && prefix <= fi.path().size());
@@ -216,7 +261,7 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
         }
         return sum;
       },
-      cfg_.divergence_ceiling);
+      cfg_.divergence_ceiling, std::size_t{1} << 20, bp_trace);
   if (stats != nullptr) stats->busy_period_iterations += bp.iterations;
 
   PrefixBound out;
@@ -379,7 +424,8 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
   return out;
 }
 
-void Engine::run_fixed_point(std::vector<EngineStats>* partials) {
+void Engine::run_fixed_point(std::vector<EngineStats>* partials,
+                             obs::Telemetry* telemetry) {
   const std::size_t n = set_.size();
   const bool completion = cfg_.smax_semantics == SmaxSemantics::kCompletion;
 
@@ -393,6 +439,7 @@ void Engine::run_fixed_point(std::vector<EngineStats>* partials) {
   // Jacobi may just need more passes.
   std::vector<std::vector<Duration>> next = smax_;
   std::vector<char> row_changed(n, 0);
+  std::size_t bp_published = 0;  // busy-period iterations already exported
 
   for (iterations_ = 0; iterations_ < cfg_.max_smax_iterations; ++iterations_) {
     parallel_for(
@@ -430,6 +477,37 @@ void Engine::run_fixed_point(std::vector<EngineStats>* partials) {
 
     bool changed = false;
     for (std::size_t i = 0; i < n; ++i) changed = changed || row_changed[i];
+
+    if (telemetry != nullptr) {
+      // Per-pass convergence telemetry, computed sequentially before the
+      // swap: the table's L1 change (divergent entries clamped to the
+      // ceiling so the residual stays finite), the number of rows that
+      // moved, and the Lemma-3 work this pass cost.  One append per pass
+      // — the series ARE the Jacobi convergence profile.
+      const Duration ceiling = cfg_.divergence_ceiling;
+      auto clamp = [ceiling](Duration v) { return v > ceiling ? ceiling : v; };
+      Duration residual = 0;
+      std::int64_t changed_rows = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        changed_rows += row_changed[i];
+        for (std::size_t k = 0; k < smax_[i].size(); ++k) {
+          residual += clamp(next[i][k]) - clamp(smax_[i][k]);
+          if (residual > kInfiniteDuration) residual = kInfiniteDuration;
+        }
+      }
+      telemetry->metrics.append_series("trajectory.smax.residual", residual);
+      telemetry->metrics.append_series("trajectory.smax.changed_rows",
+                                       changed_rows);
+      std::size_t bp_total = 0;
+      if (partials != nullptr)
+        for (const EngineStats& p : *partials)
+          bp_total += p.busy_period_iterations;
+      telemetry->metrics.append_series(
+          "trajectory.smax.bp_iterations",
+          static_cast<std::int64_t>(bp_total - bp_published));
+      bp_published = bp_total;
+    }
+
     smax_.swap(next);
     if (!changed) {
       converged_ = true;

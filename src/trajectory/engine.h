@@ -22,11 +22,16 @@
 #include <functional>
 #include <vector>
 
+#include "base/fixed_point.h"
 #include "base/types.h"
 #include "model/flow_set.h"
 #include "model/path_algebra.h"
 #include "trajectory/stats.h"
 #include "trajectory/types.h"
+
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
 
 namespace tfa::trajectory {
 
@@ -72,6 +77,16 @@ struct EngineOptions {
   /// cold seed are ignored.  Seeding from an overestimate is a contract
   /// violation and aborts via the monotonicity assert.
   std::function<Duration(FlowIndex, std::size_t)> warm_seed;
+  /// When non-null, the run additionally records spans
+  /// ("trajectory.engine" > "trajectory.fixed_point" /
+  /// "trajectory.extract"), phase-split work counters, per-pass Smax
+  /// convergence series ("trajectory.smax.residual" / ".changed_rows" /
+  /// ".bp_iterations") and the per-flow Lemma-3 busy-period iterate
+  /// series ("trajectory.flow.<name>.busy_period"), and publishes the
+  /// run totals into the registry (see docs/observability.md).  Series
+  /// and counters are appended from the orchestrating thread only, in
+  /// pass / flow-index order — deterministic for every worker count.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Trajectory computation over a *normalised* flow set.  The referenced
@@ -136,11 +151,16 @@ class Engine {
   /// table (exposed for tests; `prefix` in [1, |P_i|]).  When `stats` is
   /// non-null the evaluation's work counters are accumulated into it (the
   /// caller owns the sink, so concurrent callers must pass distinct ones).
+  /// When `bp_trace` is non-null the Lemma-3 busy-period fixed point
+  /// appends its iterate sequence to it (seed first).
   [[nodiscard]] PrefixBound prefix_bound(FlowIndex i, std::size_t prefix,
-                                         EngineStats* stats = nullptr) const;
+                                         EngineStats* stats = nullptr,
+                                         FixedPointTrace* bp_trace =
+                                             nullptr) const;
 
  private:
-  void run_fixed_point(std::vector<EngineStats>* partials);
+  void run_fixed_point(std::vector<EngineStats>* partials,
+                       obs::Telemetry* telemetry);
 
   const model::FlowSet& set_;
   Config cfg_;

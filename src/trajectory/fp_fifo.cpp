@@ -3,8 +3,11 @@
 #include <array>
 #include <memory>
 
+#include <string>
+
 #include "base/contracts.h"
 #include "model/normalize.h"
+#include "obs/telemetry.h"
 #include "trajectory/engine.h"
 
 namespace tfa::trajectory {
@@ -21,10 +24,17 @@ constexpr std::array<model::ServiceClass, 6> kPriorityOrder = {
 }  // namespace
 
 FpFifoResult analyze_fp_fifo(const model::FlowSet& set, Config cfg) {
+  return analyze_fp_fifo(set, cfg, nullptr);
+}
+
+FpFifoResult analyze_fp_fifo(const model::FlowSet& set, Config cfg,
+                             obs::Telemetry* telemetry) {
   TFA_EXPECTS(!set.empty());
   const auto issues = set.validate();
   TFA_EXPECTS_MSG(issues.empty(), issues.front().message.c_str());
   cfg.ef_mode = false;  // roles are explicit below
+
+  obs::Span fp_fifo_span = obs::span(telemetry, "trajectory.fp_fifo");
 
   const model::NormalisationReport norm =
       model::normalise(set, cfg.split_jitter);
@@ -65,8 +75,14 @@ FpFifoResult analyze_fp_fifo(const model::FlowSet& set, Config cfg) {
 
     EngineOptions opts;
     opts.stats = &result.stats;
-    engines.push_back(
-        std::make_unique<Engine>(fs, cfg, std::move(roles), opts));
+    opts.telemetry = telemetry;
+    {
+      obs::Span class_span =
+          obs::span(telemetry, std::string("trajectory.fp_fifo.") +
+                                   model::to_string(klass));
+      engines.push_back(
+          std::make_unique<Engine>(fs, cfg, std::move(roles), opts));
+    }
     const Engine& engine = *engines.back();
 
     ClassBounds cb;

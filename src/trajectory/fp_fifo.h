@@ -23,6 +23,10 @@
 #include "model/flow_set.h"
 #include "trajectory/types.h"
 
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
 namespace tfa::trajectory {
 
 /// Bounds of one priority class.
@@ -52,5 +56,14 @@ struct FpFifoResult {
 /// class structure drives the roles).
 [[nodiscard]] FpFifoResult analyze_fp_fifo(const model::FlowSet& set,
                                            Config cfg = {});
+
+/// analyze_fp_fifo() with an observability sink: one
+/// "trajectory.fp_fifo" span with a "trajectory.fp_fifo.<class>" child
+/// per analysed class (classes run top-down, so the span order is the
+/// priority order), plus the engine telemetry of every per-class run
+/// accumulated into the registry.
+[[nodiscard]] FpFifoResult analyze_fp_fifo(const model::FlowSet& set,
+                                           Config cfg,
+                                           obs::Telemetry* telemetry);
 
 }  // namespace tfa::trajectory

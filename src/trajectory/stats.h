@@ -9,6 +9,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace tfa::obs {
+class MetricRegistry;
+}  // namespace tfa::obs
+
 namespace tfa::trajectory {
 
 /// Work and wall-time accounting of one analysis run.  Every counter is a
@@ -40,8 +44,15 @@ struct EngineStats {
   /// hardware default).
   std::size_t workers = 1;
 
-  /// Accumulates another partial into this one (wall times add; `workers`
-  /// takes the maximum so class-by-class FP/FIFO merges keep the setting).
+  /// Accumulates another partial into this one.  Wall times ADD — merge
+  /// is for combining disjoint pieces of work (per-flow partials of one
+  /// run, or whole runs into a long-lived accumulator), never for
+  /// re-reading a cumulative total: merging the same run twice
+  /// double-counts its time.  Per-run stats out of a shared registry are
+  /// produced with delta_since() for exactly that reason (the
+  /// warm-start-re-analysis regression in
+  /// tests/trajectory/stats_semantics_test.cpp pins it).  `workers` takes
+  /// the maximum so class-by-class FP/FIFO merges keep the setting.
   void merge(const EngineStats& other) noexcept {
     smax_passes += other.smax_passes;
     prefix_bounds += other.prefix_bounds;
@@ -54,6 +65,39 @@ struct EngineStats {
     extract_ns += other.extract_ns;
     workers = workers > other.workers ? workers : other.workers;
   }
+
+  /// This run's share of a cumulative accounting: every additive counter
+  /// and wall time minus `before`'s (a snapshot taken before the run);
+  /// `workers` keeps the current value.  The inverse of merge() — used to
+  /// report per-call stats from a registry that accumulates across
+  /// reanalyze_with() calls without double-counting wall times.
+  [[nodiscard]] EngineStats delta_since(const EngineStats& before) const
+      noexcept {
+    EngineStats d = *this;
+    d.smax_passes -= before.smax_passes;
+    d.prefix_bounds -= before.prefix_bounds;
+    d.test_points -= before.test_points;
+    d.busy_period_iterations -= before.busy_period_iterations;
+    d.warm_seeded_entries -= before.warm_seeded_entries;
+    d.cache_hits -= before.cache_hits;
+    d.cache_misses -= before.cache_misses;
+    d.fixed_point_ns -= before.fixed_point_ns;
+    d.extract_ns -= before.extract_ns;
+    return d;
+  }
 };
+
+/// Adds `stats` into the registry under the canonical `trajectory.*`
+/// metric names (counters add, times land in timers, `workers` becomes a
+/// gauge merged by max) — the write half of the EngineStats<->registry
+/// bridge.
+void publish_stats(const EngineStats& stats, obs::MetricRegistry& metrics);
+
+/// Reads the canonical `trajectory.*` metrics back as an EngineStats —
+/// the struct is now a *view* over the registry: analyze() and
+/// reanalyze_with() route all accounting through a MetricRegistry and
+/// derive Result::stats with this function, so `--stats` output and the
+/// metrics dump can never disagree.
+[[nodiscard]] EngineStats stats_view(const obs::MetricRegistry& metrics);
 
 }  // namespace tfa::trajectory

@@ -47,5 +47,51 @@ TEST(FixedPoint, MaxIterationsBudgetRespected) {
   EXPECT_EQ(r.value, 10);
 }
 
+TEST(FixedPointTrace, RecordsSeedAndEveryIterate) {
+  FixedPointTrace trace;
+  const auto r = iterate_fixed_point(
+      0, [](Duration x) { return x >= 9 ? 9 : x + 3; }, 1000,
+      /*max_iterations=*/1u << 20, &trace);
+  ASSERT_TRUE(r.converged());
+  EXPECT_EQ(r.value, 9);
+  // Seed first, least fixed point last: the climb 0 -> 3 -> 6 -> 9.
+  EXPECT_EQ(trace.iterates, (std::vector<Duration>{0, 3, 6, 9}));
+  EXPECT_EQ(trace.iterates.back(), r.value);
+  EXPECT_EQ(trace.iterates.size(), r.iterations + 1);
+}
+
+TEST(FixedPointTrace, ImmediateConvergenceRecordsOnlySeed) {
+  FixedPointTrace trace;
+  const auto r = iterate_fixed_point(
+      7, [](Duration x) { return x; }, 100, /*max_iterations=*/1u << 20,
+      &trace);
+  ASSERT_TRUE(r.converged());
+  EXPECT_EQ(trace.iterates, (std::vector<Duration>{7}));
+}
+
+TEST(FixedPointTrace, DivergenceRecordsClimbUpToCeiling) {
+  FixedPointTrace trace;
+  const auto r = iterate_fixed_point(
+      1, [](Duration b) { return b * 2; }, 8, /*max_iterations=*/1u << 20,
+      &trace);
+  EXPECT_EQ(r.status, FixedPointStatus::kDiverged);
+  // 1 -> 2 -> 4 -> 8 -> 16: the crossing iterate is recorded, so the
+  // telemetry shows where the climb left the ceiling.
+  EXPECT_EQ(trace.iterates, (std::vector<Duration>{1, 2, 4, 8, 16}));
+  EXPECT_GT(trace.iterates.back(), 8);
+}
+
+TEST(FixedPointTrace, NullTraceKeepsBehaviourIdentical) {
+  FixedPointTrace trace;
+  const auto with = iterate_fixed_point(
+      0, [](Duration x) { return x >= 30 ? 30 : x + 3; }, 1000,
+      /*max_iterations=*/1u << 20, &trace);
+  const auto without = iterate_fixed_point(
+      0, [](Duration x) { return x >= 30 ? 30 : x + 3; }, 1000);
+  EXPECT_EQ(with.status, without.status);
+  EXPECT_EQ(with.value, without.value);
+  EXPECT_EQ(with.iterations, without.iterations);
+}
+
 }  // namespace
 }  // namespace tfa

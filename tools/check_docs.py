@@ -12,6 +12,10 @@ Two kinds of references are checked:
     final identifier, together with its qualifier, must appear somewhere
     under src/ or tests/.
 
+Additionally, every file under docs/ must be *reachable*: referenced (as
+an inline-code path or Markdown link) from README.md or from another doc.
+An orphaned doc is one nobody can discover from the entry points.
+
 Usage: check_docs.py [repo_root]   (exits non-zero listing every broken
 reference; wired into ctest as `docs_check`).
 """
@@ -30,6 +34,8 @@ PATH_TOKEN = re.compile(
 SYMBOL_TOKEN = re.compile(r"^[A-Za-z_]\w*(?:::[A-Za-z_~]\w*)+(?:\(\))?$")
 # Markdown links: [text](target)
 MD_LINK = re.compile(r"\]\(([^)#\s]+)\)")
+# Plain-prose doc mentions ("see docs/math.md") count for reachability.
+DOC_MENTION = re.compile(r"\bdocs/[\w\-]+\.md\b")
 
 # Qualified names whose left part is a namespace alias the docs use
 # informally; the right part is still required to exist.
@@ -86,14 +92,34 @@ def check_symbol(code: str, token: str):
     return None
 
 
+def check_docs_index(root: Path, references: dict) -> list:
+    """Every docs/*.md must be referenced from README.md or another doc."""
+    errors = []
+    for doc in sorted((root / "docs").glob("*.md")):
+        rel = str(doc.relative_to(root))
+        referencing = {src for src, targets in references.items()
+                       if rel in targets and src != rel}
+        if not referencing:
+            errors.append(
+                f"{rel}: orphaned doc — not referenced from README.md or "
+                "any other doc")
+    return errors
+
+
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parents[1]
     code = load_code(root)
     errors = []
+    # doc file -> set of repo-relative doc paths it references.
+    references = {}
     for doc in list_doc_files(root):
         text = doc.read_text(errors="replace")
         rel = doc.relative_to(root)
+        outgoing = references.setdefault(str(rel), set())
         for lineno, line in enumerate(text.splitlines(), 1):
+            for mention in DOC_MENTION.findall(line):
+                if (root / mention).exists():
+                    outgoing.add(mention)
             tokens = INLINE_CODE.findall(line)
             tokens += MD_LINK.findall(line)
             for tok in tokens:
@@ -101,10 +127,16 @@ def main() -> int:
                 if PATH_TOKEN.match(tok):
                     if not resolve_path(root, tok):
                         errors.append(f"{rel}:{lineno}: missing file '{tok}'")
+                    else:
+                        outgoing.add(tok.rstrip("/.,;:"))
                 elif SYMBOL_TOKEN.match(tok):
                     why = check_symbol(code, tok)
                     if why:
                         errors.append(f"{rel}:{lineno}: '{tok}': {why}")
+                elif tok.endswith(".md") and (root / "docs" / tok).exists():
+                    # Relative links between docs ("math.md", "[x](math.md)").
+                    outgoing.add(f"docs/{tok}")
+    errors += check_docs_index(root, references)
     for e in errors:
         print(e)
     if errors:
