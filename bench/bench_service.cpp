@@ -1,0 +1,249 @@
+// Experiment: throughput of the long-lived analysis service (src/service/)
+// against the one-shot alternative it replaces.
+//
+// Three request streams over the in-process loopback transport, all ending
+// in the same analyzed sets:
+//   1. cold     every round loads a fresh session and analyzes it from
+//               scratch — the cost of a client that re-serialises its whole
+//               network per query;
+//   2. warm     one session, one add_flow + analyze per round — the
+//               AnalysisCache warm-starts every re-analysis;
+//   3. memo     repeated analyze of an unchanged session — answered from
+//               the per-session memo without touching the engine.
+//
+// Wall times and requests/sec depend on the host; the pass counters and
+// response bounds are deterministic, and the warm stream must converge in
+// strictly fewer total Smax passes than the cold stream on any host.
+//
+// Options (base/options.h):
+//   --flows N    base workload size (default 160)
+//   --rounds N   add/analyze rounds per stream (default 24)
+//   --json FILE  additionally write a machine-readable BENCH_service.json
+//                record: {"bench","schema","workload","wall_ms",
+//                "requests_per_sec","checks","metrics"} with "metrics"
+//                the full registry dump (docs/observability.md).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/options.h"
+#include "base/rng.h"
+#include "base/table.h"
+#include "model/generators.h"
+#include "model/serialize.h"
+#include "obs/telemetry.h"
+#include "service/loopback.h"
+#include "service/protocol.h"
+
+namespace {
+
+using namespace tfa;
+
+model::FlowSet make_workload(std::uint64_t seed, std::int32_t flows) {
+  Rng rng(seed);
+  model::RandomConfig cfg;
+  cfg.nodes = 24;
+  cfg.flows = flows;
+  cfg.min_path = 2;
+  cfg.max_path = 4;
+  cfg.max_jitter = 8;
+  cfg.max_utilisation = 0.5;
+  return model::make_random(cfg, rng);
+}
+
+std::string newcomer_line(std::size_t round) {
+  return "flow bench" + std::to_string(round) + " EF " +
+         std::to_string(400 + 7 * round) + " 0 100000 path 0 1 costs 1";
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Sum of result.stats.smax_passes over a stream's analyze responses.
+std::size_t total_passes(const std::vector<std::string>& responses) {
+  std::size_t passes = 0;
+  for (const std::string& r : responses) {
+    const auto doc = json_parse(r);
+    if (!doc.has_value()) continue;
+    const JsonValue* result = doc->find("result");
+    const JsonValue* stats = result == nullptr ? nullptr : result->find("stats");
+    const JsonValue* p = stats == nullptr ? nullptr : stats->find("smax_passes");
+    if (p != nullptr) passes += static_cast<std::size_t>(p->number);
+  }
+  return passes;
+}
+
+/// The deterministic bounds region of an analyze response (everything
+/// between the cached flag and the run-dependent stats block).
+std::string bounds_region(const std::string& response) {
+  const auto from = response.find("\"all_schedulable\"");
+  const auto to = response.find(",\"stats\"");
+  if (from == std::string::npos || to == std::string::npos || to < from)
+    return response;
+  return response.substr(from, to - from);
+}
+
+bool all_ok(const std::vector<std::string>& responses) {
+  for (const std::string& r : responses)
+    if (r.find("\"ok\":true") == std::string::npos) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser opts(argc, argv);
+  const auto json_path = opts.value("--json");
+  const auto flows_opt = opts.value("--flows");
+  const auto rounds_opt = opts.value("--rounds");
+  if (!opts.error().empty() || !opts.unknown_options().empty() ||
+      !opts.positionals().empty()) {
+    std::fprintf(
+        stderr, "usage: bench_service [--flows N] [--rounds N] [--json FILE]\n");
+    return 2;
+  }
+  const std::int32_t flows = flows_opt ? std::atoi(flows_opt->c_str()) : 160;
+  const std::size_t rounds =
+      rounds_opt ? static_cast<std::size_t>(std::atoll(rounds_opt->c_str()))
+                 : 24;
+  if (flows <= 1 || rounds == 0) {
+    std::fprintf(stderr, "bench_service: --flows must be > 1, --rounds > 0\n");
+    return 2;
+  }
+
+  obs::Telemetry tel;
+  const model::FlowSet base = make_workload(/*seed=*/7, flows);
+  std::printf("workload: %zu flows, %d nodes, %zu rounds per stream\n\n",
+              base.size(), base.network().node_count(), rounds);
+
+  // The cold stream loads the round-r set from text, so build the grown
+  // sets up front — serialisation cost is the client's, not the service's,
+  // in both deployment styles.
+  std::vector<std::string> grown_texts;
+  {
+    model::FlowSet grown = base;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const model::ParseResult one =
+          model::parse_flow_set(model::serialize_flow_set(
+              model::FlowSet(base.network())) + newcomer_line(r) + "\n");
+      grown.add(one.flow_set->flow(FlowIndex{0}));
+      grown_texts.push_back(model::serialize_flow_set(grown));
+    }
+  }
+
+  // ---- 1. cold: fresh session per round.
+  service::ServiceConfig cold_cfg;
+  cold_cfg.max_sessions = rounds + 1;
+  service::Loopback cold(std::move(cold_cfg), &tel);
+  std::vector<std::string> cold_analyzes;
+  const auto cold_start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::string session = "cold" + std::to_string(r);
+    (void)cold.request("{\"op\":\"load_network\",\"session\":\"" + session +
+                       "\",\"text\":" + service::json_string(grown_texts[r]) +
+                       "}");
+    cold_analyzes.push_back(
+        cold.request("{\"op\":\"analyze\",\"session\":\"" + session + "\"}"));
+  }
+  const double cold_ms = ms_since(cold_start);
+
+  // ---- 2. warm: one session, add_flow + analyze per round.
+  service::Loopback warm(service::ServiceConfig{}, &tel);
+  (void)warm.request(R"({"op":"load_network","session":"w","text":)" +
+                     service::json_string(model::serialize_flow_set(base)) +
+                     "}");
+  std::vector<std::string> warm_analyzes;
+  const auto warm_start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    (void)warm.request(R"({"op":"add_flow","session":"w","flow":)" +
+                       service::json_string(newcomer_line(r)) + "}");
+    warm_analyzes.push_back(warm.request(R"({"op":"analyze","session":"w"})"));
+  }
+  const double warm_ms = ms_since(warm_start);
+
+  // ---- 3. memo: unchanged session, repeated analyze.
+  std::size_t memo_hits = 0;
+  const auto memo_start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::string response =
+        warm.request(R"({"op":"analyze","session":"w"})");
+    if (response.find("\"cached\":true") != std::string::npos) ++memo_hits;
+  }
+  const double memo_ms = ms_since(memo_start);
+
+  const std::size_t cold_passes = total_passes(cold_analyzes);
+  const std::size_t warm_passes = total_passes(warm_analyzes);
+  const double cold_rps = 2.0 * static_cast<double>(rounds) / (cold_ms / 1e3);
+  const double warm_rps = 2.0 * static_cast<double>(rounds) / (warm_ms / 1e3);
+  const double memo_rps = static_cast<double>(rounds) / (memo_ms / 1e3);
+
+  TextTable t({"stream", "wall ms", "requests/s", "smax passes"});
+  t.add_row({"cold (session per query)", format_fixed(cold_ms, 1),
+             format_fixed(cold_rps, 0), std::to_string(cold_passes)});
+  t.add_row({"warm (live session)", format_fixed(warm_ms, 1),
+             format_fixed(warm_rps, 0), std::to_string(warm_passes)});
+  t.add_row({"memo (unchanged session)", format_fixed(memo_ms, 1),
+             format_fixed(memo_rps, 0), "0"});
+  std::printf("%s", t.to_string().c_str());
+
+  // Correctness gates (deterministic on every host): both streams answer
+  // every request, the round-r bounds agree byte for byte, the warm
+  // stream saves engine passes, and the memo stream never re-analyzes.
+  bool bounds_identical =
+      all_ok(cold_analyzes) && all_ok(warm_analyzes) &&
+      cold_analyzes.size() == warm_analyzes.size();
+  for (std::size_t r = 0; bounds_identical && r < rounds; ++r)
+    bounds_identical =
+        bounds_region(cold_analyzes[r]) == bounds_region(warm_analyzes[r]);
+  // A converged analyze needs at least 2 passes (one that changes rows,
+  // one that confirms).  When the cold stream already sits at that floor
+  // there is nothing for the warm start to save, so smoke-sized runs only
+  // require "no extra passes"; above the floor the saving must be strict.
+  const bool at_floor = cold_passes <= 2 * rounds;
+  const bool warm_fewer =
+      at_floor ? warm_passes <= cold_passes : warm_passes < cold_passes;
+  const bool memo_free = memo_hits == rounds;
+  const bool ok = bounds_identical && warm_fewer && memo_free;
+
+  std::printf(
+      "\nbounds identical across streams: %s; warm saved %zu of %zu passes%s; "
+      "memo hits %zu/%zu%s\n",
+      bounds_identical ? "yes" : "NO — BUG",
+      cold_passes - (warm_fewer ? warm_passes : cold_passes), cold_passes,
+      warm_fewer ? "" : " (EXPECTED STRICTLY FEWER — BUG)", memo_hits, rounds,
+      memo_free ? "" : " (EXPECTED ALL — BUG)");
+
+  if (json_path) {
+    const auto b = [](bool v) { return v ? "true" : "false"; };
+    std::ostringstream js;
+    js << "{\"bench\":\"bench_service\",\"schema\":1,"
+       << "\"workload\":{\"flows\":" << flows << ",\"nodes\":24"
+       << ",\"rounds\":" << rounds << "},"
+       << "\"wall_ms\":{\"cold\":" << cold_ms << ",\"warm\":" << warm_ms
+       << ",\"memo\":" << memo_ms << "},"
+       << "\"requests_per_sec\":{\"cold\":" << cold_rps
+       << ",\"warm\":" << warm_rps << ",\"memo\":" << memo_rps << "},"
+       << "\"checks\":{\"bounds_identical\":" << b(bounds_identical)
+       << ",\"warm_fewer_passes\":" << b(warm_fewer)
+       << ",\"memo_free\":" << b(memo_free)
+       << ",\"warm_passes\":" << warm_passes
+       << ",\"cold_passes\":" << cold_passes << ",\"ok\":" << b(ok)
+       << "},\"metrics\":" << tel.metrics.to_json() << "}\n";
+    std::ofstream out(*json_path);
+    if (out) out << js.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 2;
+    }
+    std::printf("json record written to %s\n", json_path->c_str());
+  }
+  return ok ? 0 : 1;
+}

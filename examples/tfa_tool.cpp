@@ -7,6 +7,9 @@
 //   tfa_tool generate <seed> [flows] [nodes]   emit a random set (text format)
 //   tfa_tool fuzz     [cases] [seed] [workers]  differential property sweep
 //                     [--corpus DIR]            (write shrunk repros to DIR)
+//   tfa_tool serve    [--workers N] [--max-batch N]
+//                     long-lived analysis service over stdin/stdout
+//                     (JSON-lines protocol — see docs/service.md)
 //
 // `analyze` and `admit` accept a trailing `--stats` flag that appends the
 // run's EngineStats (fixed-point passes, test points, wall time per phase,
@@ -22,9 +25,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "admission/admission.h"
@@ -36,6 +41,8 @@
 #include "obs/telemetry.h"
 #include "proptest/fuzzer.h"
 #include "report/report.h"
+#include "service/serve.h"
+#include "service/service.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
 
@@ -49,6 +56,7 @@ int usage() {
       "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
       "       tfa_tool generate <seed> [flows] [nodes]\n"
       "       tfa_tool fuzz [cases] [seed] [workers] [--corpus DIR]\n"
+      "       tfa_tool serve [--workers N] [--max-batch N]\n"
       "       (analyze/admit take --stats to print analysis cost;\n"
       "        analyze/admit/fuzz take --trace-out FILE and\n"
       "        --metrics-out FILE for Chrome-trace / metric JSON dumps)\n");
@@ -211,6 +219,20 @@ int cmd_fuzz(std::size_t cases, std::uint64_t seed, std::size_t workers,
   return report.clean() ? 0 : 1;
 }
 
+int cmd_serve(std::size_t workers, std::size_t max_batch, ObsOutputs& obs) {
+  service::ServiceConfig cfg;
+  cfg.workers = workers;
+  if (max_batch > 0) cfg.max_batch = max_batch;
+  service::Service svc(std::move(cfg), obs.sink());
+  const service::ServeResult r =
+      service::serve_stream(std::cin, std::cout, svc);
+  std::fprintf(stderr, "served %llu request(s)%s\n",
+               static_cast<unsigned long long>(r.requests),
+               r.shutdown ? ", shut down" : "");
+  if (!obs.flush()) return 2;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,6 +243,8 @@ int main(int argc, char** argv) {
   // typo fails loudly instead of being read as a positional.
   const bool with_stats = opts.flag("--stats");
   const std::optional<std::string> corpus_dir = opts.value("--corpus");
+  const std::optional<std::string> serve_workers = opts.value("--workers");
+  const std::optional<std::string> serve_batch = opts.value("--max-batch");
 
   ObsOutputs obs;
   obs.trace_path = opts.value("--trace-out");
@@ -252,6 +276,17 @@ int main(int argc, char** argv) {
         pos.size() > 3 ? static_cast<std::size_t>(std::atoi(pos[3].c_str()))
                        : std::size_t{0};
     return cmd_fuzz(cases, seed, workers, corpus_dir, obs);
+  }
+
+  if (cmd == "serve") {
+    const auto workers =
+        serve_workers
+            ? static_cast<std::size_t>(std::atoi(serve_workers->c_str()))
+            : std::size_t{1};
+    const auto max_batch =
+        serve_batch ? static_cast<std::size_t>(std::atoi(serve_batch->c_str()))
+                    : std::size_t{0};
+    return cmd_serve(workers, max_batch, obs);
   }
 
   if (cmd == "generate") {

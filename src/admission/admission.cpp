@@ -26,49 +26,98 @@ void AdmissionController::attach_telemetry(obs::Telemetry* telemetry) {
   if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
 }
 
-Decision AdmissionController::request(const model::SporadicFlow& flow) {
-  obs::Span request_span = obs::span(telemetry_, "admission.request");
-  auto decide = [&](Decision d) {
-    if (telemetry_ != nullptr) {
-      ++telemetry_->metrics.counter("admission.requests");
-      ++telemetry_->metrics.counter(d.admitted ? "admission.admitted"
-                                               : "admission.rejected");
-    }
-    return d;
-  };
+Decision evaluate(const model::FlowSet& admitted,
+                  const model::SporadicFlow& candidate, AnalysisKind kind,
+                  const trajectory::Config& trajectory_cfg,
+                  trajectory::AnalysisCache* cache, obs::Telemetry* telemetry,
+                  trajectory::EngineStats* stats_out) {
   Decision d;
 
   // Structural rejections first: name clash, path outside the network.
-  if (set_.find(flow.name())) {
-    d.reason = "a flow named '" + flow.name() + "' is already admitted";
-    return decide(std::move(d));
+  if (admitted.find(candidate.name())) {
+    d.reason = "a flow named '" + candidate.name() + "' is already admitted";
+    return d;
   }
-  model::FlowSet candidate = set_;
-  candidate.add(flow);
-  if (const auto issues = candidate.validate(); !issues.empty()) {
+  model::FlowSet tentative = admitted;
+  tentative.add(candidate);
+  if (const auto issues = tentative.validate(); !issues.empty()) {
     d.reason = "invalid request: " + issues.front().message;
-    return decide(std::move(d));
+    return d;
   }
 
   // Necessary condition: no node may exceed full utilisation.
-  for (const NodeId h : flow.path().nodes()) {
-    if (candidate.node_utilisation(h) > 1.0) {
+  for (const NodeId h : candidate.path().nodes()) {
+    if (tentative.node_utilisation(h) > 1.0) {
       d.reason = "node " + std::to_string(h) + " would exceed capacity";
-      return decide(std::move(d));
+      return d;
     }
   }
 
-  if (!schedulable(candidate, &d.violating, &d.candidate_bound, flow.name())) {
+  auto harvest = [&](const auto& bounds, bool converged) {
+    bool ok = converged;
+    for (const auto& b : bounds) {
+      const std::string& name = tentative.flow(b.flow).name();
+      if (name == candidate.name()) d.candidate_bound = b.response;
+      if (!b.schedulable) {
+        d.violating.push_back(name);
+        ok = false;
+      }
+    }
+    return ok;
+  };
+
+  bool ok = false;
+  switch (kind) {
+    case AnalysisKind::kTrajectory:
+    case AnalysisKind::kTrajectoryEf: {
+      // Incremental API: in the common admit sequence the tentative set
+      // extends the previously analysed one by the newcomer, so the Smax
+      // fixed point warm-starts from the cached table instead of from the
+      // cold seed (trajectory/batch.h).  A caller without a lineage gets
+      // a private cold cache.
+      trajectory::AnalysisCache scratch;
+      const trajectory::Result r = trajectory::reanalyze_with(
+          tentative, cache != nullptr ? *cache : scratch, trajectory_cfg,
+          telemetry);
+      if (stats_out != nullptr)
+        *stats_out = r.stats;  // already this call's delta, registry or not
+      ok = harvest(r.bounds, r.converged);
+      break;
+    }
+    case AnalysisKind::kHolistic: {
+      const holistic::Result r = holistic::analyze(tentative, {}, telemetry);
+      ok = harvest(r.bounds, r.converged);
+      break;
+    }
+    case AnalysisKind::kNetworkCalculus: {
+      const netcalc::Result r = netcalc::analyze(tentative, {}, telemetry);
+      ok = harvest(r.bounds, r.converged);
+      break;
+    }
+  }
+
+  if (!ok) {
     d.reason = d.violating.empty()
                    ? "analysis did not converge"
                    : "deadline miss certified for: " + d.violating.front();
-    return decide(std::move(d));
+    return d;
   }
-
-  set_ = std::move(candidate);
   d.admitted = true;
   d.reason = "admitted";
-  return decide(std::move(d));
+  return d;
+}
+
+Decision AdmissionController::request(const model::SporadicFlow& flow) {
+  obs::Span request_span = obs::span(telemetry_, "admission.request");
+  Decision d = evaluate(set_, flow, kind_, trajectory_cfg_, &cache_,
+                        telemetry_, &last_stats_);
+  if (d.admitted) set_.add(flow);
+  if (telemetry_ != nullptr) {
+    ++telemetry_->metrics.counter("admission.requests");
+    ++telemetry_->metrics.counter(d.admitted ? "admission.admitted"
+                                             : "admission.rejected");
+  }
+  return d;
 }
 
 bool AdmissionController::release(std::string_view name) {
@@ -109,49 +158,6 @@ AdmissionController::certified_bounds() const {
     }
   }
   return out;
-}
-
-bool AdmissionController::schedulable(const model::FlowSet& candidate,
-                                      std::vector<std::string>* violating,
-                                      Duration* newcomer_bound,
-                                      std::string_view newcomer) {
-  TFA_EXPECTS(violating != nullptr && newcomer_bound != nullptr);
-
-  auto harvest = [&](const auto& bounds, bool converged) {
-    bool ok = converged;
-    for (const auto& b : bounds) {
-      const std::string& name = candidate.flow(b.flow).name();
-      if (name == newcomer) *newcomer_bound = b.response;
-      if (!b.schedulable) {
-        violating->push_back(name);
-        ok = false;
-      }
-    }
-    return ok;
-  };
-
-  switch (kind_) {
-    case AnalysisKind::kTrajectory:
-    case AnalysisKind::kTrajectoryEf: {
-      // Incremental API: in the common admit sequence the candidate set
-      // extends the previously analysed one by the newcomer, so the Smax
-      // fixed point warm-starts from the cached table instead of from the
-      // cold seed (trajectory/batch.h).
-      const trajectory::Result r = trajectory::reanalyze_with(
-          candidate, cache_, trajectory_cfg_, telemetry_);
-      last_stats_ = r.stats;  // already this call's delta, registry or not
-      return harvest(r.bounds, r.converged);
-    }
-    case AnalysisKind::kHolistic: {
-      const holistic::Result r = holistic::analyze(candidate, {}, telemetry_);
-      return harvest(r.bounds, r.converged);
-    }
-    case AnalysisKind::kNetworkCalculus: {
-      const netcalc::Result r = netcalc::analyze(candidate, {}, telemetry_);
-      return harvest(r.bounds, r.converged);
-    }
-  }
-  return false;
 }
 
 }  // namespace tfa::admission

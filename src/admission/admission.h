@@ -42,6 +42,26 @@ struct Decision {
   Duration candidate_bound = 0;
 };
 
+/// The stateless core of one admission decision: would `candidate` be
+/// admissible on top of the already-certified `admitted` set?  Performs
+/// the structural checks (name clash, validation, node capacity) and the
+/// worst-case analysis of the tentative set, but commits nothing — the
+/// caller owns the set and applies the add itself on a positive decision.
+///
+/// `cache` (trajectory kinds only, may be null) warm-starts the analysis
+/// and is refreshed with the tentative run's converged state either way;
+/// `stats_out` (may be null) receives that run's EngineStats.  Both are
+/// ignored by the holistic / network-calculus kinds.  Shared by
+/// AdmissionController::request and the analysis service's `admit` op, so
+/// the two admission paths cannot drift.
+[[nodiscard]] Decision evaluate(const model::FlowSet& admitted,
+                                const model::SporadicFlow& candidate,
+                                AnalysisKind kind,
+                                const trajectory::Config& trajectory_cfg,
+                                trajectory::AnalysisCache* cache = nullptr,
+                                obs::Telemetry* telemetry = nullptr,
+                                trajectory::EngineStats* stats_out = nullptr);
+
 /// Edge admission controller.
 class AdmissionController {
  public:
@@ -86,11 +106,6 @@ class AdmissionController {
   void attach_telemetry(obs::Telemetry* telemetry);
 
  private:
-  [[nodiscard]] bool schedulable(const model::FlowSet& candidate,
-                                 std::vector<std::string>* violating,
-                                 Duration* newcomer_bound,
-                                 std::string_view newcomer);
-
   model::FlowSet set_;
   AnalysisKind kind_;
   trajectory::Config trajectory_cfg_;

@@ -1,10 +1,10 @@
-#include "obs/json.h"
+#include "base/json.h"
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
-namespace tfa::obs {
+namespace tfa {
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -39,17 +39,26 @@ const JsonValue* JsonValue::find(std::string_view key) const noexcept {
 
 namespace {
 
-/// Strict single-pass parser over the document text.
+/// Strict single-pass parser over the document text.  Every failure path
+/// records the byte offset where consumption stopped, so the caller can
+/// point at the exact spot in the input.
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  std::optional<JsonValue> run() {
+  std::optional<JsonValue> run(JsonError* error) {
     skip_ws();
     JsonValue v;
-    if (!parse_value(v)) return std::nullopt;
+    if (!parse_value(v)) {
+      report(error);
+      return std::nullopt;
+    }
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size()) {
+      fail(pos_, "trailing garbage after document");
+      report(error);
+      return std::nullopt;
+    }
     return v;
   }
 
@@ -60,6 +69,23 @@ class Parser {
       ++pos_;
   }
 
+  /// Records the failure.  The *first* failure wins: nested productions
+  /// fail outward and the innermost report carries the real offset.
+  bool fail(std::size_t offset, const char* message) {
+    if (error_message_ == nullptr) {
+      error_offset_ = offset;
+      error_message_ = message;
+    }
+    return false;
+  }
+
+  void report(JsonError* error) const {
+    if (error == nullptr) return;
+    error->offset = error_offset_;
+    error->message = error_message_ != nullptr ? error_message_
+                                               : "malformed document";
+  }
+
   [[nodiscard]] bool literal(std::string_view word) {
     if (text_.substr(pos_, word.size()) != word) return false;
     pos_ += word.size();
@@ -67,7 +93,8 @@ class Parser {
   }
 
   bool parse_value(JsonValue& out) {  // NOLINT(misc-no-recursion)
-    if (pos_ >= text_.size()) return false;
+    if (pos_ >= text_.size())
+      return fail(pos_, "unexpected end of input, expected a value");
     const char c = text_[pos_];
     if (c == '{') return parse_object(out);
     if (c == '[') return parse_array(out);
@@ -103,16 +130,20 @@ class Parser {
     for (;;) {
       skip_ws();
       std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail(pos_, "expected '\"' starting an object key");
       if (!parse_string(key)) return false;
       skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail(pos_, "expected ':' after object key");
       ++pos_;
       skip_ws();
       JsonValue member;
       if (!parse_value(member)) return false;
       out.object.emplace_back(std::move(key), std::move(member));
       skip_ws();
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size())
+        return fail(pos_, "unexpected end of input inside object");
       if (text_[pos_] == ',') {
         ++pos_;
         continue;
@@ -121,7 +152,7 @@ class Parser {
         ++pos_;
         return true;
       }
-      return false;
+      return fail(pos_, "expected ',' or '}' in object");
     }
   }
 
@@ -139,7 +170,8 @@ class Parser {
       if (!parse_value(element)) return false;
       out.array.push_back(std::move(element));
       skip_ws();
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size())
+        return fail(pos_, "unexpected end of input inside array");
       if (text_[pos_] == ',') {
         ++pos_;
         continue;
@@ -148,18 +180,21 @@ class Parser {
         ++pos_;
         return true;
       }
-      return false;
+      return fail(pos_, "expected ',' or ']' in array");
     }
   }
 
   bool parse_string(std::string& out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return fail(pos_, "expected '\"' starting a string");
     ++pos_;
     while (pos_ < text_.size()) {
+      const std::size_t at = pos_;
       const char c = text_[pos_++];
       if (c == '"') return true;
       if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
+        if (pos_ >= text_.size())
+          return fail(at, "unexpected end of input in escape sequence");
         const char esc = text_[pos_++];
         switch (esc) {
           case '"': out += '"'; break;
@@ -171,7 +206,8 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return false;
+            if (pos_ + 4 > text_.size())
+              return fail(at, "truncated \\u escape");
             unsigned code = 0;
             for (int k = 0; k < 4; ++k) {
               const char h = text_[pos_++];
@@ -183,22 +219,22 @@ class Parser {
               else if (h >= 'A' && h <= 'F')
                 code |= static_cast<unsigned>(h - 'A' + 10);
               else
-                return false;
+                return fail(pos_ - 1, "invalid hex digit in \\u escape");
             }
             // The writers only escape ASCII controls, so a plain
             // narrowing append is enough for round-trip checks.
             out += static_cast<char>(code < 0x80 ? code : '?');
             break;
           }
-          default: return false;
+          default: return fail(at, "invalid escape sequence");
         }
       } else if (static_cast<unsigned char>(c) < 0x20) {
-        return false;  // raw control character: invalid JSON
+        return fail(at, "raw control character in string");
       } else {
         out += c;
       }
     }
-    return false;  // unterminated
+    return fail(text_.size(), "unterminated string");
   }
 
   bool parse_number(JsonValue& out) {
@@ -209,11 +245,11 @@ class Parser {
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-'))
       ++pos_;
-    if (pos_ == start) return false;
+    if (pos_ == start) return fail(start, "expected a value");
     const std::string token{text_.substr(start, pos_ - start)};
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return false;
+    if (end == nullptr || *end != '\0') return fail(start, "invalid number");
     out.kind = JsonValue::Kind::kNumber;
     out.number = value;
     return true;
@@ -221,12 +257,14 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t error_offset_ = 0;
+  const char* error_message_ = nullptr;
 };
 
 }  // namespace
 
-std::optional<JsonValue> json_parse(std::string_view text) {
-  return Parser(text).run();
+std::optional<JsonValue> json_parse(std::string_view text, JsonError* error) {
+  return Parser(text).run(error);
 }
 
-}  // namespace tfa::obs
+}  // namespace tfa

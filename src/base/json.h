@@ -1,0 +1,61 @@
+// Minimal strict JSON support shared by the observability writers and the
+// analysis-service wire protocol: string escaping for the emitters
+// (metrics dump, Chrome trace export, bench records, response envelopes)
+// and a small recursive-descent parser used to read requests and to verify
+// that everything we emit round-trips.
+//
+// This is deliberately not a general-purpose JSON library: no comments,
+// no trailing commas, numbers parsed as double (enough for the integer
+// counters and tick durations we exchange, which stay well inside 2^53).
+// Parse failures report the *byte offset* of the first offending
+// character, so a service error envelope can point a client at the exact
+// spot in its request line.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tfa {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// added).  Control characters become \u00XX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// A parsed JSON document node.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;                      ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< kObject,
+                                                     ///< insertion order.
+
+  /// Member of an object by key, or null when absent / not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+};
+
+/// Why a parse failed: a short message plus the 0-based byte offset of the
+/// first character that could not be consumed.
+struct JsonError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parses a complete JSON document.  Returns nullopt on any syntax error
+/// or trailing garbage — the round-trip checks and the service protocol
+/// want strictness, not leniency.  When `error` is non-null it receives
+/// the location and reason of the failure.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  JsonError* error = nullptr);
+
+}  // namespace tfa

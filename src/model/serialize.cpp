@@ -70,7 +70,11 @@ ParseResult parse_flow_set(std::string_view text) {
           !parse_int(tokens[2], lmin) || !parse_int(tokens[3], lmax))
         return fail(line_no, "expected: network <nodes> <lmin> <lmax>");
       if (nodes <= 0 || lmin < 0 || lmax < lmin)
-        return fail(line_no, "invalid network parameters");
+        return fail(line_no, "invalid network parameters (nodes=" +
+                                 std::to_string(nodes) + " lmin=" +
+                                 std::to_string(lmin) + " lmax=" +
+                                 std::to_string(lmax) +
+                                 "; need nodes>0, 0<=lmin<=lmax)");
       set.emplace(Network(static_cast<std::int32_t>(nodes), lmin, lmax));
       continue;
     }
@@ -86,7 +90,11 @@ ParseResult parse_flow_set(std::string_view text) {
       if (!net.contains(static_cast<NodeId>(from)) ||
           !net.contains(static_cast<NodeId>(to)) || from == to ||
           lmin < 0 || lmax < lmin)
-        return fail(line_no, "invalid link parameters");
+        return fail(line_no, "invalid link parameters (link " +
+                                 std::to_string(from) + "->" +
+                                 std::to_string(to) + " lmin=" +
+                                 std::to_string(lmin) + " lmax=" +
+                                 std::to_string(lmax) + ")");
       net.set_link(static_cast<NodeId>(from), static_cast<NodeId>(to), lmin,
                    lmax);
       FlowSet rebuilt(std::move(net), set->flows());
@@ -101,47 +109,70 @@ ParseResult parse_flow_set(std::string_view text) {
                     "expected: flow <name> <class> <T> <J> <D> path ... "
                     "costs ...");
       const std::string name(tokens[1]);
+      const std::string where = "flow '" + name + "': ";
       const auto cls = parse_class(tokens[2]);
-      if (!cls) return fail(line_no, "unknown service class");
+      if (!cls)
+        return fail(line_no, where + "unknown service class '" +
+                                 std::string(tokens[2]) + "'");
       std::int64_t period = 0, jitter = 0, deadline = 0;
-      if (!parse_int(tokens[3], period) || !parse_int(tokens[4], jitter) ||
-          !parse_int(tokens[5], deadline))
-        return fail(line_no, "bad flow parameters");
+      if (!parse_int(tokens[3], period))
+        return fail(line_no, where + "bad period '" + std::string(tokens[3]) +
+                                 "'");
+      if (!parse_int(tokens[4], jitter))
+        return fail(line_no, where + "bad jitter '" + std::string(tokens[4]) +
+                                 "'");
+      if (!parse_int(tokens[5], deadline))
+        return fail(line_no, where + "bad deadline '" +
+                                 std::string(tokens[5]) + "'");
       if (period <= 0 || jitter < 0 || deadline <= 0)
-        return fail(line_no, "flow parameters out of range");
+        return fail(line_no, where + "parameters out of range (T=" +
+                                 std::to_string(period) + " J=" +
+                                 std::to_string(jitter) + " D=" +
+                                 std::to_string(deadline) +
+                                 "; need T>0, J>=0, D>0)");
 
-      if (tokens[6] != "path") return fail(line_no, "expected 'path'");
+      if (tokens[6] != "path") return fail(line_no, where + "expected 'path'");
       std::size_t k = 7;
       std::vector<NodeId> nodes;
       for (; k < tokens.size() && tokens[k] != "costs"; ++k) {
         std::int64_t v = 0;
         if (!parse_int(tokens[k], v) || v < 0)
-          return fail(line_no, "bad path node");
+          return fail(line_no, where + "bad path node '" +
+                                   std::string(tokens[k]) + "'");
         nodes.push_back(static_cast<NodeId>(v));
       }
-      if (nodes.empty()) return fail(line_no, "empty path");
+      if (nodes.empty()) return fail(line_no, where + "empty path");
       for (std::size_t a = 0; a < nodes.size(); ++a)
         for (std::size_t b = a + 1; b < nodes.size(); ++b)
           if (nodes[a] == nodes[b])
-            return fail(line_no, "repeated node on path");
+            return fail(line_no, where + "repeated node " +
+                                     std::to_string(nodes[a]) + " on path");
 
       if (k == tokens.size() || tokens[k] != "costs")
-        return fail(line_no, "expected 'costs'");
+        return fail(line_no, where + "expected 'costs'");
       std::vector<Duration> costs;
       for (++k; k < tokens.size(); ++k) {
         std::int64_t v = 0;
         if (!parse_int(tokens[k], v) || v <= 0)
-          return fail(line_no, "bad cost");
+          return fail(line_no, where + "bad cost '" + std::string(tokens[k]) +
+                                   "'");
         costs.push_back(v);
       }
       if (costs.size() == 1) costs.assign(nodes.size(), costs.front());
       if (costs.size() != nodes.size())
-        return fail(line_no, "costs arity mismatch");
+        return fail(line_no,
+                    where + "costs arity mismatch (" +
+                        std::to_string(costs.size()) + " costs for " +
+                        std::to_string(nodes.size()) + " path nodes)");
 
       for (const NodeId h : nodes)
         if (!set->network().contains(h))
-          return fail(line_no, "path node outside the network");
-      if (set->find(name)) return fail(line_no, "duplicate flow name");
+          return fail(line_no, where + "path node " + std::to_string(h) +
+                                   " outside the network (" +
+                                   std::to_string(set->network().node_count()) +
+                                   " nodes)");
+      if (set->find(name))
+        return fail(line_no, "duplicate flow name '" + name + "'");
 
       set->add(SporadicFlow(name, Path(std::move(nodes)), period,
                             std::move(costs), jitter, deadline, *cls));

@@ -28,6 +28,14 @@ struct ParseResult {
   int error_line = 0;  ///< 1-based line of the first error.
 
   [[nodiscard]] bool ok() const noexcept { return flow_set.has_value(); }
+
+  /// The error with its line number folded into the text ("line 3: ...").
+  /// Call sites that cannot carry `error_line` separately (issue lists,
+  /// service error envelopes, fuzz-corpus diagnostics) use this so the
+  /// position survives the trip to the user.
+  [[nodiscard]] std::string located_error() const {
+    return "line " + std::to_string(error_line) + ": " + error;
+  }
 };
 
 /// Parses the text format above.

@@ -1,48 +1,16 @@
-// Minimal JSON support for the observability layer: string escaping for
-// the writers (metrics dump, Chrome trace export, bench records) and a
-// small recursive-descent parser used by tests and tools to verify that
-// everything we emit round-trips through a strict JSON read.
-//
-// This is deliberately not a general-purpose JSON library: no comments,
-// no trailing commas, numbers parsed as double (enough to check the
-// integer counters we emit, which stay well inside 2^53).
+// Thin alias: the strict JSON reader the observability layer introduced
+// now lives in base/json.h so the analysis-service wire protocol and obs
+// share one parser (with byte-offset error reporting).  This header keeps
+// the historical `tfa::obs::json_*` spellings working.
 #pragma once
 
-#include <optional>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "base/json.h"
 
 namespace tfa::obs {
 
-/// Escapes `s` for inclusion inside a JSON string literal (quotes not
-/// added).  Control characters become \u00XX.
-[[nodiscard]] std::string json_escape(std::string_view s);
-
-/// A parsed JSON document node.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;                      ///< kArray
-  std::vector<std::pair<std::string, JsonValue>> object;  ///< kObject,
-                                                     ///< insertion order.
-
-  /// Member of an object by key, or null when absent / not an object.
-  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
-
-  [[nodiscard]] bool is_object() const noexcept {
-    return kind == Kind::kObject;
-  }
-  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
-};
-
-/// Parses a complete JSON document.  Returns nullopt on any syntax error
-/// or trailing garbage — the round-trip checks want strictness, not
-/// leniency.
-[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+using tfa::JsonError;
+using tfa::JsonValue;
+using tfa::json_escape;
+using tfa::json_parse;
 
 }  // namespace tfa::obs

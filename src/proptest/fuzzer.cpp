@@ -215,8 +215,7 @@ ReplayResult replay_corpus_text(std::string_view text) {
   }
   const model::ParseResult parsed = model::parse_flow_set(text);
   if (!parsed.ok()) {
-    r.error = "flow set: " + parsed.error + " (line " +
-              std::to_string(parsed.error_line) + ")";
+    r.error = "flow set: " + parsed.located_error();
     return r;
   }
   r.ok = true;

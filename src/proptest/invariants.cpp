@@ -4,7 +4,10 @@
 #include <string>
 
 #include "base/contracts.h"
+#include "base/json.h"
 #include "model/serialize.h"
+#include "service/loopback.h"
+#include "service/protocol.h"
 #include "sim/exhaustive.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
@@ -371,6 +374,98 @@ CheckOutcome ef_sound(const CaseAnalysis& c) {
   return {Verdict::kViolation, "EF validation reported unsound"};
 }
 
+/// Loads `c.serialized` into a fresh one-session service and analyzes it
+/// over the loopback transport, decoding the wire bounds back into
+/// `c.service_bounds`.  A counter clock keeps the run a pure function of
+/// the case (response bytes carry no wall times either way).
+void run_service_roundtrip(CaseAnalysis& c) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  std::int64_t ticks = 0;
+  cfg.clock = [&ticks] { return ticks += 1'000'000; };
+  service::Loopback lb(std::move(cfg));
+
+  const std::vector<std::string> responses = lb.roundtrip(
+      {std::string(R"({"op":"load_network","session":"pt","text":)") +
+           service::json_string(c.serialized) + "}",
+       R"({"op":"analyze","session":"pt"})"});
+  if (responses.size() != 2) {
+    c.service_error =
+        "expected 2 responses, got " + std::to_string(responses.size());
+    return;
+  }
+  const auto doc = json_parse(responses[1]);
+  if (!doc.has_value()) {
+    c.service_error = "analyze response is not valid JSON: " + responses[1];
+    return;
+  }
+  const JsonValue* ok = doc->find("ok");
+  if (ok == nullptr || !ok->boolean) {
+    c.service_error = "service refused the case: " + responses[1];
+    return;
+  }
+  const JsonValue* result = doc->find("result");
+  const JsonValue* bounds =
+      result == nullptr ? nullptr : result->find("bounds");
+  if (bounds == nullptr || !bounds->is_array()) {
+    c.service_error = "analyze result carries no bounds array";
+    return;
+  }
+  const auto duration_of = [](const JsonValue* v) {
+    return (v == nullptr || v->kind == JsonValue::Kind::kNull)
+               ? kInfiniteDuration
+               : static_cast<Duration>(v->number);
+  };
+  for (const JsonValue& b : bounds->array) {
+    CaseAnalysis::ServiceBound sb;
+    const JsonValue* flow = b.find("flow");
+    sb.flow = flow == nullptr ? std::string() : flow->string;
+    sb.response = duration_of(b.find("response"));
+    sb.jitter = duration_of(b.find("jitter"));
+    sb.busy_period = duration_of(b.find("busy_period"));
+    const JsonValue* sched = b.find("schedulable");
+    sb.schedulable = sched != nullptr && sched->boolean;
+    c.service_bounds.push_back(std::move(sb));
+  }
+  c.service_ok = true;
+}
+
+CheckOutcome service_roundtrip(const CaseAnalysis& c) {
+  if (!c.service_ok)
+    return {Verdict::kViolation, "wire round trip failed: " + c.service_error};
+  if (c.service_bounds.size() != c.arrival.bounds.size())
+    return {Verdict::kViolation,
+            "bound count differs on the wire: " +
+                std::to_string(c.service_bounds.size()) + " vs " +
+                std::to_string(c.arrival.bounds.size())};
+  // The wire collapses every infinite duration to JSON null, so compare
+  // through the same normalisation.
+  const auto norm = [](Duration d) {
+    return is_infinite(d) ? kInfiniteDuration : d;
+  };
+  for (std::size_t i = 0; i < c.service_bounds.size(); ++i) {
+    const CaseAnalysis::ServiceBound& w = c.service_bounds[i];
+    const trajectory::FlowBound& d = c.arrival.bounds[i];
+    const std::string tag =
+        flow_tag(c.set, static_cast<std::size_t>(d.flow));
+    if (w.flow != c.set.flow(d.flow).name())
+      return {Verdict::kViolation,
+              "flow order differs on the wire at #" + std::to_string(i) +
+                  ": " + w.flow + " vs " + tag};
+    if (norm(w.response) != norm(d.response))
+      return {Verdict::kViolation,
+              "wire response differs for " + tag + ": " + num(w.response) +
+                  " vs " + num(d.response)};
+    if (norm(w.jitter) != norm(d.jitter))
+      return {Verdict::kViolation, "wire jitter differs for " + tag};
+    if (norm(w.busy_period) != norm(d.busy_period))
+      return {Verdict::kViolation, "wire busy period differs for " + tag};
+    if (w.schedulable != d.schedulable)
+      return {Verdict::kViolation, "wire verdict differs for " + tag};
+  }
+  return {};
+}
+
 }  // namespace
 
 CaseAnalysis analyze_case(const model::FlowSet& set, const CaseContext& ctx,
@@ -489,6 +584,8 @@ CaseAnalysis analyze_case(const model::FlowSet& set, const CaseContext& ctx,
   multi.workers = ctx.det_workers;
   c.multi_worker = trajectory::analyze(set, multi);
 
+  run_service_roundtrip(c);
+
   return c;
 }
 
@@ -531,6 +628,9 @@ const std::vector<Invariant>& invariant_registry() {
        worker_determinism},
       {"ef-sound", "DiffServ-simulated EF worst case <= Property-3 bound",
        ef_sound},
+      {"service-roundtrip",
+       "analyze via the service wire protocol == in-process, bit for bit",
+       service_roundtrip},
   };
   return kRegistry;
 }

@@ -16,6 +16,7 @@
 //   reuse          reanalyze_with == cold analysis, bit for bit
 //   round trip     serialize/parse is the identity (text and bounds)
 //   determinism    Config::workers in {1..8} gives bit-identical results
+//   wire protocol  analyze via the service loopback == in-process
 //
 // Every check is a pure function of the CaseAnalysis, so a failure can be
 // re-evaluated on shrunk candidates (proptest/shrink.h) and replayed from
@@ -84,6 +85,19 @@ struct CaseAnalysis {
   trajectory::Result reparsed_arrival;
 
   trajectory::Result multi_worker;  ///< workers = ctx.det_workers.
+
+  /// One bound as decoded from a service `analyze` response
+  /// (service/loopback.h); JSON `null` maps back to kInfiniteDuration.
+  struct ServiceBound {
+    std::string flow;
+    Duration response = 0;
+    Duration jitter = 0;
+    Duration busy_period = 0;
+    bool schedulable = false;
+  };
+  bool service_ok = false;       ///< Wire round trip produced a parsed result.
+  std::string service_error;     ///< Why not, when !service_ok.
+  std::vector<ServiceBound> service_bounds;
 };
 
 /// Runs every engine on `set` under `ctx`/`budget`.  Deterministic:

@@ -1,0 +1,50 @@
+#include "service/serve.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tfa::service {
+
+namespace {
+
+bool blank(std::string_view line) noexcept {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+void drain(std::ostream& out, Service& service) {
+  bool wrote = false;
+  while (auto r = service.next_response()) {
+    out << *r << '\n';
+    wrote = true;
+  }
+  if (wrote) out.flush();
+}
+
+}  // namespace
+
+ServeResult serve_stream(std::istream& in, std::ostream& out,
+                         Service& service) {
+  ServeResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (blank(line)) continue;
+    service.submit(line);
+    ++result.requests;
+    // Close the batch when no more input is already buffered: a client
+    // that stops to read gets its analyze answered now, while a piped
+    // burst keeps coalescing.
+    if (in.rdbuf()->in_avail() <= 0) service.flush();
+    drain(out, service);
+  }
+  service.flush();
+  drain(out, service);
+  result.shutdown = service.draining();
+  return result;
+}
+
+}  // namespace tfa::service

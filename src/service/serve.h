@@ -1,0 +1,30 @@
+// Stream transport: pump JSON-lines requests from an std::istream into a
+// Service and its responses back out — what `tfa_tool serve` runs over
+// stdin/stdout.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "service/service.h"
+
+namespace tfa::service {
+
+/// Outcome of one serve loop.
+struct ServeResult {
+  bool shutdown = false;       ///< A `shutdown` request was served.
+  std::uint64_t requests = 0;  ///< Non-blank lines submitted.
+};
+
+/// Reads request lines from `in` until EOF, writing each response line
+/// (newline-terminated) to `out`.  Blank lines are ignored and consume
+/// no sequence number.  The open analyze batch is closed whenever the
+/// input buffer runs dry — an interactive client gets its answer
+/// without having to send `flush` — and at EOF; response *bytes* do not
+/// depend on where batches close, only latency does.  EOF after
+/// `shutdown` is the graceful-drain exit; plain EOF drains the same
+/// way.
+ServeResult serve_stream(std::istream& in, std::ostream& out,
+                         Service& service);
+
+}  // namespace tfa::service

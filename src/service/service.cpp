@@ -1,0 +1,548 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "admission/admission.h"
+#include "base/contracts.h"
+#include "model/serialize.h"
+#include "obs/telemetry.h"
+#include "trajectory/batch.h"
+
+namespace tfa::service {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::int64_t> latency_bounds() {
+  // Microsecond buckets: sub-100us (memo hits) up to >10s overflow.
+  return {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+}
+
+std::vector<std::int64_t> occupancy_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64};
+}
+
+const char* smax_name(trajectory::SmaxSemantics s) noexcept {
+  return s == trajectory::SmaxSemantics::kArrival ? "arrival" : "completion";
+}
+
+/// Parses one `flow ...` line against `net` by round-tripping through the
+/// flow-set text format: the network header plus the single line.  The
+/// strictness (and the error wording) is therefore exactly the parser's.
+std::optional<model::SporadicFlow> parse_flow_line(const model::Network& net,
+                                                   const std::string& line,
+                                                   std::string* why) {
+  std::string doc = model::serialize_flow_set(model::FlowSet(net));
+  if (doc.empty() || doc.back() != '\n') doc += '\n';
+  doc += line;
+  doc += '\n';
+  const model::ParseResult parsed = model::parse_flow_set(doc);
+  if (!parsed.ok()) {
+    *why = parsed.error;
+    return std::nullopt;
+  }
+  if (parsed.flow_set->size() != 1) {
+    *why = "expected exactly one 'flow ...' line";
+    return std::nullopt;
+  }
+  return parsed.flow_set->flow(FlowIndex{0});
+}
+
+/// The analyze result body minus the leading "cached" flag.  Everything
+/// here is deterministic for any worker count: bounds in engine order,
+/// work counters only (no wall times).
+std::string render_analyze_fragment(const model::FlowSet& set,
+                                    const trajectory::Result& r) {
+  std::string out = "\"all_schedulable\":";
+  out += r.all_schedulable ? "true" : "false";
+  out += ",\"converged\":";
+  out += r.converged ? "true" : "false";
+  out += ",\"bounds\":[";
+  for (std::size_t i = 0; i < r.bounds.size(); ++i) {
+    const trajectory::FlowBound& b = r.bounds[i];
+    if (i > 0) out += ',';
+    out += "{\"flow\":";
+    out += json_string(set.flow(b.flow).name());
+    out += ",\"response\":";
+    out += json_duration(b.response);
+    out += ",\"jitter\":";
+    out += json_duration(b.jitter);
+    out += ",\"busy_period\":";
+    out += json_duration(b.busy_period);
+    out += ",\"delta\":";
+    out += json_duration(b.delta);
+    out += ",\"schedulable\":";
+    out += b.schedulable ? "true" : "false";
+    out += '}';
+  }
+  out += "],\"stats\":{\"smax_passes\":";
+  out += std::to_string(r.stats.smax_passes);
+  out += ",\"cache_hits\":";
+  out += std::to_string(r.stats.cache_hits);
+  out += ",\"cache_misses\":";
+  out += std::to_string(r.stats.cache_misses);
+  out += ",\"warm_seeded\":";
+  out += std::to_string(r.stats.warm_seeded_entries);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig cfg, obs::Telemetry* telemetry)
+    : cfg_(std::move(cfg)), store_(cfg_.max_sessions), telemetry_(telemetry) {
+  if (!cfg_.clock) cfg_.clock = steady_now_ns;
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  // The service registry is long-lived like a session's: cap its series.
+  if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
+}
+
+void Service::bump(std::string_view counter) {
+  if (telemetry_ != nullptr) ++telemetry_->metrics.counter(counter);
+}
+
+void Service::emit(std::string line, std::int64_t start_ns) {
+  // One clock call per response, telemetry or not, so an injected clock
+  // ticks on the same schedule either way.
+  const std::int64_t latency = cfg_.clock() - start_ns;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.histogram("service.latency_us", latency_bounds())
+        .record(latency / 1000);
+    telemetry_->metrics.timer("service.latency_ns") += latency;
+  }
+  out_.push_back(std::move(line));
+}
+
+void Service::respond_ok(std::uint64_t seq, const std::string& id_json,
+                         std::string_view op_text,
+                         std::string_view result_json,
+                         std::int64_t start_ns) {
+  emit(ok_envelope(seq, id_json, op_text, result_json), start_ns);
+}
+
+void Service::respond_error(std::uint64_t seq, const std::string& id_json,
+                            std::string_view op_text, const WireError& error,
+                            std::int64_t start_ns) {
+  bump("service.errors");
+  if (telemetry_ != nullptr)
+    ++telemetry_->metrics.counter("service.errors." + error.code);
+  emit(error_envelope(seq, id_json, op_text, error), start_ns);
+}
+
+std::optional<std::string> Service::next_response() {
+  if (out_.empty()) return std::nullopt;
+  std::string line = std::move(out_.front());
+  out_.pop_front();
+  return line;
+}
+
+void Service::flush() { close_batch(); }
+
+void Service::submit(std::string_view line) {
+  const std::uint64_t seq = ++seq_;
+  const std::int64_t start = cfg_.clock();
+  bump("service.requests");
+
+  // Size gate before parsing: an oversized line is rejected unread.
+  if (line.size() > cfg_.max_request_bytes) {
+    close_batch();
+    WireError e;
+    e.code = "oversized";
+    e.message = "request of " + std::to_string(line.size()) +
+                " bytes exceeds the " +
+                std::to_string(cfg_.max_request_bytes) + "-byte limit";
+    respond_error(seq, "", "", e, start);
+    return;
+  }
+
+  ParsedRequest p = parse_request(line);
+
+  // Graceful drain: after shutdown every request — well-formed or not —
+  // is refused with `draining` (the parse above only salvages the echo).
+  if (draining_) {
+    WireError e;
+    e.code = "draining";
+    e.message = "service is draining after shutdown";
+    respond_error(seq, p.id_json, p.op_text, e, start);
+    return;
+  }
+
+  if (!p.ok) {
+    close_batch();
+    respond_error(seq, p.id_json, p.op_text, p.error, start);
+    return;
+  }
+
+  if (telemetry_ != nullptr)
+    ++telemetry_->metrics.counter("service.op." + p.op_text);
+
+  if (p.request.op == Op::kAnalyze) {
+    // Coalesce: equal options join the open batch, different options
+    // close it first (FIFO order is preserved either way).
+    if (!batch_.empty() && !(batch_opts_ == p.request.analyze)) close_batch();
+    batch_opts_ = p.request.analyze;
+    PendingAnalyze pending;
+    pending.seq = seq;
+    pending.id_json = p.id_json;
+    pending.session = p.request.session;
+    pending.submitted_ns = start;
+    pending.deadline_ms = p.request.deadline_ms;
+    batch_.push_back(std::move(pending));
+    if (batch_.size() >= cfg_.max_batch) close_batch();
+    return;
+  }
+
+  close_batch();
+  execute(p.request, p.op_text, seq, p.id_json, start);
+}
+
+void Service::close_batch() {
+  if (batch_.empty()) {
+    last_batch_ = 0;
+    return;
+  }
+  std::vector<PendingAnalyze> batch;
+  batch.swap(batch_);
+  last_batch_ = batch.size();
+
+  obs::Span batch_span = obs::span(telemetry_, "service.analyze_batch");
+  const std::int64_t now = cfg_.clock();
+  if (telemetry_ != nullptr)
+    telemetry_->metrics.histogram("service.batch_occupancy", occupancy_bounds())
+        .record(static_cast<std::int64_t>(batch.size()));
+
+  trajectory::Config cfg = cfg_.analysis;
+  cfg.ef_mode = batch_opts_.ef_mode;
+  cfg.smax_semantics = batch_opts_.smax;
+  const std::string opts_key = std::string(cfg.ef_mode ? "ef" : "all") + ":" +
+                               smax_name(cfg.smax_semantics);
+
+  // Triage each request, deduplicating engine work: one job per distinct
+  // session (all requests in a batch share the options, so they would
+  // compute the same answer), and none at all on a memo hit.
+  struct Slot {
+    bool failed = false;
+    WireError error;
+    Session* session = nullptr;
+    std::string memo_key;
+    bool cached = false;  ///< Memo hit, or duplicate of a job in this batch.
+    bool memo_hit = false;
+    std::size_t job = SIZE_MAX;
+  };
+  std::vector<Slot> slots(batch.size());
+  std::vector<trajectory::CachedJob> jobs;
+  std::vector<Session*> job_sessions;
+  std::map<std::string, std::size_t, std::less<>> job_of_session;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingAnalyze& p = batch[i];
+    Slot& s = slots[i];
+    if (p.deadline_ms &&
+        now - p.submitted_ns > *p.deadline_ms * 1'000'000) {
+      s.failed = true;
+      s.error.code = "deadline_exceeded";
+      s.error.message = "request waited " +
+                        std::to_string((now - p.submitted_ns) / 1'000'000) +
+                        " ms, past its " + std::to_string(*p.deadline_ms) +
+                        " ms deadline";
+      continue;
+    }
+    Session* sess = store_.find(p.session);
+    if (sess == nullptr) {
+      s.failed = true;
+      s.error.code = "unknown_session";
+      s.error.message = "no session named '" + p.session + "'";
+      continue;
+    }
+    if (sess->set.empty()) {
+      s.failed = true;
+      s.error.code = "empty_session";
+      s.error.message =
+          "session '" + p.session + "' has no flows to analyse";
+      continue;
+    }
+    s.session = sess;
+    s.memo_key = opts_key + "\n" + model::serialize_flow_set(sess->set);
+    if (sess->memo_key == s.memo_key) {
+      s.memo_hit = true;
+      s.cached = true;
+      bump("service.analyze.memo_hits");
+      continue;
+    }
+    const auto [it, inserted] =
+        job_of_session.try_emplace(p.session, jobs.size());
+    if (inserted) {
+      trajectory::CachedJob job;
+      job.set = &sess->set;
+      job.cache = &sess->cache;
+      job.telemetry = &sess->telemetry;
+      jobs.push_back(job);
+      job_sessions.push_back(sess);
+    } else {
+      // Duplicate of a job already in this batch: answered from the same
+      // result, and reported `cached` exactly like a memo hit — so the
+      // response bytes cannot depend on where batch boundaries fell.
+      s.cached = true;
+      bump("service.analyze.memo_hits");
+    }
+    s.job = it->second;
+  }
+
+  std::vector<trajectory::Result> results;
+  if (!jobs.empty())
+    results = trajectory::reanalyze_many(jobs, cfg, cfg_.workers, telemetry_);
+
+  std::vector<std::string> fragments(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    fragments[j] = render_analyze_fragment(*jobs[j].set, results[j]);
+    ++job_sessions[j]->analyzes;
+  }
+  // Refresh each analysed session's memo (every slot of a session in one
+  // batch carries the same key, so repeated assignment is idempotent).
+  for (const Slot& s : slots) {
+    if (s.job == SIZE_MAX) continue;
+    s.session->memo_key = s.memo_key;
+    s.session->memo_fragment = fragments[s.job];
+  }
+
+  // Respond in arrival order — the scheduler never reorders the wire.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingAnalyze& p = batch[i];
+    const Slot& s = slots[i];
+    if (s.failed) {
+      respond_error(p.seq, p.id_json, "analyze", s.error, p.submitted_ns);
+      continue;
+    }
+    std::string result = s.cached ? "{\"cached\":true," : "{\"cached\":false,";
+    result += s.memo_hit ? s.session->memo_fragment : fragments[s.job];
+    result += '}';
+    respond_ok(p.seq, p.id_json, "analyze", result, p.submitted_ns);
+  }
+}
+
+void Service::execute(const Request& r, const std::string& op_text,
+                      std::uint64_t seq, const std::string& id_json,
+                      std::int64_t start_ns) {
+  obs::Span op_span = obs::span(telemetry_, "service." + op_text);
+  WireError e;
+  switch (r.op) {
+    case Op::kLoadNetwork: {
+      const model::ParseResult parsed = model::parse_flow_set(r.text);
+      if (!parsed.ok()) {
+        e.code = "bad_flow_set";
+        e.message = parsed.located_error();
+        e.line = parsed.error_line;
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      if (const auto issues = parsed.flow_set->validate(); !issues.empty()) {
+        e.code = "invalid_flow_set";
+        e.message = issues.front().message;
+        if (issues.size() > 1)
+          e.message +=
+              " (+" + std::to_string(issues.size() - 1) + " more issue(s))";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      Session* sess = nullptr;
+      switch (store_.create(r.session, &sess)) {
+        case SessionStore::Create::kDuplicate:
+          e.code = "duplicate_session";
+          e.message = "a session named '" + r.session + "' already exists";
+          respond_error(seq, id_json, op_text, e, start_ns);
+          return;
+        case SessionStore::Create::kFull:
+          e.code = "too_many_sessions";
+          e.message = "session limit of " +
+                      std::to_string(store_.capacity()) + " reached";
+          respond_error(seq, id_json, op_text, e, start_ns);
+          return;
+        case SessionStore::Create::kCreated:
+          break;
+      }
+      sess->set = *parsed.flow_set;
+      if (telemetry_ != nullptr)
+        telemetry_->metrics.gauge("service.sessions") =
+            static_cast<std::int64_t>(store_.size());
+      std::string result = "{\"session\":" + json_string(r.session) +
+                           ",\"flows\":" + std::to_string(sess->set.size()) +
+                           ",\"nodes\":" +
+                           std::to_string(sess->set.network().node_count()) +
+                           "}";
+      respond_ok(seq, id_json, op_text, result, start_ns);
+      return;
+    }
+    case Op::kAddFlow: {
+      Session* sess = store_.find(r.session);
+      if (sess == nullptr) {
+        e.code = "unknown_session";
+        e.message = "no session named '" + r.session + "'";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      std::string why;
+      const auto flow = parse_flow_line(sess->set.network(), r.flow, &why);
+      if (!flow) {
+        e.code = "bad_flow_set";
+        e.message = why;
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      if (sess->set.find(flow->name())) {
+        e.code = "duplicate_flow";
+        e.message = "a flow named '" + flow->name() +
+                    "' already exists in session '" + r.session + "'";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      model::FlowSet tentative = sess->set;
+      tentative.add(*flow);
+      if (const auto issues = tentative.validate(); !issues.empty()) {
+        e.code = "invalid_flow_set";
+        e.message = issues.front().message;
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      sess->set = std::move(tentative);
+      sess->invalidate_memo();
+      respond_ok(seq, id_json, op_text,
+                 "{\"flows\":" + std::to_string(sess->set.size()) + "}",
+                 start_ns);
+      return;
+    }
+    case Op::kRemoveFlow: {
+      Session* sess = store_.find(r.session);
+      if (sess == nullptr) {
+        e.code = "unknown_session";
+        e.message = "no session named '" + r.session + "'";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      const auto idx = sess->set.find(r.name);
+      if (!idx) {
+        e.code = "unknown_flow";
+        e.message = "no flow named '" + r.name + "' in session '" +
+                    r.session + "'";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      model::FlowSet next(sess->set.network());
+      for (std::size_t i = 0; i < sess->set.size(); ++i)
+        if (static_cast<FlowIndex>(i) != *idx)
+          next.add(sess->set.flow(static_cast<FlowIndex>(i)));
+      sess->set = std::move(next);
+      // The cache is kept: reanalyze_with() detects the removal and
+      // falls back to a cold start on its own.
+      sess->invalidate_memo();
+      respond_ok(seq, id_json, op_text,
+                 "{\"flows\":" + std::to_string(sess->set.size()) + "}",
+                 start_ns);
+      return;
+    }
+    case Op::kAdmit: {
+      Session* sess = store_.find(r.session);
+      if (sess == nullptr) {
+        e.code = "unknown_session";
+        e.message = "no session named '" + r.session + "'";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      std::string why;
+      const auto flow = parse_flow_line(sess->set.network(), r.flow, &why);
+      if (!flow) {
+        e.code = "bad_flow_set";
+        e.message = why;
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      trajectory::Config cfg = cfg_.analysis;
+      cfg.ef_mode = r.analyze.ef_mode;
+      cfg.smax_semantics = r.analyze.smax;
+      cfg.workers = cfg_.workers;
+      const auto kind = r.analyze.ef_mode
+                            ? admission::AnalysisKind::kTrajectoryEf
+                            : admission::AnalysisKind::kTrajectory;
+      const admission::Decision d = admission::evaluate(
+          sess->set, *flow, kind, cfg, &sess->cache, &sess->telemetry);
+      if (d.admitted) {
+        sess->set.add(*flow);
+        sess->invalidate_memo();
+      }
+      bump(d.admitted ? "service.admit.admitted" : "service.admit.rejected");
+      std::string result = "{\"admitted\":";
+      result += d.admitted ? "true" : "false";
+      result += ",\"reason\":" + json_string(d.reason);
+      result += ",\"bound\":" + json_duration(d.candidate_bound);
+      result += ",\"violating\":[";
+      for (std::size_t i = 0; i < d.violating.size(); ++i) {
+        if (i > 0) result += ',';
+        result += json_string(d.violating[i]);
+      }
+      result += "],\"flows\":" + std::to_string(sess->set.size()) + "}";
+      respond_ok(seq, id_json, op_text, result, start_ns);
+      return;
+    }
+    case Op::kSnapshot: {
+      Session* sess = store_.find(r.session);
+      if (sess == nullptr) {
+        e.code = "unknown_session";
+        e.message = "no session named '" + r.session + "'";
+        respond_error(seq, id_json, op_text, e, start_ns);
+        return;
+      }
+      std::string result =
+          "{\"flows\":" + std::to_string(sess->set.size()) +
+          ",\"analyzes\":" + std::to_string(sess->analyzes) + ",\"text\":" +
+          json_string(model::serialize_flow_set(sess->set)) + "}";
+      respond_ok(seq, id_json, op_text, result, start_ns);
+      return;
+    }
+    case Op::kMetrics: {
+      // Only the deterministic metric kinds go on the wire (counters,
+      // histograms, series) — wall times stay in --metrics-out, so the
+      // `metrics` response is identical for every worker count.
+      std::string result = "{\"requests\":" + std::to_string(seq_) +
+                           ",\"sessions\":[";
+      bool first = true;
+      for (const auto& [name, sess] : store_.all()) {
+        if (!first) result += ',';
+        first = false;
+        result += "{\"name\":" + json_string(name) +
+                  ",\"flows\":" + std::to_string(sess.set.size()) +
+                  ",\"analyzes\":" + std::to_string(sess.analyzes) + "}";
+      }
+      result += "]";
+      if (telemetry_ != nullptr)
+        result += ",\"service\":" + telemetry_->metrics.deterministic_json();
+      result += "}";
+      respond_ok(seq, id_json, op_text, result, start_ns);
+      return;
+    }
+    case Op::kFlush: {
+      respond_ok(seq, id_json, op_text,
+                 "{\"flushed\":" + std::to_string(last_batch_) + "}",
+                 start_ns);
+      return;
+    }
+    case Op::kShutdown: {
+      draining_ = true;
+      respond_ok(seq, id_json, op_text,
+                 "{\"sessions\":" + std::to_string(store_.size()) +
+                     ",\"requests\":" + std::to_string(seq_) + "}",
+                 start_ns);
+      return;
+    }
+    case Op::kAnalyze:
+      break;  // handled by the batching path in submit()
+  }
+  TFA_ASSERT(false);
+}
+
+}  // namespace tfa::service

@@ -1,0 +1,146 @@
+// The long-lived analysis service (docs/service.md).
+//
+// A Service owns a SessionStore and turns JSON-line requests into
+// JSON-line responses.  It is an *embeddable* core: transports are thin
+// — Loopback (service/loopback.h) calls it in-process, serve_stream
+// (service/serve.h) pumps stdio — and both observe identical bytes for
+// identical request sequences, because every response is rendered with
+// a fixed key order and all scheduling-dependent values are kept off
+// the wire.
+//
+// Request scheduling: consecutive `analyze` requests whose options
+// compare equal coalesce into one batch; the batch closes when a
+// different request arrives, when it reaches ServiceConfig::max_batch,
+// or on flush()/`flush`.  A closed batch runs one warm-started engine
+// job per distinct session, fanned out over ServiceConfig::workers via
+// trajectory::reanalyze_many() — per-job state (set, cache, telemetry)
+// is private to the session, so the fan-out cannot race, and the
+// response bytes are bit-identical for every worker count (pinned by
+// tests/service/determinism_test.cpp).
+//
+// Failure containment: a malformed, oversized, unknown or mis-addressed
+// request is answered with a structured error envelope and the service
+// keeps serving — no request can crash, wedge or desync it (pinned by
+// tests/service/malformed_test.cpp and the ASan/UBSan soak).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/session.h"
+#include "trajectory/types.h"
+
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
+namespace tfa::service {
+
+/// Tuning knobs of one Service instance.
+struct ServiceConfig {
+  /// Threads the analyze-batch fan-out may use (0 = hardware default).
+  /// Never affects response bytes.
+  std::size_t workers = 1;
+
+  /// Analyze requests coalesced into one batch at most.
+  std::size_t max_batch = 64;
+
+  /// Hard per-request size limit; longer lines are answered with an
+  /// `oversized` error without being parsed.
+  std::size_t max_request_bytes = std::size_t{1} << 20;
+
+  /// Session-count limit (`too_many_sessions` beyond it).
+  std::size_t max_sessions = 64;
+
+  /// Base analysis configuration.  Per-request options override ef_mode
+  /// and smax_semantics; the scheduler owns the worker count.
+  trajectory::Config analysis;
+
+  /// Nanosecond clock used for deadlines and latency metrics.  Default
+  /// is std::chrono::steady_clock; tests inject a counter, which makes
+  /// every response — including the `metrics` op — bit-reproducible.
+  /// The service calls it on a fixed schedule (once per submit, once
+  /// per batch close, once per response) precisely so an injected clock
+  /// yields deterministic values.
+  std::function<std::int64_t()> clock;
+};
+
+/// The embeddable service core.  Single-threaded by contract, like the
+/// rest of the observability layer: one thread submits and polls;
+/// parallelism lives inside the batch fan-out.
+class Service {
+ public:
+  /// `telemetry` (may be null, must outlive the service) receives the
+  /// service-level metrics — request/error counters, latency and
+  /// batch-occupancy histograms, aggregate engine counters — and the
+  /// per-op spans; it is what `tfa_tool serve` wires to --metrics-out /
+  /// --trace-out.
+  explicit Service(ServiceConfig cfg = {}, obs::Telemetry* telemetry = nullptr);
+
+  /// Accepts one request line.  Always consumes one sequence number and
+  /// eventually produces exactly one response; `analyze` responses may
+  /// be deferred until the batch closes, everything else responds
+  /// before submit() returns.
+  void submit(std::string_view line);
+
+  /// Closes the open analyze batch (no-op when empty).
+  void flush();
+
+  /// Next completed response line in sequence order, if any.
+  [[nodiscard]] std::optional<std::string> next_response();
+
+  /// True once a `shutdown` request was served: queued work has been
+  /// flushed and every later submit() is answered with a `draining`
+  /// error.
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+
+  /// Requests accepted so far (= last assigned seq).
+  [[nodiscard]] std::uint64_t requests() const noexcept { return seq_; }
+
+  [[nodiscard]] SessionStore& sessions() noexcept { return store_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PendingAnalyze {
+    std::uint64_t seq = 0;
+    std::string id_json;
+    std::string session;
+    std::int64_t submitted_ns = 0;
+    std::optional<std::int64_t> deadline_ms;
+  };
+
+  void execute(const Request& r, const std::string& op_text,
+               std::uint64_t seq, const std::string& id_json,
+               std::int64_t start_ns);
+  void close_batch();
+
+  void respond_ok(std::uint64_t seq, const std::string& id_json,
+                  std::string_view op_text, std::string_view result_json,
+                  std::int64_t start_ns);
+  void respond_error(std::uint64_t seq, const std::string& id_json,
+                     std::string_view op_text, const WireError& error,
+                     std::int64_t start_ns);
+  void emit(std::string line, std::int64_t start_ns);
+  void bump(std::string_view counter);
+
+  ServiceConfig cfg_;
+  SessionStore store_;
+  obs::Telemetry* telemetry_ = nullptr;
+
+  std::uint64_t seq_ = 0;
+  bool draining_ = false;
+
+  std::vector<PendingAnalyze> batch_;
+  AnalyzeOptions batch_opts_;
+  std::size_t last_batch_ = 0;  ///< Size of the most recently closed batch.
+
+  std::deque<std::string> out_;
+};
+
+}  // namespace tfa::service

@@ -1,0 +1,24 @@
+#include "service/session.h"
+
+namespace tfa::service {
+
+SessionStore::Create SessionStore::create(const std::string& name,
+                                          Session** out) {
+  *out = nullptr;
+  if (sessions_.find(name) != sessions_.end()) return Create::kDuplicate;
+  if (sessions_.size() >= max_) return Create::kFull;
+  Session& s = sessions_[name];
+  s.name = name;
+  // A session is long-lived: bound its convergence series so telemetry
+  // stays O(1) per analyze (the admission-controller discipline).
+  s.telemetry.metrics.set_series_capacity(4096);
+  *out = &s;
+  return Create::kCreated;
+}
+
+Session* SessionStore::find(std::string_view name) {
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tfa::service

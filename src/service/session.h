@@ -1,0 +1,79 @@
+// Session store of the analysis service: each session is one named,
+// long-lived flow-set lineage carrying its own warm-start state
+// (trajectory::AnalysisCache) and its own engine telemetry, so analyses
+// of different sessions never share mutable state — that independence is
+// what lets the request scheduler fan a batch out over workers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "model/flow_set.h"
+#include "obs/telemetry.h"
+#include "trajectory/batch.h"
+
+namespace tfa::service {
+
+/// One named network + flow set and everything that makes repeat
+/// analyses of it cheap.
+struct Session {
+  std::string name;
+  model::FlowSet set;
+
+  /// Warm-start lineage across this session's analyses and admissions.
+  /// Kept across mutations: reanalyze_with()'s validity check makes a
+  /// stale cache (flow removed/modified) fall back to a cold start
+  /// rather than an unsound warm one, while the common grow-only
+  /// sequence stays warm.
+  trajectory::AnalysisCache cache;
+
+  /// Private engine sink (series capped).  Never shared with another
+  /// session — batched jobs run concurrently.
+  obs::Telemetry telemetry;
+
+  std::uint64_t analyzes = 0;  ///< Engine runs (memo hits excluded).
+
+  /// Exact-result memo of the latest analyze: `memo_key` identifies the
+  /// (options, serialized set) pair, `memo_fragment` is the rendered
+  /// result body.  A repeat analyze of an unchanged session answers from
+  /// here without touching the engine.  Any mutation invalidates it.
+  std::string memo_key;
+  std::string memo_fragment;
+
+  void invalidate_memo() {
+    memo_key.clear();
+    memo_fragment.clear();
+  }
+};
+
+/// Name-ordered session registry with a capacity limit.
+class SessionStore {
+ public:
+  explicit SessionStore(std::size_t max_sessions) : max_(max_sessions) {}
+
+  enum class Create { kCreated, kDuplicate, kFull };
+
+  /// Creates an empty session named `name`; on kCreated, `*out` points at
+  /// it (series capacity already bounded).
+  Create create(const std::string& name, Session** out);
+
+  /// The session named `name`, or nullptr.
+  [[nodiscard]] Session* find(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return max_; }
+
+  /// All sessions in name order (deterministic iteration for the
+  /// `metrics` op).
+  [[nodiscard]] std::map<std::string, Session, std::less<>>& all() noexcept {
+    return sessions_;
+  }
+
+ private:
+  std::size_t max_;
+  std::map<std::string, Session, std::less<>> sessions_;
+};
+
+}  // namespace tfa::service

@@ -47,7 +47,7 @@ TEST(CorpusReplay, CommittedReprosAreMinimal) {
   for (const std::string& path : corpus_files(TFA_CORPUS_DIR)) {
     SCOPED_TRACE(path);
     const model::ParseResult parsed = model::parse_flow_set(slurp(path));
-    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    ASSERT_TRUE(parsed.ok()) << parsed.located_error();
     EXPECT_LE(parsed.flow_set->size(), 3u);
   }
 }

@@ -1,0 +1,49 @@
+// Shared helpers of the service tests: an injected counter clock (every
+// call advances 1ms, making latencies — and therefore whole transcripts,
+// `metrics` responses included — bit-reproducible), the paper example as
+// wire text, and request-line builders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/paper_example.h"
+#include "model/serialize.h"
+#include "service/loopback.h"
+#include "service/protocol.h"
+
+namespace tfa::service {
+
+/// Deterministic clock: +1ms per call, starting at 1ms.
+inline std::function<std::int64_t()> counter_clock() {
+  auto t = std::make_shared<std::int64_t>(0);
+  return [t] { return *t += 1'000'000; };
+}
+
+inline ServiceConfig test_config(std::size_t workers = 1) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.clock = counter_clock();
+  return cfg;
+}
+
+inline std::string paper_text() {
+  return model::serialize_flow_set(model::paper_example());
+}
+
+inline std::string load_line(const std::string& session,
+                             const std::string& text) {
+  return "{\"op\":\"load_network\",\"session\":" + json_string(session) +
+         ",\"text\":" + json_string(text) + "}";
+}
+
+inline std::string analyze_line(const std::string& session,
+                                bool ef_mode = false) {
+  return "{\"op\":\"analyze\",\"session\":" + json_string(session) +
+         (ef_mode ? ",\"ef_mode\":true}" : "}");
+}
+
+}  // namespace tfa::service
