@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "trajectory/analysis.h"
 
@@ -54,10 +55,13 @@ std::vector<FlowSlack> deadline_slacks(const model::FlowSet& set,
 Duration max_extra_cost(const model::FlowSet& set, FlowIndex i,
                         const trajectory::Config& cfg, Duration limit) {
   TFA_EXPECTS(limit >= 0);
+  TFA_EXPECTS(limit < kInfiniteDuration);
   const auto grown = [&](Duration extra) {
     return with_mutated_flow(set, i, [&](const model::SporadicFlow& f) {
       std::vector<Duration> costs = f.costs();
-      for (Duration& c : costs) c += extra;
+      // Saturating: a cost grown past the envelope fails validation in
+      // all_certified(), which reads as "not certified" — never a wrap.
+      for (Duration& c : costs) c = sat_add(c, extra);
       return model::SporadicFlow(f.name(), f.path(), f.period(),
                                  std::move(costs), f.jitter(), f.deadline(),
                                  f.service_class());
@@ -69,7 +73,7 @@ Duration max_extra_cost(const model::FlowSet& set, FlowIndex i,
   Duration lo = 0, hi = 1;
   while (hi <= limit && all_certified(grown(hi), cfg)) {
     lo = hi;
-    hi *= 2;
+    hi = sat_mul(hi, 2);  // limit < kInfiniteDuration, so this terminates
   }
   if (hi > limit) {
     if (lo == limit || all_certified(grown(limit), cfg)) return limit;

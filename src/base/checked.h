@@ -1,0 +1,85 @@
+// Saturating checked arithmetic for the fixed-point engines.
+//
+// Every bound in this repo is an int64 tick count, and the paper's
+// operators multiply interference counts by costs (Lemma 3, Property 2)
+// — products that silently wrap for large-but-legal (T, C, J, D)
+// inputs.  A wrapped iterate is the worst failure mode a schedulability
+// tool can have: an unsound bound that *looks* finite and schedulable.
+//
+// The ops below make overflow absorbing instead of silent: any result
+// that would leave the representable range — in either direction —
+// saturates to kInfiniteDuration, which every engine already reports as
+// divergence / unschedulable.  Saturating *upward* on negative overflow
+// is deliberate: a wrapped-negative window fed to sporadic_count() would
+// count zero packets and undercount interference, so the only sound
+// answer to "this term left int64" is "the bound is unbounded".
+//
+// Closure property: every op returns a value <= kInfiniteDuration, and
+// kInfiniteDuration is a fixed point of all of them (inf + x = inf,
+// inf * x = inf for x > 0).  Chains of sat ops therefore never wrap, and
+// is_infinite() on the final value detects overflow anywhere upstream.
+#pragma once
+
+#include "base/contracts.h"
+#include "base/math.h"
+#include "base/types.h"
+
+namespace tfa {
+
+/// a + b, saturating to kInfiniteDuration when either operand is already
+/// infinite or the sum leaves [INT64_MIN, kInfiniteDuration].  Negative
+/// operands are legal (activation instants live in negative territory);
+/// only the *result* saturates.
+[[nodiscard]] constexpr Duration sat_add(Duration a, Duration b) noexcept {
+  if (a >= kInfiniteDuration || b >= kInfiniteDuration)
+    return kInfiniteDuration;
+  Duration sum = 0;
+  if (__builtin_add_overflow(a, b, &sum)) return kInfiniteDuration;
+  return sum >= kInfiniteDuration ? kInfiniteDuration : sum;
+}
+
+/// a * b, saturating to kInfiniteDuration when either operand is already
+/// infinite or the product leaves [INT64_MIN, kInfiniteDuration].
+[[nodiscard]] constexpr Duration sat_mul(Duration a, Duration b) noexcept {
+  if (a >= kInfiniteDuration || b >= kInfiniteDuration)
+    return kInfiniteDuration;
+  Duration prod = 0;
+  if (__builtin_mul_overflow(a, b, &prod)) return kInfiniteDuration;
+  return prod >= kInfiniteDuration ? kInfiniteDuration : prod;
+}
+
+/// ceil(a / T) * c — the Lemma-3 busy-period interference term — with the
+/// multiplication saturated.  The division itself cannot overflow
+/// (|ceil(a/T)| <= |a| for T >= 1), so only the product is checked.
+[[nodiscard]] constexpr Duration sat_ceil_div_mul(Duration a, Duration T,
+                                                  Duration c) noexcept {
+  TFA_EXPECTS(T > 0);
+  if (a >= kInfiniteDuration) return kInfiniteDuration;
+  return sat_mul(ceil_div(a, T), c);
+}
+
+/// sporadic_count(a, T) * c — the Property-2 interference term
+/// (1 + floor(a/T))^+ packets of cost c — with both the count and the
+/// product saturated.  An already-infinite window means the surrounding
+/// iterate has diverged, so the term is infinite too.
+[[nodiscard]] constexpr Duration sat_sporadic_term(Duration a, Duration T,
+                                                   Duration c) noexcept {
+  TFA_EXPECTS(T > 0);
+  TFA_EXPECTS(c >= 0);
+  if (a >= kInfiniteDuration) return kInfiniteDuration;
+  // a < kInfiniteDuration < INT64_MAX, so 1 + floor(a/T) cannot wrap.
+  return sat_mul(sporadic_count(a, T), c);
+}
+
+/// Smallest multiple of T that is >= x (round_up in base/math.h), with
+/// the multiplication back up saturated.  Used by the grid-rounding
+/// steps of the network-calculus engines, where T is a coarse grid
+/// divisor and x may already be near the int64 edge.
+[[nodiscard]] constexpr Duration checked_round_up(Duration x,
+                                                  Duration T) noexcept {
+  TFA_EXPECTS(T > 0);
+  if (x >= kInfiniteDuration) return kInfiniteDuration;
+  return sat_mul(ceil_div(x, T), T);
+}
+
+}  // namespace tfa

@@ -69,7 +69,18 @@ template <typename F>
       return r;
     }
     const Duration next = f(x);
-    TFA_ASSERT(next >= x);  // monotonicity from below
+    // A monotone operator iterated from below can never decrease; a
+    // decreasing iterate therefore means the operator wrapped (signed
+    // overflow) or broke its contract.  Either way the only sound
+    // report is divergence — never a finite bound built on a wrapped
+    // value.  This is a release-mode check, not an assert: soundness
+    // must not depend on debug builds.
+    if (next < x) {
+      r.status = FixedPointStatus::kDiverged;
+      r.value = kInfiniteDuration;
+      r.iterations = k;
+      return r;
+    }
     if (next == x) {
       r.status = FixedPointStatus::kConverged;
       r.value = x;

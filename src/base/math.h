@@ -44,7 +44,10 @@ namespace tfa {
   return pos_part(1 + floor_div(a, T));
 }
 
-/// Smallest multiple of `T` that is >= `x`, for T > 0.
+/// Smallest multiple of `T` that is >= `x`, for T > 0.  The raw product
+/// can wrap near the int64 edge; callers with large operands should use
+/// checked_round_up (base/checked.h), which saturates to
+/// kInfiniteDuration instead.
 [[nodiscard]] constexpr std::int64_t round_up(std::int64_t x,
                                               std::int64_t T) noexcept {
   return ceil_div(x, T) * T;

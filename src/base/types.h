@@ -38,8 +38,15 @@ inline constexpr Duration kInfiniteDuration =
     std::numeric_limits<Duration>::max() / 1024;
 
 /// True iff `d` represents a diverged / unbounded result.
+///
+/// Negative durations also classify as infinite: the quantities this
+/// predicate inspects (response times, busy periods, jitters, Smax
+/// entries) are nonnegative by construction, so a negative value can
+/// only come from int64 wraparound — and a wrapped sum must never read
+/// as a small finite bound.  Instants (Time) are legitimately negative
+/// and are never passed here.
 [[nodiscard]] constexpr bool is_infinite(Duration d) noexcept {
-  return d >= kInfiniteDuration;
+  return d >= kInfiniteDuration || d < 0;
 }
 
 }  // namespace tfa

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "netcalc/curves.h"
 
@@ -53,6 +54,9 @@ WfqResult analyze_wfq(const model::FlowSet& set,
     burst[i].assign(f.path().size(), Rational(0));
     burst[i][0] = (Rational(1) + Rational(f.jitter(), f.period()))
                       .ceil_to_grid(kGrid);
+    // Extreme J/T ratios exceed the ceiling before any propagation; dead
+    // on arrival, before a burst x cost product can overflow.
+    if (burst[i][0] > cfg.sigma_ceiling) dead[i] = true;
   }
 
   // Static per-node EF load and scheduling quanta.
@@ -65,8 +69,11 @@ WfqResult analyze_wfq(const model::FlowSet& set,
       const Duration c = f.cost_on(static_cast<NodeId>(h));
       if (c == 0) continue;
       if (model::is_ef(f.service_class())) {
-        // Grid-rounded up: many distinct periods would overflow the
-        // rational lcm, and a larger EF rate only loosens the bound.
+        // Grid-rounded up via the saturating Rational::ceil_to_grid: the
+        // lcm of many distinct periods would otherwise blow past int64,
+        // and on overflow the saturated rate fails the residual-capacity
+        // check below instead of wrapping.  A larger EF rate only loosens
+        // the bound.
         ef_rho[h] += (rate[i] * Rational(c)).ceil_to_grid(kGrid);
         max_pkt[5] = std::max(max_pkt[5], c);
       } else {
@@ -74,7 +81,7 @@ WfqResult analyze_wfq(const model::FlowSet& set,
             std::max(max_pkt[bucket_of(f.service_class())], c);
       }
     }
-    for (const Duration q : max_pkt) quantum_sum[h] += q;
+    for (const Duration q : max_pkt) quantum_sum[h] = sat_add(quantum_sum[h], q);
   }
 
   WfqResult result;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/fixed_point.h"
 #include "base/math.h"
@@ -29,7 +30,7 @@ Duration edf_node_response(const model::FlowSet& set,
 
   // Busy period: deadline-agnostic total workload (sound for any policy).
   Duration seed = 0;
-  for (const Visit& v : visits) seed += v.cost;
+  for (const Visit& v : visits) seed = sat_add(seed, v.cost);
   const FixedPointResult bp = iterate_fixed_point(
       seed,
       [&](Duration b) {
@@ -38,7 +39,9 @@ Duration edf_node_response(const model::FlowSet& set,
           const Duration jv =
               jitter[static_cast<std::size_t>(v.flow)][v.position];
           if (is_infinite(jv)) return kInfiniteDuration;
-          sum += ceil_div(b + jv, set.flow(v.flow).period()) * v.cost;
+          sum = sat_add(sum, sat_ceil_div_mul(sat_add(b, jv),
+                                              set.flow(v.flow).period(),
+                                              v.cost));
         }
         return sum;
       },
@@ -64,14 +67,14 @@ Duration edf_node_response(const model::FlowSet& set,
   for (Time a = 0; a < busy; ++a) {
     // Jobs of the analysed flow arriving no later than a (their deadlines
     // are earlier, so they precede the instance).
-    const Duration own = sporadic_count(a + ji, fi.period()) * vi.cost;
+    const Duration own = sat_sporadic_term(a + ji, fi.period(), vi.cost);
 
     // Spuri recurrence: W = blocking + own + higher-priority interference,
     // where an interferer job counts if it arrives before W completes AND
     // its absolute deadline is no later than a + di.
-    Duration w = blocking + own;
+    Duration w = sat_add(blocking, own);
     for (;;) {
-      Duration next = blocking + own;
+      Duration next = sat_add(blocking, own);
       for (std::size_t k = 0; k < visits.size(); ++k) {
         if (k == target) continue;
         const Visit& v = visits[k];
@@ -81,17 +84,18 @@ Duration edf_node_response(const model::FlowSet& set,
         const Duration dj = fj.deadline() - v.min_upstream - jv;
         const std::int64_t by_deadline =
             sporadic_count(a + di - dj + jv, fj.period());
-        const std::int64_t by_arrival = ceil_div(w + jv, fj.period());
-        next += std::min(by_deadline, by_arrival) * v.cost;
+        const std::int64_t by_arrival = ceil_div(sat_add(w, jv), fj.period());
+        next = sat_add(next,
+                       sat_mul(std::min(by_deadline, by_arrival), v.cost));
       }
       TFA_ASSERT(next >= w);
       if (next == w) break;
       w = next;
       if (w > cfg.divergence_ceiling) return kInfiniteDuration;
     }
-    worst = std::max(worst, w - a);
+    worst = std::max(worst, sat_add(w, -a));
   }
-  return worst;
+  return is_infinite(worst) ? kInfiniteDuration : worst;
 }
 
 }  // namespace
@@ -150,9 +154,9 @@ EdfResult analyze_edf(const model::FlowSet& set, const EdfConfig& cfg) {
         } else {
           const NodeId from = f.path().at(p);
           const NodeId to = f.path().at(p + 1);
-          next = jitter[i][p] + (r - f.cost_at_position(p)) +
-                 set.network().link_lmax(from, to) -
-                 set.network().link_lmin(from, to);
+          next = sat_add(sat_add(jitter[i][p], r - f.cost_at_position(p)),
+                         set.network().link_lmax(from, to) -
+                             set.network().link_lmin(from, to));
         }
         if (next != jitter[i][p + 1]) {
           TFA_ASSERT(next >= jitter[i][p + 1]);
@@ -179,12 +183,14 @@ EdfResult analyze_edf(const model::FlowSet& set, const EdfConfig& cfg) {
     bool finite = result.converged;
     for (const Duration r : response[i]) {
       if (is_infinite(r)) finite = false;
-      if (finite) total += r;
+      if (finite) total = sat_add(total, r);
     }
     if (finite) {
-      total += set.network().path_lmax_sum(f.path(), f.path().size() - 1);
-      total += f.jitter();  // responses are measured from generation
+      total = sat_add(
+          total, set.network().path_lmax_sum(f.path(), f.path().size() - 1));
+      total = sat_add(total, f.jitter());  // measured from generation
     }
+    finite = finite && !is_infinite(total);
     b.response = finite ? total : kInfiniteDuration;
     b.jitter = finite ? b.response - model::best_case_response(set.network(), f)
                       : kInfiniteDuration;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/fixed_point.h"
 #include "base/math.h"
@@ -26,7 +27,7 @@ Duration node_response(const model::FlowSet& set,
                        const Config& cfg) {
   // Busy-period length: B = sum_j ceil((B + J_j) / T_j) * C_j.
   Duration seed = 0;
-  for (const Visit& v : visits) seed += v.cost;
+  for (const Visit& v : visits) seed = sat_add(seed, v.cost);
   const FixedPointResult bp = iterate_fixed_point(
       seed,
       [&](Duration b) {
@@ -35,7 +36,9 @@ Duration node_response(const model::FlowSet& set,
           const Duration jv =
               jitter[static_cast<std::size_t>(v.flow)][v.position];
           if (is_infinite(jv)) return kInfiniteDuration;
-          sum += ceil_div(b + jv, set.flow(v.flow).period()) * v.cost;
+          sum = sat_add(sum, sat_ceil_div_mul(sat_add(b, jv),
+                                              set.flow(v.flow).period(),
+                                              v.cost));
         }
         return sum;
       },
@@ -48,7 +51,20 @@ Duration node_response(const model::FlowSet& set,
   // Arrival sweep: a packet arriving at offset t inside the busy period is
   // delayed by every packet arrived no later (FIFO), i.e. by
   // sum_j (1 + floor((t + J_j)/T_j)) * C_j; its response is that minus t.
-  std::vector<Time> candidates{0};
+  // Count before enumerating; past the budget the node bound is reported
+  // divergent instead of swept (Config::max_sweep_candidates).
+  std::size_t projected = 1;
+  for (const Visit& v : visits) {
+    const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
+    const Duration period = set.flow(v.flow).period();
+    const std::int64_t k_lo = ceil_div(jv, period);
+    const std::int64_t k_hi = ceil_div(busy + jv, period);
+    if (k_hi > k_lo) projected += static_cast<std::size_t>(k_hi - k_lo);
+    if (projected > cfg.max_sweep_candidates) return kInfiniteDuration;
+  }
+  std::vector<Time> candidates;
+  candidates.reserve(projected);
+  candidates.push_back(0);
   for (const Visit& v : visits) {
     const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
     const Duration period = set.flow(v.flow).period();
@@ -67,11 +83,12 @@ Duration node_response(const model::FlowSet& set,
     Duration w = 0;
     for (const Visit& v : visits) {
       const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
-      w += sporadic_count(t + jv, set.flow(v.flow).period()) * v.cost;
+      w = sat_add(w, sat_sporadic_term(t + jv, set.flow(v.flow).period(),
+                                       v.cost));
     }
-    best = std::max(best, w - t);
+    best = std::max(best, sat_add(w, -t));
   }
-  return best;
+  return is_infinite(best) ? kInfiniteDuration : best;
 }
 
 }  // namespace
@@ -133,9 +150,9 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
           TFA_ASSERT(growth >= 0);
           const NodeId from = f.path().at(p);
           const NodeId to = f.path().at(p + 1);
-          next = jitter[i][p] + growth +
-                 set.network().link_lmax(from, to) -
-                 set.network().link_lmin(from, to);
+          next = sat_add(sat_add(jitter[i][p], growth),
+                         set.network().link_lmax(from, to) -
+                             set.network().link_lmin(from, to));
         }
         if (next != jitter[i][p + 1]) {
           TFA_ASSERT(next >= jitter[i][p + 1]);
@@ -164,15 +181,17 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
     bool finite = result.converged;
     for (const Duration r : response[i]) {
       if (is_infinite(r)) finite = false;
-      if (finite) total += r;
+      if (finite) total = sat_add(total, r);
     }
     if (finite) {
-      total += set.network().path_lmax_sum(f.path(), f.path().size() - 1);
+      total = sat_add(
+          total, set.network().path_lmax_sum(f.path(), f.path().size() - 1));
       // End-to-end responses are measured from *generation*; the release
       // may lag it by up to the flow's release jitter.
-      total += f.jitter();
+      total = sat_add(total, f.jitter());
     }
 
+    finite = finite && !is_infinite(total);
     b.response = finite ? total : kInfiniteDuration;
     b.jitter = finite
                    ? b.response - model::best_case_response(set.network(), f)

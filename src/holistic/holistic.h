@@ -52,6 +52,11 @@ struct Config {
   NodeBound node_bound = NodeBound::kArrivalSweep;
   Duration divergence_ceiling = Duration{1} << 40;
   std::size_t max_iterations = 512;
+  /// The arrival sweep enumerates one candidate per interferer arrival in
+  /// the node busy period (~busy / min period points); past this budget
+  /// the node bound is reported divergent instead of swept — sound, an
+  /// infinite bound is always conservative.
+  std::size_t max_sweep_candidates = std::size_t{1} << 22;
 };
 
 /// Per-flow outcome.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 
 namespace tfa::model {
@@ -44,10 +45,35 @@ std::vector<ValidationIssue> FlowSet::validate() const {
     const SporadicFlow& f = flows_[i];
     if (!names.insert(f.name()).second)
       issues.push_back({fi, "duplicate flow name '" + f.name() + "'"});
+    bool nodes_ok = true;
     for (const NodeId h : f.path().nodes())
-      if (!network_.contains(h))
+      if (!network_.contains(h)) {
+        nodes_ok = false;
         issues.push_back({fi, "path node " + std::to_string(h) +
                                   " outside the network"});
+      }
+    if (!nodes_ok) continue;
+    // Overflow-safe envelope: the single-packet terms the engines add
+    // blindly — release jitter, period, deadline, per-hop costs, the
+    // worst-case link traversals — must stay below kInfiniteDuration.
+    // Past that, even a single operator application can only saturate,
+    // so no finite bound exists for the flow and admitting it would make
+    // every analysis read "unschedulable" at best and be meaningless at
+    // worst.  Computed with the saturating ops so the check itself can
+    // never wrap.
+    Duration envelope = sat_add(f.jitter(), f.period());
+    envelope = sat_add(envelope, f.deadline());
+    for (std::size_t k = 0; k < f.path().size(); ++k)
+      envelope = sat_add(envelope, f.cost_at_position(k));
+    envelope = sat_add(
+        envelope, network_.path_lmax_sum(f.path(), f.path().size() - 1));
+    if (is_infinite(envelope)) {
+      issues.push_back(
+          {fi, "flow parameters exceed the overflow-safe envelope "
+               "(jitter + period + deadline + costs + link delays reach "
+               "the infinite-duration sentinel)"});
+      continue;  // the deadline check below would overflow the same way
+    }
     if (f.deadline() < best_case_response(network_, f))
       issues.push_back({fi,
                         "deadline below the best-case end-to-end response"});

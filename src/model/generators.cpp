@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/math.h"
 
@@ -205,6 +206,7 @@ const char* to_string(CornerFamily family) noexcept {
     case CornerFamily::kNearSaturation: return "near-saturation";
     case CornerFamily::kHeterogeneousLinks: return "heterogeneous-links";
     case CornerFamily::kMixedClasses: return "mixed-classes";
+    case CornerFamily::kExtremeMagnitude: return "extreme-magnitude";
   }
   return "unknown";
 }
@@ -226,6 +228,57 @@ FlowSet make_corner(const CornerConfig& cfg, Rng& rng) {
       break;
     default:
       break;
+  }
+
+  if (cfg.family == CornerFamily::kExtremeMagnitude) {
+    // Parameters driven toward the int64 edge.  Three profiles:
+    //  - huge cost: the busy-period seed alone can top the divergence
+    //    ceiling, so engines must report kDiverged, never a wrapped
+    //    finite bound;
+    //  - huge period: utilisation is microscopic, but every k*T candidate
+    //    and sporadic-count product runs at 2^40..2^50;
+    //  - huge jitter: J just below a huge T packs the densest legal
+    //    bursts, whose interference terms approach kInfiniteDuration.
+    // Deadlines are computed with the saturating ops and stay inside the
+    // overflow-safe envelope, so FlowSet::validate() accepts the set and
+    // the *analyses* — not the validator — face the extreme arithmetic.
+    const std::int32_t nodes = std::max<std::int32_t>(2, std::min(rc.nodes, 5));
+    FlowSet set(Network(nodes, rc.lmin, rc.lmax));
+    const auto pow2 = [&rng](std::int64_t lo, std::int64_t hi) {
+      return Duration{1} << rng.uniform(lo, hi);
+    };
+    const std::int64_t count = rng.uniform(2, 4);
+    for (std::int64_t k = 0; k < count; ++k) {
+      const auto len = static_cast<std::size_t>(
+          rng.uniform(1, std::min<std::int64_t>(3, nodes)));
+      std::vector<NodeId> pool = random_simple_path(rng, nodes, len);
+      Duration cost = 0, period = 0, jitter = 0;
+      switch (rng.uniform(0, 2)) {
+        case 0:  // huge cost
+          cost = pow2(38, 44) + rng.uniform(0, 1023);
+          period = sat_mul(cost, rng.uniform(2, 16));
+          jitter = rng.uniform(0, 1023);
+          break;
+        case 1:  // huge period
+          period = pow2(40, 50) + rng.uniform(0, 1023);
+          cost = rng.uniform(1, Duration{1} << 20);
+          jitter = rng.uniform(0, 1023);
+          break;
+        default:  // huge jitter just below a huge period
+          period = pow2(40, 48) + rng.uniform(0, 1023);
+          cost = rng.uniform(1, Duration{1} << 20);
+          jitter = period - 1 - rng.uniform(0, 1023);
+          break;
+      }
+      SporadicFlow probe("xm" + std::to_string(k), Path(std::move(pool)),
+                         period, std::vector<Duration>(len, cost), jitter,
+                         /*deadline=*/1);
+      const Duration best = best_case_response(set.network(), probe);
+      set.add(SporadicFlow(probe.name(), probe.path(), probe.period(),
+                           probe.costs(), probe.jitter(), sat_mul(best, 16),
+                           probe.service_class()));
+    }
+    return set;
   }
 
   if (cfg.family == CornerFamily::kFullyOverlappingPaths) {

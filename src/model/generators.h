@@ -120,10 +120,15 @@ enum class CornerFamily {
   kNearSaturation,        ///< Per-node utilisation pushed close to 1.
   kHeterogeneousLinks,    ///< Random per-link [Lmin, Lmax] overrides.
   kMixedClasses,          ///< EF flows over random AF/BE background.
+  kExtremeMagnitude,      ///< Parameters driven toward the int64 edge:
+                          ///< costs, periods and jitters around 2^38..2^50
+                          ///< so any unguarded product or sum would wrap.
+                          ///< Every overflow must surface as divergence or
+                          ///< an infinite bound, never a finite number.
 };
 
 /// Number of CornerFamily values (for uniform family draws).
-inline constexpr std::int32_t kCornerFamilyCount = 9;
+inline constexpr std::int32_t kCornerFamilyCount = 10;
 
 /// Short stable name of a family ("zero-jitter", "near-saturation", ...).
 [[nodiscard]] const char* to_string(CornerFamily family) noexcept;

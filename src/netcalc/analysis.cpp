@@ -38,6 +38,10 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
     // 1 + floor((t+J)/T) packets <= (1 + J/T) + t/T.
     burst[i][0] = (Rational(1) + Rational(f.jitter(), f.period()))
                       .ceil_to_grid(kBurstGrid);
+    // A source burst already past the ceiling (extreme J/T ratios) is
+    // dead on arrival — same verdict the propagation loop would reach,
+    // applied before any burst x cost product can overflow.
+    if (burst[i][0] > cfg.sigma_ceiling) dead[i] = true;
   }
 
   // Stability precheck: aggregate work rate must not exceed the server.
@@ -47,9 +51,12 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
     for (std::size_t i = 0; i < n; ++i) {
       const Duration c =
           set.flow(static_cast<FlowIndex>(i)).cost_on(static_cast<NodeId>(h));
-      // Rates round up onto the grid before summing: the lcm of many
-      // distinct periods would overflow the rational otherwise, and
-      // rounding up is conservative for every use of an aggregate rate.
+      // Rates round up onto the grid before summing via the saturating
+      // Rational::ceil_to_grid: without it the lcm of many distinct
+      // periods blows past int64; with it overflow saturates to
+      // kInfiniteDuration, which fails the stability check below instead
+      // of wrapping into a finite rate.  Rounding up is conservative for
+      // every use of an aggregate rate.
       if (c > 0) total += (rate[i] * Rational(c)).ceil_to_grid(kRateGrid);
     }
     node_stable[h] = total <= beta.rate;

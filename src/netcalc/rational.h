@@ -10,12 +10,17 @@
 
 #include "base/contracts.h"
 #include "base/math.h"
+#include "base/types.h"
 
 namespace tfa::netcalc {
 
 /// An exact rational number num/den, den > 0, always normalised.
 /// Intermediate products use 128-bit arithmetic, so overflow would need
 /// operand magnitudes around 2^63 — far beyond tick-denominated traffic.
+/// When a result's reduced numerator nevertheless leaves int64 (extreme
+/// burst x cost products), the value saturates to +/-kInfiniteDuration:
+/// every engine's burst-ceiling and feasibility checks classify that as
+/// divergence, so overflow can never masquerade as a finite bound.
 class Rational {
  public:
   constexpr Rational() = default;
@@ -73,23 +78,39 @@ class Rational {
   /// value.  Rounding *up* keeps bounds sound while capping denominator
   /// growth in fixed-point iterations (cyclic burstiness propagation would
   /// otherwise compound denominators without limit).
+  ///
+  /// Saturating: a scaled numerator that no longer fits int64 becomes
+  /// kInfiniteDuration (rounding up to "unbounded" is always sound; the
+  /// burst-ceiling checks downstream then report divergence).  Negative
+  /// overflow saturates to -kInfiniteDuration, which trips the engines'
+  /// feasibility checks instead of wrapping.
   [[nodiscard]] constexpr Rational ceil_to_grid(std::int64_t grid) const {
     TFA_EXPECTS(grid > 0);
     const i128 scaled_num = i128(num_) * grid;
     i128 q = scaled_num / den_;
     if (scaled_num % den_ != 0 && scaled_num > 0) ++q;
-    TFA_ASSERT(q <= INT64_MAX && q >= INT64_MIN);
+    if (q >= i128(kInfiniteDuration) * grid || q > INT64_MAX)
+      return Rational(kInfiniteDuration);
+    if (q <= i128(-kInfiniteDuration) * grid || q < INT64_MIN)
+      return Rational(-kInfiniteDuration);
     return Rational(static_cast<std::int64_t>(q), grid);
   }
 
   /// Largest rational with denominator dividing `grid` that is <= this
-  /// value (the sound direction for rounding service *rates*).
+  /// value (the sound direction for rounding service *rates*).  Saturates
+  /// like ceil_to_grid: negative overflow becomes -kInfiniteDuration and
+  /// trips the residual-rate > 0 feasibility checks; positive overflow is
+  /// unreachable for real rates (residual rates never exceed the unit
+  /// server rate).
   [[nodiscard]] constexpr Rational floor_to_grid(std::int64_t grid) const {
     TFA_EXPECTS(grid > 0);
     const i128 scaled_num = i128(num_) * grid;
     i128 q = scaled_num / den_;
     if (scaled_num % den_ != 0 && scaled_num < 0) --q;
-    TFA_ASSERT(q <= INT64_MAX && q >= INT64_MIN);
+    if (q >= i128(kInfiniteDuration) * grid || q > INT64_MAX)
+      return Rational(kInfiniteDuration);
+    if (q <= i128(-kInfiniteDuration) * grid || q < INT64_MIN)
+      return Rational(-kInfiniteDuration);
     return Rational(static_cast<std::int64_t>(q), grid);
   }
   /// Largest integer <= this value.
@@ -118,7 +139,18 @@ class Rational {
       num /= g;
       den /= g;
     }
-    TFA_ASSERT(num <= INT64_MAX && num >= INT64_MIN && den <= INT64_MAX);
+    // Saturate instead of asserting: a value at or past kInfiniteDuration
+    // or a numerator past int64 means the modelled quantity left the
+    // representable range, and the absorbing infinities are what the
+    // divergence checks downstream expect.  (A denominator past int64 is
+    // unreachable: every iterated quantity is grid-rounded, which caps
+    // denominators.)
+    const i128 q = num / den;
+    if (q >= kInfiniteDuration || num > INT64_MAX)
+      return Rational(kInfiniteDuration);
+    if (q <= -kInfiniteDuration || num < INT64_MIN)
+      return Rational(-kInfiniteDuration);
+    TFA_ASSERT(den <= INT64_MAX);
     Rational r;
     r.num_ = static_cast<std::int64_t>(num);
     r.den_ = static_cast<std::int64_t>(den);

@@ -38,6 +38,11 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
 
   const std::vector<Invariant>& registry = invariant_registry();
 
+  const auto gen = [&cfg](std::size_t i) {
+    return cfg.force_family ? generate_case(cfg.seed, i, *cfg.force_family)
+                            : generate_case(cfg.seed, i);
+  };
+
   // One slot per case, filled by whichever worker runs the case and read
   // back sequentially — the reduction below never depends on scheduling.
   std::vector<std::vector<CheckOutcome>> outcomes(cfg.cases);
@@ -47,7 +52,7 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
         cfg.cases, cfg.shards,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            const FuzzCase fc = generate_case(cfg.seed, i);
+            const FuzzCase fc = gen(i);
             const CaseAnalysis a = analyze_case(fc.set, fc.ctx, cfg.budget);
             std::vector<CheckOutcome>& out = outcomes[i];
             out.reserve(registry.size());
@@ -73,7 +78,7 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
         case Verdict::kViolation: {
           ++report.counters[k].violations;
           Violation v;
-          v.spec = generate_case(cfg.seed, i).spec;
+          v.spec = gen(i).spec;
           v.invariant = registry[k].name;
           v.detail = o.detail;
           report.violations.push_back(std::move(v));
@@ -103,7 +108,7 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   obs::Span shrink_span = obs::span(cfg.telemetry, "fuzz.shrink");
   std::size_t shrunk = 0;
   for (Violation& v : report.violations) {
-    const FuzzCase fc = generate_case(v.spec.sweep_seed, v.spec.index);
+    const FuzzCase fc = gen(v.spec.index);
     v.shrunk = fc.set;
     if (shrunk >= cfg.max_shrunk) continue;
     ++shrunk;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,9 @@ struct FuzzConfig {
   std::size_t cases = 500;
   std::size_t workers = 0;  ///< Threads; 0 = hardware default.
   std::size_t shards = 64;  ///< Shard count (worker-independent layout).
+  /// When set, every case is drawn from this corner family instead of the
+  /// uniform rotation — the overflow gate pins kExtremeMagnitude here.
+  std::optional<model::CornerFamily> force_family;
   AnalysisBudget budget;
   std::size_t max_shrunk = 4;          ///< Violations to minimise.
   std::size_t shrink_attempts = 400;   ///< Predicate budget per shrink.

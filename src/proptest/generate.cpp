@@ -36,15 +36,21 @@ CaseContext derive_context(std::uint64_t case_seed) {
   return ctx;
 }
 
-FuzzCase generate_case(std::uint64_t sweep_seed, std::size_t index) {
+namespace {
+
+FuzzCase generate_case_impl(std::uint64_t sweep_seed, std::size_t index,
+                            const model::CornerFamily* forced) {
   FuzzCase out;
   out.spec.sweep_seed = sweep_seed;
   out.spec.index = index;
   out.spec.case_seed = Rng::stream_key(sweep_seed, index);
 
   Rng rng(out.spec.case_seed);
+  // The family draw always happens (identical RNG stream either way);
+  // a forced family only overrides the choice.
   out.spec.family = static_cast<model::CornerFamily>(
       rng.uniform(0, model::kCornerFamilyCount - 1));
+  if (forced != nullptr) out.spec.family = *forced;
 
   // Small shapes on purpose: the differential oracle needs the simulator
   // (and sometimes the exhaustive enumerator) per case, and shrunk repros
@@ -68,6 +74,17 @@ FuzzCase generate_case(std::uint64_t sweep_seed, std::size_t index) {
   out.set = model::make_corner(cc, rng);
   out.ctx = derive_context(out.spec.case_seed);
   return out;
+}
+
+}  // namespace
+
+FuzzCase generate_case(std::uint64_t sweep_seed, std::size_t index) {
+  return generate_case_impl(sweep_seed, index, nullptr);
+}
+
+FuzzCase generate_case(std::uint64_t sweep_seed, std::size_t index,
+                       model::CornerFamily family) {
+  return generate_case_impl(sweep_seed, index, &family);
 }
 
 }  // namespace tfa::proptest

@@ -75,4 +75,12 @@ struct FuzzCase {
 [[nodiscard]] FuzzCase generate_case(std::uint64_t sweep_seed,
                                      std::size_t index);
 
+/// generate_case(), but with the corner family pinned to `family` instead
+/// of the uniform draw (shape parameters still vary per case).  Used by
+/// the overflow gate to hammer one family — still a pure function of
+/// (sweep_seed, index, family).
+[[nodiscard]] FuzzCase generate_case(std::uint64_t sweep_seed,
+                                     std::size_t index,
+                                     model::CornerFamily family);
+
 }  // namespace tfa::proptest

@@ -512,11 +512,13 @@ CaseAnalysis analyze_case(const model::FlowSet& set, const CaseContext& ctx,
   if (set.size() <= budget.exhaustive_max_flows) {
     sim::ExhaustiveConfig ec;
     ec.max_combinations = budget.exhaustive_max_combinations;
+    ec.horizon = budget.sim_horizon;
     ec.workers = 1;
     c.observed = sim::exhaustive_worst_case(set, ec).stats;
     c.exhaustive = true;
   } else {
     sim::SearchConfig sc;
+    sc.horizon = budget.sim_horizon;
     sc.random_runs = budget.sim_random_runs;
     sc.workers = 1;
     c.observed = sim::find_worst_case(set, sc).stats;
@@ -567,6 +569,7 @@ CaseAnalysis analyze_case(const model::FlowSet& set, const CaseContext& ctx,
   c.has_ef_mix = any_ef && any_bg;
   if (c.has_ef_mix) {
     sim::SearchConfig sc;
+    sc.horizon = budget.sim_horizon;
     sc.random_runs = budget.sim_random_runs;
     sc.workers = 1;
     c.ef = diffserv::validate_ef(set, arr, sc);

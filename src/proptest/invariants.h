@@ -48,6 +48,11 @@ struct AnalysisBudget {
   std::size_t exhaustive_max_combinations = 128;
   /// Random scenarios on top of the deterministic battery.
   std::size_t sim_random_runs = 8;
+  /// Per-run simulation horizon (0 = auto, 32 x the largest period).  The
+  /// oracle is a *lower* bound on the true worst case, so any horizon is
+  /// sound for the soundness invariants; capping it keeps sweeps over
+  /// extreme-magnitude sets (periods near 2^50) tractable.
+  Time sim_horizon = 0;
 };
 
 /// Everything the invariants inspect about one case.

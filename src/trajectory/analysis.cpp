@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "model/normalize.h"
 #include "obs/telemetry.h"
@@ -42,13 +43,14 @@ Result compose(const model::FlowSet& set, const Config& cfg,
         finite = false;
         break;
       }
-      total += pb.response;
+      total = sat_add(total, pb.response);
       if (s + 1 < segments.size()) {
         // One link traversal between consecutive segments.
         const model::FlowSet& nfs = norm.flow_set;
-        total += set.network().link_lmax(
-            nfs.flow(segments[s]).path().last(),
-            nfs.flow(segments[s + 1]).path().first());
+        total = sat_add(total,
+                        set.network().link_lmax(
+                            nfs.flow(segments[s]).path().last(),
+                            nfs.flow(segments[s + 1]).path().first()));
       }
       b.delta += pb.delta;
       if (s == 0) {
@@ -57,6 +59,9 @@ Result compose(const model::FlowSet& set, const Config& cfg,
       }
     }
 
+    // A composition that saturated is divergent even if every segment
+    // bound was individually finite.
+    finite = finite && !is_infinite(total);
     b.response = finite ? total : kInfiniteDuration;
     b.schedulable = finite && b.response <= flow.deadline();
     b.jitter = finite

@@ -74,6 +74,7 @@ std::uint64_t context_fingerprint(const model::Network& net,
   h.mix(static_cast<std::uint64_t>(cfg.divergence_ceiling));
   h.mix(cfg.max_smax_iterations);
   h.mix(static_cast<std::uint64_t>(cfg.exhaustive_sweep_limit));
+  h.mix(static_cast<std::uint64_t>(cfg.max_sweep_candidates));
   return h.value();
 }
 

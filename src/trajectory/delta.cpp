@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/math.h"
 #include "model/flow.h"
@@ -58,7 +59,7 @@ Duration non_preemption_delay(const model::FlowSetGeometry& geo, FlowIndex i,
       }
       worst = std::max(worst, blocking);
     }
-    delta += pos_part(worst);
+    delta = sat_add(delta, pos_part(worst));
   }
   return delta;
 }

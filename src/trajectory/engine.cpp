@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/fixed_point.h"
 #include "base/math.h"
@@ -249,15 +250,18 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
   // spurious small fixed point that undercuts the simulator.
   Duration seed = delta;
   for (std::size_t j = 0; j < n; ++j)
-    if (mask_[j] || hp_mask_[j]) seed += pairs[j].c_slow_ji;  // incl. j == i
+    if (mask_[j] || hp_mask_[j])
+      seed = sat_add(seed, pairs[j].c_slow_ji);  // incl. j == i
   const FixedPointResult bp = iterate_fixed_point(
       seed,
       [&](Duration b) {
         Duration sum = delta;
         for (std::size_t j = 0; j < n; ++j) {
           if ((!mask_[j] && !hp_mask_[j]) || !pairs[j].intersects) continue;
-          sum += ceil_div(b, set_.flow(static_cast<FlowIndex>(j)).period()) *
-                 pairs[j].c_slow_ji;
+          sum = sat_add(
+              sum,
+              sat_ceil_div_mul(b, set_.flow(static_cast<FlowIndex>(j)).period(),
+                               pairs[j].c_slow_ji));
         }
         return sum;
       },
@@ -357,7 +361,8 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
   auto aggregate_workload = [&](Time t) {
     Duration w = constant;
     for (const InterferenceTerm& term : terms)
-      w += sporadic_count(t + term.offset, term.period) * term.cost;
+      w = sat_add(w, sat_sporadic_term(t + term.offset, term.period,
+                                       term.cost));
     return w;
   };
 
@@ -367,7 +372,23 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
   if (hp_terms.empty()) {
     // ---- Exact sweep over the candidate activation instants: t = -J_i
     // plus every point where some interference count steps.
-    std::vector<Time> candidates{t_begin};
+    //
+    // Count before enumerating: a busy period just under the divergence
+    // ceiling beside a small-period interferer projects billions of
+    // candidates.  Past the budget the flow is reported divergent, the
+    // same way the FP/FIFO branch treats over-long exhaustive sweeps
+    // (see Config::max_sweep_candidates).
+    std::size_t projected = 1;
+    for (const InterferenceTerm& term : terms) {
+      const std::int64_t k_lo = ceil_div(t_begin + term.offset, term.period);
+      const std::int64_t k_hi = ceil_div(t_end + term.offset, term.period);
+      if (k_hi > k_lo)
+        projected += static_cast<std::size_t>(k_hi - k_lo);
+      if (projected > cfg_.max_sweep_candidates) return out;  // divergent
+    }
+    std::vector<Time> candidates;
+    candidates.reserve(projected);
+    candidates.push_back(t_begin);
     for (const InterferenceTerm& term : terms) {
       // Steps occur at t = k * T - offset.
       const std::int64_t k_lo = ceil_div(t_begin + term.offset, term.period);
@@ -383,7 +404,7 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
     if (stats != nullptr) stats->test_points += candidates.size();
 
     for (const Time t : candidates) {
-      const Duration r = aggregate_workload(t) + c_last - t;
+      const Duration r = sat_add(aggregate_workload(t), c_last - t);
       if (r > best) {
         best = r;
         best_t = t;
@@ -403,14 +424,14 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
         if (stats != nullptr) ++stats->busy_period_iterations;
         Duration next = base;
         for (const InterferenceTerm& term : hp_terms)
-          next += sporadic_count(t + w + term.offset, term.period) *
-                  term.cost;
+          next = sat_add(next, sat_sporadic_term(t + w + term.offset,
+                                                 term.period, term.cost));
         TFA_ASSERT(next >= w);
         if (next == w) break;
         w = next;
         if (w > cfg_.divergence_ceiling) return out;  // divergent
       }
-      const Duration r = w + c_last - t;
+      const Duration r = sat_add(w, c_last - t);
       if (r > best) {
         best = r;
         best_t = t;
@@ -419,7 +440,9 @@ PrefixBound Engine::prefix_bound(FlowIndex i, std::size_t prefix,
   }
   TFA_ASSERT(best >= 0);
 
-  out.response = best;
+  // A saturated sweep maximum means some interference term overflowed:
+  // report exact divergence, not a huge-but-finite bound.
+  out.response = is_infinite(best) ? kInfiniteDuration : best;
   out.critical_instant = best_t;
   return out;
 }
@@ -464,8 +487,9 @@ void Engine::run_fixed_point(std::vector<EngineStats>* partials,
             if (pb.finite())
               value = completion
                           ? pb.response
-                          : pb.response + set_.network().link_lmax(
-                                              path.at(k - 1), path.at(k));
+                          : sat_add(pb.response,
+                                    set_.network().link_lmax(path.at(k - 1),
+                                                             path.at(k)));
             TFA_ASSERT(value >= smax_[i][k]);  // monotone from below
             if (value != smax_[i][k]) {
               next[i][k] = value;

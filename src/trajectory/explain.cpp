@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/math.h"
 #include "model/path_algebra.h"
@@ -33,10 +34,12 @@ Explanation explain(const Engine& engine, FlowIndex i) {
 
   const Time t = bound.critical_instant;
 
-  // Own-flow term.
+  // Own-flow term.  Contributions use the engine's saturating ops so the
+  // reassembly below stays bit-identical even at the overflow margin.
   const Duration c_slow_own = fi.max_cost();
   ex.own_packets = sporadic_count(t + fi.jitter(), fi.period());
-  ex.own_contribution = ex.own_packets * c_slow_own;
+  ex.own_contribution =
+      sat_sporadic_term(t + fi.jitter(), fi.period(), c_slow_own);
 
   // Third term of Property 2: per-node same-direction joiner maxima.
   const std::size_t slow_pos = fi.slow_position();
@@ -71,8 +74,9 @@ Explanation explain(const Engine& engine, FlowIndex i) {
     term.period = flow_j.period();
     term.c_slow = g.c_slow_ji;
     term.packets = sporadic_count(t + term.a_offset, term.period);
-    term.contribution = term.packets * term.c_slow;
-    interference += term.contribution;
+    term.contribution =
+        sat_sporadic_term(t + term.a_offset, term.period, term.c_slow);
+    interference = sat_add(interference, term.contribution);
     ex.terms.push_back(std::move(term));
   }
   std::sort(ex.terms.begin(), ex.terms.end(),
@@ -80,10 +84,14 @@ Explanation explain(const Engine& engine, FlowIndex i) {
               return a.contribution > b.contribution;
             });
 
-  // Consistency: the pieces reassemble the engine's bound at t.
-  const Duration reassembled = interference + ex.own_contribution +
-                               ex.joiner_max_term - ex.last_cost +
-                               ex.link_term + ex.delta + ex.last_cost - t;
+  // Consistency: the pieces reassemble the engine's bound at t, in the
+  // engine's accumulation order (constant part first, then the own term,
+  // then the interferers) so saturation clamps at the same points.
+  const Duration constant_part = ex.joiner_max_term - ex.last_cost +
+                                 ex.link_term + ex.delta;
+  Duration w = sat_add(constant_part, ex.own_contribution);
+  w = sat_add(w, interference);
+  const Duration reassembled = sat_add(w, ex.last_cost - t);
   TFA_ENSURES(reassembled == ex.response);
   return ex;
 }

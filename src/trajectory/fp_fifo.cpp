@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "model/normalize.h"
 #include "obs/telemetry.h"
@@ -109,17 +110,18 @@ FpFifoResult analyze_fp_fifo(const model::FlowSet& set, Config cfg,
           finite = false;
           break;
         }
-        total += pb.response;
+        total = sat_add(total, pb.response);
         if (s + 1 < segments.size())
-          total += set.network().link_lmax(
-              fs.flow(segments[s]).path().last(),
-              fs.flow(segments[s + 1]).path().first());
+          total = sat_add(total, set.network().link_lmax(
+                                     fs.flow(segments[s]).path().last(),
+                                     fs.flow(segments[s + 1]).path().first()));
         b.delta += pb.delta;
         if (s == 0) {
           b.busy_period = pb.busy_period;
           b.critical_instant = pb.critical_instant;
         }
       }
+      finite = finite && !is_infinite(total);
       b.response = finite ? total : kInfiniteDuration;
       b.schedulable = finite && b.response <= flow.deadline();
       b.jitter = finite ? b.response -

@@ -54,6 +54,14 @@ struct Config {
   /// than this are reported divergent instead of swept.
   Duration exhaustive_sweep_limit = Duration{1} << 16;
 
+  /// The candidate critical-instant sweep enumerates one point per
+  /// interferer arrival inside the busy period, i.e. about
+  /// busy_period / min interferer period points.  A busy period just under
+  /// the divergence ceiling next to a small-period interferer would mean
+  /// billions of points; past this budget the flow is reported divergent
+  /// instead of swept (sound: an infinite bound is always conservative).
+  std::size_t max_sweep_candidates = std::size_t{1} << 22;
+
   /// Worker threads for the per-flow sweeps inside the engine: 1 runs
   /// in-place on the calling thread, 0 uses every hardware thread.  The
   /// computed bounds are identical for every value (the Smax iteration is

@@ -1,0 +1,161 @@
+// Exact-boundary coverage of the saturating checked ops (base/checked.h):
+// every op at INT64_MAX / INT64_MIN / kInfiniteDuration +- 1, the closure
+// property (no op ever returns past kInfiniteDuration, and the sentinel
+// is absorbing), and the deliberate upward saturation of negative
+// overflow — a wrapped-negative window must never undercount packets.
+#include "base/checked.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "base/math.h"
+#include "base/types.h"
+
+namespace tfa {
+namespace {
+
+constexpr Duration kInf = kInfiniteDuration;
+
+TEST(SatAdd, PlainSumsAreExact) {
+  EXPECT_EQ(sat_add(0, 0), 0);
+  EXPECT_EQ(sat_add(3, 4), 7);
+  EXPECT_EQ(sat_add(-5, 2), -3);
+  EXPECT_EQ(sat_add(kInf - 2, 1), kInf - 1);
+}
+
+TEST(SatAdd, SaturatesAtTheSentinel) {
+  EXPECT_EQ(sat_add(kInf - 1, 1), kInf);
+  EXPECT_EQ(sat_add(kInf, 0), kInf);
+  EXPECT_EQ(sat_add(kInf, -1), kInf);  // absorbing, even minus something
+  EXPECT_EQ(sat_add(kInf + 1, 0), kInf);
+  EXPECT_EQ(sat_add(INT64_MAX, 0), kInf);
+}
+
+TEST(SatAdd, SaturatesOnInt64Overflow) {
+  EXPECT_EQ(sat_add(INT64_MAX, 1), kInf);
+  EXPECT_EQ(sat_add(INT64_MAX, INT64_MAX), kInf);
+  EXPECT_EQ(sat_add(INT64_MAX - 1, 2), kInf);
+}
+
+TEST(SatAdd, NegativeOverflowSaturatesUpward) {
+  // INT64_MIN + -1 wraps positive in plain arithmetic; the sound report
+  // for a window that left int64 is "unbounded", never a finite value.
+  EXPECT_EQ(sat_add(INT64_MIN, -1), kInf);
+  EXPECT_EQ(sat_add(INT64_MIN, INT64_MIN), kInf);
+  EXPECT_EQ(sat_add(INT64_MIN, 0), INT64_MIN);  // exact: no overflow
+  EXPECT_EQ(sat_add(INT64_MIN + 1, -1), INT64_MIN);
+}
+
+TEST(SatMul, PlainProductsAreExact) {
+  EXPECT_EQ(sat_mul(0, kInf - 1), 0);
+  EXPECT_EQ(sat_mul(6, 7), 42);
+  EXPECT_EQ(sat_mul(-3, 4), -12);
+  EXPECT_EQ(sat_mul(1, kInf - 1), kInf - 1);
+}
+
+TEST(SatMul, SaturatesAtTheSentinel) {
+  EXPECT_EQ(sat_mul(kInf, 1), kInf);
+  EXPECT_EQ(sat_mul(kInf, 0), kInf);  // absorbing by contract
+  EXPECT_EQ(sat_mul(kInf + 1, 1), kInf);
+  EXPECT_EQ(sat_mul(INT64_MAX, 1), kInf);
+  EXPECT_EQ(sat_mul((kInf / 2) + 1, 2), kInf);
+}
+
+TEST(SatMul, SaturatesOnInt64Overflow) {
+  EXPECT_EQ(sat_mul(INT64_MAX / 2 + 1, 2), kInf);
+  EXPECT_EQ(sat_mul(Duration{1} << 32, Duration{1} << 32), kInf);
+  EXPECT_EQ(sat_mul(INT64_MIN, -1), kInf);  // the classic wrap case
+  EXPECT_EQ(sat_mul(INT64_MIN, 2), kInf);   // negative overflow, upward
+}
+
+TEST(SatCeilDivMul, MatchesPlainArithmeticWhenSafe) {
+  EXPECT_EQ(sat_ceil_div_mul(10, 3, 5), ceil_div(10, 3) * 5);
+  EXPECT_EQ(sat_ceil_div_mul(0, 7, 9), 0);
+  EXPECT_EQ(sat_ceil_div_mul(-10, 3, 5), ceil_div(-10, 3) * 5);
+}
+
+TEST(SatCeilDivMul, SaturatesOnInfiniteWindowOrHugeProduct) {
+  EXPECT_EQ(sat_ceil_div_mul(kInf, 1, 1), kInf);
+  EXPECT_EQ(sat_ceil_div_mul(kInf + 1, 1, 1), kInf);
+  EXPECT_EQ(sat_ceil_div_mul(kInf - 1, 1, 2), kInf);
+  EXPECT_EQ(sat_ceil_div_mul(kInf - 1, 2, Duration{1} << 40), kInf);
+}
+
+TEST(SatSporadicTerm, MatchesPlainArithmeticWhenSafe) {
+  EXPECT_EQ(sat_sporadic_term(10, 4, 3), sporadic_count(10, 4) * 3);
+  EXPECT_EQ(sat_sporadic_term(-1, 4, 3), 0);  // negative window: 0 packets
+  EXPECT_EQ(sat_sporadic_term(0, 4, 3), 3);   // one packet at the edge
+}
+
+TEST(SatSporadicTerm, SaturatesOnInfiniteWindowOrHugeProduct) {
+  EXPECT_EQ(sat_sporadic_term(kInf, 1, 1), kInf);
+  EXPECT_EQ(sat_sporadic_term(kInf + 1, 1, 0), kInf);
+  EXPECT_EQ(sat_sporadic_term(kInf - 1, 1, 2), kInf);
+  EXPECT_EQ(sat_sporadic_term(kInf - 1, 2, Duration{1} << 40), kInf);
+}
+
+TEST(CheckedRoundUp, MatchesRoundUpWhenSafe) {
+  EXPECT_EQ(checked_round_up(0, 5), round_up(0, 5));
+  EXPECT_EQ(checked_round_up(7, 5), round_up(7, 5));
+  EXPECT_EQ(checked_round_up(10, 5), round_up(10, 5));
+}
+
+TEST(CheckedRoundUp, SaturatesNearTheEdge) {
+  EXPECT_EQ(checked_round_up(kInf, 4096), kInf);
+  EXPECT_EQ(checked_round_up(kInf + 1, 4096), kInf);
+  EXPECT_EQ(checked_round_up(kInf - 1, 4096), kInf);  // rounds past kInf
+  EXPECT_EQ(checked_round_up(INT64_MAX - 1, 2), kInf);
+}
+
+TEST(Closure, NoOpEverReturnsPastTheSentinel) {
+  constexpr Duration probes[] = {INT64_MIN,     INT64_MIN + 1, -kInf,
+                                 -1,            0,             1,
+                                 kInf - 1,      kInf,          kInf + 1,
+                                 INT64_MAX - 1, INT64_MAX};
+  for (const Duration a : probes) {
+    for (const Duration b : probes) {
+      EXPECT_LE(sat_add(a, b), kInf);
+      EXPECT_LE(sat_mul(a, b), kInf);
+      if (b > 0) {
+        EXPECT_LE(sat_ceil_div_mul(a, b, a), kInf);
+        EXPECT_LE(checked_round_up(a, b), kInf);
+        if (a >= 0) {
+          EXPECT_LE(sat_sporadic_term(b, b, a), kInf);
+        }
+      }
+    }
+  }
+}
+
+TEST(Closure, SentinelIsAFixedPoint) {
+  EXPECT_EQ(sat_add(kInf, kInf), kInf);
+  EXPECT_EQ(sat_mul(kInf, kInf), kInf);
+  EXPECT_EQ(sat_ceil_div_mul(kInf, 3, 7), kInf);
+  EXPECT_EQ(sat_sporadic_term(kInf, 3, 7), kInf);
+  EXPECT_EQ(checked_round_up(kInf, 3), kInf);
+}
+
+TEST(Closure, OpsAreConstexpr) {
+  static_assert(sat_add(2, 3) == 5);
+  static_assert(sat_mul(kInf, 2) == kInf);
+  static_assert(sat_ceil_div_mul(10, 3, 5) == 20);
+  static_assert(sat_sporadic_term(10, 4, 3) == 9);
+  static_assert(checked_round_up(7, 5) == 10);
+  SUCCEED();
+}
+
+TEST(IsInfinite, ClassifiesSentinelAndNegativeWraps) {
+  EXPECT_TRUE(is_infinite(kInf));
+  EXPECT_TRUE(is_infinite(kInf + 1));
+  EXPECT_TRUE(is_infinite(INT64_MAX));
+  EXPECT_FALSE(is_infinite(kInf - 1));
+  EXPECT_FALSE(is_infinite(0));
+  // A negative *duration* can only come from wrapped arithmetic upstream
+  // — classified as infinite so it can never read as schedulable.
+  EXPECT_TRUE(is_infinite(-1));
+  EXPECT_TRUE(is_infinite(INT64_MIN));
+}
+
+}  // namespace
+}  // namespace tfa

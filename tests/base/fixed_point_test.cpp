@@ -81,6 +81,27 @@ TEST(FixedPointTrace, DivergenceRecordsClimbUpToCeiling) {
   EXPECT_GT(trace.iterates.back(), 8);
 }
 
+TEST(FixedPoint, DecreasingIterateReportsDivergence) {
+  // A monotone operator iterated from below never decreases; a decrease
+  // means the operator wrapped (signed overflow) or broke its contract.
+  // The driver must report divergence in *release* builds — soundness
+  // cannot depend on asserts being compiled in.
+  const auto r = iterate_fixed_point(
+      10, [](Duration x) { return x == 10 ? Duration{20} : Duration{5}; },
+      1 << 20);
+  EXPECT_EQ(r.status, FixedPointStatus::kDiverged);
+  EXPECT_EQ(r.value, kInfiniteDuration);
+}
+
+TEST(FixedPoint, WrappedNegativeIterateReportsDivergence) {
+  // Simulates an unguarded operator whose product wrapped negative.
+  const auto r = iterate_fixed_point(
+      1, [](Duration x) { return x < 100 ? x * 3 : -kInfiniteDuration + x; },
+      kInfiniteDuration - 1);
+  EXPECT_EQ(r.status, FixedPointStatus::kDiverged);
+  EXPECT_EQ(r.value, kInfiniteDuration);
+}
+
 TEST(FixedPointTrace, NullTraceKeepsBehaviourIdentical) {
   FixedPointTrace trace;
   const auto with = iterate_fixed_point(

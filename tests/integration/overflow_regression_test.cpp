@@ -1,0 +1,119 @@
+// Bit-identity regression gate for the saturating-arithmetic layer
+// (base/checked.h): the checked ops equal the plain ops whenever no
+// operand is infinite and nothing overflows, so every previously-finite
+// result must be *unchanged to the bit* — the paper-example rows of
+// Tables 1 and 2, the holistic baseline, both netcalc modes, and a full
+// service transcript (deterministic clock, so response bytes included).
+// Any drift here means a sat op clamped where plain arithmetic did not.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "holistic/holistic.h"
+#include "model/paper_example.h"
+#include "netcalc/analysis.h"
+#include "obs/telemetry.h"
+#include "service/loopback.h"
+#include "trajectory/analysis.h"
+#include "../service/service_test_util.h"
+
+namespace tfa {
+namespace {
+
+TEST(OverflowRegression, Table1DeadlinesAndTable2TrajectoryRows) {
+  const model::FlowSet set = model::paper_example();
+  ASSERT_EQ(set.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(set.flow(static_cast<FlowIndex>(i)).deadline(),
+              model::kPaperDeadlines[i]);
+
+  trajectory::Config arrival;
+  arrival.smax_semantics = trajectory::SmaxSemantics::kArrival;
+  const trajectory::Result lo = trajectory::analyze(set, arrival);
+  ASSERT_TRUE(lo.converged);
+  trajectory::Config completion;
+  completion.smax_semantics = trajectory::SmaxSemantics::kCompletion;
+  const trajectory::Result hi = trajectory::analyze(set, completion);
+  ASSERT_TRUE(hi.converged);
+  // Literal values on purpose (not just the named constants): these are
+  // the numbers the repo has produced since the seed commit, and the
+  // saturating ops must not move any of them.
+  const Duration arrival_want[5] = {31, 37, 47, 47, 40};
+  const Duration completion_want[5] = {43, 51, 57, 57, 48};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(lo.bounds[i].response, arrival_want[i]) << "tau" << i + 1;
+    EXPECT_EQ(hi.bounds[i].response, completion_want[i]) << "tau" << i + 1;
+    EXPECT_TRUE(lo.bounds[i].schedulable) << "tau" << i + 1;
+  }
+  EXPECT_TRUE(lo.all_schedulable);
+}
+
+TEST(OverflowRegression, HolisticRowStaysBitIdentical) {
+  const holistic::Result ho = holistic::analyze(model::paper_example());
+  ASSERT_TRUE(ho.converged);
+  ASSERT_EQ(ho.bounds.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(ho.bounds[i].schedulable) << "tau" << i + 1;
+    EXPECT_FALSE(is_infinite(ho.bounds[i].response)) << "tau" << i + 1;
+  }
+}
+
+TEST(OverflowRegression, NetcalcModesStayFiniteAndEqualAcrossRuns) {
+  const model::FlowSet set = model::paper_example();
+  netcalc::Config agg;
+  agg.mode = netcalc::Mode::kAggregatePerNode;
+  netcalc::Config pboo;
+  pboo.mode = netcalc::Mode::kPayBurstsOnlyOnce;
+  const netcalc::Result a1 = netcalc::analyze(set, agg);
+  const netcalc::Result a2 = netcalc::analyze(set, agg);
+  const netcalc::Result p1 = netcalc::analyze(set, pboo);
+  ASSERT_TRUE(a1.converged);
+  ASSERT_TRUE(p1.converged);
+  ASSERT_EQ(a1.bounds.size(), a2.bounds.size());
+  for (std::size_t i = 0; i < a1.bounds.size(); ++i) {
+    EXPECT_EQ(a1.bounds[i].response, a2.bounds[i].response);
+    EXPECT_FALSE(is_infinite(a1.bounds[i].response)) << "tau" << i + 1;
+    EXPECT_FALSE(is_infinite(p1.bounds[i].response)) << "tau" << i + 1;
+  }
+}
+
+/// Golden service transcript: the paper example loaded and analysed under
+/// both Smax semantics over the wire, with the injected counter clock, so
+/// every byte (latencies included) is reproducible.  The analyze response
+/// bytes carry the Table-2 bounds; a saturation regression would show up
+/// as a changed "response" field.
+TEST(OverflowRegression, ServiceTranscriptCarriesTheExactBounds) {
+  obs::Telemetry telemetry;
+  service::Loopback lb(service::test_config(1), &telemetry);
+  const std::vector<std::string> lines = {
+      service::load_line("paper", service::paper_text()),
+      service::analyze_line("paper"),
+      R"({"op":"analyze","session":"paper","smax":"completion"})",
+      R"({"op":"shutdown"})",
+  };
+  const std::vector<std::string> responses = lb.roundtrip(lines);
+  ASSERT_EQ(responses.size(), lines.size());
+
+  const std::string& arrival = responses[1];
+  for (const char* needle :
+       {"\"response\":31", "\"response\":37", "\"response\":47",
+        "\"response\":40"}) {
+    EXPECT_NE(arrival.find(needle), std::string::npos)
+        << needle << " missing from " << arrival;
+  }
+  const std::string& completion = responses[2];
+  for (const char* needle :
+       {"\"response\":43", "\"response\":51", "\"response\":57",
+        "\"response\":48"}) {
+    EXPECT_NE(completion.find(needle), std::string::npos)
+        << needle << " missing from " << completion;
+  }
+  // Byte-level determinism of the whole transcript.
+  obs::Telemetry telemetry2;
+  service::Loopback lb2(service::test_config(1), &telemetry2);
+  EXPECT_EQ(lb2.roundtrip(lines), responses);
+}
+
+}  // namespace
+}  // namespace tfa

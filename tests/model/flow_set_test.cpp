@@ -79,6 +79,41 @@ TEST(FlowSet, ReplaceSwapsInPlace) {
   EXPECT_EQ(set.size(), 2u);
 }
 
+TEST(FlowSet, ValidateRejectsFlowsPastTheOverflowEnvelope) {
+  // jitter + period + deadline + costs + link delays at ~2^51 each: the
+  // sum reaches kInfiniteDuration, so no engine could produce a finite
+  // sound bound.  Validation must flag it instead of letting saturated
+  // arithmetic masquerade as analysis.
+  const Duration huge = kInfiniteDuration / 4;
+  FlowSet set(Network(3, 1, 2));
+  set.add(SporadicFlow("huge", Path{0, 1}, huge, huge, huge, huge));
+  const auto issues = set.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].flow, 0);
+  EXPECT_NE(issues[0].message.find("overflow-safe envelope"),
+            std::string::npos);
+}
+
+TEST(FlowSet, ValidateAcceptsLargeFlowsInsideTheEnvelope) {
+  // Individually huge parameters (~2^50) whose envelope stays finite:
+  // legal input; overflow handling is the analyses' job, not a rejection.
+  const Duration big = Duration{1} << 50;
+  FlowSet set(Network(3, 1, 2));
+  set.add(SporadicFlow("big", Path{0, 1}, big, 8, big - 1, big));
+  EXPECT_TRUE(set.validate().empty());
+}
+
+TEST(FlowSet, EnvelopeRejectionSkipsTheDeadlineCheck) {
+  // The deadline check would itself overflow on such a flow; the envelope
+  // issue must be the only one reported for it.
+  const Duration huge = kInfiniteDuration - 1;
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("h", Path{0}, huge, huge, huge, 1));
+  const auto issues = set.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("envelope"), std::string::npos);
+}
+
 TEST(Network, NamesDefaultToIds) {
   Network net(3, 1, 2);
   EXPECT_EQ(net.node_name(2), "2");

@@ -1,6 +1,11 @@
 // Tests of the workload / topology generators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+
 #include "base/rng.h"
 #include "model/generators.h"
 #include "model/normalize.h"
@@ -122,6 +127,58 @@ TEST(Tree, LeavesFunnelToTheRoot) {
   EXPECT_GT(set.node_utilisation(0), set.node_utilisation(1));
   EXPECT_GT(set.node_utilisation(1),
             set.node_utilisation(set.network().node_count() - 1));
+}
+
+TEST(Corner, ExtremeMagnitudeValidatesAndReachesTheInt64Edge) {
+  CornerConfig cc;
+  cc.family = CornerFamily::kExtremeMagnitude;
+  Duration largest = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const FlowSet set = make_corner(cc, rng);
+    ASSERT_GE(set.size(), 2u);
+    ASSERT_LE(set.size(), 4u);
+    // The contract every family keeps: the set validates cleanly — the
+    // extreme parameters stay inside the overflow-safe envelope, so the
+    // *analyses* face the huge arithmetic, not the validator.
+    EXPECT_TRUE(set.validate().empty()) << "seed " << seed;
+    for (const SporadicFlow& f : set.flows()) {
+      largest = std::max(largest, f.period());
+      largest = std::max(largest, f.max_cost());
+      largest = std::max(largest, f.jitter());
+    }
+  }
+  // The family would be pointless if its draws stayed small: across a
+  // modest sample, some parameter must clear 2^40.
+  EXPECT_GE(largest, Duration{1} << 40);
+}
+
+TEST(Corner, ExtremeMagnitudeIsDeterministic) {
+  CornerConfig cc;
+  cc.family = CornerFamily::kExtremeMagnitude;
+  Rng r1(7), r2(7);
+  const FlowSet a = make_corner(cc, r1);
+  const FlowSet b = make_corner(cc, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fi = static_cast<FlowIndex>(i);
+    EXPECT_EQ(a.flow(fi).period(), b.flow(fi).period());
+    EXPECT_EQ(a.flow(fi).costs(), b.flow(fi).costs());
+    EXPECT_EQ(a.flow(fi).jitter(), b.flow(fi).jitter());
+    EXPECT_EQ(a.flow(fi).deadline(), b.flow(fi).deadline());
+  }
+}
+
+TEST(Corner, FamilyNamesAreStable) {
+  EXPECT_STREQ(to_string(CornerFamily::kExtremeMagnitude),
+               "extreme-magnitude");
+  EXPECT_STREQ(to_string(CornerFamily::kBaseline), "baseline");
+  // Every family has a distinct, non-"unknown" name.
+  std::set<std::string> names;
+  for (std::int32_t k = 0; k < kCornerFamilyCount; ++k)
+    names.insert(to_string(static_cast<CornerFamily>(k)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kCornerFamilyCount));
+  EXPECT_EQ(names.count("unknown"), 0u);
 }
 
 TEST(RandomSet, DeterministicForSameSeed) {
