@@ -15,22 +15,44 @@
 // response bounds are deterministic, and the warm stream must converge in
 // strictly fewer total Smax passes than the cold stream on any host.
 //
+// A second mode exercises the socket transport end to end:
+//
+//   --mode load  closed-loop load generator against a live SocketServer
+//                (loopback TCP, ephemeral port): N client threads, each
+//                with its own connection, drive M shared sessions with a
+//                mixed request stream (memo-hit analyzes, add/analyze/
+//                remove perturbations, metrics probes) and record every
+//                request's round-trip latency.  Reports throughput and
+//                p50/p95/p99/max latency; the correctness gates require
+//                every response to be a success envelope and no
+//                connection to be shed.
+//
 // Options (base/options.h):
-//   --flows N    base workload size (default 160)
-//   --rounds N   add/analyze rounds per stream (default 24)
-//   --json FILE  additionally write a machine-readable BENCH_service.json
-//                record: {"bench","schema","workload","wall_ms",
-//                "requests_per_sec","checks","metrics"} with "metrics"
-//                the full registry dump (docs/observability.md).
+//   --mode M     "streams" (default) or "load"
+//   --flows N    base workload size (default 160; load default 24)
+//   --rounds N   streams: add/analyze rounds per stream (default 24)
+//   --conns N    load: client connections/threads (default 8)
+//   --sessions N load: shared sessions driven by the clients (default 4)
+//   --requests N load: requests per connection (default 240)
+//   --executors N load: server executor threads (default 2)
+//   --json FILE  additionally write a machine-readable record
+//                (schema 1 for streams — {"bench","schema","workload",
+//                "wall_ms","requests_per_sec","checks","metrics"} with
+//                "metrics" the full registry dump — schema 2 for load,
+//                documented in docs/performance.md).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/json.h"
+#include "base/net.h"
 #include "base/options.h"
 #include "base/rng.h"
 #include "base/table.h"
@@ -39,6 +61,7 @@
 #include "obs/telemetry.h"
 #include "service/loopback.h"
 #include "service/protocol.h"
+#include "service/socket_transport.h"
 
 namespace {
 
@@ -97,23 +120,264 @@ bool all_ok(const std::vector<std::string>& responses) {
   return true;
 }
 
+/// `v` must be sorted ascending; nearest-rank percentile in the same
+/// unit as the samples.
+double percentile(const std::vector<double>& v, double pct) {
+  if (v.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// One load-generator client: a closed loop over its own connection,
+/// cycling memo analyzes, an add/analyze/remove/analyze perturbation and
+/// a metrics probe across the shared sessions.
+struct LoadClient {
+  std::size_t id = 0;
+  std::size_t sessions = 0;
+  std::size_t requests = 0;
+
+  std::vector<double> latency_us;  ///< One sample per request.
+  std::size_t failures = 0;        ///< Non-success envelopes.
+  std::size_t cached = 0;          ///< Memo-hit analyze responses.
+  bool transport_ok = true;        ///< Socket stayed up to the end.
+
+  void run(std::uint16_t port) {
+    std::string error;
+    net::LineClient client(net::connect_tcp(port, &error));
+    if (!client.connected()) {
+      transport_ok = false;
+      return;
+    }
+    for (std::size_t r = 0; r < requests; ++r) {
+      const std::string session =
+          "load" + std::to_string((id + r) % sessions);
+      const std::string flow_name =
+          "ld_" + std::to_string(id) + "_" + std::to_string(r);
+      std::string line;
+      switch (r % 6) {
+        case 1:
+          line = R"({"op":"add_flow","session":)" +
+                 service::json_string(session) + ",\"flow\":" +
+                 service::json_string("flow " + flow_name +
+                                      " EF 400 0 100000 path 0 1 costs 1") +
+                 "}";
+          break;
+        case 3:
+          // Remove the flow added two requests ago (same session: the
+          // cycle advances the session index by 2 in between).
+          line = R"({"op":"remove_flow","session":)" +
+                 service::json_string("load" +
+                                      std::to_string((id + r - 2) % sessions)) +
+                 ",\"name\":" +
+                 service::json_string("ld_" + std::to_string(id) + "_" +
+                                      std::to_string(r - 2)) +
+                 "}";
+          break;
+        case 5:
+          line = R"({"op":"metrics"})";
+          break;
+        default:
+          line = R"({"op":"analyze","session":)" +
+                 service::json_string(session) + "}";
+          break;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      if (!client.send_line(line)) {
+        transport_ok = false;
+        return;
+      }
+      const std::optional<std::string> response = client.read_line();
+      if (!response.has_value()) {
+        transport_ok = false;
+        return;
+      }
+      latency_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      if (response->find("\"ok\":true") == std::string::npos) ++failures;
+      if (response->find("\"cached\":true") != std::string::npos) ++cached;
+    }
+  }
+};
+
+int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
+                  std::size_t requests, std::size_t executors,
+                  const std::optional<std::string>& json_path) {
+  service::SocketServerConfig server_cfg;
+  server_cfg.max_conns = conns + 1;
+  server_cfg.executors = executors;
+  server_cfg.service.max_sessions = sessions;
+  service::SocketServer server(std::move(server_cfg));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Stage the shared sessions over one setup connection, outside the
+  // measured window.
+  const std::string text =
+      model::serialize_flow_set(make_workload(/*seed=*/7, flows));
+  {
+    net::LineClient setup(net::connect_tcp(server.port(), &error));
+    if (!setup.connected()) {
+      std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+      return 2;
+    }
+    for (std::size_t s = 0; s < sessions; ++s) {
+      (void)setup.send_line(
+          R"({"op":"load_network","session":)" +
+          service::json_string("load" + std::to_string(s)) +
+          ",\"text\":" + service::json_string(text) + "}");
+      const auto response = setup.read_line();
+      if (!response.has_value() ||
+          response->find("\"ok\":true") == std::string::npos) {
+        std::fprintf(stderr, "bench_service: session setup failed: %s\n",
+                     response.value_or("<eof>").c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::printf(
+      "load: %zu connection(s) x %zu request(s) over %zu shared "
+      "session(s), %d flows each, %zu executor(s)\n\n",
+      conns, requests, sessions, flows, executors);
+
+  std::vector<LoadClient> clients(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    clients[i].id = i;
+    clients[i].sessions = sessions;
+    clients[i].requests = requests;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (LoadClient& c : clients)
+      threads.emplace_back([&c, &server] { c.run(server.port()); });
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_ms = ms_since(wall_start);
+  server.stop();
+
+  std::vector<double> latency_us;
+  std::size_t failures = 0;
+  std::size_t cached = 0;
+  bool transport_ok = true;
+  for (const LoadClient& c : clients) {
+    latency_us.insert(latency_us.end(), c.latency_us.begin(),
+                      c.latency_us.end());
+    failures += c.failures;
+    cached += c.cached;
+    transport_ok = transport_ok && c.transport_ok;
+  }
+  std::sort(latency_us.begin(), latency_us.end());
+  const std::size_t expected = conns * requests;
+  const double rps = static_cast<double>(latency_us.size()) / (wall_ms / 1e3);
+  const double p50 = percentile(latency_us, 50);
+  const double p95 = percentile(latency_us, 95);
+  const double p99 = percentile(latency_us, 99);
+  const double lat_max = latency_us.empty() ? 0.0 : latency_us.back();
+
+  TextTable t({"metric", "value"});
+  t.add_row({"wall ms", format_fixed(wall_ms, 1)});
+  t.add_row({"requests/s", format_fixed(rps, 0)});
+  t.add_row({"latency p50 us", format_fixed(p50, 0)});
+  t.add_row({"latency p95 us", format_fixed(p95, 0)});
+  t.add_row({"latency p99 us", format_fixed(p99, 0)});
+  t.add_row({"latency max us", format_fixed(lat_max, 0)});
+  std::printf("%s", t.to_string().c_str());
+
+  const bool complete = transport_ok && latency_us.size() == expected;
+  const bool no_failures = failures == 0;
+  const bool none_shed = server.connections_shed() == 0;
+  const bool ok = complete && no_failures && none_shed;
+  std::printf(
+      "\n%zu/%zu answered (%zu failure(s)), %zu memo hit(s); "
+      "%llu accepted, %llu shed — %s\n",
+      latency_us.size(), expected, failures, cached,
+      static_cast<unsigned long long>(server.connections_accepted()),
+      static_cast<unsigned long long>(server.connections_shed()),
+      ok ? "ok" : "BUG");
+
+  if (json_path) {
+    const auto b = [](bool v) { return v ? "true" : "false"; };
+    std::ostringstream js;
+    js << "{\"bench\":\"bench_service\",\"schema\":2,\"mode\":\"load\","
+       << "\"workload\":{\"connections\":" << conns
+       << ",\"sessions\":" << sessions
+       << ",\"requests_per_connection\":" << requests
+       << ",\"flows\":" << flows << ",\"executors\":" << executors << "},"
+       << "\"wall_ms\":" << wall_ms << ",\"requests_per_sec\":" << rps << ","
+       << "\"latency_us\":{\"p50\":" << p50 << ",\"p95\":" << p95
+       << ",\"p99\":" << p99 << ",\"max\":" << lat_max << "},"
+       << "\"transport\":{\"accepted\":" << server.connections_accepted()
+       << ",\"shed\":" << server.connections_shed()
+       << ",\"requests\":" << server.requests_served()
+       << ",\"memo_hits\":" << cached << "},"
+       << "\"checks\":{\"complete\":" << b(complete)
+       << ",\"no_failures\":" << b(no_failures)
+       << ",\"none_shed\":" << b(none_shed) << ",\"ok\":" << b(ok) << "}}\n";
+    std::ofstream out(*json_path);
+    if (out) out << js.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 2;
+    }
+    std::printf("json record written to %s\n", json_path->c_str());
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   OptionParser opts(argc, argv);
   const auto json_path = opts.value("--json");
+  const auto mode_opt = opts.value("--mode");
   const auto flows_opt = opts.value("--flows");
   const auto rounds_opt = opts.value("--rounds");
+  const auto conns_opt = opts.value("--conns");
+  const auto sessions_opt = opts.value("--sessions");
+  const auto requests_opt = opts.value("--requests");
+  const auto executors_opt = opts.value("--executors");
+  const std::string mode = mode_opt.value_or("streams");
   if (!opts.error().empty() || !opts.unknown_options().empty() ||
-      !opts.positionals().empty()) {
-    std::fprintf(
-        stderr, "usage: bench_service [--flows N] [--rounds N] [--json FILE]\n");
+      !opts.positionals().empty() ||
+      (mode != "streams" && mode != "load")) {
+    std::fprintf(stderr,
+                 "usage: bench_service [--mode streams|load] [--flows N] "
+                 "[--rounds N]\n"
+                 "                     [--conns N] [--sessions N] "
+                 "[--requests N] [--executors N]\n"
+                 "                     [--json FILE]\n");
     return 2;
   }
+  const auto size_opt = [](const std::optional<std::string>& o,
+                           std::size_t fallback) {
+    return o ? static_cast<std::size_t>(std::atoll(o->c_str())) : fallback;
+  };
+  if (mode == "load") {
+    const std::int32_t flows =
+        flows_opt ? std::atoi(flows_opt->c_str()) : 24;
+    const std::size_t conns = size_opt(conns_opt, 8);
+    const std::size_t sessions = size_opt(sessions_opt, 4);
+    const std::size_t requests = size_opt(requests_opt, 240);
+    const std::size_t executors = size_opt(executors_opt, 2);
+    if (flows <= 1 || conns == 0 || sessions == 0 || requests == 0) {
+      std::fprintf(stderr,
+                   "bench_service: --flows must be > 1; --conns, --sessions "
+                   "and --requests > 0\n");
+      return 2;
+    }
+    return run_load_mode(flows, conns, sessions, requests, executors,
+                         json_path);
+  }
   const std::int32_t flows = flows_opt ? std::atoi(flows_opt->c_str()) : 160;
-  const std::size_t rounds =
-      rounds_opt ? static_cast<std::size_t>(std::atoll(rounds_opt->c_str()))
-                 : 24;
+  const std::size_t rounds = size_opt(rounds_opt, 24);
   if (flows <= 1 || rounds == 0) {
     std::fprintf(stderr, "bench_service: --flows must be > 1, --rounds > 0\n");
     return 2;

@@ -8,8 +8,13 @@
 //   tfa_tool fuzz     [cases] [seed] [workers]  differential property sweep
 //                     [--corpus DIR]            (write shrunk repros to DIR)
 //   tfa_tool serve    [--workers N] [--max-batch N]
-//                     long-lived analysis service over stdin/stdout
-//                     (JSON-lines protocol — see docs/service.md)
+//                     [--tcp PORT | --unix PATH]
+//                     [--max-conns N] [--executors N]
+//                     long-lived analysis service (JSON-lines protocol —
+//                     see docs/service.md) over stdin/stdout, or with
+//                     --tcp/--unix over a concurrent socket listener
+//                     (--tcp 0 picks an ephemeral port, printed to
+//                     stderr; Ctrl-C or a client `shutdown` drains)
 //
 // `analyze` and `admit` accept a trailing `--stats` flag that appends the
 // run's EngineStats (fixed-point passes, test points, wall time per phase,
@@ -22,6 +27,9 @@
 // unrecognised `--option` is a usage error.  Run without arguments for the
 // usage text; every subcommand exits 0 on success, 1 on a negative
 // verdict, 2 on usage/parse errors.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +37,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -43,6 +52,7 @@
 #include "report/report.h"
 #include "service/serve.h"
 #include "service/service.h"
+#include "service/socket_transport.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
 
@@ -57,6 +67,8 @@ int usage() {
       "       tfa_tool generate <seed> [flows] [nodes]\n"
       "       tfa_tool fuzz [cases] [seed] [workers] [--corpus DIR]\n"
       "       tfa_tool serve [--workers N] [--max-batch N]\n"
+      "                      [--tcp PORT | --unix PATH]\n"
+      "                      [--max-conns N] [--executors N]\n"
       "       (analyze/admit take --stats to print analysis cost;\n"
       "        analyze/admit/fuzz take --trace-out FILE and\n"
       "        --metrics-out FILE for Chrome-trace / metric JSON dumps)\n");
@@ -233,6 +245,39 @@ int cmd_serve(std::size_t workers, std::size_t max_batch, ObsOutputs& obs) {
   return 0;
 }
 
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_serve_signal(int) { g_interrupted.store(true); }
+
+int cmd_serve_socket(service::SocketServerConfig cfg, ObsOutputs& obs) {
+  service::SocketServer server(std::move(cfg), obs.sink());
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "tfa_tool serve: %s\n", error.c_str());
+    return 2;
+  }
+  if (server.path().empty())
+    std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+  else
+    std::fprintf(stderr, "listening on %s\n", server.path().c_str());
+  g_interrupted.store(false);
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+  // The loop exits on a client `shutdown` (running() drops) or a
+  // signal; either way stop() drains queued work before returning.
+  while (server.running() && !g_interrupted.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+  std::fprintf(
+      stderr, "served %llu request(s) over %llu connection(s), %llu shed\n",
+      static_cast<unsigned long long>(server.requests_served()),
+      static_cast<unsigned long long>(server.connections_accepted()),
+      static_cast<unsigned long long>(server.connections_shed()));
+  if (!obs.flush()) return 2;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +290,10 @@ int main(int argc, char** argv) {
   const std::optional<std::string> corpus_dir = opts.value("--corpus");
   const std::optional<std::string> serve_workers = opts.value("--workers");
   const std::optional<std::string> serve_batch = opts.value("--max-batch");
+  const std::optional<std::string> serve_tcp = opts.value("--tcp");
+  const std::optional<std::string> serve_unix = opts.value("--unix");
+  const std::optional<std::string> serve_conns = opts.value("--max-conns");
+  const std::optional<std::string> serve_exec = opts.value("--executors");
 
   ObsOutputs obs;
   obs.trace_path = opts.value("--trace-out");
@@ -286,6 +335,23 @@ int main(int argc, char** argv) {
     const auto max_batch =
         serve_batch ? static_cast<std::size_t>(std::atoi(serve_batch->c_str()))
                     : std::size_t{0};
+    if (serve_tcp || serve_unix) {
+      if (serve_tcp && serve_unix) {
+        std::fprintf(stderr, "tfa_tool: --tcp and --unix are exclusive\n");
+        return usage();
+      }
+      service::SocketServerConfig cfg;
+      if (serve_tcp)
+        cfg.tcp_port = static_cast<std::uint16_t>(std::atoi(serve_tcp->c_str()));
+      if (serve_unix) cfg.unix_path = *serve_unix;
+      if (serve_conns)
+        cfg.max_conns = static_cast<std::size_t>(std::atoi(serve_conns->c_str()));
+      if (serve_exec)
+        cfg.executors = static_cast<std::size_t>(std::atoi(serve_exec->c_str()));
+      cfg.service.workers = workers;
+      if (max_batch > 0) cfg.service.max_batch = max_batch;
+      return cmd_serve_socket(std::move(cfg), obs);
+    }
     return cmd_serve(workers, max_batch, obs);
   }
 

@@ -1,0 +1,217 @@
+#include "base/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tfa::net {
+
+namespace {
+
+void fill_error(std::string* error, const char* what) {
+  if (error != nullptr)
+    *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd, bool on, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    fill_error(error, "fcntl(F_GETFL)");
+    return false;
+  }
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) {
+    fill_error(error, "fcntl(F_SETFL)");
+    return false;
+  }
+  return true;
+}
+
+UniqueFd listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+                    std::string* error) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    fill_error(error, "socket");
+    return {};
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    fill_error(error, "bind");
+    return {};
+  }
+  if (::listen(fd.get(), 64) < 0) {
+    fill_error(error, "listen");
+    return {};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) < 0) {
+      fill_error(error, "getsockname");
+      return {};
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr)
+      *error = "unix socket path must be 1.." +
+               std::to_string(sizeof(addr.sun_path) - 1) + " bytes";
+    return {};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd) {
+    fill_error(error, "socket");
+    return {};
+  }
+  (void)::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    fill_error(error, "bind");
+    return {};
+  }
+  if (::listen(fd.get(), 64) < 0) {
+    fill_error(error, "listen");
+    return {};
+  }
+  return fd;
+}
+
+UniqueFd connect_tcp(std::uint16_t port, std::string* error) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    fill_error(error, "socket");
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    fill_error(error, "connect");
+    return {};
+  }
+  return fd;
+}
+
+UniqueFd connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path too long";
+    return {};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd) {
+    fill_error(error, "socket");
+    return {};
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    fill_error(error, "connect");
+    return {};
+  }
+  return fd;
+}
+
+std::optional<Pipe> Pipe::create(std::string* error) {
+  int fds[2];
+  if (::pipe(fds) < 0) {
+    fill_error(error, "pipe");
+    return std::nullopt;
+  }
+  Pipe p;
+  p.read_end.reset(fds[0]);
+  p.write_end.reset(fds[1]);
+  if (!set_nonblocking(p.read_end.get(), true, error) ||
+      !set_nonblocking(p.write_end.get(), true, error))
+    return std::nullopt;
+  return p;
+}
+
+void Pipe::notify() const noexcept {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup.
+  (void)!::write(write_end.get(), &byte, 1);
+}
+
+void Pipe::drain() const noexcept {
+  char sink[256];
+  while (::read(read_end.get(), sink, sizeof(sink)) > 0) {
+  }
+}
+
+bool LineClient::send_line(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  return send_raw(framed);
+}
+
+bool LineClient::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), bytes.data() + sent, bytes.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> LineClient::read_line() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (buf_.empty()) return std::nullopt;
+      std::string line = std::move(buf_);
+      buf_.clear();
+      return line;  // final unterminated line
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void LineClient::half_close() noexcept {
+  (void)::shutdown(fd_.get(), SHUT_WR);
+}
+
+}  // namespace tfa::net

@@ -1,0 +1,119 @@
+// Thin POSIX networking helpers: an owning file-descriptor handle and
+// the few socket constructions the service transports and their tests
+// need (loopback TCP and unix-domain listeners/clients, a self-pipe for
+// event-loop wakeups, and a blocking line-framed client).
+//
+// Everything here is plain POSIX — no third-party dependency — and every
+// failure is reported through an `std::string* error` out-parameter
+// rather than errno spelunking at the call sites.  The event-driven
+// server built on top lives in src/service/socket_transport.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tfa::net {
+
+/// Move-only owner of a POSIX file descriptor; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sets or clears O_NONBLOCK.  Returns false (and fills `error`) on
+/// failure.
+bool set_nonblocking(int fd, bool on, std::string* error = nullptr);
+
+/// Listening TCP socket bound to 127.0.0.1:`port` (0 = ephemeral).  The
+/// actual bound port is written to `*bound_port` when non-null.
+[[nodiscard]] UniqueFd listen_tcp(std::uint16_t port,
+                                  std::uint16_t* bound_port = nullptr,
+                                  std::string* error = nullptr);
+
+/// Listening unix-domain socket at `path` (a stale socket file at the
+/// same path is unlinked first).
+[[nodiscard]] UniqueFd listen_unix(const std::string& path,
+                                   std::string* error = nullptr);
+
+/// Blocking client connection to 127.0.0.1:`port`.
+[[nodiscard]] UniqueFd connect_tcp(std::uint16_t port,
+                                   std::string* error = nullptr);
+
+/// Blocking client connection to the unix-domain socket at `path`.
+[[nodiscard]] UniqueFd connect_unix(const std::string& path,
+                                    std::string* error = nullptr);
+
+/// A self-pipe: the read end is non-blocking so an event loop can drain
+/// it; writes are best-effort single bytes (a full pipe already means a
+/// wakeup is pending).
+struct Pipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+
+  [[nodiscard]] static std::optional<Pipe> create(std::string* error = nullptr);
+
+  /// Best-effort wakeup byte (ignores EAGAIN).
+  void notify() const noexcept;
+
+  /// Drains every pending wakeup byte from the read end.
+  void drain() const noexcept;
+};
+
+/// Blocking newline-framed client over a connected socket — what the
+/// socket-transport tests and `bench_service --mode load` speak.  One
+/// outstanding request at a time: send_line() then read_line().
+class LineClient {
+ public:
+  explicit LineClient(UniqueFd fd) noexcept : fd_(std::move(fd)) {}
+
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+  /// Writes `line` plus a trailing newline; false on any short write.
+  bool send_line(std::string_view line);
+
+  /// Writes raw bytes without framing (for partial-line tests).
+  bool send_raw(std::string_view bytes);
+
+  /// Next newline-terminated line (terminator stripped), or nullopt on
+  /// EOF/error.  A final unterminated line before EOF is returned as-is.
+  std::optional<std::string> read_line();
+
+  /// shutdown(SHUT_WR): signals end-of-requests while keeping the read
+  /// side open for the remaining responses.
+  void half_close() noexcept;
+
+ private:
+  UniqueFd fd_;
+  std::string buf_;
+};
+
+}  // namespace tfa::net

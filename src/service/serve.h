@@ -18,7 +18,11 @@ struct ServeResult {
 
 /// Reads request lines from `in` until EOF, writing each response line
 /// (newline-terminated) to `out`.  Blank lines are ignored and consume
-/// no sequence number.  The open analyze batch is closed whenever the
+/// no sequence number.  Lines are read through a *bounded* reader: one
+/// longer than ServiceConfig::max_request_bytes is discarded up to its
+/// newline (never buffered whole) and answered with the structured
+/// `oversized` error envelope, leaving the stream line-synchronised for
+/// the next request.  The open analyze batch is closed whenever the
 /// input buffer runs dry — an interactive client gets its answer
 /// without having to send `flush` — and at EOF; response *bytes* do not
 /// depend on where batches close, only latency does.  EOF after

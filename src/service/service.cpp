@@ -1,7 +1,9 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "admission/admission.h"
@@ -94,13 +96,33 @@ std::string render_analyze_fragment(const model::FlowSet& set,
   return out;
 }
 
+WireError oversized_error(std::size_t bytes, std::size_t limit) {
+  WireError e;
+  e.code = "oversized";
+  e.message = "request of " + std::to_string(bytes) + " bytes exceeds the " +
+              std::to_string(limit) + "-byte limit";
+  return e;
+}
+
 }  // namespace
 
 Service::Service(ServiceConfig cfg, obs::Telemetry* telemetry)
-    : cfg_(std::move(cfg)), store_(cfg_.max_sessions), telemetry_(telemetry) {
+    : cfg_(std::move(cfg)),
+      owned_store_(std::make_unique<SessionStore>(cfg_.max_sessions)),
+      store_(owned_store_.get()),
+      telemetry_(telemetry) {
   if (!cfg_.clock) cfg_.clock = steady_now_ns;
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
   // The service registry is long-lived like a session's: cap its series.
+  if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
+}
+
+Service::Service(ServiceConfig cfg, obs::Telemetry* telemetry,
+                 SessionStore* shared)
+    : cfg_(std::move(cfg)), store_(shared), telemetry_(telemetry) {
+  TFA_EXPECTS(shared != nullptr);
+  if (!cfg_.clock) cfg_.clock = steady_now_ns;
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
   if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
 }
 
@@ -146,19 +168,34 @@ std::optional<std::string> Service::next_response() {
 void Service::flush() { close_batch(); }
 
 void Service::submit(std::string_view line) {
+  submit_at(line, cfg_.clock(), /*transport_stamped=*/false);
+}
+
+void Service::submit(std::string_view line, std::int64_t arrival_ns) {
+  submit_at(line, arrival_ns, /*transport_stamped=*/true);
+}
+
+void Service::submit_oversized(std::size_t bytes) {
   const std::uint64_t seq = ++seq_;
   const std::int64_t start = cfg_.clock();
+  bump("service.requests");
+  close_batch();
+  // Ordered like the in-band size gate: before the draining check, so a
+  // refused-to-buffer line answers `oversized` in every service state.
+  respond_error(seq, "", "", oversized_error(bytes, cfg_.max_request_bytes),
+                start);
+}
+
+void Service::submit_at(std::string_view line, std::int64_t start,
+                        bool transport_stamped) {
+  const std::uint64_t seq = ++seq_;
   bump("service.requests");
 
   // Size gate before parsing: an oversized line is rejected unread.
   if (line.size() > cfg_.max_request_bytes) {
     close_batch();
-    WireError e;
-    e.code = "oversized";
-    e.message = "request of " + std::to_string(line.size()) +
-                " bytes exceeds the " +
-                std::to_string(cfg_.max_request_bytes) + "-byte limit";
-    respond_error(seq, "", "", e, start);
+    respond_error(seq, "", "",
+                  oversized_error(line.size(), cfg_.max_request_bytes), start);
     return;
   }
 
@@ -197,6 +234,24 @@ void Service::submit(std::string_view line) {
     batch_.push_back(std::move(pending));
     if (batch_.size() >= cfg_.max_batch) close_batch();
     return;
+  }
+
+  // An immediate op whose deadline already expired while the request sat
+  // in the transport (only observable with a transport arrival stamp —
+  // in the unstamped path `start` is the current clock reading, so the
+  // elapsed time is zero by construction).
+  if (transport_stamped && p.request.deadline_ms) {
+    const std::int64_t waited = cfg_.clock() - start;
+    if (waited > *p.request.deadline_ms * 1'000'000) {
+      close_batch();
+      WireError e;
+      e.code = "deadline_exceeded";
+      e.message = "request waited " + std::to_string(waited / 1'000'000) +
+                  " ms, past its " + std::to_string(*p.request.deadline_ms) +
+                  " ms deadline";
+      respond_error(seq, p.id_json, p.op_text, e, start);
+      return;
+    }
   }
 
   close_batch();
@@ -241,6 +296,8 @@ void Service::close_batch() {
   std::vector<Session*> job_sessions;
   std::map<std::string, std::size_t, std::less<>> job_of_session;
 
+  // Resolve deadlines and session addresses first, without any session
+  // lock held.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const PendingAnalyze& p = batch[i];
     Slot& s = slots[i];
@@ -254,13 +311,35 @@ void Service::close_batch() {
                         " ms deadline";
       continue;
     }
-    Session* sess = store_.find(p.session);
-    if (sess == nullptr) {
+    s.session = store_->find(p.session);
+    if (s.session == nullptr) {
       s.failed = true;
       s.error.code = "unknown_session";
       s.error.message = "no session named '" + p.session + "'";
-      continue;
     }
+  }
+
+  // Lock every distinct involved session for the rest of the batch —
+  // triage reads the sets, the engine runs against them, and the memo
+  // refresh writes them.  Locking in name order (names are unique, so
+  // this is a total order) keeps rival connections whose batches overlap
+  // free of deadlock; see service/session.h.
+  std::vector<Session*> involved;
+  for (const Slot& s : slots)
+    if (s.session != nullptr) involved.push_back(s.session);
+  std::sort(involved.begin(), involved.end(),
+            [](const Session* a, const Session* b) { return a->name < b->name; });
+  involved.erase(std::unique(involved.begin(), involved.end()),
+                 involved.end());
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(involved.size());
+  for (Session* sess : involved) guards.emplace_back(sess->mu);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingAnalyze& p = batch[i];
+    Slot& s = slots[i];
+    if (s.failed) continue;
+    Session* sess = s.session;
     if (sess->set.empty()) {
       s.failed = true;
       s.error.code = "empty_session";
@@ -268,7 +347,6 @@ void Service::close_batch() {
           "session '" + p.session + "' has no flows to analyse";
       continue;
     }
-    s.session = sess;
     s.memo_key = opts_key + "\n" + model::serialize_flow_set(sess->set);
     if (sess->memo_key == s.memo_key) {
       s.memo_hit = true;
@@ -352,7 +430,7 @@ void Service::execute(const Request& r, const std::string& op_text,
         return;
       }
       Session* sess = nullptr;
-      switch (store_.create(r.session, &sess)) {
+      switch (store_->create(r.session, &sess)) {
         case SessionStore::Create::kDuplicate:
           e.code = "duplicate_session";
           e.message = "a session named '" + r.session + "' already exists";
@@ -361,32 +439,38 @@ void Service::execute(const Request& r, const std::string& op_text,
         case SessionStore::Create::kFull:
           e.code = "too_many_sessions";
           e.message = "session limit of " +
-                      std::to_string(store_.capacity()) + " reached";
+                      std::to_string(store_->capacity()) + " reached";
           respond_error(seq, id_json, op_text, e, start_ns);
           return;
         case SessionStore::Create::kCreated:
           break;
       }
-      sess->set = *parsed.flow_set;
+      std::size_t flows = 0;
+      std::size_t nodes = 0;
+      {
+        const std::scoped_lock session_lock(sess->mu);
+        sess->set = *parsed.flow_set;
+        flows = sess->set.size();
+        nodes = static_cast<std::size_t>(sess->set.network().node_count());
+      }
       if (telemetry_ != nullptr)
         telemetry_->metrics.gauge("service.sessions") =
-            static_cast<std::int64_t>(store_.size());
+            static_cast<std::int64_t>(store_->size());
       std::string result = "{\"session\":" + json_string(r.session) +
-                           ",\"flows\":" + std::to_string(sess->set.size()) +
-                           ",\"nodes\":" +
-                           std::to_string(sess->set.network().node_count()) +
-                           "}";
+                           ",\"flows\":" + std::to_string(flows) +
+                           ",\"nodes\":" + std::to_string(nodes) + "}";
       respond_ok(seq, id_json, op_text, result, start_ns);
       return;
     }
     case Op::kAddFlow: {
-      Session* sess = store_.find(r.session);
+      Session* sess = store_->find(r.session);
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
         respond_error(seq, id_json, op_text, e, start_ns);
         return;
       }
+      const std::scoped_lock session_lock(sess->mu);
       std::string why;
       const auto flow = parse_flow_line(sess->set.network(), r.flow, &why);
       if (!flow) {
@@ -418,13 +502,14 @@ void Service::execute(const Request& r, const std::string& op_text,
       return;
     }
     case Op::kRemoveFlow: {
-      Session* sess = store_.find(r.session);
+      Session* sess = store_->find(r.session);
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
         respond_error(seq, id_json, op_text, e, start_ns);
         return;
       }
+      const std::scoped_lock session_lock(sess->mu);
       const auto idx = sess->set.find(r.name);
       if (!idx) {
         e.code = "unknown_flow";
@@ -447,13 +532,14 @@ void Service::execute(const Request& r, const std::string& op_text,
       return;
     }
     case Op::kAdmit: {
-      Session* sess = store_.find(r.session);
+      Session* sess = store_->find(r.session);
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
         respond_error(seq, id_json, op_text, e, start_ns);
         return;
       }
+      const std::scoped_lock session_lock(sess->mu);
       std::string why;
       const auto flow = parse_flow_line(sess->set.network(), r.flow, &why);
       if (!flow) {
@@ -490,13 +576,14 @@ void Service::execute(const Request& r, const std::string& op_text,
       return;
     }
     case Op::kSnapshot: {
-      Session* sess = store_.find(r.session);
+      Session* sess = store_->find(r.session);
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
         respond_error(seq, id_json, op_text, e, start_ns);
         return;
       }
+      const std::scoped_lock session_lock(sess->mu);
       std::string result =
           "{\"flows\":" + std::to_string(sess->set.size()) +
           ",\"analyzes\":" + std::to_string(sess->analyzes) + ",\"text\":" +
@@ -511,13 +598,14 @@ void Service::execute(const Request& r, const std::string& op_text,
       std::string result = "{\"requests\":" + std::to_string(seq_) +
                            ",\"sessions\":[";
       bool first = true;
-      for (const auto& [name, sess] : store_.all()) {
+      store_->for_each([&](const std::string& name, Session& sess) {
+        const std::scoped_lock session_lock(sess.mu);
         if (!first) result += ',';
         first = false;
         result += "{\"name\":" + json_string(name) +
                   ",\"flows\":" + std::to_string(sess.set.size()) +
                   ",\"analyzes\":" + std::to_string(sess.analyzes) + "}";
-      }
+      });
       result += "]";
       if (telemetry_ != nullptr)
         result += ",\"service\":" + telemetry_->metrics.deterministic_json();
@@ -534,7 +622,7 @@ void Service::execute(const Request& r, const std::string& op_text,
     case Op::kShutdown: {
       draining_ = true;
       respond_ok(seq, id_json, op_text,
-                 "{\"sessions\":" + std::to_string(store_.size()) +
+                 "{\"sessions\":" + std::to_string(store_->size()) +
                      ",\"requests\":" + std::to_string(seq_) + "}",
                  start_ns);
       return;

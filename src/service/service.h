@@ -18,6 +18,16 @@
 // response bytes are bit-identical for every worker count (pinned by
 // tests/service/determinism_test.cpp).
 //
+// Shared-store mode: the socket transport
+// (service/socket_transport.h) gives every connection its own Service
+// — its own seq space, batch scheduler and output queue — over one
+// shared SessionStore, so each connection's response bytes match what
+// the same request sequence would produce over stdio.  In that mode
+// requests for different sessions execute truly concurrently; the
+// per-session locks in service/session.h serialise rivals for the
+// same session, and this class takes them on every session access
+// (uncontended in the single-transport deployments).
+//
 // Failure containment: a malformed, oversized, unknown or mis-addressed
 // request is answered with a structured error envelope and the service
 // keeps serving — no request can crash, wedge or desync it (pinned by
@@ -27,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -83,11 +94,32 @@ class Service {
   /// --trace-out.
   explicit Service(ServiceConfig cfg = {}, obs::Telemetry* telemetry = nullptr);
 
+  /// Shared-store variant: sessions live in `*shared` (which must
+  /// outlive the service) instead of a private store, so several
+  /// Service instances — one per socket connection — can address the
+  /// same sessions.  `cfg.max_sessions` is ignored in this mode; the
+  /// shared store's own capacity governs.
+  Service(ServiceConfig cfg, obs::Telemetry* telemetry, SessionStore* shared);
+
   /// Accepts one request line.  Always consumes one sequence number and
   /// eventually produces exactly one response; `analyze` responses may
   /// be deferred until the batch closes, everything else responds
   /// before submit() returns.
   void submit(std::string_view line);
+
+  /// Transport-timestamped variant: `arrival_ns` (a value of the
+  /// configured clock, taken when the transport finished reading the
+  /// line) replaces the clock call submit() would make, so queueing
+  /// delay between the socket and the executor counts against
+  /// `deadline_ms`.  This overload consults the clock once itself to
+  /// test already-expired deadlines of immediate (non-analyze) ops.
+  void submit(std::string_view line, std::int64_t arrival_ns);
+
+  /// Emits the `oversized` error envelope for a request line of
+  /// `bytes` bytes that the transport refused to buffer (it consumes a
+  /// sequence number exactly like submit of the full line would —
+  /// docs/service.md, "Limits").
+  void submit_oversized(std::size_t bytes);
 
   /// Closes the open analyze batch (no-op when empty).
   void flush();
@@ -103,7 +135,7 @@ class Service {
   /// Requests accepted so far (= last assigned seq).
   [[nodiscard]] std::uint64_t requests() const noexcept { return seq_; }
 
-  [[nodiscard]] SessionStore& sessions() noexcept { return store_; }
+  [[nodiscard]] SessionStore& sessions() noexcept { return *store_; }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -115,6 +147,8 @@ class Service {
     std::optional<std::int64_t> deadline_ms;
   };
 
+  void submit_at(std::string_view line, std::int64_t start_ns,
+                 bool transport_stamped);
   void execute(const Request& r, const std::string& op_text,
                std::uint64_t seq, const std::string& id_json,
                std::int64_t start_ns);
@@ -130,7 +164,8 @@ class Service {
   void bump(std::string_view counter);
 
   ServiceConfig cfg_;
-  SessionStore store_;
+  std::unique_ptr<SessionStore> owned_store_;  ///< Null in shared mode.
+  SessionStore* store_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
 
   std::uint64_t seq_ = 0;

@@ -2,11 +2,24 @@
 // long-lived flow-set lineage carrying its own warm-start state
 // (trajectory::AnalysisCache) and its own engine telemetry, so analyses
 // of different sessions never share mutable state — that independence is
-// what lets the request scheduler fan a batch out over workers.
+// what lets the request scheduler fan a batch out over workers, and what
+// lets the socket transport run requests for different sessions truly
+// concurrently.
+//
+// Concurrency contract: the store's own map is guarded internally
+// (create/find/for_each are safe to call from any thread), and every
+// *session's* mutable state is guarded by its `Session::mu` — a caller
+// must hold it across any read or write of the session's set, cache,
+// memo or telemetry.  When several sessions are locked together (the
+// analyze-batch path), they are locked in name order, which is a total
+// order because names are unique; single-transport deployments
+// (loopback, stdio) pay only uncontended-lock costs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -42,13 +55,21 @@ struct Session {
   std::string memo_key;
   std::string memo_fragment;
 
+  /// Guards everything above except `name` (immutable after creation).
+  /// Held by the service for the duration of each request touching this
+  /// session, including the engine run of an analyze batch.
+  std::mutex mu;
+
   void invalidate_memo() {
     memo_key.clear();
     memo_fragment.clear();
   }
 };
 
-/// Name-ordered session registry with a capacity limit.
+/// Name-ordered session registry with a capacity limit.  Lookups and
+/// creation are internally synchronised; sessions are never destroyed
+/// before the store, so a returned `Session*` stays valid for the
+/// store's lifetime.
 class SessionStore {
  public:
   explicit SessionStore(std::size_t max_sessions) : max_(max_sessions) {}
@@ -62,17 +83,23 @@ class SessionStore {
   /// The session named `name`, or nullptr.
   [[nodiscard]] Session* find(std::string_view name);
 
-  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return max_; }
 
-  /// All sessions in name order (deterministic iteration for the
-  /// `metrics` op).
+  /// Visits every session in name order under the store lock
+  /// (deterministic iteration for the `metrics` op).  `body` may lock
+  /// individual sessions but must not call back into the store.
+  void for_each(const std::function<void(const std::string&, Session&)>& body);
+
+  /// All sessions in name order.  Unsynchronised — only for
+  /// single-threaded callers (tests, single-transport tools).
   [[nodiscard]] std::map<std::string, Session, std::less<>>& all() noexcept {
     return sessions_;
   }
 
  private:
   std::size_t max_;
+  mutable std::mutex mu_;
   std::map<std::string, Session, std::less<>> sessions_;
 };
 

@@ -1,0 +1,485 @@
+#include "service/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "base/contracts.h"
+#include "obs/telemetry.h"
+#include "service/protocol.h"
+
+namespace tfa::service {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// serve_stream's notion of an ignorable line (serve.cpp) — kept
+/// identical so the transports frame the same byte stream the same way.
+bool blank(std::string_view line) noexcept {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+/// The one-line goodbye a shed connection receives.  `seq` is 0: no
+/// request of this connection was ever accepted.
+const std::string& shed_line() {
+  static const std::string line = [] {
+    WireError e;
+    e.code = "shed";
+    e.message = "connection limit reached, retry later";
+    return error_envelope(0, "", "", e) + "\n";
+  }();
+  return line;
+}
+
+}  // namespace
+
+/// One client connection.  Framing state (`partial`, the discard
+/// counters, `eof`) is touched only by the event-loop thread; the
+/// executor/loop handshake (`pending`, `busy`, `outbuf`, the close
+/// flags) is guarded by `mu`.  `service` is used exclusively by the
+/// executor that holds `busy`, honouring Service's single-threaded
+/// contract; cross-connection safety comes from the shared
+/// SessionStore's locks underneath.
+struct SocketServer::Conn {
+  Conn(net::UniqueFd fd_in, const ServiceConfig& cfg, SessionStore* store)
+      : fd(std::move(fd_in)), service(cfg, nullptr, store) {}
+
+  net::UniqueFd fd;
+  Service service;
+
+  // Event-loop-owned framing state.
+  std::string partial;      ///< Bytes of the line being assembled.
+  bool discarding = false;  ///< Oversized line: counting until newline.
+  std::size_t discarded = 0;
+  bool last_cr = false;  ///< Last discarded byte was '\r' (strip parity).
+  bool eof = false;      ///< Read side closed.
+
+  /// One unit of executor work: a framed request line, or the byte
+  /// count of an oversized line the loop refused to buffer.
+  struct Item {
+    std::string line;
+    std::int64_t arrival_ns = 0;
+    std::size_t oversized_bytes = 0;  ///< Non-zero marks the oversized case.
+  };
+
+  std::mutex mu;
+  std::deque<Item> pending;
+  bool busy = false;  ///< An executor currently owns `service`.
+  std::string outbuf;
+  std::size_t out_cursor = 0;  ///< Bytes of `outbuf` already written.
+  bool broken = false;         ///< Hard socket error: close without flushing.
+};
+
+SocketServer::SocketServer(SocketServerConfig cfg, obs::Telemetry* telemetry)
+    : cfg_(std::move(cfg)),
+      store_(cfg_.service.max_sessions),
+      telemetry_(telemetry) {
+  // The transport stamps arrivals with the steady clock; an injected
+  // service clock would make `deadline_ms` compare apples to oranges.
+  cfg_.service.clock = nullptr;
+  if (cfg_.executors == 0) cfg_.executors = 1;
+  if (cfg_.max_conns == 0) cfg_.max_conns = 1;
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::start(std::string* error) {
+  TFA_EXPECTS(!started_.load());
+  listener_ = cfg_.unix_path.empty()
+                  ? net::listen_tcp(cfg_.tcp_port, &port_, error)
+                  : net::listen_unix(cfg_.unix_path, error);
+  if (!listener_.valid()) return false;
+  if (!net::set_nonblocking(listener_.get(), true, error)) {
+    listener_.reset();
+    return false;
+  }
+  std::optional<net::Pipe> wake = net::Pipe::create(error);
+  if (!wake) {
+    listener_.reset();
+    return false;
+  }
+  wake_ = std::move(*wake);
+
+  stop_requested_.store(false);
+  loop_done_.store(false);
+  quit_executors_.store(false);
+  started_.store(true);
+  executor_threads_.reserve(cfg_.executors);
+  for (std::size_t i = 0; i < cfg_.executors; ++i)
+    executor_threads_.emplace_back([this] { executor_loop(); });
+  loop_thread_ = std::thread([this] { event_loop(); });
+  return true;
+}
+
+void SocketServer::stop() {
+  if (!started_.load()) return;
+  stop_requested_.store(true);
+  wake_.notify();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  quit_executors_.store(true);
+  ready_cv_.notify_all();
+  for (std::thread& t : executor_threads_)
+    if (t.joinable()) t.join();
+  executor_threads_.clear();
+  publish_counters();
+  listener_.reset();
+  started_.store(false);
+}
+
+bool SocketServer::running() const noexcept {
+  return started_.load() && !loop_done_.load();
+}
+
+void SocketServer::wait() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] { return loop_done_.load(); });
+}
+
+void SocketServer::publish_counters() {
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& m = telemetry_->metrics;
+  m.counter("service.net.accepted") += static_cast<std::int64_t>(
+      accepted_.load(std::memory_order_relaxed));
+  m.counter("service.net.shed") +=
+      static_cast<std::int64_t>(shed_.load(std::memory_order_relaxed));
+  m.counter("service.net.requests") += static_cast<std::int64_t>(
+      requests_.load(std::memory_order_relaxed));
+  m.counter("service.net.oversized") += static_cast<std::int64_t>(
+      oversized_.load(std::memory_order_relaxed));
+  m.counter("service.net.bytes_in") += static_cast<std::int64_t>(
+      bytes_in_.load(std::memory_order_relaxed));
+  m.counter("service.net.bytes_out") += static_cast<std::int64_t>(
+      bytes_out_.load(std::memory_order_relaxed));
+}
+
+void SocketServer::accept_pending() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or transient accept failure.
+    }
+    net::UniqueFd owned(fd);
+    if (conns_.size() >= cfg_.max_conns) {
+      // Shed: a fresh socket's send buffer is empty, so this
+      // best-effort write delivers the envelope in practice.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      const std::string& line = shed_line();
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      continue;  // `owned` closes it.
+    }
+    if (!net::set_nonblocking(fd, true)) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.push_back(
+        std::make_shared<Conn>(std::move(owned), cfg_.service, &store_));
+  }
+}
+
+void SocketServer::enqueue_line(Conn& c, std::string line) {
+  // serve_stream parity: trailing '\r' stripped, blank lines skipped
+  // (no sequence number consumed).
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (blank(line)) return;
+  Conn::Item item;
+  item.arrival_ns = steady_now_ns();
+  if (line.size() > cfg_.service.max_request_bytes) {
+    item.oversized_bytes = line.size();
+  } else {
+    item.line = std::move(line);
+  }
+  const std::scoped_lock lock(c.mu);
+  c.pending.push_back(std::move(item));
+}
+
+void SocketServer::feed(Conn& c, const char* data, std::size_t n) {
+  // Newline framing with the size limit enforced *while reading*: a
+  // line is buffered up to max_request_bytes + 1 (the +1 absorbs a
+  // trailing '\r'); past that the loop only counts bytes until the
+  // newline, then reports the exact length in the oversized envelope.
+  const std::size_t cap = cfg_.service.max_request_bytes + 1;
+  std::size_t i = 0;
+  while (i < n) {
+    const void* nl_raw = std::memchr(data + i, '\n', n - i);
+    const char* nl = static_cast<const char*>(nl_raw);
+    const std::size_t seg = nl != nullptr
+                                ? static_cast<std::size_t>(nl - (data + i))
+                                : n - i;
+    if (c.discarding) {
+      if (nl == nullptr) {
+        c.discarded += seg;
+        if (seg > 0) c.last_cr = data[n - 1] == '\r';
+        i = n;
+        continue;
+      }
+      const bool cr = seg > 0 ? *(nl - 1) == '\r' : c.last_cr;
+      std::size_t total = c.discarded + seg;
+      if (cr) --total;
+      Conn::Item item;
+      item.arrival_ns = steady_now_ns();
+      item.oversized_bytes = total;
+      {
+        const std::scoped_lock lock(c.mu);
+        c.pending.push_back(std::move(item));
+      }
+      c.discarding = false;
+      c.discarded = 0;
+      c.last_cr = false;
+      i += seg + 1;
+      continue;
+    }
+    if (c.partial.size() + seg > cap) {
+      // The line just outgrew the limit: stop buffering, start counting.
+      c.discarding = true;
+      c.discarded = c.partial.size();
+      c.partial.clear();
+      c.last_cr = false;
+      continue;  // Re-enters the discard branch on the same bytes.
+    }
+    c.partial.append(data + i, seg);
+    if (nl == nullptr) {
+      i = n;
+      continue;
+    }
+    i += seg + 1;
+    enqueue_line(c, std::move(c.partial));
+    c.partial.clear();
+  }
+}
+
+void SocketServer::read_from(const std::shared_ptr<Conn>& c) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(c->fd.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      feed(*c, buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      c->eof = true;
+      // getline parity: a final unterminated line still counts.
+      if (c->discarding) {
+        Conn::Item item;
+        item.arrival_ns = steady_now_ns();
+        item.oversized_bytes = c->discarded - (c->last_cr ? 1 : 0);
+        const std::scoped_lock lock(c->mu);
+        c->pending.push_back(std::move(item));
+        c->discarding = false;
+      } else if (!c->partial.empty()) {
+        enqueue_line(*c, std::move(c->partial));
+        c->partial.clear();
+      }
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    const std::scoped_lock lock(c->mu);
+    c->broken = true;
+    break;
+  }
+  maybe_dispatch(c);
+}
+
+void SocketServer::maybe_dispatch(const std::shared_ptr<Conn>& c) {
+  bool dispatch = false;
+  {
+    const std::scoped_lock lock(c->mu);
+    if (!c->busy && !c->pending.empty() && !c->broken) {
+      c->busy = true;
+      dispatch = true;
+    }
+  }
+  if (dispatch) {
+    {
+      const std::scoped_lock lock(ready_mu_);
+      ready_.push_back(c);
+    }
+    ready_cv_.notify_one();
+  }
+}
+
+void SocketServer::write_to(const std::shared_ptr<Conn>& c) {
+  for (;;) {
+    std::string chunk;
+    {
+      const std::scoped_lock lock(c->mu);
+      if (c->out_cursor >= c->outbuf.size()) {
+        c->outbuf.clear();
+        c->out_cursor = 0;
+        return;
+      }
+      chunk.assign(c->outbuf, c->out_cursor,
+                   std::min<std::size_t>(c->outbuf.size() - c->out_cursor,
+                                         std::size_t{1} << 16));
+    }
+    const ssize_t n =
+        ::send(c->fd.get(), chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+      const std::scoped_lock lock(c->mu);
+      c->out_cursor += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    const std::scoped_lock lock(c->mu);
+    c->broken = true;
+    return;
+  }
+}
+
+void SocketServer::event_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  for (;;) {
+    const bool draining = stop_requested_.load();
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_.read_end.get(), POLLIN, 0});
+    if (!draining) fds.push_back({listener_.get(), POLLIN, 0});
+
+    // Sweep finished connections and build this round's poll set.
+    bool all_quiescent = true;
+    for (std::size_t k = 0; k < conns_.size();) {
+      const std::shared_ptr<Conn>& c = conns_[k];
+      short events = 0;
+      bool done = false;
+      {
+        const std::scoped_lock lock(c->mu);
+        const bool idle = c->pending.empty() && !c->busy;
+        const bool flushed = c->out_cursor >= c->outbuf.size();
+        done = c->broken || (c->eof && idle && flushed);
+        if (!done) {
+          if (!idle || !flushed) all_quiescent = false;
+          const bool backpressured =
+              c->outbuf.size() - c->out_cursor >= cfg_.max_output_bytes;
+          if (!c->eof && !backpressured && !draining) events |= POLLIN;
+          if (!flushed) events |= POLLOUT;
+        }
+      }
+      if (done) {
+        conns_[k] = std::move(conns_.back());
+        conns_.pop_back();
+        continue;
+      }
+      if (events != 0) {
+        fds.push_back({c->fd.get(), events, 0});
+        polled.push_back(c);
+      }
+      ++k;
+    }
+    if (draining && all_quiescent) break;
+
+    // 250ms safety timeout: every state change also pokes the wake
+    // pipe, so this only bounds the cost of a lost wakeup.
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 250);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::size_t idx = 0;
+    if (fds[idx].revents & POLLIN) wake_.drain();
+    ++idx;
+    if (!draining) {
+      if (fds[idx].revents & POLLIN) accept_pending();
+      ++idx;
+    }
+    for (std::size_t j = 0; j < polled.size(); ++j) {
+      const short got = fds[idx + j].revents;
+      if (got == 0) continue;
+      if (got & POLLERR) {
+        const std::scoped_lock lock(polled[j]->mu);
+        polled[j]->broken = true;
+        continue;
+      }
+      if (got & (POLLIN | POLLHUP)) read_from(polled[j]);
+      if (got & POLLOUT) write_to(polled[j]);
+    }
+  }
+
+  conns_.clear();
+  {
+    const std::scoped_lock lock(done_mu_);
+    loop_done_.store(true);
+  }
+  done_cv_.notify_all();
+}
+
+void SocketServer::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Conn> c;
+    {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      ready_cv_.wait(lock, [this] {
+        return quit_executors_.load() || !ready_.empty();
+      });
+      if (ready_.empty()) {
+        if (quit_executors_.load()) return;
+        continue;
+      }
+      c = std::move(ready_.front());
+      ready_.pop_front();
+    }
+
+    // This executor owns c->service until it clears `busy`.
+    for (;;) {
+      std::deque<Conn::Item> batch;
+      {
+        const std::scoped_lock lock(c->mu);
+        batch.swap(c->pending);
+      }
+      for (Conn::Item& item : batch) {
+        if (item.oversized_bytes > 0) {
+          oversized_.fetch_add(1, std::memory_order_relaxed);
+          c->service.submit_oversized(item.oversized_bytes);
+        } else {
+          c->service.submit(item.line, item.arrival_ns);
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+      }
+      bool more;
+      {
+        const std::scoped_lock lock(c->mu);
+        more = !c->pending.empty();
+      }
+      // Input momentarily dry: close the open analyze batch, exactly
+      // like serve_stream does when its stream has no buffered bytes.
+      if (!more) c->service.flush();
+      std::string out;
+      while (std::optional<std::string> r = c->service.next_response()) {
+        out += *r;
+        out += '\n';
+      }
+      bool finished;
+      {
+        const std::scoped_lock lock(c->mu);
+        c->outbuf += out;
+        finished = c->pending.empty();
+        if (finished) c->busy = false;
+      }
+      wake_.notify();  // Re-poll: new POLLOUT interest / close check.
+      if (finished) break;
+    }
+
+    if (cfg_.stop_on_shutdown && c->service.draining() &&
+        !stop_requested_.exchange(true)) {
+      wake_.notify();
+    }
+  }
+}
+
+}  // namespace tfa::service

@@ -1,0 +1,335 @@
+// Socket-transport contract: a connection's response bytes are exactly
+// what the same request lines produce over the in-process loopback and
+// over serve_stream, for every worker count and with other connections
+// interleaving arbitrarily — plus the transport-specific behaviours
+// (shed envelope past --max-conns, deadline_exceeded under transport
+// queueing, half-close framing, mid-stream oversized recovery) and the
+// bounded-line fix in serve_stream itself.
+//
+// Every reference transcript here runs with a null Telemetry: latency
+// then never reaches the wire, so response bytes are clock-independent
+// and the socket side (which stamps arrivals with the real steady
+// clock) can be compared byte for byte.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/net.h"
+#include "model/serialize.h"
+#include "service/loopback.h"
+#include "service/serve.h"
+#include "service/socket_transport.h"
+#include "service_test_util.h"
+
+namespace tfa::service {
+namespace {
+
+/// A mixed single-session script (no `metrics`: its session list shows
+/// the whole shared store, which a multi-connection run populates
+/// differently than a solo one).
+std::vector<std::string> session_script(const std::string& session) {
+  std::vector<std::string> s;
+  s.push_back(load_line(session, paper_text()));
+  s.push_back(analyze_line(session));
+  s.push_back(analyze_line(session));  // memo hit
+  s.push_back(analyze_line(session, true));
+  s.push_back("{\"op\":\"add_flow\",\"session\":" + json_string(session) +
+              R"(,"flow":"flow tau6 EF 72 0 70 path 1 3 4 costs 2"})");
+  s.push_back(analyze_line(session));
+  s.push_back("{\"op\":\"remove_flow\",\"session\":" + json_string(session) +
+              R"(,"name":"tau6"})");
+  s.push_back(analyze_line(session));
+  s.push_back("{\"op\":\"snapshot\",\"session\":" + json_string(session) +
+              "}");
+  s.push_back(R"({"op":"flush"})");
+  return s;
+}
+
+/// The full golden script: one session plus the service-wide ops.
+std::vector<std::string> golden_script() {
+  std::vector<std::string> s = session_script("paper");
+  s.push_back(R"({"op":"metrics"})");
+  s.push_back(R"({"op":"shutdown"})");
+  return s;
+}
+
+/// Reference bytes: the script through a private Loopback.  No
+/// telemetry, default clock — see the file comment.
+std::string loopback_transcript(const std::vector<std::string>& lines,
+                                std::size_t workers) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  Loopback lb(std::move(cfg));
+  std::string out;
+  for (const std::string& r : lb.roundtrip(lines)) {
+    out += r;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string serve_transcript(const std::vector<std::string>& lines,
+                             std::size_t workers) {
+  std::string input;
+  for (const std::string& l : lines) {
+    input += l;
+    input += '\n';
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  Service svc(std::move(cfg));
+  serve_stream(in, out, svc);
+  return out.str();
+}
+
+/// The script over a live TCP connection: send everything, read one
+/// response per line.
+std::string socket_transcript(net::LineClient& client,
+                              const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) EXPECT_TRUE(client.send_line(l));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto r = client.read_line();
+    if (!r.has_value()) {
+      ADD_FAILURE() << "connection dropped after " << i << " responses";
+      break;
+    }
+    out += *r;
+    out += '\n';
+  }
+  return out;
+}
+
+SocketServerConfig tcp_config(std::size_t workers,
+                              std::size_t executors = 2) {
+  SocketServerConfig cfg;
+  cfg.executors = executors;
+  cfg.service.workers = workers;
+  return cfg;
+}
+
+TEST(SocketTransport, TcpMatchesLoopbackAndStdioForEveryWorkerCount) {
+  const std::vector<std::string> lines = golden_script();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const std::string expected = loopback_transcript(lines, workers);
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(serve_transcript(lines, workers), expected)
+        << "stdio diverged at workers=" << workers;
+
+    SocketServer server(tcp_config(workers));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    net::LineClient client(net::connect_tcp(server.port(), &error));
+    ASSERT_TRUE(client.connected()) << error;
+    EXPECT_EQ(socket_transcript(client, lines), expected)
+        << "socket diverged at workers=" << workers;
+    // The script ends in `shutdown`: the server drains itself.
+    server.wait();
+    EXPECT_FALSE(server.running());
+    server.stop();
+  }
+}
+
+TEST(SocketTransport, InterleavedConnectionsKeepSoloTranscripts) {
+  const std::vector<std::string> a_lines = session_script("a");
+  const std::vector<std::string> b_lines = session_script("b");
+  const std::string a_expected = loopback_transcript(a_lines, 1);
+  const std::string b_expected = loopback_transcript(b_lines, 1);
+
+  SocketServer server(tcp_config(/*workers=*/1, /*executors=*/2));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  net::LineClient a(net::connect_tcp(server.port(), &error));
+  net::LineClient b(net::connect_tcp(server.port(), &error));
+  ASSERT_TRUE(a.connected() && b.connected()) << error;
+
+  // Closed-loop, strictly alternating: every request of one connection
+  // lands between two requests of the other, so the shared store sees
+  // maximal interleaving while each connection's Service sees its own
+  // clean sequence.
+  ASSERT_EQ(a_lines.size(), b_lines.size());
+  std::string a_out;
+  std::string b_out;
+  for (std::size_t i = 0; i < a_lines.size(); ++i) {
+    ASSERT_TRUE(a.send_line(a_lines[i]));
+    ASSERT_TRUE(b.send_line(b_lines[i]));
+    const auto ra = a.read_line();
+    const auto rb = b.read_line();
+    ASSERT_TRUE(ra.has_value() && rb.has_value());
+    a_out += *ra;
+    a_out += '\n';
+    b_out += *rb;
+    b_out += '\n';
+  }
+  EXPECT_EQ(a_out, a_expected);
+  EXPECT_EQ(b_out, b_expected);
+  server.stop();
+}
+
+TEST(SocketTransport, UnixSocketMatchesLoopback) {
+  const std::string path =
+      testing::TempDir() + "tfa_socket_test_" +
+      std::to_string(::getpid()) + ".sock";
+  const std::vector<std::string> lines = golden_script();
+  const std::string expected = loopback_transcript(lines, 2);
+
+  SocketServerConfig cfg = tcp_config(/*workers=*/2);
+  cfg.unix_path = path;
+  SocketServer server(std::move(cfg));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  EXPECT_EQ(server.path(), path);
+  net::LineClient client(net::connect_unix(path, &error));
+  ASSERT_TRUE(client.connected()) << error;
+  EXPECT_EQ(socket_transcript(client, lines), expected);
+  server.wait();
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(SocketTransport, ConnectionsPastMaxConnsAreShedWithAnEnvelope) {
+  SocketServerConfig cfg = tcp_config(/*workers=*/1);
+  cfg.max_conns = 1;
+  SocketServer server(std::move(cfg));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  net::LineClient first(net::connect_tcp(server.port(), &error));
+  ASSERT_TRUE(first.connected()) << error;
+  ASSERT_TRUE(first.send_line(R"({"op":"metrics"})"));
+  auto r = first.read_line();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NE(r->find("\"ok\":true"), std::string::npos) << *r;
+
+  net::LineClient second(net::connect_tcp(server.port(), &error));
+  ASSERT_TRUE(second.connected()) << error;
+  const auto shed = second.read_line();
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(*shed,
+            R"({"seq":0,"ok":false,"op":null,"error":{"code":"shed",)"
+            R"("message":"connection limit reached, retry later"}})");
+  EXPECT_FALSE(second.read_line().has_value());  // closed after the envelope
+
+  // The admitted connection is unaffected.
+  ASSERT_TRUE(first.send_line(R"({"op":"flush"})"));
+  r = first.read_line();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NE(r->find("\"ok\":true"), std::string::npos) << *r;
+  EXPECT_EQ(server.connections_shed(), 1u);
+  server.stop();
+}
+
+TEST(SocketTransport, TransportQueueingCountsAgainstDeadlines) {
+  SocketServer server(tcp_config(/*workers=*/1));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  net::LineClient client(net::connect_tcp(server.port(), &error));
+  ASSERT_TRUE(client.connected()) << error;
+
+  ASSERT_TRUE(client.send_line(load_line("p", paper_text())));
+  ASSERT_TRUE(client.read_line().has_value());
+  // A zero deadline has always expired by the time the executor picks
+  // the line up: the arrival stamp is strictly older than the check.
+  for (const char* line :
+       {R"({"op":"analyze","session":"p","deadline_ms":0})",
+        R"({"op":"snapshot","session":"p","deadline_ms":0})"}) {
+    ASSERT_TRUE(client.send_line(line));
+    const auto r = client.read_line();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NE(r->find("\"code\":\"deadline_exceeded\""), std::string::npos)
+        << *r;
+  }
+  // Without a deadline the same request succeeds.
+  ASSERT_TRUE(client.send_line(R"({"op":"analyze","session":"p"})"));
+  const auto ok = client.read_line();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_NE(ok->find("\"ok\":true"), std::string::npos) << *ok;
+  server.stop();
+}
+
+TEST(SocketTransport, HalfCloseDeliversTheFinalUnterminatedLine) {
+  SocketServer server(tcp_config(/*workers=*/1));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  net::LineClient client(net::connect_tcp(server.port(), &error));
+  ASSERT_TRUE(client.connected()) << error;
+
+  // Two frames split mid-line, the second never newline-terminated.
+  ASSERT_TRUE(client.send_raw("{\"op\":\"flu"));
+  ASSERT_TRUE(client.send_raw("sh\"}\n{\"op\":\"metrics\"}"));
+  client.half_close();
+  const auto flush_r = client.read_line();
+  ASSERT_TRUE(flush_r.has_value());
+  EXPECT_NE(flush_r->find("\"op\":\"flush\""), std::string::npos) << *flush_r;
+  const auto metrics_r = client.read_line();
+  ASSERT_TRUE(metrics_r.has_value());
+  EXPECT_NE(metrics_r->find("\"op\":\"metrics\""), std::string::npos)
+      << *metrics_r;
+  EXPECT_NE(metrics_r->find("\"ok\":true"), std::string::npos) << *metrics_r;
+  EXPECT_FALSE(client.read_line().has_value());  // server closes after EOF
+  server.stop();
+}
+
+TEST(SocketTransport, MidStreamOversizedLineGetsAnEnvelopeAndFramingHolds) {
+  SocketServerConfig cfg = tcp_config(/*workers=*/1);
+  cfg.service.max_request_bytes = 64;
+  SocketServer server(std::move(cfg));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  net::LineClient client(net::connect_tcp(server.port(), &error));
+  ASSERT_TRUE(client.connected()) << error;
+
+  const std::string huge(500, 'x');
+  ASSERT_TRUE(client.send_line(huge));
+  ASSERT_TRUE(client.send_line(R"({"op":"metrics"})"));
+  const auto oversized = client.read_line();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_NE(oversized->find("\"seq\":1"), std::string::npos) << *oversized;
+  EXPECT_NE(oversized->find("\"code\":\"oversized\""), std::string::npos)
+      << *oversized;
+  EXPECT_NE(oversized->find("request of 500 bytes exceeds the 64-byte limit"),
+            std::string::npos)
+      << *oversized;
+  // The stream stayed line-synchronised: the next request is normal.
+  const auto metrics_r = client.read_line();
+  ASSERT_TRUE(metrics_r.has_value());
+  EXPECT_NE(metrics_r->find("\"seq\":2"), std::string::npos) << *metrics_r;
+  EXPECT_NE(metrics_r->find("\"ok\":true"), std::string::npos) << *metrics_r;
+  server.stop();
+}
+
+/// The same bounded-line guarantee on the stdio transport (the
+/// serve_stream fix): an oversized line mid-stream is answered with the
+/// structured envelope — byte-identical to the socket transport's — and
+/// the following request parses normally.
+TEST(SocketTransport, ServeStreamAnswersMidStreamOversizedLines) {
+  ServiceConfig cfg;
+  cfg.max_request_bytes = 64;
+  Service svc(std::move(cfg));
+  std::istringstream in(std::string(500, 'x') + "\n{\"op\":\"metrics\"}\n");
+  std::ostringstream out;
+  const ServeResult result = serve_stream(in, out, svc);
+  EXPECT_EQ(result.requests, 2u);
+  std::istringstream responses(out.str());
+  std::string first;
+  std::string second;
+  ASSERT_TRUE(std::getline(responses, first));
+  ASSERT_TRUE(std::getline(responses, second));
+  EXPECT_NE(first.find("\"seq\":1"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"code\":\"oversized\""), std::string::npos) << first;
+  EXPECT_NE(first.find("request of 500 bytes exceeds the 64-byte limit"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(second.find("\"seq\":2"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"ok\":true"), std::string::npos) << second;
+}
+
+}  // namespace
+}  // namespace tfa::service

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON record against its expected shape.
+
+The bench binaries (bench/*.cpp) emit machine-readable records via
+--json: a flat object with at least "bench" (the binary's name),
+"schema" (an integer bumped on layout changes) and a "checks" object of
+boolean correctness gates.  The bench-smoke ctest lanes run each bench
+at a tiny scale and then this script against the file it wrote, so a
+record that silently loses a field — or a bench whose own gates fail —
+turns the lane red instead of producing an unreadable artifact.
+
+Usage:
+  check_bench_json.py FILE --bench NAME --schema N \
+      [--require dotted.key] [--require dotted.key=LITERAL] ...
+
+--require asserts a dotted key path exists; with "=LITERAL" (compared
+as JSON when it parses, as a string otherwise) it must also hold that
+value.  Exit code 0 when every assertion holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    """Returns (value, found) for a dotted key path into nested dicts."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None, False
+        node = node[part]
+    return node, True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="bench JSON record to validate")
+    parser.add_argument("--bench", help="expected value of the 'bench' key")
+    parser.add_argument("--schema", type=int,
+                        help="expected value of the 'schema' key")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KEY[=VALUE]",
+                        help="dotted key that must exist "
+                             "(and equal VALUE when given)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as err:
+        print(f"{args.file}: {err}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print(f"{args.file}: top-level value is not an object",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    checks = list(args.require)
+    if args.bench is not None:
+        checks.append(f"bench={json.dumps(args.bench)}")
+    if args.schema is not None:
+        checks.append(f"schema={args.schema}")
+
+    for check in checks:
+        key, sep, raw = check.partition("=")
+        value, found = lookup(doc, key)
+        if not found:
+            failures.append(f"missing key '{key}'")
+            continue
+        if not sep:
+            continue
+        try:
+            expected = json.loads(raw)
+        except ValueError:
+            expected = raw
+        if value != expected:
+            failures.append(f"key '{key}' is {json.dumps(value)}, "
+                            f"expected {json.dumps(expected)}")
+
+    for failure in failures:
+        print(f"{args.file}: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"{args.file}: ok ({len(checks)} assertion(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

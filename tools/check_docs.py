@@ -16,6 +16,13 @@ Additionally, every file under docs/ must be *reachable*: referenced (as
 an inline-code path or Markdown link) from README.md or from another doc.
 An orphaned doc is one nobody can discover from the entry points.
 
+Finally, the wire-protocol reference and the implementation are
+cross-checked in both directions: every operation named in
+docs/service.md's operation table must exist in the `Op::k...` switch of
+src/service/protocol.cpp, and every implemented operation must have a
+table row — a new op cannot ship undocumented, and the docs cannot
+describe an op that was renamed or removed.
+
 Usage: check_docs.py [repo_root]   (exits non-zero listing every broken
 reference; wired into ctest as `docs_check`).
 """
@@ -92,6 +99,54 @@ def check_symbol(code: str, token: str):
     return None
 
 
+# Wire names in protocol.cpp's to_string switch: `case Op::kX: return "x";`
+IMPLEMENTED_OP = re.compile(r'case\s+Op::k\w+:\s*return\s+"(\w+)"')
+# Operation-table rows in docs/service.md: the first cell is the op in
+# backticks (`| \`analyze\` | ... |`).
+DOCUMENTED_OP = re.compile(r"^\|\s*`(\w+)`\s*\|")
+
+
+def check_service_ops(root: Path) -> list:
+    """docs/service.md's op table must match protocol.cpp, both ways."""
+    protocol = root / "src" / "service" / "protocol.cpp"
+    doc = root / "docs" / "service.md"
+    if not protocol.is_file() or not doc.is_file():
+        return []  # nothing to cross-check in a partial tree
+    implemented = set(IMPLEMENTED_OP.findall(
+        protocol.read_text(errors="replace")))
+    # Only the operation table counts: the rows between a `| op ...`
+    # header and the end of that table.  Other tables (error codes,
+    # metrics) may also lead with backticked cells.
+    documented = set()
+    in_op_table = False
+    for line in doc.read_text(errors="replace").splitlines():
+        if re.match(r"^\|\s*op\b", line):
+            in_op_table = True
+            continue
+        if not in_op_table:
+            continue
+        if not line.startswith("|"):
+            in_op_table = False
+            continue
+        match = DOCUMENTED_OP.match(line)
+        if match:
+            documented.add(match.group(1))
+    errors = []
+    for op in sorted(documented - implemented):
+        errors.append(
+            f"docs/service.md: op '{op}' is documented but not implemented "
+            "in src/service/protocol.cpp")
+    for op in sorted(implemented - documented):
+        errors.append(
+            f"docs/service.md: op '{op}' is implemented in "
+            "src/service/protocol.cpp but has no operation-table row")
+    if not implemented:
+        errors.append(
+            "tools/check_docs.py: no ops parsed from "
+            "src/service/protocol.cpp — update IMPLEMENTED_OP")
+    return errors
+
+
 def check_docs_index(root: Path, references: dict) -> list:
     """Every docs/*.md must be referenced from README.md or another doc."""
     errors = []
@@ -137,6 +192,7 @@ def main() -> int:
                     # Relative links between docs ("math.md", "[x](math.md)").
                     outgoing.add(f"docs/{tok}")
     errors += check_docs_index(root, references)
+    errors += check_service_ops(root)
     for e in errors:
         print(e)
     if errors:
