@@ -16,6 +16,9 @@ AdmissionController::AdmissionController(model::Network network,
     : set_(std::move(network)), kind_(kind),
       trajectory_cfg_(trajectory_cfg) {
   trajectory_cfg_.ef_mode = (kind_ == AnalysisKind::kTrajectoryEf);
+  if (sharded())
+    sharded_ = std::make_unique<trajectory::ShardedAnalyzer>(set_.network(),
+                                                             trajectory_cfg_);
 }
 
 void AdmissionController::attach_telemetry(obs::Telemetry* telemetry) {
@@ -24,6 +27,7 @@ void AdmissionController::attach_telemetry(obs::Telemetry* telemetry) {
   // stays O(1) per request (overflow lands in the obs.series_dropped
   // counter instead of memory).
   if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
+  if (sharded_) sharded_->attach_telemetry(telemetry);
 }
 
 Decision evaluate(const model::FlowSet& admitted,
@@ -109,8 +113,21 @@ Decision evaluate(const model::FlowSet& admitted,
 
 Decision AdmissionController::request(const model::SporadicFlow& flow) {
   obs::Span request_span = obs::span(telemetry_, "admission.request");
-  Decision d = evaluate(set_, flow, kind_, trajectory_cfg_, &cache_,
-                        telemetry_, &last_stats_);
+  Decision d;
+  if (sharded_) {
+    // Shard-routed path: only the shards the candidate's path touches are
+    // analysed; the decision is bit-identical to the global evaluate()
+    // (docs/sharding.md), only cheaper.
+    trajectory::AdmitOutcome o = sharded_->admit(flow);
+    d.admitted = o.admitted;
+    d.reason = std::move(o.reason);
+    d.violating = std::move(o.violating);
+    d.candidate_bound = o.candidate_bound;
+    last_stats_ = o.stats;
+  } else {
+    d = evaluate(set_, flow, kind_, trajectory_cfg_, nullptr, telemetry_,
+                 &last_stats_);
+  }
   if (d.admitted) set_.add(flow);
   if (telemetry_ != nullptr) {
     ++telemetry_->metrics.counter("admission.requests");
@@ -124,12 +141,21 @@ bool AdmissionController::release(std::string_view name) {
   const auto idx = set_.find(name);
   if (!idx) return false;
   if (telemetry_ != nullptr) ++telemetry_->metrics.counter("admission.released");
+  if (sharded_) {
+    const auto removed = sharded_->remove_flow(name);
+    TFA_ASSERT(removed.has_value());
+  }
   model::FlowSet next(set_.network());
   for (std::size_t i = 0; i < set_.size(); ++i)
     if (static_cast<FlowIndex>(i) != *idx)
       next.add(set_.flow(static_cast<FlowIndex>(i)));
   set_ = std::move(next);
   return true;
+}
+
+trajectory::ShardStats AdmissionController::shard_stats() const {
+  if (!sharded_) return {};
+  return sharded_->stats();
 }
 
 std::vector<std::pair<std::string, Duration>>

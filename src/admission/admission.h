@@ -7,6 +7,7 @@
 // flow's deadline with the newcomer included.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "base/types.h"
 #include "model/flow_set.h"
 #include "trajectory/batch.h"
+#include "trajectory/shard.h"
 #include "trajectory/types.h"
 
 namespace tfa::obs {
@@ -63,6 +65,14 @@ struct Decision {
                                 trajectory::EngineStats* stats_out = nullptr);
 
 /// Edge admission controller.
+///
+/// The trajectory kinds route every request through a sharded incremental
+/// analyzer (trajectory/shard.h): the flow-dependency graph is kept
+/// partitioned into connected components, and an admission analyses only
+/// the shards the candidate's path touches — bit-identical to the global
+/// analysis by the shard-decomposition argument (docs/sharding.md), but
+/// with per-request cost scaling in the shard size, not the network size.
+/// The holistic / network-calculus kinds keep the global evaluate() path.
 class AdmissionController {
  public:
   explicit AdmissionController(model::Network network,
@@ -87,13 +97,18 @@ class AdmissionController {
   certified_bounds() const;
 
   /// Instrumentation of the most recent admission analysis (trajectory
-  /// backends only; zeroes otherwise).  In a steady admit sequence the
-  /// controller warm-starts each request from the previous run's
+  /// backends only; zeroes otherwise).  In a steady admit sequence into
+  /// one shard the analyzer warm-starts each request from that shard's
   /// AnalysisCache, which shows up here as cache hits and a reduced
-  /// smax_passes count.
+  /// smax_passes count; a request landing in a fresh shard runs cold.
   [[nodiscard]] const trajectory::EngineStats& last_stats() const noexcept {
     return last_stats_;
   }
+
+  /// Partition counters of the sharded analyzer backing the trajectory
+  /// kinds (shard count, largest shard, merges/splits, analysed work).
+  /// All-zero for the holistic / network-calculus kinds.
+  [[nodiscard]] trajectory::ShardStats shard_stats() const;
 
   /// Attaches a long-lived observability sink (nullptr detaches).  Every
   /// subsequent request() opens an "admission.request" span and bumps the
@@ -106,14 +121,22 @@ class AdmissionController {
   void attach_telemetry(obs::Telemetry* telemetry);
 
  private:
+  [[nodiscard]] bool sharded() const noexcept {
+    return kind_ == AnalysisKind::kTrajectory ||
+           kind_ == AnalysisKind::kTrajectoryEf;
+  }
+
+  /// Admitted flows in admission order — the stable view admitted()
+  /// exposes.  For the trajectory kinds this mirrors the sharded
+  /// analyzer's membership (which keeps flows in name order per shard).
   model::FlowSet set_;
   AnalysisKind kind_;
   trajectory::Config trajectory_cfg_;
-  /// Memoized Smax state of the last trajectory analysis.  Always updated
-  /// to the last analysed candidate; reanalyze_with()'s validity check
-  /// makes a stale cache (rejected candidate, released flow) fall back to
-  /// a cold start rather than an unsound warm one.
-  trajectory::AnalysisCache cache_;
+  /// Shard-routed incremental engine backing the trajectory kinds; null
+  /// for the holistic / network-calculus kinds.  Per-shard AnalysisCache
+  /// lineages live inside it — a rejected candidate is analysed on a
+  /// scratch copy and can never poison a committed shard's cache.
+  std::unique_ptr<trajectory::ShardedAnalyzer> sharded_;
   trajectory::EngineStats last_stats_;
   obs::Telemetry* telemetry_ = nullptr;
 };

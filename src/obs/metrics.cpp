@@ -96,6 +96,33 @@ void MetricRegistry::merge(const MetricRegistry& other) {
     for (const std::int64_t v : s) append_series(name, v);
 }
 
+void MetricRegistry::merge_with_prefix(const MetricRegistry& other,
+                                       std::string_view prefix) {
+  const auto prefixed = [&prefix](const std::string& name) {
+    std::string full;
+    full.reserve(prefix.size() + name.size());
+    full.append(prefix);
+    full.append(name);
+    return full;
+  };
+  for (const auto& [name, v] : other.counters_) counter(prefixed(name)) += v;
+  for (const auto& [name, v] : other.timers_) timer(prefixed(name)) += v;
+  for (const auto& [name, v] : other.gauges_) {
+    std::int64_t& mine = gauge(prefixed(name));
+    mine = std::max(mine, v);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram& mine = histogram(prefixed(name), h.bounds);
+    for (std::size_t k = 0; k < h.counts.size(); ++k)
+      mine.counts[k] += h.counts[k];
+    mine.overflow += h.overflow;
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+  for (const auto& [name, s] : other.series_)
+    for (const std::int64_t v : s) append_series(prefixed(name), v);
+}
+
 namespace {
 
 void write_scalar_map(

@@ -109,6 +109,14 @@ class MetricRegistry {
   /// deterministic.
   void merge(const MetricRegistry& other);
 
+  /// merge(), but with every metric name of `other` prepended with
+  /// `prefix` — folds a subordinate registry (one shard's analysis run,
+  /// one worker's partial) into this one under its own namespace without
+  /// disturbing the same-named top-level metrics.  Merge rules per kind
+  /// are identical to merge(); call in a fixed order (shard-id, worker
+  /// index) to keep totals deterministic.
+  void merge_with_prefix(const MetricRegistry& other, std::string_view prefix);
+
   /// Compact JSON dump:
   ///   {"counters":{...},"timers":{...},"gauges":{...},
   ///    "histograms":{name:{"bounds":[...],"counts":[...],

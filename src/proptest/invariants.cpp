@@ -11,6 +11,7 @@
 #include "sim/exhaustive.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
+#include "trajectory/shard.h"
 
 namespace tfa::proptest {
 
@@ -359,6 +360,50 @@ CheckOutcome worker_determinism(const CaseAnalysis& c) {
   return {};
 }
 
+CheckOutcome shard_equivalence(const CaseAnalysis& c) {
+  // The shard decomposition must be invisible in the results: analysing
+  // each connected component of the flow-dependency graph in isolation
+  // and merging gives the global engine's output bit for bit, for any
+  // worker count (docs/sharding.md).  The runs were remapped into the
+  // original flow order by analyze_case, so the comparison is direct.
+  const std::string shards = std::to_string(c.sharded_shards);
+  std::string why = bounds_mismatch(c.arrival, c.sharded);
+  if (!why.empty())
+    return {Verdict::kViolation,
+            "sharded load (" + shards +
+                " shard(s), workers=1) differs from global: " + why};
+  if (c.sharded.all_schedulable != c.arrival.all_schedulable)
+    return {Verdict::kViolation,
+            "sharded all_schedulable verdict differs from global (" + shards +
+                " shard(s))"};
+  why = bounds_mismatch(c.arrival, c.sharded_multi);
+  if (!why.empty())
+    return {Verdict::kViolation,
+            "sharded load (" + shards + " shard(s), workers=" +
+                std::to_string(c.ctx.det_workers) +
+                ") differs from global: " + why};
+  return {};
+}
+
+CheckOutcome shard_incrementality(const CaseAnalysis& c) {
+  // After a scripted mutation sequence (adds with a mid-sequence settle,
+  // a grown-then-removed extra flow, a perturb-and-restore of one flow)
+  // the analyzer's membership equals the original set again — and its
+  // merged result must equal the from-scratch global analysis of that
+  // set.  Any difference means incremental state (a stale cache, a
+  // mis-split shard, a leaked node claim) survived where it must not.
+  const std::string why = bounds_mismatch(c.arrival, c.sharded_incremental);
+  if (!why.empty())
+    return {Verdict::kViolation,
+            "incremental shard state diverges from a from-scratch analysis "
+            "of the final set: " +
+                why};
+  if (c.sharded_incremental.all_schedulable != c.arrival.all_schedulable)
+    return {Verdict::kViolation,
+            "incremental all_schedulable verdict differs from global"};
+  return {};
+}
+
 CheckOutcome ef_sound(const CaseAnalysis& c) {
   if (!c.has_ef_mix) return {Verdict::kSkip, {}};
   if (c.ef.sound) return {};
@@ -587,6 +632,61 @@ CaseAnalysis analyze_case(const model::FlowSet& set, const CaseContext& ctx,
   multi.workers = ctx.det_workers;
   c.multi_worker = trajectory::analyze(set, multi);
 
+  // Sharded-analyzer runs.  Every result is remapped from the analyzer's
+  // canonical (name-sorted) flow order back into `set`'s insertion order,
+  // so the invariants can reuse bounds_mismatch against `arrival`.
+  {
+    const auto remapped = [&set](trajectory::ShardedAnalyzer& sa) {
+      trajectory::Result r = sa.result();
+      const model::FlowSet canon = sa.flow_set();
+      trajectory::Result out = r;
+      out.bounds.clear();
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        const auto idx = canon.find(set.flow(static_cast<FlowIndex>(i)).name());
+        if (!idx) continue;
+        if (const trajectory::FlowBound* b = r.find(*idx); b != nullptr) {
+          trajectory::FlowBound nb = *b;
+          nb.flow = static_cast<FlowIndex>(i);
+          out.bounds.push_back(nb);
+        }
+      }
+      return out;
+    };
+
+    trajectory::ShardedAnalyzer whole(set.network(), arr);
+    whole.load(set);
+    c.sharded_shards = whole.shard_count();
+    c.sharded = remapped(whole);
+
+    trajectory::ShardedAnalyzer fanned(set.network(), multi);
+    fanned.load(set);
+    c.sharded_multi = remapped(fanned);
+
+    // Incremental script ending at the same membership: adds with a
+    // settle midway (so later mutations hit analysed state), one grown
+    // then removed extra flow (exercising merge + split/cold restart),
+    // and a perturb-and-restore of the monotonicity target flow.
+    trajectory::ShardedAnalyzer inc(set.network(), arr);
+    std::size_t added = 0;
+    for (const SporadicFlow& f : set.flows()) {
+      inc.add_flow(f);
+      if (++added == (set.size() + 1) / 2) (void)inc.settle();
+    }
+    std::string grow_name = "pt-shard-grow";
+    while (set.find(grow_name)) grow_name += "x";
+    std::vector<NodeId> grow_nodes{0};
+    if (set.network().node_count() > 1) grow_nodes.push_back(1);
+    inc.add_flow(SporadicFlow(grow_name, model::Path(std::move(grow_nodes)),
+                              97, 1, 0, 1'000'000));
+    (void)inc.settle();
+    (void)inc.remove_flow(grow_name);
+    const FlowSet perturbed_set = perturb_set(set, ctx.perturb, target);
+    (void)inc.perturb_flow(perturbed_set.flow(target));
+    (void)inc.settle();
+    (void)inc.perturb_flow(set.flow(target));
+    c.sharded_incremental = remapped(inc);
+  }
+
   run_service_roundtrip(c);
 
   return c;
@@ -629,6 +729,12 @@ const std::vector<Invariant>& invariant_registry() {
       {"worker-determinism",
        "bounds and work counters identical for every Config::workers",
        worker_determinism},
+      {"shard-equivalence",
+       "sharded analysis == global engine, bit for bit, any worker count",
+       shard_equivalence},
+      {"shard-incrementality",
+       "incremental shard state == from-scratch analysis of the final set",
+       shard_incrementality},
       {"ef-sound", "DiffServ-simulated EF worst case <= Property-3 bound",
        ef_sound},
       {"service-roundtrip",

@@ -16,6 +16,9 @@
 //   reuse          reanalyze_with == cold analysis, bit for bit
 //   round trip     serialize/parse is the identity (text and bounds)
 //   determinism    Config::workers in {1..8} gives bit-identical results
+//   sharding       the sharded incremental analyzer == the global engine,
+//                  both when loaded whole and after a scripted
+//                  add/remove/perturb sequence ending at the same set
 //   wire protocol  analyze via the service loopback == in-process
 //
 // Every check is a pure function of the CaseAnalysis, so a failure can be
@@ -90,6 +93,18 @@ struct CaseAnalysis {
   trajectory::Result reparsed_arrival;
 
   trajectory::Result multi_worker;  ///< workers = ctx.det_workers.
+
+  /// Sharded-analyzer runs (trajectory/shard.h), each remapped into the
+  /// original set's flow order so bounds_mismatch-style comparisons with
+  /// `arrival` are direct.  `sharded` loads the whole set at workers=1,
+  /// `sharded_multi` at ctx.det_workers; `sharded_incremental` reaches
+  /// the same membership through a scripted add/settle/grow/remove/
+  /// perturb/restore sequence, so it checks that incremental state never
+  /// drifts from a from-scratch analysis of the final set.
+  trajectory::Result sharded;
+  trajectory::Result sharded_multi;
+  trajectory::Result sharded_incremental;
+  std::size_t sharded_shards = 0;  ///< Partition size of the loaded set.
 
   /// One bound as decoded from a service `analyze` response
   /// (service/loopback.h); JSON `null` maps back to kInfiniteDuration.

@@ -6,7 +6,6 @@
 #include <mutex>
 #include <utility>
 
-#include "admission/admission.h"
 #include "base/contracts.h"
 #include "model/serialize.h"
 #include "obs/telemetry.h"
@@ -495,6 +494,7 @@ void Service::execute(const Request& r, const std::string& op_text,
         return;
       }
       sess->set = std::move(tentative);
+      if (sess->sharded) sess->sharded->add_flow(*flow);
       sess->invalidate_memo();
       respond_ok(seq, id_json, op_text,
                  "{\"flows\":" + std::to_string(sess->set.size()) + "}",
@@ -523,6 +523,7 @@ void Service::execute(const Request& r, const std::string& op_text,
         if (static_cast<FlowIndex>(i) != *idx)
           next.add(sess->set.flow(static_cast<FlowIndex>(i)));
       sess->set = std::move(next);
+      if (sess->sharded) sess->sharded->remove_flow(r.name);
       // The cache is kept: reanalyze_with() detects the removal and
       // falls back to a cold start on its own.
       sess->invalidate_memo();
@@ -552,16 +553,32 @@ void Service::execute(const Request& r, const std::string& op_text,
       cfg.ef_mode = r.analyze.ef_mode;
       cfg.smax_semantics = r.analyze.smax;
       cfg.workers = cfg_.workers;
-      const auto kind = r.analyze.ef_mode
-                            ? admission::AnalysisKind::kTrajectoryEf
-                            : admission::AnalysisKind::kTrajectory;
-      const admission::Decision d = admission::evaluate(
-          sess->set, *flow, kind, cfg, &sess->cache, &sess->telemetry);
+      // Shard-routed admission: the session's analyzer partitions its
+      // flows into connected components of the dependency graph, and the
+      // admit analyses only the shards the candidate's path touches —
+      // decisions bit-identical to the whole-set evaluate() path
+      // (docs/sharding.md).  The analyzer is rebuilt whenever the
+      // request's analysis options differ from the ones it was built
+      // with, since per-shard results are only valid under one Config.
+      const std::string key =
+          std::string(r.analyze.ef_mode ? "ef" : "fifo") +
+          (r.analyze.smax == trajectory::SmaxSemantics::kArrival
+               ? "/arrival"
+               : "/completion");
+      if (!sess->sharded || sess->sharded_key != key) {
+        sess->sharded = std::make_unique<trajectory::ShardedAnalyzer>(
+            sess->set.network(), cfg);
+        sess->sharded->attach_telemetry(&sess->telemetry);
+        sess->sharded->load(sess->set);
+        sess->sharded_key = key;
+      }
+      const trajectory::AdmitOutcome d = sess->sharded->admit(*flow);
       if (d.admitted) {
         sess->set.add(*flow);
         sess->invalidate_memo();
       }
       bump(d.admitted ? "service.admit.admitted" : "service.admit.rejected");
+      const trajectory::ShardStats shards = sess->sharded->stats();
       std::string result = "{\"admitted\":";
       result += d.admitted ? "true" : "false";
       result += ",\"reason\":" + json_string(d.reason);
@@ -571,7 +588,12 @@ void Service::execute(const Request& r, const std::string& op_text,
         if (i > 0) result += ',';
         result += json_string(d.violating[i]);
       }
-      result += "],\"flows\":" + std::to_string(sess->set.size()) + "}";
+      result += "],\"flows\":" + std::to_string(sess->set.size());
+      result += ",\"shard\":{\"id\":" + std::to_string(d.shard) +
+                ",\"flows\":" + std::to_string(d.shard_flows) +
+                ",\"merged\":" + std::to_string(d.merged_shards) +
+                ",\"shards\":" + std::to_string(shards.shards) +
+                ",\"largest\":" + std::to_string(shards.largest_shard) + "}}";
       respond_ok(seq, id_json, op_text, result, start_ns);
       return;
     }
@@ -584,9 +606,12 @@ void Service::execute(const Request& r, const std::string& op_text,
         return;
       }
       const std::scoped_lock session_lock(sess->mu);
+      const std::size_t shards =
+          sess->sharded ? sess->sharded->shard_count() : 0;
       std::string result =
           "{\"flows\":" + std::to_string(sess->set.size()) +
-          ",\"analyzes\":" + std::to_string(sess->analyzes) + ",\"text\":" +
+          ",\"analyzes\":" + std::to_string(sess->analyzes) +
+          ",\"shards\":" + std::to_string(shards) + ",\"text\":" +
           json_string(model::serialize_flow_set(sess->set)) + "}";
       respond_ok(seq, id_json, op_text, result, start_ns);
       return;
@@ -604,7 +629,19 @@ void Service::execute(const Request& r, const std::string& op_text,
         first = false;
         result += "{\"name\":" + json_string(name) +
                   ",\"flows\":" + std::to_string(sess.set.size()) +
-                  ",\"analyzes\":" + std::to_string(sess.analyzes) + "}";
+                  ",\"analyzes\":" + std::to_string(sess.analyzes);
+        if (sess.sharded) {
+          const trajectory::ShardStats st = sess.sharded->stats();
+          result += ",\"shards\":{\"count\":" + std::to_string(st.shards) +
+                    ",\"largest\":" + std::to_string(st.largest_shard) +
+                    ",\"merges\":" + std::to_string(st.merges) +
+                    ",\"splits\":" + std::to_string(st.splits) +
+                    ",\"analyzed_shards\":" +
+                    std::to_string(st.analyzed_shards) +
+                    ",\"analyzed_flows\":" +
+                    std::to_string(st.analyzed_flows) + "}";
+        }
+        result += "}";
       });
       result += "]";
       if (telemetry_ != nullptr)

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@
 #include "model/flow_set.h"
 #include "obs/telemetry.h"
 #include "trajectory/batch.h"
+#include "trajectory/shard.h"
 
 namespace tfa::service {
 
@@ -47,6 +49,16 @@ struct Session {
   obs::Telemetry telemetry;
 
   std::uint64_t analyzes = 0;  ///< Engine runs (memo hits excluded).
+
+  /// Shard-routed admission engine (trajectory/shard.h), built lazily by
+  /// the first `admit` and kept in membership lockstep with `set` by the
+  /// mutating ops.  An admit analyses only the shards the candidate's
+  /// path touches — bit-identical to the global analysis, but priced by
+  /// shard size.  `sharded_key` fingerprints the analysis options the
+  /// analyzer was built with; an admit under different options rebuilds
+  /// it cold rather than reusing state computed under the wrong Config.
+  std::unique_ptr<trajectory::ShardedAnalyzer> sharded;
+  std::string sharded_key;
 
   /// Exact-result memo of the latest analyze: `memo_key` identifies the
   /// (options, serialized set) pair, `memo_fragment` is the rendered

@@ -1,0 +1,504 @@
+#include "trajectory/shard.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "base/contracts.h"
+#include "base/parallel.h"
+#include "obs/telemetry.h"
+
+namespace tfa::trajectory {
+
+/// One connected component of the flow-dependency graph.  `set` holds the
+/// member flows in name order (the canonical order everything else derives
+/// from), `cache`/`last` are its private analysis lineage, and `analyzed`
+/// marks whether `last` reflects the current membership.
+struct ShardedAnalyzer::Shard {
+  std::vector<std::string> names;  ///< Sorted member flow names.
+  std::vector<NodeId> nodes;       ///< Sorted unique nodes the members visit.
+  model::FlowSet set;              ///< Members, in `names` order.
+  AnalysisCache cache;
+  Result last;
+  bool analyzed = false;  ///< `last`/`healthy` match the current membership.
+  bool healthy = false;   ///< Converged with every analysed bound schedulable.
+};
+
+namespace {
+
+/// Converged and nothing analysed is unschedulable — the per-shard half of
+/// the whole-set admission verdict.  A shard with no analysable flows (all
+/// background in EF mode) is vacuously healthy, exactly as those flows
+/// never contribute bounds to the global analysis either.
+bool shard_healthy(const Result& r) {
+  if (!r.converged) return false;
+  for (const FlowBound& b : r.bounds)
+    if (!b.schedulable) return false;
+  return true;
+}
+
+}  // namespace
+
+ShardedAnalyzer::ShardedAnalyzer(model::Network network, Config cfg)
+    : net_(std::move(network)), cfg_(cfg) {}
+
+ShardedAnalyzer::~ShardedAnalyzer() = default;
+ShardedAnalyzer::ShardedAnalyzer(ShardedAnalyzer&&) noexcept = default;
+ShardedAnalyzer& ShardedAnalyzer::operator=(ShardedAnalyzer&&) noexcept =
+    default;
+
+ShardedAnalyzer::Shard& ShardedAnalyzer::shard_at(ShardId id) {
+  const auto it = shards_.find(id);
+  TFA_ASSERT(it != shards_.end());
+  return it->second;
+}
+
+std::vector<ShardId> ShardedAnalyzer::member_shards(
+    const model::SporadicFlow& flow) const {
+  std::vector<ShardId> members;
+  for (const NodeId h : flow.path().nodes()) {
+    const auto it = node_shard_.find(h);
+    if (it != node_shard_.end()) members.push_back(it->second);
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  return members;
+}
+
+void ShardedAnalyzer::rebuild_shard(ShardId id) {
+  Shard& s = shard_at(id);
+  model::FlowSet set(net_);
+  std::vector<NodeId> nodes;
+  for (const std::string& name : s.names) {
+    const model::SporadicFlow& f = flows_.at(name);
+    set.add(f);
+    nodes.insert(nodes.end(), f.path().nodes().begin(),
+                 f.path().nodes().end());
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  s.set = std::move(set);
+  s.nodes = std::move(nodes);
+  for (const std::string& name : s.names) shard_of_[name] = id;
+  for (const NodeId h : s.nodes) node_shard_[h] = id;
+  s.analyzed = false;
+  s.healthy = false;
+  s.last = Result{};
+}
+
+ShardId ShardedAnalyzer::apply_merge(const std::vector<ShardId>& members,
+                                     const model::SporadicFlow& flow) {
+  ShardId target;
+  if (members.empty()) {
+    target = next_id_++;
+    shards_.emplace(target, Shard{});
+  } else {
+    // The merged shard keeps the cache lineage of its largest member (tie:
+    // oldest id): that member's flows are a subset of the merged set, so
+    // its cached table warm-starts the merged analysis soundly.
+    target = members.front();
+    std::size_t best = shard_at(target).names.size();
+    for (const ShardId id : members) {
+      const std::size_t n = shard_at(id).names.size();
+      if (n > best) {
+        best = n;
+        target = id;
+      }
+    }
+    for (const ShardId id : members) {
+      if (id == target) continue;
+      Shard& absorbed = shard_at(id);
+      Shard& tgt = shard_at(target);
+      tgt.names.insert(tgt.names.end(), absorbed.names.begin(),
+                       absorbed.names.end());
+      for (const std::string& name : absorbed.names) shard_of_[name] = target;
+      ++stats_.merges;
+      shards_.erase(id);
+    }
+  }
+  flows_.insert_or_assign(flow.name(), flow);
+  shard_of_[flow.name()] = target;
+  Shard& tgt = shard_at(target);
+  tgt.names.push_back(flow.name());
+  std::sort(tgt.names.begin(), tgt.names.end());
+  rebuild_shard(target);
+  return target;
+}
+
+void ShardedAnalyzer::load(const model::FlowSet& set) {
+  TFA_EXPECTS(set.network().node_count() == net_.node_count());
+  ++stats_.requests;
+  for (const model::SporadicFlow& f : set.flows()) {
+    TFA_EXPECTS(!flows_.contains(f.name()));
+    apply_merge(member_shards(f), f);
+  }
+}
+
+ShardOutcome ShardedAnalyzer::add_flow(const model::SporadicFlow& flow) {
+  TFA_EXPECTS(!flows_.contains(flow.name()));
+  {
+    model::FlowSet solo(net_);
+    solo.add(flow);
+    const auto issues = solo.validate();
+    TFA_EXPECTS_MSG(issues.empty(),
+                    issues.empty() ? "" : issues.front().message.c_str());
+  }
+  ++stats_.requests;
+  const std::vector<ShardId> members = member_shards(flow);
+  const ShardId target = apply_merge(members, flow);
+  ShardOutcome out;
+  out.shard = target;
+  out.shard_flows = shard_at(target).names.size();
+  out.merged_shards = members.empty() ? 0 : members.size() - 1;
+  return out;
+}
+
+std::optional<ShardOutcome> ShardedAnalyzer::remove_flow(
+    std::string_view name) {
+  const auto owner = shard_of_.find(name);
+  if (owner == shard_of_.end()) return std::nullopt;
+  ++stats_.requests;
+  const ShardId sid = owner->second;
+  Shard& s = shard_at(sid);
+  shard_of_.erase(owner);
+  flows_.erase(flows_.find(name));
+  s.names.erase(std::find(s.names.begin(), s.names.end(), name));
+  for (const NodeId h : s.nodes) node_shard_.erase(h);
+
+  ShardOutcome out;
+  out.shard = sid;
+  if (s.names.empty()) {
+    shards_.erase(sid);
+    return out;
+  }
+
+  // Re-partition the survivors: removal may have cut the only coupling
+  // between two groups.  Union-find over the remaining flows, uniting the
+  // flows that share a node.
+  const std::vector<std::string> names = s.names;  // sorted
+  std::vector<std::size_t> parent(names.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::map<NodeId, std::size_t> first_visitor;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (const NodeId h : flows_.at(names[i]).path().nodes()) {
+      const auto [it, inserted] = first_visitor.try_emplace(h, i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  std::vector<std::size_t> roots;  // in first-occurrence (= name) order
+  std::map<std::size_t, std::vector<std::string>> component;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::size_t r = find(i);
+    auto& group = component[r];
+    if (group.empty()) roots.push_back(r);
+    group.push_back(names[i]);
+  }
+
+  if (roots.size() == 1) {
+    // Still one component: the shard keeps its id and cache (now stale —
+    // reanalyze_with()'s validity check demotes the next run to a cold
+    // start, never an unsound warm one).
+    rebuild_shard(sid);
+    out.shard_flows = names.size();
+    return out;
+  }
+
+  // The shard split: every fragment starts a fresh lineage (no fragment's
+  // cached rows could seed another's table soundly anyway).
+  shards_.erase(sid);
+  bool first = true;
+  for (const std::size_t r : roots) {
+    const ShardId id = next_id_++;
+    Shard fresh;
+    fresh.names = std::move(component[r]);  // sorted: gathered in name order
+    shards_.emplace(id, std::move(fresh));
+    rebuild_shard(id);
+    if (first) {
+      out.shard = id;
+      first = false;
+    }
+  }
+  stats_.splits += roots.size() - 1;
+  out.shard_flows = names.size();
+  out.split_shards = roots.size();
+  return out;
+}
+
+ShardOutcome ShardedAnalyzer::perturb_flow(const model::SporadicFlow& flow) {
+  TFA_EXPECTS(flows_.contains(flow.name()));
+  // One request: drop the old parameters, insert the new, one settle later.
+  const auto removed = remove_flow(flow.name());
+  TFA_ASSERT(removed.has_value());
+  ShardOutcome out = add_flow(flow);
+  stats_.requests -= 2;  // the two halves above each counted one
+  ++stats_.requests;
+  out.split_shards = removed->split_shards;
+  return out;
+}
+
+void ShardedAnalyzer::analyze_shard(ShardId id, obs::Telemetry* sink) {
+  Shard& s = shard_at(id);
+  TFA_ASSERT(!s.set.empty());
+  s.last = reanalyze_with(s.set, s.cache, cfg_, sink);
+  s.analyzed = true;
+  s.healthy = shard_healthy(s.last);
+}
+
+void ShardedAnalyzer::publish_run(ShardId id, const Result& r,
+                                  std::size_t flows) {
+  ++stats_.analyzed_shards;
+  stats_.analyzed_flows += flows;
+  if (telemetry_ == nullptr) return;
+  ++telemetry_->metrics.counter("shard.analyses");
+  telemetry_->metrics.append_series("shard.convergence.passes",
+                                    static_cast<std::int64_t>(
+                                        r.stats.smax_passes));
+  telemetry_->metrics.append_series("shard.convergence.flows",
+                                    static_cast<std::int64_t>(flows));
+  (void)id;
+}
+
+std::size_t ShardedAnalyzer::settle() {
+  std::vector<ShardId> dirty;
+  for (const auto& [id, s] : shards_)
+    if (!s.analyzed) dirty.push_back(id);
+  if (dirty.empty()) return 0;
+
+  const std::size_t fan =
+      cfg_.workers == 0 ? default_worker_count() : cfg_.workers;
+  std::vector<obs::Telemetry> sinks(dirty.size());
+  if (dirty.size() > 1 && fan > 1) {
+    // Fan the dirty shards out like reanalyze_many: the fan-out is the only
+    // parallelism (per-shard engines at workers=1), results land in
+    // pre-sized slots, and all publishing happens afterwards in shard-id
+    // order — so bounds AND telemetry are bit-identical for every fan.
+    const Config saved = cfg_;
+    cfg_.workers = 1;
+    parallel_for(
+        dirty.size(),
+        [this, &dirty, &sinks](std::size_t k) {
+          analyze_shard(dirty[k], &sinks[k]);
+        },
+        fan);
+    cfg_ = saved;
+  } else {
+    for (std::size_t k = 0; k < dirty.size(); ++k)
+      analyze_shard(dirty[k], &sinks[k]);
+  }
+  for (std::size_t k = 0; k < dirty.size(); ++k) {
+    const Shard& s = shard_at(dirty[k]);
+    publish_run(dirty[k], s.last, s.names.size());
+    if (telemetry_ != nullptr)
+      telemetry_->metrics.merge_with_prefix(sinks[k].metrics, "shard.");
+  }
+  return dirty.size();
+}
+
+AdmitOutcome ShardedAnalyzer::admit(const model::SporadicFlow& candidate) {
+  ++stats_.requests;
+  AdmitOutcome out;
+
+  // Structural gates, in admission::evaluate()'s order and wording.
+  if (flows_.contains(candidate.name())) {
+    out.reason =
+        "a flow named '" + candidate.name() + "' is already admitted";
+    return out;
+  }
+  {
+    model::FlowSet solo(net_);
+    solo.add(candidate);
+    if (const auto issues = solo.validate(); !issues.empty()) {
+      out.reason = "invalid request: " + issues.front().message;
+      return out;
+    }
+  }
+
+  // Tentative set = the union of every shard the candidate's path touches,
+  // plus the candidate, in canonical name order.  The partition rule makes
+  // this exactly the set of flows whose bounds the candidate can move —
+  // and the only flows contributing to utilisation on its path's nodes.
+  const std::vector<ShardId> members = member_shards(candidate);
+  std::vector<std::string> names;
+  for (const ShardId id : members) {
+    const Shard& s = shard_at(id);
+    names.insert(names.end(), s.names.begin(), s.names.end());
+  }
+  std::sort(names.begin(), names.end());
+  model::FlowSet tentative(net_);
+  {
+    const auto pos = std::lower_bound(names.begin(), names.end(),
+                                      candidate.name());
+    for (auto it = names.begin(); it != pos; ++it)
+      tentative.add(flows_.at(*it));
+    tentative.add(candidate);
+    for (auto it = pos; it != names.end(); ++it)
+      tentative.add(flows_.at(*it));
+  }
+  for (const NodeId h : candidate.path().nodes()) {
+    if (tentative.node_utilisation(h) > 1.0) {
+      out.reason = "node " + std::to_string(h) + " would exceed capacity";
+      return out;
+    }
+  }
+
+  // Every shard's standing verdict must be current before it can veto (or
+  // wave through) the admission.  Also refreshes the member caches, so the
+  // tentative run below warm-starts in the steady sequence.
+  settle();
+
+  // Analyse the tentative union on a scratch copy of the target lineage:
+  // a rejection leaves every committed cache untouched.
+  AnalysisCache scratch;
+  if (!members.empty()) {
+    ShardId seed = members.front();
+    std::size_t best = shard_at(seed).names.size();
+    for (const ShardId id : members) {
+      const std::size_t n = shard_at(id).names.size();
+      if (n > best) {
+        best = n;
+        seed = id;
+      }
+    }
+    scratch = shard_at(seed).cache;
+  }
+  obs::Telemetry local;
+  Result r = reanalyze_with(tentative, scratch, cfg_, &local);
+  out.stats = r.stats;
+  out.shard_flows = tentative.size();
+  publish_run(0, r, tentative.size());
+  if (telemetry_ != nullptr)
+    telemetry_->metrics.merge_with_prefix(local.metrics, "shard.");
+
+  bool ok = r.converged;
+  for (const FlowBound& b : r.bounds) {
+    const std::string& name = tentative.flow(b.flow).name();
+    if (name == candidate.name()) out.candidate_bound = b.response;
+    if (!b.schedulable) {
+      out.violating.push_back(name);
+      ok = false;
+    }
+  }
+  // Untouched shards keep their certified verdicts; an unhealthy one
+  // vetoes the admission exactly as its flows would in a global analysis.
+  for (const auto& [id, s] : shards_) {
+    if (std::binary_search(members.begin(), members.end(), id)) continue;
+    if (s.healthy) continue;
+    ok = false;
+    for (const FlowBound& b : s.last.bounds)
+      if (!b.schedulable)
+        out.violating.push_back(s.set.flow(b.flow).name());
+  }
+
+  if (!ok) {
+    out.reason = out.violating.empty()
+                     ? "analysis did not converge"
+                     : "deadline miss certified for: " + out.violating.front();
+    return out;
+  }
+
+  // Commit: merge the member shards and install the already-analysed
+  // state.  apply_merge() keeps names sorted, so the merged shard's set is
+  // exactly `tentative` and `r`'s flow indices stay valid.
+  const ShardId target = apply_merge(members, candidate);
+  Shard& t = shard_at(target);
+  TFA_ASSERT(t.set.size() == tentative.size());
+  t.cache = std::move(scratch);
+  t.last = std::move(r);
+  t.analyzed = true;
+  t.healthy = true;
+  out.admitted = true;
+  out.reason = "admitted";
+  out.shard = target;
+  out.merged_shards = members.empty() ? 0 : members.size() - 1;
+  return out;
+}
+
+Result ShardedAnalyzer::result() {
+  settle();
+  Result merged;
+  merged.converged = true;
+  EngineStats agg;
+  bool any_stats = false;
+  std::size_t canonical = 0;
+  for (const auto& [name, flow] : flows_) {
+    const ShardId sid = shard_of_.at(name);
+    const Shard& s = shard_at(sid);
+    const auto idx = s.set.find(name);
+    TFA_ASSERT(idx.has_value());
+    if (const FlowBound* b = s.last.find(*idx); b != nullptr) {
+      FlowBound remapped = *b;
+      remapped.flow = static_cast<FlowIndex>(canonical);
+      merged.bounds.push_back(std::move(remapped));
+    }
+    ++canonical;
+  }
+  for (const auto& [id, s] : shards_) {
+    merged.converged = merged.converged && s.last.converged;
+    merged.smax_iterations =
+        std::max(merged.smax_iterations, s.last.smax_iterations);
+    merged.split_count += s.last.split_count;
+    if (any_stats) {
+      agg.merge(s.last.stats);
+    } else {
+      agg = s.last.stats;
+      any_stats = true;
+    }
+  }
+  merged.stats = agg;
+  bool all_ok = true;
+  for (const FlowBound& b : merged.bounds) all_ok = all_ok && b.schedulable;
+  merged.all_schedulable = all_ok && !merged.bounds.empty();
+  return merged;
+}
+
+model::FlowSet ShardedAnalyzer::flow_set() const {
+  model::FlowSet set(net_);
+  for (const auto& [name, flow] : flows_) set.add(flow);
+  return set;
+}
+
+bool ShardedAnalyzer::contains(std::string_view name) const {
+  return flows_.find(name) != flows_.end();
+}
+
+std::optional<ShardId> ShardedAnalyzer::shard_of(std::string_view name) const {
+  const auto it = shard_of_.find(name);
+  if (it == shard_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ShardedAnalyzer::size() const noexcept { return flows_.size(); }
+
+std::size_t ShardedAnalyzer::shard_count() const noexcept {
+  return shards_.size();
+}
+
+ShardStats ShardedAnalyzer::stats() const {
+  ShardStats s = stats_;
+  s.shards = shards_.size();
+  s.flows = flows_.size();
+  s.largest_shard = 0;
+  for (const auto& [id, shard] : shards_)
+    s.largest_shard = std::max(s.largest_shard, shard.names.size());
+  return s;
+}
+
+const model::Network& ShardedAnalyzer::network() const noexcept {
+  return net_;
+}
+
+const Config& ShardedAnalyzer::config() const noexcept { return cfg_; }
+
+void ShardedAnalyzer::attach_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) telemetry_->metrics.set_series_capacity(4096);
+}
+
+}  // namespace tfa::trajectory

@@ -1,0 +1,196 @@
+// Sharded incremental analysis over the flow-dependency graph
+// (docs/sharding.md).
+//
+// Two flows are *coupled* iff their paths share a node: only then can one
+// appear in the other's interference terms (engine.cpp gates every term on
+// path intersection, delta.cpp only counts flows visiting the node), so the
+// transitive closure of that relation partitions a flow set into components
+// — shards — whose trajectory analyses are fully independent.  Analysing a
+// shard in isolation yields bounds bit-identical to analysing it embedded
+// in the whole set; the shard-equivalence proptest invariant pins this for
+// every corner family, worker count and request order.
+//
+// A ShardedAnalyzer maintains that partition incrementally (union-find:
+// merge on add, re-partition on remove) and routes each add / remove /
+// perturb / admit request to the affected shard(s) only, so the per-request
+// cost scales with the footprint of the change — the shard — instead of the
+// network (bench/bench_shard.cpp proves the scaling on 100k-flow sets).
+// Each shard carries its own AnalysisCache lineage, so the steady admit
+// sequence inside one shard warm-starts exactly like a dedicated
+// AdmissionController would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "trajectory/batch.h"
+#include "trajectory/types.h"
+
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
+namespace tfa::trajectory {
+
+/// Identifier of one shard.  Monotone and never reused, so a shard id in a
+/// log or a wire response always denotes one specific membership lineage.
+using ShardId = std::uint64_t;
+
+/// Structural accounting of the sharded analyzer (cumulative counters plus
+/// a snapshot of the current partition).
+struct ShardStats {
+  std::size_t shards = 0;          ///< Live shards right now.
+  std::size_t flows = 0;           ///< Flows across all shards.
+  std::size_t largest_shard = 0;   ///< Flow count of the biggest shard.
+  std::size_t merges = 0;          ///< Cumulative shards absorbed by merges.
+  std::size_t splits = 0;          ///< Cumulative extra shards born of splits.
+  std::size_t requests = 0;        ///< Mutating requests + admissions routed.
+  std::size_t analyzed_shards = 0; ///< Cumulative per-shard analysis runs.
+  std::size_t analyzed_flows = 0;  ///< Flows covered by those runs.
+};
+
+/// How one mutating request reshaped the partition.  Reported per request
+/// so callers (service wire responses, benches) can show the routing.
+struct ShardOutcome {
+  ShardId shard = 0;               ///< Target shard after the request.
+  std::size_t shard_flows = 0;     ///< Its flow count after the request.
+  std::size_t merged_shards = 0;   ///< Shards absorbed into the target.
+  std::size_t split_shards = 0;    ///< New shards a removal split off.
+};
+
+/// Outcome of one shard-routed admission request.  Field semantics match
+/// admission::Decision (same reason strings, same candidate_bound rule);
+/// `violating` lists the same *set* of names the global analysis would,
+/// but ordered tentative-shard-first instead of by insertion order.
+struct AdmitOutcome {
+  bool admitted = false;
+  std::string reason;
+  std::vector<std::string> violating;
+  Duration candidate_bound = 0;
+  EngineStats stats;               ///< The tentative run (zeroes when skipped).
+  ShardId shard = 0;               ///< Target shard of the candidate.
+  std::size_t shard_flows = 0;     ///< Flows the tentative run analysed.
+  std::size_t merged_shards = 0;   ///< Shards the commit merged (0 on reject).
+};
+
+/// Incremental analyzer over the shard partition.
+///
+/// Mutations (add/remove/perturb) restructure the partition immediately but
+/// defer the re-analysis of the touched shards; any read of analysis state
+/// (result(), admit()'s whole-set verdict, settle()) first settles every
+/// dirty shard.  This keeps a remove-heavy request mix from re-analysing a
+/// shard it is about to touch again, while admit() — the latency-critical
+/// request — only ever pays for the shards its candidate touches.
+///
+/// Determinism contract: all state is a pure function of the request
+/// sequence, shard sets are kept in flow-name order, shards are settled and
+/// merged in shard-id order, and per-shard bounds are bit-identical to the
+/// global engine's for any Config::workers (docs/sharding.md).
+class ShardedAnalyzer {
+ public:
+  explicit ShardedAnalyzer(model::Network network, Config cfg = {});
+  ~ShardedAnalyzer();
+
+  ShardedAnalyzer(ShardedAnalyzer&&) noexcept;
+  ShardedAnalyzer& operator=(ShardedAnalyzer&&) noexcept;
+  ShardedAnalyzer(const ShardedAnalyzer&) = delete;
+  ShardedAnalyzer& operator=(const ShardedAnalyzer&) = delete;
+
+  /// Bulk-adds every flow of `set` (same network; names must be new).  The
+  /// partition is built incrementally; analysis stays deferred until the
+  /// first read, which settles all shards in one fan-out over
+  /// Config::workers.
+  void load(const model::FlowSet& set);
+
+  /// Adds one flow, merging every shard its path touches into one.
+  /// Precondition: the name is new and the flow validates against the
+  /// network.  The merged shard keeps the cache lineage of its largest
+  /// member (sound: that member's flows are a subset of the merged set).
+  ShardOutcome add_flow(const model::SporadicFlow& flow);
+
+  /// Removes a flow and re-partitions its shard (a removal can split the
+  /// shard into several).  Split-off shards start with fresh caches; a
+  /// shard that stays whole keeps its (now stale) cache, which
+  /// reanalyze_with() demotes to a cold start.  Returns nullopt when no
+  /// such flow exists.
+  std::optional<ShardOutcome> remove_flow(std::string_view name);
+
+  /// Replaces an existing flow's parameters/path as one request
+  /// (remove + add with a single deferred settle).  Precondition: a flow
+  /// with this name exists and the replacement validates.
+  ShardOutcome perturb_flow(const model::SporadicFlow& flow);
+
+  /// Shard-routed admission: analyses only the union of the shards the
+  /// candidate's path touches (plus the candidate) on a scratch copy of
+  /// the target cache, checks every *other* shard's standing verdict in
+  /// O(shards), and commits the merge + analysed state only on success.
+  /// Decision-equivalent to admission::evaluate() on the whole set (the
+  /// shard-equivalence battery pins it); a rejection leaves every shard
+  /// lineage untouched — unlike the pre-shard controller, a rejected
+  /// candidate cannot poison the warm-start cache.
+  AdmitOutcome admit(const model::SporadicFlow& candidate);
+
+  /// Re-analyses every dirty shard (in shard-id order, fanned out over
+  /// Config::workers with per-shard engines at workers=1 when several are
+  /// dirty).  Returns the number of shards analysed.  Idempotent.
+  std::size_t settle();
+
+  /// Deterministic merge of the per-shard results: bounds in canonical
+  /// (name-sorted) flow order with FlowBound::flow indexing flow_set(),
+  /// converged/all_schedulable AND-ed exactly like the global engine
+  /// would report them, split counts summed, smax_iterations the maximum,
+  /// stats the merge of each shard's last run.  Settles first.
+  [[nodiscard]] Result result();
+
+  /// The analysed flows as one canonical FlowSet (name-sorted — the order
+  /// result() reports in).
+  [[nodiscard]] model::FlowSet flow_set() const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::optional<ShardId> shard_of(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+  [[nodiscard]] ShardStats stats() const;
+  [[nodiscard]] const model::Network& network() const noexcept;
+  [[nodiscard]] const Config& config() const noexcept;
+
+  /// Long-lived observability sink (nullptr detaches).  Shard-routed
+  /// analyses publish their work counters under the usual trajectory.*
+  /// names plus a "shard." prefixed copy (obs::MetricRegistry::
+  /// merge_with_prefix), and every settle appends the per-shard
+  /// convergence series shard.convergence.{passes,flows} in shard-id
+  /// order.  The sink must outlive the analyzer or be detached first.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
+ private:
+  struct Shard;
+
+  Shard& shard_at(ShardId id);
+  [[nodiscard]] std::vector<ShardId> member_shards(
+      const model::SporadicFlow& flow) const;
+  ShardId apply_merge(const std::vector<ShardId>& members,
+                      const model::SporadicFlow& flow);
+  void rebuild_shard(ShardId id);
+  void analyze_shard(ShardId id, obs::Telemetry* sink);
+  void publish_run(ShardId id, const Result& r, std::size_t flows);
+
+  model::Network net_;
+  Config cfg_;
+  obs::Telemetry* telemetry_ = nullptr;
+
+  /// Source of truth for flow parameters, in canonical name order.
+  std::map<std::string, model::SporadicFlow, std::less<>> flows_;
+  std::map<std::string, ShardId, std::less<>> shard_of_;
+  std::map<NodeId, ShardId> node_shard_;
+  std::map<ShardId, Shard> shards_;
+  ShardId next_id_ = 1;
+  ShardStats stats_;
+};
+
+}  // namespace tfa::trajectory

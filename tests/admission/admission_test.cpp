@@ -114,33 +114,43 @@ TEST(Admission, HolisticBackendIsMoreConservative) {
 }
 
 TEST(Admission, SuccessiveRequestsWarmStartTheAnalysis) {
-  // The controller keeps an AnalysisCache across requests: after the
-  // first admitted flow, analysing "previous set + candidate" warm-starts
-  // from the previous run's converged Smax table.
+  // The controller routes requests through the sharded analyzer, which
+  // keeps one AnalysisCache per shard: a request warm-starts from the
+  // lineage of the shard(s) its path touches, and a request landing in a
+  // fresh shard runs cold without ever reading another shard's cache.
   AdmissionController ac(model::paper_example().network());
   const model::FlowSet example = model::paper_example();
   ASSERT_TRUE(ac.request(example.flow(0)).admitted);
   EXPECT_EQ(ac.last_stats().cache_hits, 0u);  // nothing cached yet
+  // tau2 is disjoint from tau1: it opens its own shard, so its analysis
+  // is cold — shard isolation means zero cache traffic, where the old
+  // global-cache controller paid a (useless) whole-set reanalysis here.
   ASSERT_TRUE(ac.request(example.flow(1)).admitted);
-  EXPECT_GT(ac.last_stats().cache_hits, 0u);
+  EXPECT_EQ(ac.last_stats().cache_hits, 0u);
+  EXPECT_EQ(ac.shard_stats().shards, 2u);
+  // tau3 crosses both earlier shards: the admission welds them together
+  // and warm-starts from the largest member's cached Smax table.
   ASSERT_TRUE(ac.request(example.flow(2)).admitted);
-  // tau3 crosses both earlier (disjoint) flows, so the table cached for
-  // {tau1, tau2, tau3} carries interference-raised entries; admitting
-  // tau4 warm-starts strictly above the cold initialisation.
+  EXPECT_GT(ac.last_stats().cache_hits, 0u);
+  EXPECT_EQ(ac.shard_stats().shards, 1u);
+  EXPECT_EQ(ac.shard_stats().merges, 1u);
+  // The merged shard's table carries interference-raised entries, so
+  // admitting tau4 warm-starts strictly above the cold initialisation.
   ASSERT_TRUE(ac.request(example.flow(3)).admitted);
   EXPECT_GT(ac.last_stats().cache_hits, 0u);
   EXPECT_GT(ac.last_stats().warm_seeded_entries, 0u);
   // A candidate rejected BY the analysis (deadline above best-case but
-  // below the certified bound) leaves a stale cache entry behind; the
-  // next request must detect it and fall back to a cold start, not reuse
-  // it.
+  // below the certified bound) is analysed on a scratch copy of the
+  // shard's cache: the committed lineage is never poisoned, so the next
+  // request into the same shard STAYS warm (the old single-cache
+  // controller had to cold-restart here to stay sound).
   const Decision hog =
       ac.request(flow("hog", example.flow(0).path(), 50, 4, /*deadline=*/20));
   ASSERT_FALSE(hog.admitted);
   ASSERT_FALSE(hog.violating.empty());  // the analysis ran and certified it
   const Decision d = ac.request(example.flow(4));
   EXPECT_TRUE(d.admitted) << d.reason;
-  EXPECT_EQ(ac.last_stats().warm_seeded_entries, 0u);  // cold restart
+  EXPECT_GT(ac.last_stats().cache_hits, 0u);  // lineage survived the reject
   EXPECT_EQ(ac.admitted().size(), 5u);
 }
 

@@ -1,0 +1,139 @@
+// The shard-equivalence sweep gate: 1000 generated cases spanning every
+// corner family, each analysed by the global trajectory engine and by the
+// sharded incremental analyzer (workers 1, 2 and 8, plus a scripted
+// mutation sequence), with bit-for-bit comparison of every bound field.
+// This is the cheap, wide companion of the registry invariants
+// shard-equivalence / shard-incrementality exercised by the full fuzz
+// harness: it skips the simulation oracle and the other engines so a
+// thousand cases stay inside a CI budget.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/serialize.h"
+#include "proptest/generate.h"
+#include "trajectory/analysis.h"
+#include "trajectory/shard.h"
+
+namespace tfa::proptest {
+namespace {
+
+using model::FlowSet;
+using model::SporadicFlow;
+using trajectory::Result;
+
+/// Full-width mismatch report between the global result and a sharded
+/// result remapped into the same flow order; empty when bit-identical.
+std::string mismatch(const Result& a, const Result& b) {
+  if (a.converged != b.converged) return "convergence flag differs";
+  if (a.all_schedulable != b.all_schedulable)
+    return "all_schedulable verdict differs";
+  if (a.bounds.size() != b.bounds.size()) return "bound count differs";
+  for (std::size_t i = 0; i < a.bounds.size(); ++i) {
+    const auto& x = a.bounds[i];
+    const auto& y = b.bounds[i];
+    const std::string at = " at #" + std::to_string(i);
+    if (x.flow != y.flow) return "flow order differs" + at;
+    if (x.response != y.response) return "response differs" + at;
+    if (x.busy_period != y.busy_period) return "busy period differs" + at;
+    if (x.delta != y.delta) return "delta differs" + at;
+    if (x.jitter != y.jitter) return "jitter differs" + at;
+    if (x.critical_instant != y.critical_instant)
+      return "critical instant differs" + at;
+    if (x.schedulable != y.schedulable) return "verdict differs" + at;
+    if (x.composed != y.composed) return "composed flag differs" + at;
+    if (x.prefix_responses != y.prefix_responses)
+      return "prefix profile differs" + at;
+  }
+  return {};
+}
+
+/// The analyzer's merged result, remapped from its canonical name order
+/// into `set`'s insertion order.
+Result remapped(trajectory::ShardedAnalyzer& sa, const FlowSet& set) {
+  Result r = sa.result();
+  const FlowSet canon = sa.flow_set();
+  Result out = r;
+  out.bounds.clear();
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto idx = canon.find(set.flow(static_cast<FlowIndex>(i)).name());
+    if (!idx) continue;
+    if (const trajectory::FlowBound* b = r.find(*idx); b != nullptr) {
+      trajectory::FlowBound nb = *b;
+      nb.flow = static_cast<FlowIndex>(i);
+      out.bounds.push_back(nb);
+    }
+  }
+  return out;
+}
+
+TEST(ShardSweep, ThousandCasesBitIdenticalForEveryWorkerCount) {
+  constexpr std::uint64_t kSweepSeed = 0x5AAD;
+  constexpr std::size_t kCases = 1000;
+  std::set<model::CornerFamily> families;
+  std::size_t multi_shard = 0;
+
+  for (std::size_t index = 0; index < kCases; ++index) {
+    const FuzzCase fc = generate_case(kSweepSeed, index);
+    families.insert(fc.spec.family);
+
+    trajectory::Config base;
+    base.workers = 1;
+    const Result global = trajectory::analyze(fc.set, base);
+
+    // Load-path equivalence at every worker count the contract names.
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      trajectory::Config cfg = base;
+      cfg.workers = workers;
+      trajectory::ShardedAnalyzer sa(fc.set.network(), cfg);
+      sa.load(fc.set);
+      if (workers == 1 && sa.shard_count() > 1) ++multi_shard;
+      const std::string why = mismatch(global, remapped(sa, fc.set));
+      ASSERT_EQ(why, "")
+          << "case " << index << " (workers " << workers << ", "
+          << sa.shard_count() << " shard(s)): " << why << "\n"
+          << model::serialize_flow_set(fc.set);
+    }
+
+    // Incrementality: adds with a mid-sequence settle, a grown-then-
+    // removed extra flow, a perturb-and-restore — ending at fc.set, and
+    // required to match the from-scratch global result bit for bit.
+    trajectory::ShardedAnalyzer inc(fc.set.network(), base);
+    std::size_t added = 0;
+    for (const SporadicFlow& f : fc.set.flows()) {
+      inc.add_flow(f);
+      if (++added == (fc.set.size() + 1) / 2) (void)inc.settle();
+    }
+    std::string grow = "pt-shard-grow";
+    while (fc.set.find(grow)) grow += "x";
+    std::vector<NodeId> nodes{0};
+    if (fc.set.network().node_count() > 1) nodes.push_back(1);
+    inc.add_flow(SporadicFlow(grow, model::Path(std::move(nodes)), 97, 1, 0,
+                              1'000'000));
+    (void)inc.settle();
+    (void)inc.remove_flow(grow);
+    const auto target = static_cast<FlowIndex>(
+        static_cast<std::size_t>(fc.ctx.perturb_flow) % fc.set.size());
+    const SporadicFlow& tf = fc.set.flow(target);
+    (void)inc.perturb_flow(SporadicFlow(
+        tf.name(), tf.path(), tf.period(), tf.costs(), tf.jitter() + 1,
+        tf.deadline(), tf.service_class()));
+    (void)inc.settle();
+    (void)inc.perturb_flow(tf);
+    const std::string why = mismatch(global, remapped(inc, fc.set));
+    ASSERT_EQ(why, "") << "case " << index << " (incremental): " << why
+                       << "\n"
+                       << model::serialize_flow_set(fc.set);
+  }
+
+  // The sweep only proves something if it visited every corner family
+  // and genuinely exercised multi-shard partitions.
+  EXPECT_EQ(families.size(),
+            static_cast<std::size_t>(model::kCornerFamilyCount));
+  EXPECT_GT(multi_shard, 50u);
+}
+
+}  // namespace
+}  // namespace tfa::proptest

@@ -205,5 +205,190 @@ TEST(SocketSoak, ManyClientsManyRequests) {
   run_socket_soak(/*clients=*/8, /*requests=*/1'000);
 }
 
+// --- shard-routed soak -----------------------------------------------
+//
+// Each client owns a PRIVATE session and drives a deterministic script
+// of shard-routed requests (admit / add_flow / remove_flow / snapshot /
+// analyze — every op session-local, so a session's responses are a pure
+// function of its own request order, never of cross-session
+// interleaving).  Flows land in three disjoint node clusters with
+// occasional cluster-crossing "hub" flows, so the session's shard
+// partition keeps merging and splitting throughout the soak.  The
+// property: the full per-session response transcript is BYTE-identical
+// for every executor count.
+
+/// The deterministic request script of one shard-soak client.  Line 0
+/// loads the private session's network.
+std::vector<std::string> shard_script(std::size_t client,
+                                      std::size_t requests) {
+  Rng rng(0x5A4D + 97 * static_cast<std::uint64_t>(client));
+  const std::string session_json =
+      "\"s" + std::to_string(client) + "\"";
+  std::vector<std::string> lines;
+  lines.reserve(requests);
+  lines.push_back("{\"op\":\"load_network\",\"session\":" + session_json +
+                  ",\"text\":\"network 12 1 1\\n\"}");
+  constexpr int kWindow = 16;
+  int next_flow = 0;
+  const auto flow_text = [&rng](const std::string& name) {
+    const std::int64_t period = 20 + 10 * rng.uniform(0, 6);
+    std::string path;
+    if (rng.chance(0.12)) {
+      // Hub flow crossing all three clusters: welds shards together.
+      path = "1 5 9";
+    } else {
+      const std::int64_t cluster = rng.uniform(0, 2);
+      const std::int64_t a = 4 * cluster + rng.uniform(0, 3);
+      std::int64_t b = 4 * cluster + rng.uniform(0, 3);
+      if (b == a) b = 4 * cluster + (b - 4 * cluster + 1) % 4;
+      path = std::to_string(a) + " " + std::to_string(b);
+    }
+    // A tight deadline now and then, so the mix sees real rejections.
+    const std::int64_t deadline =
+        rng.chance(0.15) ? 3 : period * 4;
+    return "flow " + name + " EF " + std::to_string(period) + " 0 " +
+           std::to_string(deadline) + " path " + path + " costs 1";
+  };
+  while (lines.size() < requests) {
+    const double dice = rng.uniform01();
+    std::string line;
+    if (dice < 0.40) {
+      line = "{\"op\":\"admit\",\"session\":" + session_json +
+             ",\"flow\":\"" +
+             flow_text("f" + std::to_string(next_flow++ % kWindow)) + "\"";
+      if (rng.chance(0.25)) line += ",\"ef_mode\":true";
+      line += "}";
+    } else if (dice < 0.58) {
+      line = "{\"op\":\"add_flow\",\"session\":" + session_json +
+             ",\"flow\":\"" +
+             flow_text("g" + std::to_string(next_flow++ % kWindow)) + "\"}";
+    } else if (dice < 0.74) {
+      const char prefix = rng.chance(0.5) ? 'f' : 'g';
+      line = "{\"op\":\"remove_flow\",\"session\":" + session_json +
+             ",\"name\":\"" + prefix +
+             std::to_string(rng.uniform(0, kWindow - 1)) + "\"}";
+    } else if (dice < 0.86) {
+      line = "{\"op\":\"snapshot\",\"session\":" + session_json + "}";
+    } else {
+      line = "{\"op\":\"analyze\",\"session\":" + session_json;
+      if (rng.chance(0.3)) line += ",\"ef_mode\":true";
+      line += "}";
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// One shard-soak client: replays its script over its own connection
+/// and records every response byte.
+struct ShardClient {
+  std::size_t id = 0;
+  std::uint16_t port = 0;
+  std::vector<std::string> script;
+
+  std::vector<std::string> transcript;
+  std::vector<std::string> problems;
+
+  void run() {
+    std::string error;
+    net::LineClient client(net::connect_tcp(port, &error));
+    if (!client.connected()) {
+      problems.push_back("connect: " + error);
+      return;
+    }
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      if (!client.send_line(script[i])) {
+        problems.push_back("send failed at request " + std::to_string(i));
+        return;
+      }
+      const auto response = client.read_line();
+      if (!response.has_value()) {
+        problems.push_back("dropped at request " + std::to_string(i));
+        return;
+      }
+      transcript.push_back(*response);
+    }
+  }
+};
+
+/// Runs `clients` shard-soak clients against a server with `executors`
+/// executor threads; returns the per-client transcripts.
+std::vector<std::vector<std::string>> run_shard_soak(std::size_t executors,
+                                                     std::size_t clients,
+                                                     std::size_t requests) {
+  SocketServerConfig cfg;
+  cfg.executors = executors;
+  cfg.max_conns = clients + 1;
+  SocketServer server(std::move(cfg));
+  std::string error;
+  EXPECT_TRUE(server.start(&error)) << error;
+
+  std::vector<ShardClient> workers(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    workers[i].id = i;
+    workers[i].port = server.port();
+    workers[i].script = shard_script(i, requests);
+    threads.emplace_back([&workers, i] { workers[i].run(); });
+  }
+  for (std::thread& t : threads) t.join();
+  server.stop();
+
+  std::vector<std::vector<std::string>> transcripts;
+  for (ShardClient& w : workers) {
+    for (const std::string& p : w.problems)
+      ADD_FAILURE() << "client " << w.id << ": " << p;
+    EXPECT_EQ(w.transcript.size(), requests) << "client " << w.id;
+    transcripts.push_back(std::move(w.transcript));
+  }
+  return transcripts;
+}
+
+void check_shard_soak(std::size_t clients, std::size_t requests) {
+  const auto serial = run_shard_soak(1, clients, requests);
+  const auto fanned = run_shard_soak(4, clients, requests);
+  ASSERT_EQ(serial.size(), fanned.size());
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t merged = 0;
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), fanned[c].size()) << "client " << c;
+    for (std::size_t i = 0; i < serial[c].size(); ++i) {
+      // The headline property: shard routing keeps every response byte
+      // independent of the executor count.
+      ASSERT_EQ(serial[c][i], fanned[c][i])
+          << "client " << c << " response " << i;
+      if (serial[c][i].find("\"admitted\":true") != std::string::npos)
+        ++admitted;
+      if (serial[c][i].find("\"admitted\":false") != std::string::npos)
+        ++rejected;
+      const auto doc = json_parse(serial[c][i]);
+      ASSERT_TRUE(doc.has_value()) << serial[c][i];
+      if (const JsonValue* result = doc->find("result"); result != nullptr)
+        if (const JsonValue* shard = result->find("shard"); shard != nullptr)
+          merged += static_cast<std::size_t>(shard->find("merged")->number);
+    }
+  }
+  // The soak only proves something if the mix genuinely exercised the
+  // shard machinery: admissions in both verdicts, and hub flows that
+  // welded previously separate shards together.
+  EXPECT_GT(admitted, 0u);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(merged, 0u);
+}
+
+TEST(ShardSoak, ResponsesBitIdenticalAcrossExecutorCounts) {
+  check_shard_soak(/*clients=*/4, /*requests=*/120);
+}
+
+// The 10k-request shard soak the CI memory-safety lane runs under
+// asan-ubsan (label: service-soak).
+TEST(ShardSoak, TenThousandShardRoutedRequests) {
+  if (std::getenv("TFA_FULL_SOAK") == nullptr) GTEST_SKIP()
+      << "set TFA_FULL_SOAK=1 (the asan-ubsan soak lane does)";
+  check_shard_soak(/*clients=*/8, /*requests=*/1'250);
+}
+
 }  // namespace
 }  // namespace tfa::service

@@ -11,11 +11,15 @@ turns the lane red instead of producing an unreadable artifact.
 
 Usage:
   check_bench_json.py FILE --bench NAME --schema N \
-      [--require dotted.key] [--require dotted.key=LITERAL] ...
+      [--require dotted.key] [--require dotted.key=LITERAL] \
+      [--max dotted.key=BOUND] ...
 
 --require asserts a dotted key path exists; with "=LITERAL" (compared
 as JSON when it parses, as a string otherwise) it must also hold that
-value.  Exit code 0 when every assertion holds, 1 otherwise.
+value.  --max asserts a numeric key is <= BOUND — the shard bench's
+latency-ratio gate (ratio <= 2) is enforced this way, so a regression
+that makes per-request cost scale with the network again turns the
+lane red.  Exit code 0 when every assertion holds, 1 otherwise.
 """
 
 import argparse
@@ -43,6 +47,9 @@ def main():
                         metavar="KEY[=VALUE]",
                         help="dotted key that must exist "
                              "(and equal VALUE when given)")
+    parser.add_argument("--max", action="append", default=[],
+                        metavar="KEY=BOUND", dest="maxima",
+                        help="dotted key that must be a number <= BOUND")
     args = parser.parse_args()
 
     try:
@@ -78,6 +85,26 @@ def main():
         if value != expected:
             failures.append(f"key '{key}' is {json.dumps(value)}, "
                             f"expected {json.dumps(expected)}")
+
+    for bound in args.maxima:
+        key, sep, raw = bound.partition("=")
+        try:
+            limit = float(raw)
+        except ValueError:
+            limit = None
+        if not sep or limit is None:
+            failures.append(f"--max '{bound}' is not KEY=NUMBER")
+            continue
+        value, found = lookup(doc, key)
+        if not found:
+            failures.append(f"missing key '{key}'")
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(f"key '{key}' is {json.dumps(value)}, "
+                            f"not a number")
+        elif value > limit:
+            failures.append(f"key '{key}' is {value}, above the "
+                            f"bound {raw}")
+        checks.append(bound)
 
     for failure in failures:
         print(f"{args.file}: {failure}", file=sys.stderr)
