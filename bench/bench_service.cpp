@@ -27,8 +27,22 @@
 //                every response to be a success envelope and no
 //                connection to be shed.
 //
+// A third mode measures what live observability costs:
+//
+//   --mode obs   runs the load workload twice over the same server shape —
+//                once with every observability feature off (no event log,
+//                flight recorder disabled, no metrics endpoint, no client
+//                trace ids) and once with all of them on (client-supplied
+//                trace_id on every request, event log at info severity,
+//                flight recorder armed, Prometheus endpoint up and scraped
+//                once) — alternating three repetitions each and taking the
+//                best wall time per configuration.  Reports
+//                overhead_ratio = best_on / best_off; the committed
+//                BENCH_service_obs.json record gates it at <= 1.10
+//                (tools/check_bench_json.py --max overhead_ratio=1.10).
+//
 // Options (base/options.h):
-//   --mode M     "streams" (default) or "load"
+//   --mode M     "streams" (default), "load" or "obs"
 //   --flows N    base workload size (default 160; load default 24)
 //   --rounds N   streams: add/analyze rounds per stream (default 24)
 //   --conns N    load: client connections/threads (default 8)
@@ -58,6 +72,7 @@
 #include "base/table.h"
 #include "model/generators.h"
 #include "model/serialize.h"
+#include "obs/eventlog.h"
 #include "obs/telemetry.h"
 #include "service/loopback.h"
 #include "service/protocol.h"
@@ -136,6 +151,7 @@ struct LoadClient {
   std::size_t id = 0;
   std::size_t sessions = 0;
   std::size_t requests = 0;
+  bool with_trace = false;  ///< Attach a client trace_id to every request.
 
   std::vector<double> latency_us;  ///< One sample per request.
   std::size_t failures = 0;        ///< Non-success envelopes.
@@ -182,6 +198,10 @@ struct LoadClient {
                  service::json_string(session) + "}";
           break;
       }
+      if (with_trace)
+        line.insert(line.size() - 1,
+                    ",\"trace_id\":\"c" + std::to_string(id) + "r" +
+                        std::to_string(r) + "\"");
       const auto start = std::chrono::steady_clock::now();
       if (!client.send_line(line)) {
         transport_ok = false;
@@ -202,18 +222,70 @@ struct LoadClient {
   }
 };
 
-int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
-                  std::size_t requests, std::size_t executors,
-                  const std::optional<std::string>& json_path) {
+/// One full load-generator pass: server up, sessions staged, clients
+/// run, server down.
+struct LoadOutcome {
+  double wall_ms = 0.0;
+  double rps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, lat_max = 0.0;
+  std::size_t answered = 0;
+  std::size_t expected = 0;
+  std::size_t failures = 0;
+  std::size_t cached = 0;
+  std::uint64_t accepted = 0, shed = 0, served = 0;
+  bool transport_ok = true;
+  std::uint64_t events_recorded = 0;  ///< Obs runs: event-log lines kept.
+  bool scrape_ok = true;              ///< Obs runs: endpoint answered.
+
+  [[nodiscard]] bool ok() const {
+    return transport_ok && answered == expected && failures == 0 &&
+           shed == 0 && scrape_ok;
+  }
+};
+
+/// Minimal HTTP GET of /metrics; true when the body looks like the
+/// transport's exposition.
+bool scrape_metrics(std::uint16_t port) {
+  std::string error;
+  net::LineClient http(net::connect_tcp(port, &error));
+  if (!http.connected()) return false;
+  if (!http.send_raw("GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n"))
+    return false;
+  std::string body;
+  while (const std::optional<std::string> l = http.read_line()) {
+    body += *l;
+    body += '\n';
+  }
+  return body.find("tfa_service_net_requests") != std::string::npos;
+}
+
+std::optional<LoadOutcome> run_load(std::int32_t flows, std::size_t conns,
+                                    std::size_t sessions, std::size_t requests,
+                                    std::size_t executors, bool obs_on) {
+  // Obs-on: everything the live-observability layer offers at once —
+  // client trace ids, event log (info severity, ring + sink), flight
+  // recorder armed, Prometheus endpoint up (scraped once, outside the
+  // measured window).  Obs-off: all of it disabled.
+  std::ostringstream event_sink;
+  obs::EventLog event_log;
+  if (obs_on) event_log.set_sink(&event_sink);
+
   service::SocketServerConfig server_cfg;
   server_cfg.max_conns = conns + 1;
   server_cfg.executors = executors;
   server_cfg.service.max_sessions = sessions;
+  if (obs_on) {
+    server_cfg.service.event_log = &event_log;
+    server_cfg.service.flight_recorder_depth = 32;
+    server_cfg.metrics_port = 0;
+  } else {
+    server_cfg.service.flight_recorder_depth = 0;
+  }
   service::SocketServer server(std::move(server_cfg));
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "bench_service: %s\n", error.c_str());
-    return 2;
+    return std::nullopt;
   }
 
   // Stage the shared sessions over one setup connection, outside the
@@ -224,7 +296,7 @@ int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
     net::LineClient setup(net::connect_tcp(server.port(), &error));
     if (!setup.connected()) {
       std::fprintf(stderr, "bench_service: %s\n", error.c_str());
-      return 2;
+      return std::nullopt;
     }
     for (std::size_t s = 0; s < sessions; ++s) {
       (void)setup.send_line(
@@ -236,21 +308,17 @@ int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
           response->find("\"ok\":true") == std::string::npos) {
         std::fprintf(stderr, "bench_service: session setup failed: %s\n",
                      response.value_or("<eof>").c_str());
-        return 2;
+        return std::nullopt;
       }
     }
   }
-
-  std::printf(
-      "load: %zu connection(s) x %zu request(s) over %zu shared "
-      "session(s), %d flows each, %zu executor(s)\n\n",
-      conns, requests, sessions, flows, executors);
 
   std::vector<LoadClient> clients(conns);
   for (std::size_t i = 0; i < conns; ++i) {
     clients[i].id = i;
     clients[i].sessions = sessions;
     clients[i].requests = requests;
+    clients[i].with_trace = obs_on;
   }
   const auto wall_start = std::chrono::steady_clock::now();
   {
@@ -260,27 +328,51 @@ int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
       threads.emplace_back([&c, &server] { c.run(server.port()); });
     for (std::thread& t : threads) t.join();
   }
-  const double wall_ms = ms_since(wall_start);
+  LoadOutcome out;
+  out.wall_ms = ms_since(wall_start);
+  if (obs_on) out.scrape_ok = scrape_metrics(server.metrics_port());
   server.stop();
 
   std::vector<double> latency_us;
-  std::size_t failures = 0;
-  std::size_t cached = 0;
-  bool transport_ok = true;
   for (const LoadClient& c : clients) {
     latency_us.insert(latency_us.end(), c.latency_us.begin(),
                       c.latency_us.end());
-    failures += c.failures;
-    cached += c.cached;
-    transport_ok = transport_ok && c.transport_ok;
+    out.failures += c.failures;
+    out.cached += c.cached;
+    out.transport_ok = out.transport_ok && c.transport_ok;
   }
   std::sort(latency_us.begin(), latency_us.end());
-  const std::size_t expected = conns * requests;
-  const double rps = static_cast<double>(latency_us.size()) / (wall_ms / 1e3);
-  const double p50 = percentile(latency_us, 50);
-  const double p95 = percentile(latency_us, 95);
-  const double p99 = percentile(latency_us, 99);
-  const double lat_max = latency_us.empty() ? 0.0 : latency_us.back();
+  out.expected = conns * requests;
+  out.answered = latency_us.size();
+  out.rps = static_cast<double>(latency_us.size()) / (out.wall_ms / 1e3);
+  out.p50 = percentile(latency_us, 50);
+  out.p95 = percentile(latency_us, 95);
+  out.p99 = percentile(latency_us, 99);
+  out.lat_max = latency_us.empty() ? 0.0 : latency_us.back();
+  out.accepted = server.connections_accepted();
+  out.shed = server.connections_shed();
+  out.served = server.requests_served();
+  if (obs_on) out.events_recorded = event_log.recorded();
+  return out;
+}
+
+int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
+                  std::size_t requests, std::size_t executors,
+                  const std::optional<std::string>& json_path) {
+  std::printf(
+      "load: %zu connection(s) x %zu request(s) over %zu shared "
+      "session(s), %d flows each, %zu executor(s)\n\n",
+      conns, requests, sessions, flows, executors);
+
+  const std::optional<LoadOutcome> outcome =
+      run_load(flows, conns, sessions, requests, executors, /*obs_on=*/false);
+  if (!outcome.has_value()) return 2;
+  const double wall_ms = outcome->wall_ms;
+  const double rps = outcome->rps;
+  const double p50 = outcome->p50;
+  const double p95 = outcome->p95;
+  const double p99 = outcome->p99;
+  const double lat_max = outcome->lat_max;
 
   TextTable t({"metric", "value"});
   t.add_row({"wall ms", format_fixed(wall_ms, 1)});
@@ -291,17 +383,17 @@ int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
   t.add_row({"latency max us", format_fixed(lat_max, 0)});
   std::printf("%s", t.to_string().c_str());
 
-  const bool complete = transport_ok && latency_us.size() == expected;
-  const bool no_failures = failures == 0;
-  const bool none_shed = server.connections_shed() == 0;
+  const bool complete =
+      outcome->transport_ok && outcome->answered == outcome->expected;
+  const bool no_failures = outcome->failures == 0;
+  const bool none_shed = outcome->shed == 0;
   const bool ok = complete && no_failures && none_shed;
   std::printf(
       "\n%zu/%zu answered (%zu failure(s)), %zu memo hit(s); "
       "%llu accepted, %llu shed — %s\n",
-      latency_us.size(), expected, failures, cached,
-      static_cast<unsigned long long>(server.connections_accepted()),
-      static_cast<unsigned long long>(server.connections_shed()),
-      ok ? "ok" : "BUG");
+      outcome->answered, outcome->expected, outcome->failures, outcome->cached,
+      static_cast<unsigned long long>(outcome->accepted),
+      static_cast<unsigned long long>(outcome->shed), ok ? "ok" : "BUG");
 
   if (json_path) {
     const auto b = [](bool v) { return v ? "true" : "false"; };
@@ -314,13 +406,99 @@ int run_load_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
        << "\"wall_ms\":" << wall_ms << ",\"requests_per_sec\":" << rps << ","
        << "\"latency_us\":{\"p50\":" << p50 << ",\"p95\":" << p95
        << ",\"p99\":" << p99 << ",\"max\":" << lat_max << "},"
-       << "\"transport\":{\"accepted\":" << server.connections_accepted()
-       << ",\"shed\":" << server.connections_shed()
-       << ",\"requests\":" << server.requests_served()
-       << ",\"memo_hits\":" << cached << "},"
+       << "\"transport\":{\"accepted\":" << outcome->accepted
+       << ",\"shed\":" << outcome->shed << ",\"requests\":" << outcome->served
+       << ",\"memo_hits\":" << outcome->cached << "},"
        << "\"checks\":{\"complete\":" << b(complete)
        << ",\"no_failures\":" << b(no_failures)
        << ",\"none_shed\":" << b(none_shed) << ",\"ok\":" << b(ok) << "}}\n";
+    std::ofstream out(*json_path);
+    if (out) out << js.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 2;
+    }
+    std::printf("json record written to %s\n", json_path->c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+int run_obs_mode(std::int32_t flows, std::size_t conns, std::size_t sessions,
+                 std::size_t requests, std::size_t executors,
+                 const std::optional<std::string>& json_path) {
+  std::printf(
+      "obs overhead: %zu connection(s) x %zu request(s) over %zu shared "
+      "session(s), %d flows each, %zu executor(s); 3 repetitions per "
+      "configuration, alternating\n\n",
+      conns, requests, sessions, flows, executors);
+
+  // Alternate off/on so drift (thermal, cache, scheduler) hits both
+  // configurations evenly; the best wall time per configuration is the
+  // comparison — minima are far more stable than means under load.
+  std::optional<LoadOutcome> best_off, best_on;
+  bool all_ok_runs = true;
+  std::uint64_t events_recorded = 0;
+  bool scrape_ok = true;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const bool obs_on : {false, true}) {
+      std::optional<LoadOutcome> r =
+          run_load(flows, conns, sessions, requests, executors, obs_on);
+      if (!r.has_value()) return 2;
+      all_ok_runs = all_ok_runs && r->ok();
+      std::optional<LoadOutcome>& best = obs_on ? best_on : best_off;
+      if (obs_on) {
+        events_recorded += r->events_recorded;
+        scrape_ok = scrape_ok && r->scrape_ok;
+      }
+      if (!best.has_value() || r->wall_ms < best->wall_ms) best = std::move(r);
+    }
+  }
+  const double ratio =
+      best_off->wall_ms > 0.0 ? best_on->wall_ms / best_off->wall_ms : 0.0;
+
+  TextTable t({"configuration", "wall ms", "requests/s", "p50 us", "p99 us"});
+  t.add_row({"observability off", format_fixed(best_off->wall_ms, 1),
+             format_fixed(best_off->rps, 0), format_fixed(best_off->p50, 0),
+             format_fixed(best_off->p99, 0)});
+  t.add_row({"observability on", format_fixed(best_on->wall_ms, 1),
+             format_fixed(best_on->rps, 0), format_fixed(best_on->p50, 0),
+             format_fixed(best_on->p99, 0)});
+  std::printf("%s", t.to_string().c_str());
+
+  const bool events_flowed = events_recorded > 0;
+  const bool ok = all_ok_runs && scrape_ok && events_flowed;
+  std::printf(
+      "\noverhead ratio (on/off, best of 3): %s; %llu event(s) logged, "
+      "metrics scrape %s — %s\n",
+      format_fixed(ratio, 3).c_str(),
+      static_cast<unsigned long long>(events_recorded),
+      scrape_ok ? "ok" : "FAILED", ok ? "ok" : "BUG");
+
+  if (json_path) {
+    const auto b = [](bool v) { return v ? "true" : "false"; };
+    const auto run_js = [](const LoadOutcome& r) {
+      std::ostringstream js;
+      js << "{\"wall_ms\":" << r.wall_ms
+         << ",\"requests_per_sec\":" << r.rps
+         << ",\"latency_us\":{\"p50\":" << r.p50 << ",\"p95\":" << r.p95
+         << ",\"p99\":" << r.p99 << ",\"max\":" << r.lat_max << "}}";
+      return js.str();
+    };
+    std::ostringstream js;
+    js << "{\"bench\":\"bench_service\",\"schema\":3,\"mode\":\"obs\","
+       << "\"workload\":{\"connections\":" << conns
+       << ",\"sessions\":" << sessions
+       << ",\"requests_per_connection\":" << requests
+       << ",\"flows\":" << flows << ",\"executors\":" << executors
+       << ",\"repetitions\":3},"
+       << "\"off\":" << run_js(*best_off) << ","
+       << "\"on\":" << run_js(*best_on) << ","
+       << "\"overhead_ratio\":" << ratio << ","
+       << "\"events_recorded\":" << events_recorded << ","
+       << "\"checks\":{\"runs_ok\":" << b(all_ok_runs)
+       << ",\"scrape_ok\":" << b(scrape_ok)
+       << ",\"events_flowed\":" << b(events_flowed) << ",\"ok\":" << b(ok)
+       << "}}\n";
     std::ofstream out(*json_path);
     if (out) out << js.str();
     if (!out) {
@@ -347,9 +525,9 @@ int main(int argc, char** argv) {
   const std::string mode = mode_opt.value_or("streams");
   if (!opts.error().empty() || !opts.unknown_options().empty() ||
       !opts.positionals().empty() ||
-      (mode != "streams" && mode != "load")) {
+      (mode != "streams" && mode != "load" && mode != "obs")) {
     std::fprintf(stderr,
-                 "usage: bench_service [--mode streams|load] [--flows N] "
+                 "usage: bench_service [--mode streams|load|obs] [--flows N] "
                  "[--rounds N]\n"
                  "                     [--conns N] [--sessions N] "
                  "[--requests N] [--executors N]\n"
@@ -360,7 +538,7 @@ int main(int argc, char** argv) {
                            std::size_t fallback) {
     return o ? static_cast<std::size_t>(std::atoll(o->c_str())) : fallback;
   };
-  if (mode == "load") {
+  if (mode == "load" || mode == "obs") {
     const std::int32_t flows =
         flows_opt ? std::atoi(flows_opt->c_str()) : 24;
     const std::size_t conns = size_opt(conns_opt, 8);
@@ -373,6 +551,9 @@ int main(int argc, char** argv) {
                    "and --requests > 0\n");
       return 2;
     }
+    if (mode == "obs")
+      return run_obs_mode(flows, conns, sessions, requests, executors,
+                          json_path);
     return run_load_mode(flows, conns, sessions, requests, executors,
                          json_path);
   }

@@ -10,11 +10,20 @@
 //   tfa_tool serve    [--workers N] [--max-batch N]
 //                     [--tcp PORT | --unix PATH]
 //                     [--max-conns N] [--executors N]
+//                     [--event-log PATH [--event-log-level LVL]
+//                      [--event-sample N]] [--slow-ms N]
+//                     [--metrics-port PORT]
 //                     long-lived analysis service (JSON-lines protocol —
 //                     see docs/service.md) over stdin/stdout, or with
 //                     --tcp/--unix over a concurrent socket listener
 //                     (--tcp 0 picks an ephemeral port, printed to
-//                     stderr; Ctrl-C or a client `shutdown` drains)
+//                     stderr; Ctrl-C or a client `shutdown` drains).
+//                     --event-log appends structured JSON-lines events
+//                     (accepts, sheds, deadline misses, shard merges,
+//                     flight-recorder dumps — docs/observability.md);
+//                     --slow-ms arms the flight recorder's latency
+//                     trigger; --metrics-port (socket mode only) serves
+//                     Prometheus text on 127.0.0.1:PORT (0 = ephemeral)
 //
 // `analyze` and `admit` accept a trailing `--stats` flag that appends the
 // run's EngineStats (fixed-point passes, test points, wall time per phase,
@@ -43,6 +52,7 @@
 
 #include "admission/admission.h"
 #include "base/options.h"
+#include "obs/eventlog.h"
 #include "base/rng.h"
 #include "base/table.h"
 #include "model/generators.h"
@@ -69,6 +79,9 @@ int usage() {
       "       tfa_tool serve [--workers N] [--max-batch N]\n"
       "                      [--tcp PORT | --unix PATH]\n"
       "                      [--max-conns N] [--executors N]\n"
+      "                      [--event-log PATH [--event-log-level LVL]\n"
+      "                       [--event-sample N]] [--slow-ms N]\n"
+      "                      [--metrics-port PORT]\n"
       "       (analyze/admit take --stats to print analysis cost;\n"
       "        analyze/admit/fuzz take --trace-out FILE and\n"
       "        --metrics-out FILE for Chrome-trace / metric JSON dumps)\n");
@@ -231,10 +244,7 @@ int cmd_fuzz(std::size_t cases, std::uint64_t seed, std::size_t workers,
   return report.clean() ? 0 : 1;
 }
 
-int cmd_serve(std::size_t workers, std::size_t max_batch, ObsOutputs& obs) {
-  service::ServiceConfig cfg;
-  cfg.workers = workers;
-  if (max_batch > 0) cfg.max_batch = max_batch;
+int cmd_serve(service::ServiceConfig cfg, ObsOutputs& obs) {
   service::Service svc(std::move(cfg), obs.sink());
   const service::ServeResult r =
       service::serve_stream(std::cin, std::cout, svc);
@@ -261,6 +271,9 @@ int cmd_serve_socket(service::SocketServerConfig cfg, ObsOutputs& obs) {
                  static_cast<unsigned>(server.port()));
   else
     std::fprintf(stderr, "listening on %s\n", server.path().c_str());
+  if (server.metrics_port() != 0)
+    std::fprintf(stderr, "metrics on http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(server.metrics_port()));
   g_interrupted.store(false);
   std::signal(SIGINT, on_serve_signal);
   std::signal(SIGTERM, on_serve_signal);
@@ -294,6 +307,14 @@ int main(int argc, char** argv) {
   const std::optional<std::string> serve_unix = opts.value("--unix");
   const std::optional<std::string> serve_conns = opts.value("--max-conns");
   const std::optional<std::string> serve_exec = opts.value("--executors");
+  const std::optional<std::string> serve_event_log = opts.value("--event-log");
+  const std::optional<std::string> serve_event_level =
+      opts.value("--event-log-level");
+  const std::optional<std::string> serve_event_sample =
+      opts.value("--event-sample");
+  const std::optional<std::string> serve_metrics_port =
+      opts.value("--metrics-port");
+  const std::optional<std::string> serve_slow_ms = opts.value("--slow-ms");
 
   ObsOutputs obs;
   obs.trace_path = opts.value("--trace-out");
@@ -328,13 +349,53 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "serve") {
-    const auto workers =
-        serve_workers
-            ? static_cast<std::size_t>(std::atoi(serve_workers->c_str()))
-            : std::size_t{1};
-    const auto max_batch =
-        serve_batch ? static_cast<std::size_t>(std::atoi(serve_batch->c_str()))
-                    : std::size_t{0};
+    service::ServiceConfig svc_cfg;
+    if (serve_workers)
+      svc_cfg.workers =
+          static_cast<std::size_t>(std::atoi(serve_workers->c_str()));
+    if (serve_batch)
+      if (const int b = std::atoi(serve_batch->c_str()); b > 0)
+        svc_cfg.max_batch = static_cast<std::size_t>(b);
+    if (serve_slow_ms)
+      svc_cfg.slow_request_ns =
+          std::atoll(serve_slow_ms->c_str()) * 1'000'000;
+
+    // Structured event log: the ring is only observable through the
+    // sink, so the knobs require --event-log.
+    std::ofstream event_sink;
+    std::optional<obs::EventLog> event_log;
+    if (serve_event_log) {
+      event_sink.open(*serve_event_log, std::ios::app);
+      if (!event_sink) {
+        std::fprintf(stderr, "tfa_tool: cannot write %s\n",
+                     serve_event_log->c_str());
+        return 2;
+      }
+      obs::EventLogConfig ecfg;
+      if (serve_event_level) {
+        const auto sev = obs::severity_from_string(*serve_event_level);
+        if (!sev) {
+          std::fprintf(stderr,
+                       "tfa_tool: --event-log-level must be "
+                       "debug|info|warn|error, got '%s'\n",
+                       serve_event_level->c_str());
+          return usage();
+        }
+        ecfg.min_severity = *sev;
+      }
+      if (serve_event_sample)
+        if (const long long n = std::atoll(serve_event_sample->c_str()); n > 1)
+          ecfg.sample_every = static_cast<std::uint64_t>(n);
+      event_log.emplace(ecfg);
+      event_log->set_sink(&event_sink);
+      svc_cfg.event_log = &*event_log;
+    } else if (serve_event_level || serve_event_sample) {
+      std::fprintf(stderr,
+                   "tfa_tool: --event-log-level/--event-sample require "
+                   "--event-log\n");
+      return usage();
+    }
+
     if (serve_tcp || serve_unix) {
       if (serve_tcp && serve_unix) {
         std::fprintf(stderr, "tfa_tool: --tcp and --unix are exclusive\n");
@@ -348,11 +409,17 @@ int main(int argc, char** argv) {
         cfg.max_conns = static_cast<std::size_t>(std::atoi(serve_conns->c_str()));
       if (serve_exec)
         cfg.executors = static_cast<std::size_t>(std::atoi(serve_exec->c_str()));
-      cfg.service.workers = workers;
-      if (max_batch > 0) cfg.service.max_batch = max_batch;
+      if (serve_metrics_port)
+        cfg.metrics_port = std::atoi(serve_metrics_port->c_str());
+      cfg.service = std::move(svc_cfg);
       return cmd_serve_socket(std::move(cfg), obs);
     }
-    return cmd_serve(workers, max_batch, obs);
+    if (serve_metrics_port) {
+      std::fprintf(stderr,
+                   "tfa_tool: --metrics-port requires --tcp or --unix\n");
+      return usage();
+    }
+    return cmd_serve(std::move(svc_cfg), obs);
   }
 
   if (cmd == "generate") {

@@ -1,0 +1,99 @@
+// Structured event log: bounded, thread-safe, JSON-lines records of
+// service-level events (accepts, sheds, deadline misses, shard merges,
+// slow requests — docs/observability.md "Live service observability").
+//
+// Unlike the MetricRegistry and Tracer (single-threaded by contract),
+// the EventLog is shared across executors and connections, so record()
+// takes an internal mutex.  Each event renders immediately into ONE
+// JSON line with fixed key order
+//
+//   {"ts":N,"severity":"info","event":"service.shed",<fields...>}
+//
+// where `ts` comes from the *injected* clock — the determinism soak
+// injects a counter clock and compares per-session event subsequences
+// across executor counts, so the schema and field order must never
+// depend on scheduling.
+//
+// Two knobs bound the cost:
+//   * min_severity — events below it are discarded (tallied).
+//   * sample_every — keep only every Nth debug/info event; warn/error
+//     events are never sampled away.
+// The retained window is a ring of the last `capacity` lines; an
+// optional sink (e.g. `tfa_tool serve --event-log PATH`) additionally
+// receives every kept line as it happens.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tfa::obs {
+
+enum class EventSeverity { kDebug, kInfo, kWarn, kError };
+
+/// Wire name ("debug", "info", "warn", "error").
+[[nodiscard]] const char* to_string(EventSeverity sev) noexcept;
+
+/// Inverse of to_string(); nullopt for anything else.
+[[nodiscard]] std::optional<EventSeverity> severity_from_string(
+    std::string_view s) noexcept;
+
+/// One rendered event field: `value_json` must already be a complete
+/// JSON value (string literals via service::json_string or similar).
+struct EventField {
+  std::string key;
+  std::string value_json;
+};
+
+struct EventLogConfig {
+  /// Nanosecond clock; injected for reproducible `ts` values.  Null
+  /// means std::chrono::steady_clock.
+  std::function<std::int64_t()> clock;
+  EventSeverity min_severity = EventSeverity::kInfo;
+  std::size_t capacity = 4096;      ///< Retained-line ring size.
+  std::uint64_t sample_every = 1;   ///< Keep every Nth debug/info event.
+};
+
+class EventLog {
+ public:
+  explicit EventLog(EventLogConfig cfg = {});
+
+  /// Optional live sink: every kept line is written (newline-terminated,
+  /// flushed) under the log mutex.  The stream must outlive the log.
+  void set_sink(std::ostream* sink);
+
+  /// Records one event.  Fields render in the given order after the
+  /// fixed ts/severity/event head.  Returns true when the event was
+  /// kept (not filtered or sampled away).
+  bool record(EventSeverity sev, std::string_view event,
+              const std::vector<EventField>& fields);
+
+  /// Snapshot of the retained lines, oldest first.
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+  /// Retained lines joined with '\n' (trailing newline when non-empty).
+  [[nodiscard]] std::string dump() const;
+
+  /// Totals: kept / severity-or-sampling-filtered / ring-evicted.
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t filtered() const;
+  [[nodiscard]] std::uint64_t evicted() const;
+
+ private:
+  EventLogConfig cfg_;
+  mutable std::mutex mu_;
+  std::deque<std::string> ring_;
+  std::ostream* sink_ = nullptr;
+  std::uint64_t seen_low_ = 0;  ///< Debug/info events seen (sampling base).
+  std::uint64_t recorded_ = 0;
+  std::uint64_t filtered_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace tfa::obs

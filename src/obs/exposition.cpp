@@ -1,0 +1,117 @@
+#include "obs/exposition.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfa::obs {
+
+namespace {
+
+bool valid_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// HELP text may not contain newlines or stray backslashes; registry
+/// names never do, but keep the escape for safety.
+std::string help_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '\n') {
+      out += '\\';
+      out += c == '\n' ? 'n' : '\\';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void render_scalar_block(std::string* out, const std::string& dotted,
+                         std::int64_t value, std::string_view kind,
+                         std::string_view prom_type,
+                         std::string_view contract) {
+  const std::string name = prometheus_name(dotted);
+  *out += "# HELP " + name + " " + std::string(kind) + " " +
+          help_escape(dotted) + " (" + std::string(contract) + ")\n";
+  *out += "# TYPE " + name + " " + std::string(prom_type) + "\n";
+  *out += name + " " + std::to_string(value) + "\n";
+}
+
+/// Smallest bucket upper bound covering the q-th sample (nearest rank);
+/// "+Inf" when it falls in the overflow bucket.
+std::string bucket_quantile(const Histogram& h, double q) {
+  if (h.count <= 0) return "0";
+  // ceil(q * count) without floating rounding surprises on whole values.
+  const std::int64_t rank =
+      static_cast<std::int64_t>(q * static_cast<double>(h.count) + 0.9999999);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += h.counts[i];
+    if (cumulative >= rank) return std::to_string(h.bounds[i]);
+  }
+  return "+Inf";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "tfa_";
+  for (const char c : name) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_text(const MetricRegistry& registry,
+                            const ExpositionOptions& options) {
+  std::string out;
+  for (const auto& [dotted, value] : registry.counters())
+    render_scalar_block(&out, dotted, value, "counter", "counter",
+                        "deterministic");
+  if (!options.deterministic_only) {
+    for (const auto& [dotted, value] : registry.timers())
+      render_scalar_block(&out, dotted, value, "timer ns", "counter",
+                          "host-dependent");
+    for (const auto& [dotted, value] : registry.gauges())
+      render_scalar_block(&out, dotted, value, "gauge", "gauge",
+                          "host-dependent");
+  }
+  for (const auto& [dotted, h] : registry.histograms()) {
+    const std::string name = prometheus_name(dotted);
+    out += "# HELP " + name + " histogram " + help_escape(dotted) +
+           " (deterministic)\n";
+    out += "# TYPE " + name + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += name + "_bucket{le=\"" + std::to_string(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+    out += "# HELP " + name + "_q nearest-rank quantiles of " +
+           help_escape(dotted) + " (bucket upper bounds)\n";
+    out += "# TYPE " + name + "_q gauge\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out += name + "_q{q=\"" + (q == 0.5 ? "0.5" : q == 0.95 ? "0.95"
+                                                              : "0.99") +
+             "\"} " + bucket_quantile(h, q) + "\n";
+    }
+  }
+  for (const auto& [dotted, values] : registry.series()) {
+    const std::string name = prometheus_name(dotted);
+    out += "# HELP " + name + "_points series " + help_escape(dotted) +
+           " (deterministic)\n";
+    out += "# TYPE " + name + "_points counter\n";
+    out += name + "_points " + std::to_string(values.size()) + "\n";
+    if (!values.empty()) {
+      out += "# TYPE " + name + "_last gauge\n";
+      out += name + "_last " + std::to_string(values.back()) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tfa::obs

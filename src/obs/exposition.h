@@ -1,0 +1,44 @@
+// Prometheus text exposition of a MetricRegistry
+// (docs/observability.md "Live service observability").
+//
+// Metric names are sanitised (`.` and any other invalid character
+// become `_`) and prefixed `tfa_`; the HELP line carries the original
+// dotted name, the registry kind, and the determinism contract —
+// counters/histograms/series are flagged `(deterministic)`,
+// timers/gauges `(host-dependent)`.  Kinds render in a fixed order
+// (counters, timers, gauges, histograms, series) with names sorted
+// within each kind, so two registries with equal content expose
+// byte-identical text.
+//
+// Histograms render as native Prometheus histograms (cumulative `le`
+// buckets, `_sum`, `_count`) plus nearest-rank quantile gauges
+// `<name>_q{q="0.5|0.95|0.99"}` computed from the bucket counts: the
+// value is the smallest bucket upper bound covering the q-th sample
+// (+Inf when it lands in the overflow bucket).  Series render as
+// `<name>_points` (length) and `<name>_last` (final value, omitted when
+// empty).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace tfa::obs {
+
+struct ExpositionOptions {
+  /// Restrict to the deterministic kinds (counters, histograms,
+  /// series) — what the `statsz` wire op serves so responses stay
+  /// bit-identical across worker/executor counts.
+  bool deterministic_only = false;
+};
+
+/// `name` as a valid Prometheus metric name: `tfa_` + the dotted name
+/// with every character outside [a-zA-Z0-9_:] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// The whole registry in Prometheus text exposition format.
+[[nodiscard]] std::string prometheus_text(const MetricRegistry& registry,
+                                          const ExpositionOptions& options = {});
+
+}  // namespace tfa::obs

@@ -48,6 +48,7 @@ Span Tracer::span(std::string_view name) {
   e.name = std::string(name);
   e.start_ns = clock_();
   e.depth = open_depth_++;
+  e.trace = context_;
   events_.push_back(std::move(e));
   return Span(this, events_.size() - 1);
 }
@@ -87,7 +88,9 @@ std::string Tracer::chrome_trace_json() const {
        << static_cast<char>('0' + (e.dur_ns % 1000) / 100)
        << static_cast<char>('0' + (e.dur_ns % 100) / 10)
        << static_cast<char>('0' + e.dur_ns % 10)
-       << ",\"pid\":0,\"tid\":0,\"args\":{\"depth\":" << e.depth << "}}";
+       << ",\"pid\":0,\"tid\":0,\"args\":{\"depth\":" << e.depth;
+    if (!e.trace.empty()) os << ",\"trace\":\"" << json_escape(e.trace) << '"';
+    os << "}}";
   }
   os << "]}";
   return os.str();

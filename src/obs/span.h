@@ -66,12 +66,24 @@ class Tracer {
   /// Opens a span; it closes when the returned handle dies.
   [[nodiscard]] Span span(std::string_view name);
 
+  /// Sets the trace context: spans opened from now until
+  /// clear_context() record `trace_id`, so one wire request's whole
+  /// phase tree (service op -> settle -> Smax passes) is
+  /// reconstructable from the trace file.  The service sets this around
+  /// each request's execution; engines never touch it.
+  void set_context(std::string_view trace_id) { context_ = trace_id; }
+  void clear_context() noexcept { context_.clear(); }
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
   /// One completed (or still open, dur < 0) span.
   struct Event {
     std::string name;
     std::int64_t start_ns = 0;
     std::int64_t dur_ns = -1;  ///< -1 while open.
     std::size_t depth = 0;     ///< Nesting level at begin time.
+    std::string trace;         ///< Trace context at begin time ("" if none).
   };
 
   /// All spans, in begin order.
@@ -94,6 +106,7 @@ class Tracer {
   Clock clock_;
   std::vector<Event> events_;
   std::size_t open_depth_ = 0;
+  std::string context_;
 };
 
 }  // namespace tfa::obs

@@ -1,0 +1,167 @@
+#include "service/metrics_http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <optional>
+#include <utility>
+
+#include "base/contracts.h"
+
+namespace tfa::service {
+
+namespace {
+
+/// Header-read limits: a scrape request is a GET line plus a few
+/// headers; anything slower or larger than this is a misbehaving client
+/// and gets the connection closed on it.
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kClientTimeoutMs = 2000;
+
+/// Waits for `events` on `fd`; false on timeout or error.
+bool wait_for(int fd, short events) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&p, 1, kClientTimeoutMs);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0 && (p.revents & (events | POLLHUP)) != 0;
+  }
+}
+
+/// Reads until the blank line ending the request head, EOF, the size
+/// cap, or the timeout.  Returns the head (possibly truncated) or
+/// nullopt on a connection that never produced one.
+std::optional<std::string> read_request_head(int fd) {
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      head.append(buf, static_cast<std::size_t>(n));
+      if (head.size() > kMaxRequestBytes) return std::nullopt;
+      continue;
+    }
+    if (n == 0) return std::nullopt;  // EOF before a full head.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_for(fd, POLLIN)) return std::nullopt;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return head;
+}
+
+/// Writes all of `data`, polling through EAGAIN; false on error/timeout.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_for(fd, POLLOUT)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n"
+                    "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port, Renderer render)
+    : requested_(port), render_(std::move(render)) {
+  TFA_EXPECTS(render_ != nullptr);
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(std::string* error) {
+  TFA_EXPECTS(!started_.load());
+  listener_ = net::listen_tcp(requested_, &port_, error);
+  if (!listener_.valid()) return false;
+  if (!net::set_nonblocking(listener_.get(), true, error)) {
+    listener_.reset();
+    return false;
+  }
+  std::optional<net::Pipe> wake = net::Pipe::create(error);
+  if (!wake) {
+    listener_.reset();
+    return false;
+  }
+  wake_ = std::move(*wake);
+  stop_requested_.store(false);
+  started_.store(true);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!started_.load()) return;
+  stop_requested_.store(true);
+  wake_.notify();
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+  started_.store(false);
+}
+
+void MetricsHttpServer::loop() {
+  for (;;) {
+    pollfd fds[2] = {{wake_.read_end.get(), POLLIN, 0},
+                     {listener_.get(), POLLIN, 0}};
+    const int rc = ::poll(fds, 2, 250);
+    if (stop_requested_.load()) return;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[0].revents & POLLIN) wake_.drain();
+    if ((fds[1].revents & POLLIN) == 0) continue;
+    for (;;) {
+      const int fd = ::accept(listener_.get(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient failure.
+      }
+      handle(net::UniqueFd(fd));
+      if (stop_requested_.load()) return;
+    }
+  }
+}
+
+void MetricsHttpServer::handle(net::UniqueFd client) {
+  if (!net::set_nonblocking(client.get(), true)) return;
+  const std::optional<std::string> head = read_request_head(client.get());
+  if (!head) return;
+  // Any GET serves the exposition (exporters conventionally ignore the
+  // path); everything else is answered but refused.
+  const bool get = head->rfind("GET ", 0) == 0;
+  const std::string response =
+      get ? http_response(200, "OK", render_())
+          : http_response(405, "Method Not Allowed", "GET only\n");
+  (void)write_all(client.get(), response);
+  ::shutdown(client.get(), SHUT_WR);
+}
+
+}  // namespace tfa::service

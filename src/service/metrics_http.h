@@ -1,0 +1,65 @@
+// Minimal Prometheus exposition endpoint: a single-threaded HTTP/1.1
+// server that answers every GET with a text/plain body produced by a
+// caller-supplied renderer (docs/observability.md "Live service
+// observability").
+//
+// This is deliberately not a web server: one thread, one request per
+// connection (`Connection: close`), bounded header reads with a poll
+// timeout so a stalled scraper cannot wedge the loop, plain POSIX
+// sockets from base/net.h.  The SocketServer owns one when
+// SocketServerConfig::metrics_port enables it; the renderer it passes
+// (SocketServer::metrics_text) is thread-safe, so scrapes never touch
+// the event loop or the executors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "base/net.h"
+
+namespace tfa::service {
+
+/// The exposition endpoint.  start() binds 127.0.0.1:`port` and spawns
+/// the serving thread; stop() (or the destructor) joins it.
+class MetricsHttpServer {
+ public:
+  /// Produces the exposition body for one scrape.  Called from the
+  /// serving thread — must be thread-safe.
+  using Renderer = std::function<std::string()>;
+
+  MetricsHttpServer(std::uint16_t port, Renderer render);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds the listener (0 = ephemeral, read back via port()) and
+  /// spawns the serving thread.  False (with `*error` filled) on setup
+  /// failure.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Stops serving and joins the thread.  Idempotent.
+  void stop();
+
+  /// Bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void loop();
+  void handle(net::UniqueFd client);
+
+  std::uint16_t requested_;
+  Renderer render_;
+
+  net::UniqueFd listener_;
+  net::Pipe wake_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace tfa::service

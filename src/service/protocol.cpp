@@ -20,6 +20,7 @@ bool needs_session(Op op) noexcept {
     case Op::kSnapshot:
       return true;
     case Op::kMetrics:
+    case Op::kStatsz:
     case Op::kFlush:
     case Op::kShutdown:
       return false;
@@ -29,8 +30,12 @@ bool needs_session(Op op) noexcept {
 
 /// The strict field whitelist: everything else is rejected by name.
 bool field_allowed(Op op, std::string_view key) noexcept {
-  if (key == "op" || key == "id" || key == "deadline_ms") return true;
-  if (key == "session") return needs_session(op);
+  if (key == "op" || key == "id" || key == "deadline_ms" ||
+      key == "trace_id")
+    return true;
+  // `statsz` takes an *optional* session (scoped exposition); the
+  // session ops require one.
+  if (key == "session") return needs_session(op) || op == Op::kStatsz;
   switch (op) {
     case Op::kLoadNetwork:
       return key == "text";
@@ -44,6 +49,7 @@ bool field_allowed(Op op, std::string_view key) noexcept {
       return key == "flow" || key == "ef_mode" || key == "smax";
     case Op::kSnapshot:
     case Op::kMetrics:
+    case Op::kStatsz:
     case Op::kFlush:
     case Op::kShutdown:
       return false;
@@ -59,6 +65,7 @@ std::optional<Op> op_from_string(std::string_view s) noexcept {
   if (s == "admit") return Op::kAdmit;
   if (s == "snapshot") return Op::kSnapshot;
   if (s == "metrics") return Op::kMetrics;
+  if (s == "statsz") return Op::kStatsz;
   if (s == "flush") return Op::kFlush;
   if (s == "shutdown") return Op::kShutdown;
   return std::nullopt;
@@ -111,6 +118,7 @@ const char* to_string(Op op) noexcept {
     case Op::kAdmit: return "admit";
     case Op::kSnapshot: return "snapshot";
     case Op::kMetrics: return "metrics";
+    case Op::kStatsz: return "statsz";
     case Op::kFlush: return "flush";
     case Op::kShutdown: return "shutdown";
   }
@@ -152,6 +160,17 @@ ParsedRequest parse_request(std::string_view line) {
     }
   }
 
+  // Salvage the trace id just as early: error envelopes echo it too.
+  if (const JsonValue* tr = doc->find("trace_id")) {
+    if (tr->kind != JsonValue::Kind::kString || tr->string.empty() ||
+        tr->string.size() > 64) {
+      return fail(std::move(p), "bad_request",
+                  "'trace_id' must be a non-empty string of at most 64 "
+                  "characters");
+    }
+    p.trace = tr->string;
+  }
+
   const JsonValue* opv = doc->find("op");
   if (opv == nullptr)
     return fail(std::move(p), "bad_request", "'op' is required");
@@ -188,6 +207,16 @@ ParsedRequest parse_request(std::string_view line) {
       return fail(std::move(p), "bad_request",
                   "'session' exceeds 128 characters");
     p.request.session = *session;
+  } else if (*op == Op::kStatsz) {
+    // Optional session scope.
+    if (const JsonValue* sv = doc->find("session")) {
+      if (sv->kind != JsonValue::Kind::kString || sv->string.empty() ||
+          sv->string.size() > 128)
+        return fail(std::move(p), "bad_request",
+                    "'session' must be a non-empty string of at most 128 "
+                    "characters");
+      p.request.session = sv->string;
+    }
   }
 
   if (const JsonValue* dl = doc->find("deadline_ms")) {
@@ -256,9 +285,11 @@ ParsedRequest parse_request(std::string_view line) {
 
 namespace {
 
-/// Shared prefix of both envelopes: {"seq":N[,"id":...],"ok":B,"op":OP.
+/// Shared prefix of both envelopes:
+/// {"seq":N[,"id":...],"ok":B,"op":OP[,"trace":"..."].
 std::string envelope_head(std::uint64_t seq, const std::string& id_json,
-                          std::string_view op_text, bool ok) {
+                          std::string_view op_text, std::string_view trace,
+                          bool ok) {
   std::string out = "{\"seq\":";
   out += std::to_string(seq);
   if (!id_json.empty()) {
@@ -267,15 +298,19 @@ std::string envelope_head(std::uint64_t seq, const std::string& id_json,
   }
   out += ok ? ",\"ok\":true,\"op\":" : ",\"ok\":false,\"op\":";
   out += op_text.empty() ? std::string("null") : json_string(op_text);
+  if (!trace.empty()) {
+    out += ",\"trace\":";
+    out += json_string(trace);
+  }
   return out;
 }
 
 }  // namespace
 
 std::string ok_envelope(std::uint64_t seq, const std::string& id_json,
-                        std::string_view op_text,
+                        std::string_view op_text, std::string_view trace,
                         std::string_view result_json) {
-  std::string out = envelope_head(seq, id_json, op_text, true);
+  std::string out = envelope_head(seq, id_json, op_text, trace, true);
   out += ",\"result\":";
   out += result_json;
   out += '}';
@@ -283,8 +318,9 @@ std::string ok_envelope(std::uint64_t seq, const std::string& id_json,
 }
 
 std::string error_envelope(std::uint64_t seq, const std::string& id_json,
-                           std::string_view op_text, const WireError& error) {
-  std::string out = envelope_head(seq, id_json, op_text, false);
+                           std::string_view op_text, std::string_view trace,
+                           const WireError& error) {
+  std::string out = envelope_head(seq, id_json, op_text, trace, false);
   out += ",\"error\":{\"code\":";
   out += json_string(error.code);
   out += ",\"message\":";

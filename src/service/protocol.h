@@ -7,13 +7,17 @@
 // sequence produces byte-identical response lines — the worker-count
 // determinism tests compare them with string equality:
 //
-//   {"seq":N,"id":...,"ok":true,"op":"analyze","result":{...}}
-//   {"seq":N,"id":...,"ok":false,"op":"analyze","error":
+//   {"seq":N,"id":...,"ok":true,"op":"analyze","trace":"...","result":{...}}
+//   {"seq":N,"id":...,"ok":false,"op":"analyze","trace":"...","error":
 //       {"code":"...","message":"...","offset":N,"line":N}}
 //
 // `seq` is the service-assigned arrival index (every submitted line
 // consumes one, malformed or not); `id` is present only when the request
-// carried one.  `offset` (byte position, parse errors) and `line`
+// carried one.  `trace` echoes the request's `trace_id`, or the
+// service-generated id `"t"+seq` when the request carried none (a pure
+// function of `seq`, so transcripts stay byte-identical across
+// transports and worker counts); only the pre-accept shed envelope is
+// traceless.  `offset` (byte position, parse errors) and `line`
 // (flow-set text line, bad_flow_set) appear only when meaningful.
 //
 // Durations on the wire are integer ticks; an infinite bound
@@ -44,6 +48,7 @@ enum class Op {
   kAdmit,        ///< Admission test + commit of one candidate flow.
   kSnapshot,     ///< Serialised flow set of a session.
   kMetrics,      ///< Service-wide deterministic metrics dump.
+  kStatsz,       ///< Prometheus-text exposition (deterministic kinds).
   kFlush,        ///< Barrier: close the open analyze batch.
   kShutdown,     ///< Graceful drain: in-flight finish, later requests fail.
 };
@@ -80,30 +85,36 @@ struct WireError {
   std::optional<int> line;            ///< Flow-set line (bad_flow_set).
 };
 
-/// Outcome of parsing one request line.  Even on failure, `op_text` and
-/// `id_json` carry whatever could be salvaged, so the error envelope can
-/// still echo the client's correlation id and intended op.
+/// Outcome of parsing one request line.  Even on failure, `op_text`,
+/// `id_json` and `trace` carry whatever could be salvaged, so the error
+/// envelope can still echo the client's correlation and trace ids and
+/// intended op.
 struct ParsedRequest {
   bool ok = false;
   Request request;      ///< Valid only when `ok`.
   std::string op_text;  ///< Raw `op` string when present ("" otherwise).
   std::string id_json;  ///< Rendered `id` when present ("" otherwise).
+  std::string trace;    ///< Raw `trace_id` when present ("" otherwise).
   WireError error;      ///< Set when `!ok`.
 };
 
 /// Parses and validates one request line (strict: see file comment).
 [[nodiscard]] ParsedRequest parse_request(std::string_view line);
 
-/// Success envelope; `result_json` must be a complete JSON value.
+/// Success envelope; `result_json` must be a complete JSON value.  An
+/// empty `trace` omits the `"trace"` field (pre-accept shed only).
 [[nodiscard]] std::string ok_envelope(std::uint64_t seq,
                                       const std::string& id_json,
                                       std::string_view op_text,
+                                      std::string_view trace,
                                       std::string_view result_json);
 
-/// Failure envelope; an empty `op_text` renders as `"op":null`.
+/// Failure envelope; an empty `op_text` renders as `"op":null`, an
+/// empty `trace` omits the `"trace"` field.
 [[nodiscard]] std::string error_envelope(std::uint64_t seq,
                                          const std::string& id_json,
                                          std::string_view op_text,
+                                         std::string_view trace,
                                          const WireError& error);
 
 /// `s` as a quoted, escaped JSON string literal.

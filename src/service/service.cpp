@@ -8,6 +8,8 @@
 
 #include "base/contracts.h"
 #include "model/serialize.h"
+#include "obs/eventlog.h"
+#include "obs/exposition.h"
 #include "obs/telemetry.h"
 #include "trajectory/batch.h"
 
@@ -103,6 +105,32 @@ WireError oversized_error(std::size_t bytes, std::size_t limit) {
   return e;
 }
 
+/// The service-generated trace id for a traceless request: a pure
+/// function of the sequence number, so transcripts stay byte-identical
+/// across transports, worker counts and executor counts.
+std::string generated_trace(std::uint64_t seq) {
+  return "t" + std::to_string(seq);
+}
+
+/// RAII span-context window: spans opened on `tracer` while the guard
+/// lives carry `trace` (obs/span.h).  Null tracer = no-op.
+class TraceContextGuard {
+ public:
+  TraceContextGuard() = default;
+  TraceContextGuard(obs::Tracer* tracer, const std::string& trace)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->set_context(trace);
+  }
+  TraceContextGuard(const TraceContextGuard&) = delete;
+  TraceContextGuard& operator=(const TraceContextGuard&) = delete;
+  ~TraceContextGuard() {
+    if (tracer_ != nullptr) tracer_->clear_context();
+  }
+
+ private:
+  obs::Tracer* tracer_ = nullptr;
+};
+
 }  // namespace
 
 Service::Service(ServiceConfig cfg, obs::Telemetry* telemetry)
@@ -129,7 +157,7 @@ void Service::bump(std::string_view counter) {
   if (telemetry_ != nullptr) ++telemetry_->metrics.counter(counter);
 }
 
-void Service::emit(std::string line, std::int64_t start_ns) {
+std::int64_t Service::emit(std::string line, std::int64_t start_ns) {
   // One clock call per response, telemetry or not, so an injected clock
   // ticks on the same schedule either way.
   const std::int64_t latency = cfg_.clock() - start_ns;
@@ -139,22 +167,87 @@ void Service::emit(std::string line, std::int64_t start_ns) {
     telemetry_->metrics.timer("service.latency_ns") += latency;
   }
   out_.push_back(std::move(line));
+  return latency;
+}
+
+void Service::note_response(std::uint64_t seq, std::string_view op_text,
+                            const std::string& trace, bool ok,
+                            std::int64_t latency_ns, const RequestMeta& meta,
+                            const WireError* error) {
+  if (cfg_.flight_recorder_depth > 0) {
+    FlightRecord rec;
+    rec.seq = seq;
+    rec.op = std::string(op_text);
+    rec.trace = trace;
+    rec.ok = ok;
+    rec.bytes = meta.bytes;
+    rec.latency_ns = latency_ns;
+    rec.shard = meta.shard;
+    rec.smax_passes = meta.smax_passes;
+    flight_.push_back(std::move(rec));
+    while (flight_.size() > cfg_.flight_recorder_depth) flight_.pop_front();
+  }
+  if (cfg_.event_log == nullptr) return;
+  const bool deadline_trip =
+      error != nullptr && error->code == "deadline_exceeded";
+  const bool slow =
+      cfg_.slow_request_ns > 0 && latency_ns >= cfg_.slow_request_ns;
+  if (deadline_trip) {
+    cfg_.event_log->record(
+        obs::EventSeverity::kWarn, "service.deadline_miss",
+        {{"seq", std::to_string(seq)},
+         {"op", op_text.empty() ? std::string("null") : json_string(op_text)},
+         {"trace", json_string(trace)},
+         {"latency_ns", std::to_string(latency_ns)}});
+  }
+  if ((slow || deadline_trip) && cfg_.flight_recorder_depth > 0) {
+    // Dump the whole ring: the records leading up to the slow/missed
+    // request give the phase-level context docs/observability.md
+    // describes.
+    std::string records = "[";
+    for (std::size_t i = 0; i < flight_.size(); ++i) {
+      const FlightRecord& rec = flight_[i];
+      if (i > 0) records += ',';
+      records += "{\"seq\":" + std::to_string(rec.seq) + ",\"op\":";
+      records += rec.op.empty() ? std::string("null") : json_string(rec.op);
+      records += ",\"trace\":" + json_string(rec.trace);
+      records += ",\"ok\":";
+      records += rec.ok ? "true" : "false";
+      records += ",\"bytes\":" + std::to_string(rec.bytes);
+      records += ",\"latency_ns\":" + std::to_string(rec.latency_ns);
+      records += ",\"shard\":" + std::to_string(rec.shard);
+      records += ",\"smax_passes\":" + std::to_string(rec.smax_passes);
+      records += '}';
+    }
+    records += ']';
+    cfg_.event_log->record(
+        obs::EventSeverity::kWarn, "service.flight_recorder",
+        {{"trigger", json_string(deadline_trip ? "deadline" : "slow_request")},
+         {"seq", std::to_string(seq)},
+         {"trace", json_string(trace)},
+         {"records", records}});
+  }
 }
 
 void Service::respond_ok(std::uint64_t seq, const std::string& id_json,
-                         std::string_view op_text,
-                         std::string_view result_json,
-                         std::int64_t start_ns) {
-  emit(ok_envelope(seq, id_json, op_text, result_json), start_ns);
+                         std::string_view op_text, const std::string& trace,
+                         std::string_view result_json, std::int64_t start_ns,
+                         const RequestMeta& meta) {
+  const std::int64_t latency =
+      emit(ok_envelope(seq, id_json, op_text, trace, result_json), start_ns);
+  note_response(seq, op_text, trace, /*ok=*/true, latency, meta, nullptr);
 }
 
 void Service::respond_error(std::uint64_t seq, const std::string& id_json,
-                            std::string_view op_text, const WireError& error,
-                            std::int64_t start_ns) {
+                            std::string_view op_text, const std::string& trace,
+                            const WireError& error, std::int64_t start_ns,
+                            const RequestMeta& meta) {
   bump("service.errors");
   if (telemetry_ != nullptr)
     ++telemetry_->metrics.counter("service.errors." + error.code);
-  emit(error_envelope(seq, id_json, op_text, error), start_ns);
+  const std::int64_t latency =
+      emit(error_envelope(seq, id_json, op_text, trace, error), start_ns);
+  note_response(seq, op_text, trace, /*ok=*/false, latency, meta, &error);
 }
 
 std::optional<std::string> Service::next_response() {
@@ -179,26 +272,34 @@ void Service::submit_oversized(std::size_t bytes) {
   const std::int64_t start = cfg_.clock();
   bump("service.requests");
   close_batch();
+  RequestMeta meta;
+  meta.bytes = bytes;
   // Ordered like the in-band size gate: before the draining check, so a
   // refused-to-buffer line answers `oversized` in every service state.
-  respond_error(seq, "", "", oversized_error(bytes, cfg_.max_request_bytes),
-                start);
+  respond_error(seq, "", "", generated_trace(seq),
+                oversized_error(bytes, cfg_.max_request_bytes), start, meta);
 }
 
 void Service::submit_at(std::string_view line, std::int64_t start,
                         bool transport_stamped) {
   const std::uint64_t seq = ++seq_;
   bump("service.requests");
+  RequestMeta meta;
+  meta.bytes = line.size();
 
   // Size gate before parsing: an oversized line is rejected unread.
   if (line.size() > cfg_.max_request_bytes) {
     close_batch();
-    respond_error(seq, "", "",
-                  oversized_error(line.size(), cfg_.max_request_bytes), start);
+    respond_error(seq, "", "", generated_trace(seq),
+                  oversized_error(line.size(), cfg_.max_request_bytes), start,
+                  meta);
     return;
   }
 
   ParsedRequest p = parse_request(line);
+  // The wire trace id, generated when the request carried none — every
+  // envelope from here on echoes it.
+  const std::string trace = p.trace.empty() ? generated_trace(seq) : p.trace;
 
   // Graceful drain: after shutdown every request — well-formed or not —
   // is refused with `draining` (the parse above only salvages the echo).
@@ -206,13 +307,13 @@ void Service::submit_at(std::string_view line, std::int64_t start,
     WireError e;
     e.code = "draining";
     e.message = "service is draining after shutdown";
-    respond_error(seq, p.id_json, p.op_text, e, start);
+    respond_error(seq, p.id_json, p.op_text, trace, e, start, meta);
     return;
   }
 
   if (!p.ok) {
     close_batch();
-    respond_error(seq, p.id_json, p.op_text, p.error, start);
+    respond_error(seq, p.id_json, p.op_text, trace, p.error, start, meta);
     return;
   }
 
@@ -227,7 +328,9 @@ void Service::submit_at(std::string_view line, std::int64_t start,
     PendingAnalyze pending;
     pending.seq = seq;
     pending.id_json = p.id_json;
+    pending.trace = trace;
     pending.session = p.request.session;
+    pending.bytes = line.size();
     pending.submitted_ns = start;
     pending.deadline_ms = p.request.deadline_ms;
     batch_.push_back(std::move(pending));
@@ -248,13 +351,13 @@ void Service::submit_at(std::string_view line, std::int64_t start,
       e.message = "request waited " + std::to_string(waited / 1'000'000) +
                   " ms, past its " + std::to_string(*p.request.deadline_ms) +
                   " ms deadline";
-      respond_error(seq, p.id_json, p.op_text, e, start);
+      respond_error(seq, p.id_json, p.op_text, trace, e, start, meta);
       return;
     }
   }
 
   close_batch();
-  execute(p.request, p.op_text, seq, p.id_json, start);
+  execute(p.request, p.op_text, seq, p.id_json, trace, line.size(), start);
 }
 
 void Service::close_batch() {
@@ -293,6 +396,7 @@ void Service::close_batch() {
   std::vector<Slot> slots(batch.size());
   std::vector<trajectory::CachedJob> jobs;
   std::vector<Session*> job_sessions;
+  std::vector<std::string> job_traces;  ///< Trace of the job's first request.
   std::map<std::string, std::size_t, std::less<>> job_of_session;
 
   // Resolve deadlines and session addresses first, without any session
@@ -362,6 +466,7 @@ void Service::close_batch() {
       job.telemetry = &sess->telemetry;
       jobs.push_back(job);
       job_sessions.push_back(sess);
+      job_traces.push_back(p.trace);
     } else {
       // Duplicate of a job already in this batch: answered from the same
       // result, and reported `cached` exactly like a memo hit — so the
@@ -372,9 +477,17 @@ void Service::close_batch() {
     s.job = it->second;
   }
 
+  // Each job's session tracer carries the trace of the request that
+  // created the job for the duration of the fan-out, so the engine's
+  // phase spans (settle, Smax passes) are attributable to one wire
+  // request.  Safe under the session locks held above; reanalyze_many
+  // never opens spans from inside its workers.
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    job_sessions[j]->telemetry.trace.set_context(job_traces[j]);
   std::vector<trajectory::Result> results;
   if (!jobs.empty())
     results = trajectory::reanalyze_many(jobs, cfg, cfg_.workers, telemetry_);
+  for (Session* sess : job_sessions) sess->telemetry.trace.clear_context();
 
   std::vector<std::string> fragments(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -393,20 +506,31 @@ void Service::close_batch() {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const PendingAnalyze& p = batch[i];
     const Slot& s = slots[i];
+    RequestMeta meta;
+    meta.bytes = p.bytes;
     if (s.failed) {
-      respond_error(p.seq, p.id_json, "analyze", s.error, p.submitted_ns);
+      respond_error(p.seq, p.id_json, "analyze", p.trace, s.error,
+                    p.submitted_ns, meta);
       continue;
     }
+    if (!s.cached && s.job != SIZE_MAX)
+      meta.smax_passes = results[s.job].stats.smax_passes;
     std::string result = s.cached ? "{\"cached\":true," : "{\"cached\":false,";
     result += s.memo_hit ? s.session->memo_fragment : fragments[s.job];
     result += '}';
-    respond_ok(p.seq, p.id_json, "analyze", result, p.submitted_ns);
+    respond_ok(p.seq, p.id_json, "analyze", p.trace, result, p.submitted_ns,
+               meta);
   }
 }
 
 void Service::execute(const Request& r, const std::string& op_text,
                       std::uint64_t seq, const std::string& id_json,
+                      const std::string& trace, std::size_t bytes,
                       std::int64_t start_ns) {
+  RequestMeta meta;
+  meta.bytes = bytes;
+  const TraceContextGuard trace_ctx(
+      telemetry_ != nullptr ? &telemetry_->trace : nullptr, trace);
   obs::Span op_span = obs::span(telemetry_, "service." + op_text);
   WireError e;
   switch (r.op) {
@@ -416,7 +540,7 @@ void Service::execute(const Request& r, const std::string& op_text,
         e.code = "bad_flow_set";
         e.message = parsed.located_error();
         e.line = parsed.error_line;
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       if (const auto issues = parsed.flow_set->validate(); !issues.empty()) {
@@ -425,7 +549,7 @@ void Service::execute(const Request& r, const std::string& op_text,
         if (issues.size() > 1)
           e.message +=
               " (+" + std::to_string(issues.size() - 1) + " more issue(s))";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       Session* sess = nullptr;
@@ -433,13 +557,13 @@ void Service::execute(const Request& r, const std::string& op_text,
         case SessionStore::Create::kDuplicate:
           e.code = "duplicate_session";
           e.message = "a session named '" + r.session + "' already exists";
-          respond_error(seq, id_json, op_text, e, start_ns);
+          respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
           return;
         case SessionStore::Create::kFull:
           e.code = "too_many_sessions";
           e.message = "session limit of " +
                       std::to_string(store_->capacity()) + " reached";
-          respond_error(seq, id_json, op_text, e, start_ns);
+          respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
           return;
         case SessionStore::Create::kCreated:
           break;
@@ -458,7 +582,7 @@ void Service::execute(const Request& r, const std::string& op_text,
       std::string result = "{\"session\":" + json_string(r.session) +
                            ",\"flows\":" + std::to_string(flows) +
                            ",\"nodes\":" + std::to_string(nodes) + "}";
-      respond_ok(seq, id_json, op_text, result, start_ns);
+      respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
       return;
     }
     case Op::kAddFlow: {
@@ -466,7 +590,7 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       const std::scoped_lock session_lock(sess->mu);
@@ -475,14 +599,14 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (!flow) {
         e.code = "bad_flow_set";
         e.message = why;
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       if (sess->set.find(flow->name())) {
         e.code = "duplicate_flow";
         e.message = "a flow named '" + flow->name() +
                     "' already exists in session '" + r.session + "'";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       model::FlowSet tentative = sess->set;
@@ -490,15 +614,15 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (const auto issues = tentative.validate(); !issues.empty()) {
         e.code = "invalid_flow_set";
         e.message = issues.front().message;
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       sess->set = std::move(tentative);
       if (sess->sharded) sess->sharded->add_flow(*flow);
       sess->invalidate_memo();
-      respond_ok(seq, id_json, op_text,
+      respond_ok(seq, id_json, op_text, trace,
                  "{\"flows\":" + std::to_string(sess->set.size()) + "}",
-                 start_ns);
+                 start_ns, meta);
       return;
     }
     case Op::kRemoveFlow: {
@@ -506,7 +630,7 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       const std::scoped_lock session_lock(sess->mu);
@@ -515,7 +639,7 @@ void Service::execute(const Request& r, const std::string& op_text,
         e.code = "unknown_flow";
         e.message = "no flow named '" + r.name + "' in session '" +
                     r.session + "'";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       model::FlowSet next(sess->set.network());
@@ -527,9 +651,9 @@ void Service::execute(const Request& r, const std::string& op_text,
       // The cache is kept: reanalyze_with() detects the removal and
       // falls back to a cold start on its own.
       sess->invalidate_memo();
-      respond_ok(seq, id_json, op_text,
+      respond_ok(seq, id_json, op_text, trace,
                  "{\"flows\":" + std::to_string(sess->set.size()) + "}",
-                 start_ns);
+                 start_ns, meta);
       return;
     }
     case Op::kAdmit: {
@@ -537,7 +661,7 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       const std::scoped_lock session_lock(sess->mu);
@@ -546,7 +670,7 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (!flow) {
         e.code = "bad_flow_set";
         e.message = why;
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       trajectory::Config cfg = cfg_.analysis;
@@ -572,12 +696,28 @@ void Service::execute(const Request& r, const std::string& op_text,
         sess->sharded->load(sess->set);
         sess->sharded_key = key;
       }
-      const trajectory::AdmitOutcome d = sess->sharded->admit(*flow);
+      trajectory::AdmitOutcome d;
+      {
+        // The session tracer carries this request's trace id through the
+        // shard-routed settle + tentative Smax run.
+        const TraceContextGuard session_ctx(&sess->telemetry.trace, trace);
+        d = sess->sharded->admit(*flow);
+      }
       if (d.admitted) {
         sess->set.add(*flow);
         sess->invalidate_memo();
       }
       bump(d.admitted ? "service.admit.admitted" : "service.admit.rejected");
+      meta.shard = d.shard;
+      meta.smax_passes = d.stats.smax_passes;
+      if (cfg_.event_log != nullptr && d.merged_shards > 0) {
+        cfg_.event_log->record(
+            obs::EventSeverity::kInfo, "service.shard_merge",
+            {{"session", json_string(r.session)},
+             {"trace", json_string(trace)},
+             {"shard", std::to_string(d.shard)},
+             {"merged", std::to_string(d.merged_shards)}});
+      }
       const trajectory::ShardStats shards = sess->sharded->stats();
       std::string result = "{\"admitted\":";
       result += d.admitted ? "true" : "false";
@@ -594,7 +734,7 @@ void Service::execute(const Request& r, const std::string& op_text,
                 ",\"merged\":" + std::to_string(d.merged_shards) +
                 ",\"shards\":" + std::to_string(shards.shards) +
                 ",\"largest\":" + std::to_string(shards.largest_shard) + "}}";
-      respond_ok(seq, id_json, op_text, result, start_ns);
+      respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
       return;
     }
     case Op::kSnapshot: {
@@ -602,7 +742,7 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (sess == nullptr) {
         e.code = "unknown_session";
         e.message = "no session named '" + r.session + "'";
-        respond_error(seq, id_json, op_text, e, start_ns);
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
         return;
       }
       const std::scoped_lock session_lock(sess->mu);
@@ -613,7 +753,7 @@ void Service::execute(const Request& r, const std::string& op_text,
           ",\"analyzes\":" + std::to_string(sess->analyzes) +
           ",\"shards\":" + std::to_string(shards) + ",\"text\":" +
           json_string(model::serialize_flow_set(sess->set)) + "}";
-      respond_ok(seq, id_json, op_text, result, start_ns);
+      respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
       return;
     }
     case Op::kMetrics: {
@@ -647,21 +787,56 @@ void Service::execute(const Request& r, const std::string& op_text,
       if (telemetry_ != nullptr)
         result += ",\"service\":" + telemetry_->metrics.deterministic_json();
       result += "}";
-      respond_ok(seq, id_json, op_text, result, start_ns);
+      respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
+      return;
+    }
+    case Op::kStatsz: {
+      // Prometheus-text exposition of the deterministic metric kinds
+      // (counters, histograms, series): scoped to one session when the
+      // request names one, otherwise the service registry plus every
+      // session's under `session.<name>.` — merged in name order, so
+      // the text is bit-identical for any worker/executor count.  The
+      // full view (timers, gauges) lives on the HTTP --metrics-port
+      // endpoint, which may serve host-dependent values.
+      obs::MetricRegistry merged;
+      if (!r.session.empty()) {
+        Session* sess = store_->find(r.session);
+        if (sess == nullptr) {
+          e.code = "unknown_session";
+          e.message = "no session named '" + r.session + "'";
+          respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
+          return;
+        }
+        const std::scoped_lock session_lock(sess->mu);
+        merged.merge(sess->telemetry.metrics);
+      } else {
+        if (telemetry_ != nullptr) merged.merge(telemetry_->metrics);
+        store_->for_each([&](const std::string& name, Session& sess) {
+          const std::scoped_lock session_lock(sess.mu);
+          merged.merge_with_prefix(sess.telemetry.metrics,
+                                   "session." + name + ".");
+        });
+      }
+      obs::ExpositionOptions opts;
+      opts.deterministic_only = true;
+      const std::string result =
+          "{\"format\":\"prometheus\",\"text\":" +
+          json_string(obs::prometheus_text(merged, opts)) + "}";
+      respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
       return;
     }
     case Op::kFlush: {
-      respond_ok(seq, id_json, op_text,
+      respond_ok(seq, id_json, op_text, trace,
                  "{\"flushed\":" + std::to_string(last_batch_) + "}",
-                 start_ns);
+                 start_ns, meta);
       return;
     }
     case Op::kShutdown: {
       draining_ = true;
-      respond_ok(seq, id_json, op_text,
+      respond_ok(seq, id_json, op_text, trace,
                  "{\"sessions\":" + std::to_string(store_->size()) +
                      ",\"requests\":" + std::to_string(seq_) + "}",
-                 start_ns);
+                 start_ns, meta);
       return;
     }
     case Op::kAnalyze:

@@ -48,6 +48,7 @@
 #include "trajectory/types.h"
 
 namespace tfa::obs {
+class EventLog;
 struct Telemetry;
 }  // namespace tfa::obs
 
@@ -80,6 +81,30 @@ struct ServiceConfig {
   /// per batch close, once per response) precisely so an injected clock
   /// yields deterministic values.
   std::function<std::int64_t()> clock;
+
+  /// Structured event log (obs/eventlog.h; may be null, must outlive
+  /// the service).  Receives deadline-miss, shard-merge, slow-request
+  /// and flight-recorder events.  The log has its own clock, so wiring
+  /// one never changes response bytes.
+  obs::EventLog* event_log = nullptr;
+
+  /// Flight recorder: ring of the last N request records (op, bytes,
+  /// latency, shard, Smax passes) kept per service — per connection on
+  /// the socket transport.  0 disables it.
+  std::size_t flight_recorder_depth = 32;
+
+  /// Slow-request threshold in nanoseconds: a response slower than this
+  /// dumps the flight recorder into the event log (as does any
+  /// deadline_exceeded response).  0 disables the latency trigger.
+  std::int64_t slow_request_ns = 0;
+};
+
+/// Flight-recorder attribution of one response (beyond what the
+/// respond path's signature already carries).
+struct RequestMeta {
+  std::size_t bytes = 0;        ///< Request line bytes.
+  std::uint64_t shard = 0;      ///< Shard id touched (admit; 0 = none).
+  std::size_t smax_passes = 0;  ///< Smax passes of the engine run.
 };
 
 /// The embeddable service core.  Single-threaded by contract, like the
@@ -142,25 +167,50 @@ class Service {
   struct PendingAnalyze {
     std::uint64_t seq = 0;
     std::string id_json;
+    std::string trace;  ///< Resolved trace id (request's or generated).
     std::string session;
+    std::size_t bytes = 0;
     std::int64_t submitted_ns = 0;
     std::optional<std::int64_t> deadline_ms;
+  };
+
+  /// One flight-recorder entry.
+  struct FlightRecord {
+    std::uint64_t seq = 0;
+    std::string op;
+    std::string trace;
+    bool ok = true;
+    std::size_t bytes = 0;
+    std::int64_t latency_ns = 0;  ///< Arrival to reply.
+    std::uint64_t shard = 0;
+    std::size_t smax_passes = 0;
   };
 
   void submit_at(std::string_view line, std::int64_t start_ns,
                  bool transport_stamped);
   void execute(const Request& r, const std::string& op_text,
                std::uint64_t seq, const std::string& id_json,
+               const std::string& trace, std::size_t bytes,
                std::int64_t start_ns);
   void close_batch();
 
   void respond_ok(std::uint64_t seq, const std::string& id_json,
-                  std::string_view op_text, std::string_view result_json,
-                  std::int64_t start_ns);
+                  std::string_view op_text, const std::string& trace,
+                  std::string_view result_json, std::int64_t start_ns,
+                  const RequestMeta& meta = {});
   void respond_error(std::uint64_t seq, const std::string& id_json,
-                     std::string_view op_text, const WireError& error,
-                     std::int64_t start_ns);
-  void emit(std::string line, std::int64_t start_ns);
+                     std::string_view op_text, const std::string& trace,
+                     const WireError& error, std::int64_t start_ns,
+                     const RequestMeta& meta = {});
+  /// Records the latency metrics and queues the line; returns the
+  /// response latency (one clock call — the fixed schedule).
+  std::int64_t emit(std::string line, std::int64_t start_ns);
+  /// Flight-recorder bookkeeping + slow-request / deadline-trip event
+  /// hooks, after a response was emitted.
+  void note_response(std::uint64_t seq, std::string_view op_text,
+                     const std::string& trace, bool ok,
+                     std::int64_t latency_ns, const RequestMeta& meta,
+                     const WireError* error);
   void bump(std::string_view counter);
 
   ServiceConfig cfg_;
@@ -176,6 +226,7 @@ class Service {
   std::size_t last_batch_ = 0;  ///< Size of the most recently closed batch.
 
   std::deque<std::string> out_;
+  std::deque<FlightRecord> flight_;  ///< Last N responses, oldest first.
 };
 
 }  // namespace tfa::service

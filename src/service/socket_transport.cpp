@@ -10,7 +10,10 @@
 #include <utility>
 
 #include "base/contracts.h"
+#include "obs/eventlog.h"
+#include "obs/exposition.h"
 #include "obs/telemetry.h"
+#include "service/metrics_http.h"
 #include "service/protocol.h"
 
 namespace tfa::service {
@@ -32,15 +35,37 @@ bool blank(std::string_view line) noexcept {
 }
 
 /// The one-line goodbye a shed connection receives.  `seq` is 0: no
-/// request of this connection was ever accepted.
+/// request of this connection was ever accepted — and no trace either;
+/// the shed envelope is the one response without a `trace` field
+/// (docs/service.md).
 const std::string& shed_line() {
   static const std::string line = [] {
     WireError e;
     e.code = "shed";
     e.message = "connection limit reached, retry later";
-    return error_envelope(0, "", "", e) + "\n";
+    return error_envelope(0, "", "", "", e) + "\n";
   }();
   return line;
+}
+
+/// Fixed bucket upper bounds of the request-latency histogram,
+/// nanoseconds: 100µs, 1ms, 10ms, 100ms, 1s, 10s (+overflow).  Fixed so
+/// per-connection histograms always merge bucket-wise.
+const std::vector<std::int64_t>& latency_bounds() {
+  static const std::vector<std::int64_t> bounds = {
+      100'000,     1'000'000,     10'000'000,
+      100'000'000, 1'000'000'000, 10'000'000'000};
+  return bounds;
+}
+
+/// Bucket-wise histogram fold (same rule MetricRegistry::merge applies).
+void fold_histogram(obs::Histogram& dst, const obs::Histogram& src) {
+  TFA_ASSERT(dst.bounds == src.bounds);
+  for (std::size_t k = 0; k < src.counts.size(); ++k)
+    dst.counts[k] += src.counts[k];
+  dst.overflow += src.overflow;
+  dst.count += src.count;
+  dst.sum += src.sum;
 }
 
 }  // namespace
@@ -53,10 +78,15 @@ const std::string& shed_line() {
 /// contract; cross-connection safety comes from the shared
 /// SessionStore's locks underneath.
 struct SocketServer::Conn {
-  Conn(net::UniqueFd fd_in, const ServiceConfig& cfg, SessionStore* store)
-      : fd(std::move(fd_in)), service(cfg, nullptr, store) {}
+  Conn(net::UniqueFd fd_in, std::uint64_t id_in, const ServiceConfig& cfg,
+       SessionStore* store)
+      : fd(std::move(fd_in)), id(id_in), service(cfg, nullptr, store) {
+    latency.bounds = latency_bounds();
+    latency.counts.assign(latency.bounds.size(), 0);
+  }
 
   net::UniqueFd fd;
+  const std::uint64_t id;  ///< Monotone accept index (1-based).
   Service service;
 
   // Event-loop-owned framing state.
@@ -80,6 +110,11 @@ struct SocketServer::Conn {
   std::string outbuf;
   std::size_t out_cursor = 0;  ///< Bytes of `outbuf` already written.
   bool broken = false;         ///< Hard socket error: close without flushing.
+
+  /// Request latency (arrival to responses-drained), recorded by the
+  /// owning executor and read by the metrics snapshot — guarded by `mu`
+  /// like the rest of the executor handshake.
+  obs::Histogram latency;
 };
 
 SocketServer::SocketServer(SocketServerConfig cfg, obs::Telemetry* telemetry)
@@ -91,6 +126,8 @@ SocketServer::SocketServer(SocketServerConfig cfg, obs::Telemetry* telemetry)
   cfg_.service.clock = nullptr;
   if (cfg_.executors == 0) cfg_.executors = 1;
   if (cfg_.max_conns == 0) cfg_.max_conns = 1;
+  closed_latency_.bounds = latency_bounds();
+  closed_latency_.counts.assign(closed_latency_.bounds.size(), 0);
 }
 
 SocketServer::~SocketServer() { stop(); }
@@ -112,6 +149,17 @@ bool SocketServer::start(std::string* error) {
   }
   wake_ = std::move(*wake);
 
+  if (cfg_.metrics_port >= 0) {
+    metrics_server_ = std::make_unique<MetricsHttpServer>(
+        static_cast<std::uint16_t>(cfg_.metrics_port),
+        [this] { return metrics_text(); });
+    if (!metrics_server_->start(error)) {
+      metrics_server_.reset();
+      listener_.reset();
+      return false;
+    }
+  }
+
   stop_requested_.store(false);
   loop_done_.store(false);
   quit_executors_.store(false);
@@ -125,6 +173,12 @@ bool SocketServer::start(std::string* error) {
 
 void SocketServer::stop() {
   if (!started_.load()) return;
+  // The endpoint snapshots connections and sessions; take it down
+  // before the structures it reads start draining.
+  if (metrics_server_ != nullptr) {
+    metrics_server_->stop();
+    metrics_server_.reset();
+  }
   stop_requested_.store(true);
   wake_.notify();
   if (loop_thread_.joinable()) loop_thread_.join();
@@ -162,6 +216,67 @@ void SocketServer::publish_counters() {
       bytes_in_.load(std::memory_order_relaxed));
   m.counter("service.net.bytes_out") += static_cast<std::int64_t>(
       bytes_out_.load(std::memory_order_relaxed));
+  const std::scoped_lock lock(latency_mu_);
+  if (closed_latency_.count > 0)
+    fold_histogram(
+        m.histogram("service.net.request_latency_ns", latency_bounds()),
+        closed_latency_);
+}
+
+std::uint16_t SocketServer::metrics_port() const noexcept {
+  return metrics_server_ != nullptr ? metrics_server_->port() : 0;
+}
+
+std::string SocketServer::metrics_text() {
+  obs::MetricRegistry snap;
+  snap.counter("service.net.accepted") += static_cast<std::int64_t>(
+      accepted_.load(std::memory_order_relaxed));
+  snap.counter("service.net.shed") +=
+      static_cast<std::int64_t>(shed_.load(std::memory_order_relaxed));
+  snap.counter("service.net.requests") += static_cast<std::int64_t>(
+      requests_.load(std::memory_order_relaxed));
+  snap.counter("service.net.oversized") += static_cast<std::int64_t>(
+      oversized_.load(std::memory_order_relaxed));
+  snap.counter("service.net.bytes_in") += static_cast<std::int64_t>(
+      bytes_in_.load(std::memory_order_relaxed));
+  snap.counter("service.net.bytes_out") += static_cast<std::int64_t>(
+      bytes_out_.load(std::memory_order_relaxed));
+
+  // Latency: the closed-connection fold plus every live connection, in
+  // connection-id order (fixed merge order — docs/observability.md).
+  obs::Histogram merged;
+  merged.bounds = latency_bounds();
+  merged.counts.assign(merged.bounds.size(), 0);
+  {
+    const std::scoped_lock lock(latency_mu_);
+    fold_histogram(merged, closed_latency_);
+  }
+  std::vector<std::shared_ptr<Conn>> live;
+  {
+    const std::scoped_lock lock(conns_mu_);
+    live = conns_;
+  }
+  std::sort(live.begin(), live.end(),
+            [](const std::shared_ptr<Conn>& a, const std::shared_ptr<Conn>& b) {
+              return a->id < b->id;
+            });
+  for (const std::shared_ptr<Conn>& c : live) {
+    const std::scoped_lock lock(c->mu);
+    fold_histogram(merged, c->latency);
+  }
+  fold_histogram(snap.histogram("service.net.request_latency_ns",
+                                latency_bounds()),
+                 merged);
+
+  // The attached telemetry (only stop() writes it, after the endpoint
+  // is down) and every session's registry, in name order.
+  if (telemetry_ != nullptr) snap.merge(telemetry_->metrics);
+  store_.for_each([&](const std::string& name, Session& sess) {
+    const std::scoped_lock session_lock(sess.mu);
+    snap.merge_with_prefix(sess.telemetry.metrics, "session." + name + ".");
+  });
+
+  return obs::prometheus_text(snap);
 }
 
 void SocketServer::accept_pending() {
@@ -176,14 +291,25 @@ void SocketServer::accept_pending() {
       // Shed: a fresh socket's send buffer is empty, so this
       // best-effort write delivers the envelope in practice.
       shed_.fetch_add(1, std::memory_order_relaxed);
+      if (cfg_.service.event_log != nullptr)
+        cfg_.service.event_log->record(
+            obs::EventSeverity::kWarn, "service.shed",
+            {{"limit", std::to_string(cfg_.max_conns)}});
       const std::string& line = shed_line();
       (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
       continue;  // `owned` closes it.
     }
     if (!net::set_nonblocking(fd, true)) continue;
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    conns_.push_back(
-        std::make_shared<Conn>(std::move(owned), cfg_.service, &store_));
+    const std::uint64_t id = next_conn_id_++;
+    if (cfg_.service.event_log != nullptr)
+      cfg_.service.event_log->record(obs::EventSeverity::kInfo,
+                                     "service.accept",
+                                     {{"conn", std::to_string(id)}});
+    std::shared_ptr<Conn> conn =
+        std::make_shared<Conn>(std::move(owned), id, cfg_.service, &store_);
+    const std::scoped_lock lock(conns_mu_);
+    conns_.push_back(std::move(conn));
   }
 }
 
@@ -372,6 +498,8 @@ void SocketServer::event_loop() {
         }
       }
       if (done) {
+        retire(c);
+        const std::scoped_lock lock(conns_mu_);
         conns_[k] = std::move(conns_.back());
         conns_.pop_back();
         continue;
@@ -411,12 +539,29 @@ void SocketServer::event_loop() {
     }
   }
 
-  conns_.clear();
+  for (const std::shared_ptr<Conn>& c : conns_) retire(c);
+  {
+    const std::scoped_lock lock(conns_mu_);
+    conns_.clear();
+  }
   {
     const std::scoped_lock lock(done_mu_);
     loop_done_.store(true);
   }
   done_cv_.notify_all();
+}
+
+void SocketServer::retire(const std::shared_ptr<Conn>& c) {
+  // Fold the connection's latency histogram into the closed-connection
+  // aggregate.  A broken connection can still be owned by an executor;
+  // its tail samples are dropped rather than raced for.
+  const std::scoped_lock lock(c->mu, latency_mu_);
+  if (c->busy) return;
+  fold_histogram(closed_latency_, c->latency);
+  c->latency.counts.assign(c->latency.bounds.size(), 0);
+  c->latency.overflow = 0;
+  c->latency.count = 0;
+  c->latency.sum = 0;
 }
 
 void SocketServer::executor_loop() {
@@ -464,9 +609,12 @@ void SocketServer::executor_loop() {
         out += *r;
         out += '\n';
       }
+      const std::int64_t done_ns = steady_now_ns();
       bool finished;
       {
         const std::scoped_lock lock(c->mu);
+        for (const Conn::Item& item : batch)
+          c->latency.record(done_ns - item.arrival_ns);
         c->outbuf += out;
         finished = c->pending.empty();
         if (finished) c->busy = false;

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "base/net.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 #include "service/session.h"
 
@@ -53,6 +54,8 @@ struct Telemetry;
 }  // namespace tfa::obs
 
 namespace tfa::service {
+
+class MetricsHttpServer;
 
 /// Tuning knobs of one SocketServer.
 struct SocketServerConfig {
@@ -82,6 +85,12 @@ struct SocketServerConfig {
   /// exit.  When false, `shutdown` only drains that connection's
   /// Service (later requests on it answer `draining`).
   bool stop_on_shutdown = true;
+
+  /// Prometheus exposition endpoint (service/metrics_http.h): -1
+  /// disables it (default), 0 binds an ephemeral port (read back via
+  /// metrics_port()), anything else binds that 127.0.0.1 port.  Serves
+  /// metrics_text() — the live merged registry view.
+  int metrics_port = -1;
 
   /// Per-connection service configuration.  `max_sessions` bounds the
   /// *shared* store; an injected `clock` is ignored (the transport
@@ -124,6 +133,17 @@ class SocketServer {
   /// Bound TCP port (valid after start() when listening on TCP).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// Bound metrics-endpoint port (0 when the endpoint is disabled).
+  [[nodiscard]] std::uint16_t metrics_port() const noexcept;
+
+  /// Prometheus-text snapshot of the live server: transport counters,
+  /// the request-latency histogram merged across closed and live
+  /// connections (in connection-id order), the attached telemetry's
+  /// registry, and every session's registry under `session.<name>.` —
+  /// the full (non-deterministic-only) view the --metrics-port endpoint
+  /// serves.  Thread-safe; callable while the server runs.
+  [[nodiscard]] std::string metrics_text();
+
   /// Unix socket path ("" when listening on TCP).
   [[nodiscard]] const std::string& path() const noexcept {
     return cfg_.unix_path;
@@ -155,6 +175,7 @@ class SocketServer {
   void enqueue_line(Conn& c, std::string line);
   void write_to(const std::shared_ptr<Conn>& c);
   void maybe_dispatch(const std::shared_ptr<Conn>& c);
+  void retire(const std::shared_ptr<Conn>& c);
   void publish_counters();
 
   SocketServerConfig cfg_;
@@ -164,6 +185,7 @@ class SocketServer {
   net::UniqueFd listener_;
   net::Pipe wake_;
   std::uint16_t port_ = 0;
+  std::unique_ptr<MetricsHttpServer> metrics_server_;
 
   std::thread loop_thread_;
   std::vector<std::thread> executor_threads_;
@@ -173,9 +195,18 @@ class SocketServer {
   std::atomic<bool> loop_done_{false};
   std::atomic<bool> quit_executors_{false};
 
-  // Event-loop-owned connection set (shared_ptrs so executors can hold
+  // Connection set: only the event-loop thread mutates it, but the
+  // metrics snapshot reads it from the endpoint thread, so mutations
+  // and snapshots take `conns_mu_` (shared_ptrs so executors can hold
   // a connection across its removal from the set).
+  std::mutex conns_mu_;
   std::vector<std::shared_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 1;  ///< Event-loop-owned.
+
+  // Request-latency histogram folded out of closed connections (live
+  // ones are merged on top at snapshot time, in connection-id order).
+  std::mutex latency_mu_;
+  obs::Histogram closed_latency_;
 
   // Ready queue feeding the executors.
   std::mutex ready_mu_;

@@ -84,6 +84,8 @@ void ShardedAnalyzer::rebuild_shard(ShardId id) {
   s.analyzed = false;
   s.healthy = false;
   s.last = Result{};
+  dirty_.insert(id);
+  unhealthy_.insert(id);
 }
 
 ShardId ShardedAnalyzer::apply_merge(const std::vector<ShardId>& members,
@@ -114,6 +116,8 @@ ShardId ShardedAnalyzer::apply_merge(const std::vector<ShardId>& members,
       for (const std::string& name : absorbed.names) shard_of_[name] = target;
       ++stats_.merges;
       shards_.erase(id);
+      dirty_.erase(id);
+      unhealthy_.erase(id);
     }
   }
   flows_.insert_or_assign(flow.name(), flow);
@@ -169,6 +173,8 @@ std::optional<ShardOutcome> ShardedAnalyzer::remove_flow(
   out.shard = sid;
   if (s.names.empty()) {
     shards_.erase(sid);
+    dirty_.erase(sid);
+    unhealthy_.erase(sid);
     return out;
   }
 
@@ -213,6 +219,8 @@ std::optional<ShardOutcome> ShardedAnalyzer::remove_flow(
   // The shard split: every fragment starts a fresh lineage (no fragment's
   // cached rows could seed another's table soundly anyway).
   shards_.erase(sid);
+  dirty_.erase(sid);
+  unhealthy_.erase(sid);
   bool first = true;
   for (const std::size_t r : roots) {
     const ShardId id = next_id_++;
@@ -266,9 +274,9 @@ void ShardedAnalyzer::publish_run(ShardId id, const Result& r,
 }
 
 std::size_t ShardedAnalyzer::settle() {
-  std::vector<ShardId> dirty;
-  for (const auto& [id, s] : shards_)
-    if (!s.analyzed) dirty.push_back(id);
+  // The dirty index replaces the former all-shards scan; as an ordered
+  // set it yields the same shard-id order the scan did.
+  const std::vector<ShardId> dirty(dirty_.begin(), dirty_.end());
   if (dirty.empty()) return 0;
 
   const std::size_t fan =
@@ -292,8 +300,12 @@ std::size_t ShardedAnalyzer::settle() {
     for (std::size_t k = 0; k < dirty.size(); ++k)
       analyze_shard(dirty[k], &sinks[k]);
   }
+  // Index maintenance happens here, sequentially — analyze_shard runs
+  // inside parallel_for and must not touch the sets.
   for (std::size_t k = 0; k < dirty.size(); ++k) {
     const Shard& s = shard_at(dirty[k]);
+    dirty_.erase(dirty[k]);
+    if (s.healthy) unhealthy_.erase(dirty[k]);
     publish_run(dirty[k], s.last, s.names.size());
     if (telemetry_ != nullptr)
       telemetry_->metrics.merge_with_prefix(sinks[k].metrics, "shard.");
@@ -387,9 +399,12 @@ AdmitOutcome ShardedAnalyzer::admit(const model::SporadicFlow& candidate) {
   }
   // Untouched shards keep their certified verdicts; an unhealthy one
   // vetoes the admission exactly as its flows would in a global analysis.
-  for (const auto& [id, s] : shards_) {
+  // The unhealthy index (everything is settled here) replaces the former
+  // all-shards scan; it iterates in the same shard-id order.
+  for (const ShardId id : unhealthy_) {
     if (std::binary_search(members.begin(), members.end(), id)) continue;
-    if (s.healthy) continue;
+    const Shard& s = shard_at(id);
+    TFA_ASSERT(s.analyzed && !s.healthy);
     ok = false;
     for (const FlowBound& b : s.last.bounds)
       if (!b.schedulable)
@@ -413,6 +428,8 @@ AdmitOutcome ShardedAnalyzer::admit(const model::SporadicFlow& candidate) {
   t.last = std::move(r);
   t.analyzed = true;
   t.healthy = true;
+  dirty_.erase(target);
+  unhealthy_.erase(target);
   out.admitted = true;
   out.reason = "admitted";
   out.shard = target;
@@ -478,6 +495,14 @@ std::size_t ShardedAnalyzer::size() const noexcept { return flows_.size(); }
 
 std::size_t ShardedAnalyzer::shard_count() const noexcept {
   return shards_.size();
+}
+
+std::size_t ShardedAnalyzer::dirty_count() const noexcept {
+  return dirty_.size();
+}
+
+std::size_t ShardedAnalyzer::unhealthy_count() const noexcept {
+  return unhealthy_.size();
 }
 
 ShardStats ShardedAnalyzer::stats() const {

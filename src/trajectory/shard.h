@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -156,6 +157,14 @@ class ShardedAnalyzer {
   [[nodiscard]] std::optional<ShardId> shard_of(std::string_view name) const;
   [[nodiscard]] std::size_t size() const noexcept;
   [[nodiscard]] std::size_t shard_count() const noexcept;
+
+  /// Shards whose analysis is stale right now — the settle() work list.
+  /// Maintained as an explicit index (no O(#shards) scan on reads).
+  [[nodiscard]] std::size_t dirty_count() const noexcept;
+
+  /// Settled shards whose last verdict was unhealthy — the admit() veto
+  /// index.  A dirty shard counts as unhealthy until settled.
+  [[nodiscard]] std::size_t unhealthy_count() const noexcept;
   [[nodiscard]] ShardStats stats() const;
   [[nodiscard]] const model::Network& network() const noexcept;
   [[nodiscard]] const Config& config() const noexcept;
@@ -189,6 +198,13 @@ class ShardedAnalyzer {
   std::map<std::string, ShardId, std::less<>> shard_of_;
   std::map<NodeId, ShardId> node_shard_;
   std::map<ShardId, Shard> shards_;
+  /// Indexes over shards_, maintained at every membership/verdict change
+  /// so settle() and admit() never scan the whole partition:
+  /// dirty_ = {id : !analyzed}, unhealthy_ = {id : !healthy}.  Ordered
+  /// sets, so consumers inherit the deterministic shard-id order the
+  /// full scans had.
+  std::set<ShardId> dirty_;
+  std::set<ShardId> unhealthy_;
   ShardId next_id_ = 1;
   ShardStats stats_;
 };

@@ -1,0 +1,138 @@
+// Tests of the structured event log (obs/eventlog.h): the fixed line
+// schema, severity filtering, debug/info sampling, ring eviction, the
+// live sink, and concurrent recording.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/eventlog.h"
+
+namespace tfa::obs {
+namespace {
+
+/// Deterministic clock: 1, 2, 3, ... per call.
+std::function<std::int64_t()> counting_clock() {
+  auto t = std::make_shared<std::int64_t>(0);
+  return [t] { return ++*t; };
+}
+
+EventLogConfig test_config() {
+  EventLogConfig cfg;
+  cfg.clock = counting_clock();
+  return cfg;
+}
+
+TEST(EventLog, LineSchemaIsByteExact) {
+  EventLog log(test_config());
+  EXPECT_TRUE(log.record(EventSeverity::kInfo, "service.accept",
+                         {{"conn", "1"}}));
+  EXPECT_TRUE(log.record(
+      EventSeverity::kWarn, "service.deadline_miss",
+      {{"seq", "9"}, {"op", "\"analyze\""}, {"latency_ns", "2000000"}}));
+  EXPECT_TRUE(log.record(EventSeverity::kError, "service.fault", {}));
+  const std::vector<std::string> lines = log.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            R"({"ts":1,"severity":"info","event":"service.accept","conn":1})");
+  EXPECT_EQ(lines[1],
+            R"({"ts":2,"severity":"warn","event":"service.deadline_miss",)"
+            R"("seq":9,"op":"analyze","latency_ns":2000000})");
+  EXPECT_EQ(lines[2], R"({"ts":3,"severity":"error","event":"service.fault"})");
+  EXPECT_EQ(log.dump(), lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n");
+}
+
+TEST(EventLog, SeverityNamesRoundTrip) {
+  for (const EventSeverity sev :
+       {EventSeverity::kDebug, EventSeverity::kInfo, EventSeverity::kWarn,
+        EventSeverity::kError}) {
+    const auto back = severity_from_string(to_string(sev));
+    ASSERT_TRUE(back.has_value()) << to_string(sev);
+    EXPECT_EQ(*back, sev);
+  }
+  EXPECT_FALSE(severity_from_string("loud").has_value());
+  EXPECT_FALSE(severity_from_string("").has_value());
+}
+
+TEST(EventLog, MinSeverityFilters) {
+  EventLogConfig cfg = test_config();
+  cfg.min_severity = EventSeverity::kWarn;
+  EventLog log(cfg);
+  EXPECT_FALSE(log.record(EventSeverity::kDebug, "e", {}));
+  EXPECT_FALSE(log.record(EventSeverity::kInfo, "e", {}));
+  EXPECT_TRUE(log.record(EventSeverity::kWarn, "e", {}));
+  EXPECT_TRUE(log.record(EventSeverity::kError, "e", {}));
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.filtered(), 2u);
+}
+
+TEST(EventLog, SamplingKeepsEveryNthLowSeverityEvent) {
+  EventLogConfig cfg = test_config();
+  cfg.sample_every = 3;
+  EventLog log(cfg);
+  std::size_t kept_info = 0;
+  for (int i = 0; i < 9; ++i)
+    if (log.record(EventSeverity::kInfo, "e", {})) ++kept_info;
+  EXPECT_EQ(kept_info, 3u);
+  // Warn/error are never sampled away.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(log.record(EventSeverity::kWarn, "e", {}));
+  EXPECT_EQ(log.recorded(), 8u);
+}
+
+TEST(EventLog, RingEvictsOldestAndCounts) {
+  EventLogConfig cfg = test_config();
+  cfg.capacity = 2;
+  EventLog log(cfg);
+  (void)log.record(EventSeverity::kInfo, "first", {});
+  (void)log.record(EventSeverity::kInfo, "second", {});
+  (void)log.record(EventSeverity::kInfo, "third", {});
+  const std::vector<std::string> lines = log.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"second\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"third\""), std::string::npos);
+  EXPECT_EQ(log.evicted(), 1u);
+  EXPECT_EQ(log.recorded(), 3u);
+}
+
+TEST(EventLog, SinkReceivesKeptLinesOnly) {
+  EventLogConfig cfg = test_config();
+  cfg.min_severity = EventSeverity::kInfo;
+  EventLog log(cfg);
+  std::ostringstream sink;
+  log.set_sink(&sink);
+  (void)log.record(EventSeverity::kDebug, "dropped", {});
+  (void)log.record(EventSeverity::kInfo, "kept", {{"k", "7"}});
+  EXPECT_EQ(sink.str(),
+            R"({"ts":1,"severity":"info","event":"kept","k":7})"
+            "\n");
+}
+
+/// The log is the one obs component shared across threads; hammer it and
+/// check nothing is lost or torn.
+TEST(EventLog, ConcurrentRecordingLosesNothing) {
+  EventLog log(test_config());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        (void)log.record(EventSeverity::kInfo, "worker",
+                         {{"thread", std::to_string(t)}});
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.recorded(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  for (const std::string& line : log.lines()) {
+    EXPECT_EQ(line.find("{\"ts\":"), 0u) << line;
+    EXPECT_NE(line.find("\"event\":\"worker\""), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace tfa::obs

@@ -1,0 +1,105 @@
+// Golden tests of the Prometheus text exposition (obs/exposition.h):
+// name sanitisation, the byte-exact block layout per metric kind, the
+// deterministic-only restriction the `statsz` wire op serves, and the
+// nearest-rank bucket quantiles.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace tfa::obs {
+namespace {
+
+TEST(Exposition, NameSanitisation) {
+  EXPECT_EQ(prometheus_name("service.net.requests"),
+            "tfa_service_net_requests");
+  EXPECT_EQ(prometheus_name("session.load-1.engine.smax_passes"),
+            "tfa_session_load_1_engine_smax_passes");
+  EXPECT_EQ(prometheus_name("already_valid:name"), "tfa_already_valid:name");
+}
+
+TEST(Exposition, FullViewIsByteExact) {
+  MetricRegistry reg;
+  reg.counter("svc.requests") += 3;
+  reg.timer("svc.wall") += 1500;
+  reg.gauge("svc.workers") = 4;
+  Histogram& h = reg.histogram("svc.latency", {10, 100});
+  h.record(5);
+  h.record(50);
+  h.record(5000);
+  reg.append_series("svc.residual", 9);
+  reg.append_series("svc.residual", 4);
+
+  EXPECT_EQ(prometheus_text(reg),
+            "# HELP tfa_svc_requests counter svc.requests (deterministic)\n"
+            "# TYPE tfa_svc_requests counter\n"
+            "tfa_svc_requests 3\n"
+            "# HELP tfa_svc_wall timer ns svc.wall (host-dependent)\n"
+            "# TYPE tfa_svc_wall counter\n"
+            "tfa_svc_wall 1500\n"
+            "# HELP tfa_svc_workers gauge svc.workers (host-dependent)\n"
+            "# TYPE tfa_svc_workers gauge\n"
+            "tfa_svc_workers 4\n"
+            "# HELP tfa_svc_latency histogram svc.latency (deterministic)\n"
+            "# TYPE tfa_svc_latency histogram\n"
+            "tfa_svc_latency_bucket{le=\"10\"} 1\n"
+            "tfa_svc_latency_bucket{le=\"100\"} 2\n"
+            "tfa_svc_latency_bucket{le=\"+Inf\"} 3\n"
+            "tfa_svc_latency_sum 5055\n"
+            "tfa_svc_latency_count 3\n"
+            "# HELP tfa_svc_latency_q nearest-rank quantiles of svc.latency "
+            "(bucket upper bounds)\n"
+            "# TYPE tfa_svc_latency_q gauge\n"
+            "tfa_svc_latency_q{q=\"0.5\"} 100\n"
+            "tfa_svc_latency_q{q=\"0.95\"} +Inf\n"
+            "tfa_svc_latency_q{q=\"0.99\"} +Inf\n"
+            "# HELP tfa_svc_residual_points series svc.residual "
+            "(deterministic)\n"
+            "# TYPE tfa_svc_residual_points counter\n"
+            "tfa_svc_residual_points 2\n"
+            "# TYPE tfa_svc_residual_last gauge\n"
+            "tfa_svc_residual_last 4\n");
+}
+
+TEST(Exposition, DeterministicOnlySkipsTimersAndGauges) {
+  MetricRegistry reg;
+  reg.counter("c") += 1;
+  reg.timer("t") += 1;
+  reg.gauge("g") = 1;
+  ExpositionOptions opt;
+  opt.deterministic_only = true;
+  const std::string text = prometheus_text(reg, opt);
+  EXPECT_NE(text.find("tfa_c 1"), std::string::npos);
+  EXPECT_EQ(text.find("tfa_t"), std::string::npos);
+  EXPECT_EQ(text.find("tfa_g"), std::string::npos);
+}
+
+TEST(Exposition, QuantilesAreNearestRank) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat", {1, 2, 3, 4});
+  // 10 samples: 4 in le=1, 3 in le=2, 2 in le=3, 1 in le=4.
+  for (int i = 0; i < 4; ++i) h.record(1);
+  for (int i = 0; i < 3; ++i) h.record(2);
+  for (int i = 0; i < 2; ++i) h.record(3);
+  h.record(4);
+  const std::string text = prometheus_text(reg);
+  // rank(0.5) = 5 -> second bucket; rank(0.95) = 10 -> last bucket.
+  EXPECT_NE(text.find("tfa_lat_q{q=\"0.5\"} 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("tfa_lat_q{q=\"0.95\"} 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("tfa_lat_q{q=\"0.99\"} 4\n"), std::string::npos) << text;
+}
+
+TEST(Exposition, EmptyRegistryAndEmptyHistogram) {
+  MetricRegistry empty;
+  EXPECT_EQ(prometheus_text(empty), "");
+  MetricRegistry reg;
+  (void)reg.histogram("lat", {1});
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("tfa_lat_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("tfa_lat_q{q=\"0.5\"} 0\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfa::obs

@@ -31,6 +31,8 @@ TEST(Protocol, ParsesEveryOp) {
        Op::kAdmit},
       {R"({"op":"snapshot","session":"s"})", Op::kSnapshot},
       {R"({"op":"metrics"})", Op::kMetrics},
+      {R"({"op":"statsz"})", Op::kStatsz},
+      {R"({"op":"statsz","session":"s"})", Op::kStatsz},
       {R"({"op":"flush"})", Op::kFlush},
       {R"({"op":"shutdown"})", Op::kShutdown},
   };
@@ -73,22 +75,25 @@ TEST(Protocol, DurationEncoding) {
 }
 
 TEST(Protocol, EnvelopesAreByteExact) {
-  EXPECT_EQ(ok_envelope(3, "7", "flush", "{\"flushed\":0}"),
+  EXPECT_EQ(ok_envelope(3, "7", "flush", "t3", "{\"flushed\":0}"),
+            R"({"seq":3,"id":7,"ok":true,"op":"flush","trace":"t3","result":{"flushed":0}})");
+  // An empty trace omits the field entirely (the shed envelope's case).
+  EXPECT_EQ(ok_envelope(3, "7", "flush", "", "{\"flushed\":0}"),
             R"({"seq":3,"id":7,"ok":true,"op":"flush","result":{"flushed":0}})");
   WireError e;
   e.code = "parse_error";
   e.message = "unterminated string";
   e.offset = 14;
   EXPECT_EQ(
-      error_envelope(9, "", "", e),
-      R"({"seq":9,"ok":false,"op":null,"error":{"code":"parse_error","message":"unterminated string","offset":14}})");
+      error_envelope(9, "", "", "t9", e),
+      R"({"seq":9,"ok":false,"op":null,"trace":"t9","error":{"code":"parse_error","message":"unterminated string","offset":14}})");
   WireError f;
   f.code = "bad_flow_set";
   f.message = "line 2: oops";
   f.line = 2;
   EXPECT_EQ(
-      error_envelope(1, "\"x\"", "load_network", f),
-      R"({"seq":1,"id":"x","ok":false,"op":"load_network","error":{"code":"bad_flow_set","message":"line 2: oops","line":2}})");
+      error_envelope(1, "\"x\"", "load_network", "req-7", f),
+      R"({"seq":1,"id":"x","ok":false,"op":"load_network","trace":"req-7","error":{"code":"bad_flow_set","message":"line 2: oops","line":2}})");
 }
 
 TEST(Protocol, GoldenTranscript) {
@@ -96,20 +101,22 @@ TEST(Protocol, GoldenTranscript) {
   EXPECT_EQ(
       lb.request(load_line("net", "network 3 1 1\n"
                                   "flow a EF 40 0 40 path 0 1 costs 2\n")),
-      R"({"seq":1,"ok":true,"op":"load_network","result":{"session":"net","flows":1,"nodes":3}})");
+      R"({"seq":1,"ok":true,"op":"load_network","trace":"t1","result":{"session":"net","flows":1,"nodes":3}})");
   EXPECT_EQ(
       lb.request(R"({"op":"analyze","session":"net","id":1})"),
-      R"({"seq":2,"id":1,"ok":true,"op":"analyze","result":{"cached":false,)"
+      R"({"seq":2,"id":1,"ok":true,"op":"analyze","trace":"t2","result":{"cached":false,)"
       R"("all_schedulable":true,"converged":true,"bounds":[{"flow":"a",)"
       R"("response":5,"jitter":0,"busy_period":2,"delta":0,)"
       R"("schedulable":true}],"stats":{"smax_passes":1,"cache_hits":0,)"
       R"("cache_misses":0,"warm_seeded":0}}})");
   EXPECT_EQ(
       lb.request(R"({"op":"flush"})"),
-      R"({"seq":3,"ok":true,"op":"flush","result":{"flushed":0}})");
+      R"({"seq":3,"ok":true,"op":"flush","trace":"t3","result":{"flushed":0}})");
+  // A client-supplied trace_id is echoed verbatim instead of the
+  // generated one.
   EXPECT_EQ(
-      lb.request(R"({"op":"shutdown"})"),
-      R"({"seq":4,"ok":true,"op":"shutdown","result":{"sessions":1,"requests":4}})");
+      lb.request(R"({"op":"shutdown","trace_id":"bye-1"})"),
+      R"({"seq":4,"ok":true,"op":"shutdown","trace":"bye-1","result":{"sessions":1,"requests":4}})");
 }
 
 /// The wire path must compute the exact in-process bounds (paper Table 2

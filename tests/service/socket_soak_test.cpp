@@ -18,6 +18,7 @@
 #include "base/json.h"
 #include "base/net.h"
 #include "base/rng.h"
+#include "obs/eventlog.h"
 #include "service/socket_transport.h"
 
 namespace tfa::service {
@@ -388,6 +389,149 @@ TEST(ShardSoak, TenThousandShardRoutedRequests) {
   if (std::getenv("TFA_FULL_SOAK") == nullptr) GTEST_SKIP()
       << "set TFA_FULL_SOAK=1 (the asan-ubsan soak lane does)";
   check_shard_soak(/*clients=*/8, /*requests=*/1'250);
+}
+
+// --- full-observability soak -----------------------------------------
+//
+// The shard soak again, with the whole observability surface switched
+// on: every request carries a client trace_id (echoed on its response,
+// so the transcripts pin trace propagation too), a shared EventLog
+// receives the service events, and the /metrics endpoint is scraped
+// while the server is live.  Two determinism properties ride on top of
+// liveness: response payload bytes stay bit-identical across executor
+// counts, and so does each session's subsequence of shard-merge events
+// (timestamps masked — the one host-dependent field of an event line).
+
+/// The shard script with a per-request trace id (a pure function of the
+/// client and request index, so transcripts stay comparable).
+std::vector<std::string> traced_shard_script(std::size_t client,
+                                             std::size_t requests) {
+  std::vector<std::string> lines = shard_script(client, requests);
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    lines[i].insert(lines[i].size() - 1, ",\"trace_id\":\"s" +
+                                             std::to_string(client) + "r" +
+                                             std::to_string(i) + "\"");
+  return lines;
+}
+
+struct ObsSoakRun {
+  std::vector<std::vector<std::string>> transcripts;
+  std::vector<std::string> events;
+  bool scrape_ok = false;
+};
+
+ObsSoakRun run_obs_shard_soak(std::size_t executors, std::size_t clients,
+                              std::size_t requests) {
+  obs::EventLogConfig log_cfg;
+  // Nothing may evict: a ring that wraps would keep a suffix that
+  // depends on cross-session interleaving, not on any per-session order.
+  log_cfg.capacity = clients * requests + 64;
+  obs::EventLog log(log_cfg);
+
+  SocketServerConfig cfg;
+  cfg.executors = executors;
+  cfg.max_conns = clients + 1;
+  cfg.metrics_port = 0;
+  cfg.service.event_log = &log;
+  cfg.service.flight_recorder_depth = 16;
+  SocketServer server(std::move(cfg));
+  std::string error;
+  EXPECT_TRUE(server.start(&error)) << error;
+
+  std::vector<ShardClient> workers(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    workers[i].id = i;
+    workers[i].port = server.port();
+    workers[i].script = traced_shard_script(i, requests);
+    threads.emplace_back([&workers, i] { workers[i].run(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ObsSoakRun run;
+  {
+    net::LineClient http(net::connect_tcp(server.metrics_port(), &error));
+    if (http.connected() &&
+        http.send_raw("GET /metrics HTTP/1.0\r\n\r\n")) {
+      std::string body;
+      while (const auto l = http.read_line()) body += *l + "\n";
+      run.scrape_ok =
+          body.find("200 OK") != std::string::npos &&
+          body.find("tfa_service_net_requests") != std::string::npos &&
+          body.find("tfa_service_net_request_latency_ns_count") !=
+              std::string::npos;
+    }
+  }
+  server.stop();
+
+  for (ShardClient& w : workers) {
+    for (const std::string& p : w.problems)
+      ADD_FAILURE() << "client " << w.id << ": " << p;
+    EXPECT_EQ(w.transcript.size(), requests) << "client " << w.id;
+    run.transcripts.push_back(std::move(w.transcript));
+  }
+  run.events = log.lines();
+  return run;
+}
+
+/// One session's shard-merge events, timestamps masked.
+std::vector<std::string> session_merge_events(
+    const std::vector<std::string>& events, const std::string& session) {
+  const std::string needle = "\"session\":\"" + session + "\"";
+  std::vector<std::string> out;
+  for (const std::string& line : events) {
+    if (line.find("service.shard_merge") == std::string::npos) continue;
+    if (line.find(needle) == std::string::npos) continue;
+    const std::size_t at = line.find("\"severity\"");
+    EXPECT_NE(at, std::string::npos) << line;
+    out.push_back(line.substr(at));
+  }
+  return out;
+}
+
+void check_obs_shard_soak(std::size_t clients, std::size_t requests) {
+  const ObsSoakRun serial = run_obs_shard_soak(1, clients, requests);
+  const ObsSoakRun fanned = run_obs_shard_soak(4, clients, requests);
+  ASSERT_EQ(serial.transcripts.size(), fanned.transcripts.size());
+  for (std::size_t c = 0; c < serial.transcripts.size(); ++c) {
+    ASSERT_EQ(serial.transcripts[c].size(), fanned.transcripts[c].size())
+        << "client " << c;
+    for (std::size_t i = 0; i < serial.transcripts[c].size(); ++i)
+      ASSERT_EQ(serial.transcripts[c][i], fanned.transcripts[c][i])
+          << "client " << c << " response " << i;
+  }
+  // Every response echoed its client trace id.
+  EXPECT_NE(serial.transcripts[0][0].find("\"trace\":\"s0r0\""),
+            std::string::npos)
+      << serial.transcripts[0][0];
+  // Per-session event subsequences are executor-count-independent.
+  std::size_t merge_events = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::string session = "s" + std::to_string(c);
+    const auto a = session_merge_events(serial.events, session);
+    const auto b = session_merge_events(fanned.events, session);
+    EXPECT_EQ(a, b) << "session " << session;
+    merge_events += a.size();
+  }
+  // The soak only proves something if events actually flowed and the
+  // endpoint answered while the server was under load.
+  EXPECT_GT(merge_events, 0u);
+  EXPECT_GT(serial.events.size(), 0u);
+  EXPECT_TRUE(serial.scrape_ok);
+  EXPECT_TRUE(fanned.scrape_ok);
+}
+
+TEST(ObsSoak, TracedResponsesAndEventsDeterministicAcrossExecutors) {
+  check_obs_shard_soak(/*clients=*/4, /*requests=*/120);
+}
+
+// The 10k-request full-observability soak the CI memory-safety lane
+// runs under asan-ubsan (label: service-soak).
+TEST(ObsSoak, TenThousandRequestsWithFullObservability) {
+  if (std::getenv("TFA_FULL_SOAK") == nullptr) GTEST_SKIP()
+      << "set TFA_FULL_SOAK=1 (the asan-ubsan soak lane does)";
+  check_obs_shard_soak(/*clients=*/8, /*requests=*/1'250);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Cross-check the metric inventory in docs/observability.md against the
+registrations in src/.
+
+Source side: every `counter("...")` / `timer(...)` / `gauge(...)` /
+`histogram(...)` / `append_series(...)` / `bump(...)` call under src/ is
+scanned for string-literal metric names.  A literal ending in '.'
+composed with a runtime suffix (`counter("service.op." + op)`) is
+recorded as a *prefix* registration.
+
+Doc side: the inventory is the bullet list of the "## Metric names"
+section of docs/observability.md — every inline-code token there shaped
+like a dot-separated metric name is an entry.  (Only the bullets count:
+prose elsewhere names spans and examples, which are not metrics.)
+Entries may use two pattern forms: a trailing `.*` wildcard
+(`trajectory.*`) and `<placeholder>` segments (`service.op.<op>`).
+
+Checked in both directions:
+
+  * every registered name (and every prefix registration) must be
+    covered by some documented entry;
+  * every documented *exact* entry (no wildcard, no placeholder) must be
+    registered in the sources.
+
+Usage: check_metrics.py [repo_root]   (exits non-zero listing every
+mismatch; wired into ctest as `metrics_check`).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CALL = re.compile(
+    r"\b(?:bump|counter|timer|gauge|histogram|append_series)\s*\(")
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
+# A metric name: two or more lowercase dot-separated segments.
+NAME = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)+$")
+# A documented entry may add `.*` wildcards and `<placeholder>` segments.
+DOC_ENTRY = re.compile(r"^[a-z0-9_]+(?:\.(?:[a-z0-9_]+|<[a-z0-9_]+>|\*))+$")
+INLINE_CODE = re.compile(r"`([^`\n]+)`")
+
+
+def call_argument(text: str, start: int) -> str:
+    """The argument list of the call whose '(' is at text[start]."""
+    depth = 0
+    in_string = False
+    i = start
+    while i < len(text):
+        c = text[i]
+        if in_string:
+            if c == "\\":
+                i += 1
+            elif c == '"':
+                in_string = False
+        elif c == '"':
+            in_string = True
+        elif c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1 : i]
+        i += 1
+    return text[start + 1 :]
+
+
+def scan_sources(root: Path):
+    """(exact names, prefix registrations) found under src/."""
+    exact, prefixes = {}, {}
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        text = path.read_text(encoding="utf-8")
+        for m in CALL.finditer(text):
+            args = call_argument(text, m.end() - 1)
+            for lit_match in STRING_LITERAL.finditer(args):
+                lit = lit_match.group(1)
+                where = f"{path.relative_to(root)}"
+                # `"service.op." + op`: a composed name — record the
+                # literal as a prefix registration.
+                composed = args[lit_match.end() :].lstrip().startswith("+")
+                if lit.endswith(".") and composed and NAME.match(lit[:-1]):
+                    prefixes.setdefault(lit, where)
+                elif NAME.match(lit):
+                    exact.setdefault(lit, where)
+    return exact, prefixes
+
+
+def scan_docs(doc: Path):
+    """Inventory entries: the "## Metric names" section's bullets."""
+    entries = set()
+    in_section = False
+    in_bullet = False
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == "## Metric names"
+            continue
+        if not in_section:
+            continue
+        if line.startswith("* "):
+            in_bullet = True
+        elif not (in_bullet and line.startswith("  ")):
+            in_bullet = False
+            continue
+        for token in INLINE_CODE.findall(line):
+            if DOC_ENTRY.match(token):
+                entries.add(token)
+    return entries
+
+
+def entry_regex(entry: str) -> "re.Pattern[str]":
+    out = []
+    for piece in re.split(r"(<[a-z0-9_]+>|\*)", entry):
+        if piece == "*":
+            out.append(r".+")
+        elif piece.startswith("<"):
+            out.append(r"[^.]+")
+        else:
+            out.append(re.escape(piece))
+    return re.compile("^" + "".join(out) + "$")
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    doc = root / "docs" / "observability.md"
+    if not doc.is_file():
+        print(f"missing {doc}", file=sys.stderr)
+        return 1
+
+    exact, prefixes = scan_sources(root)
+    entries = scan_docs(doc)
+    patterns = [(e, entry_regex(e)) for e in sorted(entries)]
+
+    problems = []
+    for name, where in sorted(exact.items()):
+        if not any(rx.match(name) for _, rx in patterns):
+            problems.append(
+                f"{where}: metric '{name}' is registered but not in the "
+                f"docs/observability.md inventory")
+    for prefix, where in sorted(prefixes.items()):
+        sample = prefix + "x"
+        if not any(rx.match(sample) for _, rx in patterns):
+            problems.append(
+                f"{where}: prefix registration '{prefix}<...>' has no "
+                f"matching docs/observability.md entry")
+
+    for entry in sorted(entries):
+        if "<" in entry or "*" in entry:
+            continue  # patterns are only checked source -> docs
+        if entry in exact:
+            continue
+        if any(entry.startswith(p) for p in prefixes):
+            continue
+        problems.append(
+            f"docs/observability.md: metric '{entry}' is documented but "
+            f"never registered under src/")
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} metric inventory mismatch(es)",
+              file=sys.stderr)
+        return 1
+    count = len(exact) + len(prefixes)
+    print(f"metrics check ok: {count} registration(s) against "
+          f"{len(entries)} documented entr(y/ies)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
