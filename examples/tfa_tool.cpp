@@ -4,6 +4,9 @@
 //   tfa_tool report   <flowset.txt> [out.md]   full Markdown report
 //   tfa_tool simulate <flowset.txt> [runs]     adversarial worst-case search
 //   tfa_tool admit    <flowset.txt>            replay flows through admission
+//   tfa_tool provision <flowset.txt>           per-node buffer sizing
+//                     [--capacity N]            (flag unsizeable/over-capacity)
+//                     [--what-if "flow ..."]    headroom under a flow add
 //   tfa_tool generate <seed> [flows] [nodes]   emit a random set (text format)
 //   tfa_tool fuzz     [cases] [seed] [workers]  differential property sweep
 //                     [--corpus DIR]            (write shrunk repros to DIR)
@@ -59,6 +62,7 @@
 #include "model/serialize.h"
 #include "obs/telemetry.h"
 #include "proptest/fuzzer.h"
+#include "provision/planner.h"
 #include "report/report.h"
 #include "service/serve.h"
 #include "service/service.h"
@@ -74,6 +78,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: tfa_tool analyze|report|simulate|admit <flowset.txt>\n"
+      "       tfa_tool provision <flowset.txt> [--capacity N]\n"
+      "                      [--what-if \"flow ...\"]\n"
       "       tfa_tool generate <seed> [flows] [nodes]\n"
       "       tfa_tool fuzz [cases] [seed] [workers] [--corpus DIR]\n"
       "       tfa_tool serve [--workers N] [--max-batch N]\n"
@@ -220,6 +226,79 @@ int cmd_admit(const model::FlowSet& set, bool with_stats, ObsOutputs& obs) {
   return rejected == 0 ? 0 : 1;
 }
 
+/// Parses one `flow ...` line against `set`'s network by round-tripping
+/// through the text format (the service's what-if idiom).
+std::optional<model::SporadicFlow> parse_probe(const model::FlowSet& set,
+                                               const std::string& line,
+                                               std::string* why) {
+  std::ostringstream text;
+  text << "network " << set.network().node_count() << ' '
+       << set.network().lmin() << ' ' << set.network().lmax() << '\n'
+       << line << '\n';
+  const model::ParseResult parsed = model::parse_flow_set(text.str());
+  if (!parsed.ok()) {
+    *why = parsed.error;
+    return std::nullopt;
+  }
+  if (parsed.flow_set->size() != 1) {
+    *why = "expected exactly one flow line";
+    return std::nullopt;
+  }
+  return parsed.flow_set->flow(0);
+}
+
+int cmd_provision(const model::FlowSet& set, Duration capacity,
+                  const std::optional<std::string>& what_if,
+                  ObsOutputs& obs) {
+  provision::Config cfg;
+  cfg.capacity = capacity;
+  const provision::Plan plan = provision::plan(set, cfg, obs.sink());
+  TextTable t({"node", "exact", "work", "packets", "binding flow",
+               "constraint", "verdict"});
+  for (const provision::NodeBuffer& nb : plan.nodes) {
+    std::string exact = "-";
+    if (nb.sizeable) {
+      exact = std::to_string(nb.exact.num());
+      if (nb.exact.den() != 1) exact += "/" + std::to_string(nb.exact.den());
+    }
+    std::string binding = "-";
+    std::string constraint = "-";
+    if (nb.binding_flow != kNoFlow) {
+      binding = set.flow(nb.binding_flow).name();
+      constraint = nb.binding_segment == 0
+                       ? "intrinsic"
+                       : "segment " + std::to_string(nb.binding_segment);
+    }
+    const char* verdict = !nb.sizeable   ? "UNSIZEABLE"
+                          : !nb.fits     ? "OVER"
+                          : capacity > 0 ? "fits"
+                                         : "ok";
+    t.add_row({std::to_string(nb.node), exact, format_duration(nb.work),
+               format_duration(nb.packets), binding, constraint, verdict});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("total buffer: %s work units; %s\n",
+              format_duration(plan.total_work).c_str(),
+              plan.all_fit ? "plan holds" : "plan does NOT hold");
+  if (what_if) {
+    std::string why;
+    const auto probe = parse_probe(set, *what_if, &why);
+    if (!probe) {
+      std::fprintf(stderr, "bad --what-if flow: %s\n", why.c_str());
+      return 2;
+    }
+    const std::size_t clones =
+        provision::max_clones_within(set, *probe, capacity, cfg);
+    const std::string target =
+        capacity > 0 ? std::to_string(capacity) + " work units"
+                     : std::string("finite buffers");
+    std::printf("what-if headroom: %zu clone(s) of '%s' stay within %s\n",
+                clones, probe->name().c_str(), target.c_str());
+  }
+  if (!obs.flush()) return 2;
+  return plan.all_fit ? 0 : 1;
+}
+
 int cmd_generate(std::uint64_t seed, std::int32_t flows, std::int32_t nodes) {
   Rng rng(seed);
   model::RandomConfig cfg;
@@ -301,6 +380,9 @@ int main(int argc, char** argv) {
   // typo fails loudly instead of being read as a positional.
   const bool with_stats = opts.flag("--stats");
   const std::optional<std::string> corpus_dir = opts.value("--corpus");
+  const std::optional<std::string> provision_capacity =
+      opts.value("--capacity");
+  const std::optional<std::string> provision_what_if = opts.value("--what-if");
   const std::optional<std::string> serve_workers = opts.value("--workers");
   const std::optional<std::string> serve_batch = opts.value("--max-batch");
   const std::optional<std::string> serve_tcp = opts.value("--tcp");
@@ -448,5 +530,14 @@ int main(int argc, char** argv) {
         set, pos.size() > 2 ? static_cast<std::size_t>(std::atoi(pos[2].c_str()))
                             : 32);
   if (cmd == "admit") return cmd_admit(set, with_stats, obs);
+  if (cmd == "provision") {
+    Duration capacity = 0;
+    if (provision_capacity) {
+      const long long c = std::atoll(provision_capacity->c_str());
+      if (c < 0) return usage();
+      capacity = c;
+    }
+    return cmd_provision(set, capacity, provision_what_if, obs);
+  }
   return usage();
 }

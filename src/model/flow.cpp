@@ -2,10 +2,81 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 
 namespace tfa::model {
+
+std::string validate_arrival_spec(
+    const std::vector<ArrivalSegment>& segments, Duration period,
+    Duration jitter) {
+  TFA_EXPECTS(period > 0);
+  TFA_EXPECTS(jitter >= 0);
+  for (std::size_t k = 0; k < segments.size(); ++k) {
+    const ArrivalSegment& s = segments[k];
+    const std::string where = "arrival segment " + std::to_string(k + 1);
+    if (s.burst <= 0 || s.rate_num <= 0 || s.rate_den <= 0) {
+      return where + ": burst and rate terms must be positive";
+    }
+    if (s.burst >= kInfiniteDuration || s.rate_num >= kInfiniteDuration ||
+        s.rate_den >= kInfiniteDuration) {
+      return where + ": overflow-magnitude value";
+    }
+    if (k > 0) {
+      const ArrivalSegment& prev = segments[k - 1];
+      if (s.burst <= prev.burst) {
+        return where + ": bursts must be strictly increasing";
+      }
+      // Strictly decreasing rates keep the min concave with every
+      // segment binding somewhere: prev.rate > s.rate, cross-multiplied.
+      const Duration lhs = sat_mul(prev.rate_num, s.rate_den);
+      const Duration rhs = sat_mul(s.rate_num, prev.rate_den);
+      if (is_infinite(lhs) || is_infinite(rhs)) {
+        return where + ": rate comparison overflows";
+      }
+      if (lhs <= rhs) {
+        return where + ": rates must be strictly decreasing (non-concave)";
+      }
+    }
+    // Envelope of the intrinsic staircase 1 + floor((t + J) / T):
+    //  (a) the long-run rate may not undercut 1/T packets per tick;
+    //  (b) at t = 0 the burst must cover 1 + floor(J / T) packets;
+    //  (c) at the first staircase jump past t = 0 (t = m0*T - J with
+    //      m0 = floor(J/T) + 1) the line must clear the step.  With
+    //      (a) the slack at later jumps is non-decreasing, so (c) is
+    //      sufficient for every jump.
+    const Duration rate_floor = sat_mul(s.rate_num, period);
+    if (is_infinite(rate_floor)) {
+      return where + ": rate comparison overflows";
+    }
+    if (rate_floor < s.rate_den) {
+      return where + ": rate below the intrinsic 1/T packet rate";
+    }
+    const Duration initial = jitter / period + 1;
+    if (s.burst < initial) {
+      return where + ": burst below the intrinsic 1 + floor(J/T) packets";
+    }
+    const Duration m0 = jitter / period + 1;
+    const Duration m0_ticks = sat_mul(m0, period);
+    if (is_infinite(m0_ticks)) {
+      return where + ": envelope check overflows";
+    }
+    const Duration first_jump = m0_ticks - jitter;
+    const Duration lhs =
+        sat_add(sat_mul(s.burst, s.rate_den), sat_mul(s.rate_num, first_jump));
+    const Duration rhs = sat_mul(sat_add(m0, 1), s.rate_den);
+    if (is_infinite(lhs) || is_infinite(rhs)) {
+      return where + ": envelope check overflows";
+    }
+    if (lhs < rhs) {
+      return where + ": undercuts the intrinsic staircase at t = " +
+             std::to_string(first_jump);
+    }
+  }
+  return {};
+}
 
 const char* to_string(ServiceClass c) noexcept {
   switch (c) {
@@ -90,6 +161,17 @@ SporadicFlow SporadicFlow::split_tail(std::size_t k, Duration new_jitter) const 
   out.path_ = path_.suffix_from(k);
   out.costs_.assign(costs_.begin() + static_cast<std::ptrdiff_t>(k), costs_.end());
   out.jitter_ = new_jitter;
+  // The tail's arrival process is the head's *departure* process, which
+  // the ingress spec does not describe — drop it rather than keep an
+  // envelope that may no longer hold.
+  out.arrival_.clear();
+  return out;
+}
+
+SporadicFlow SporadicFlow::with_arrival(
+    std::vector<ArrivalSegment> segments) const {
+  SporadicFlow out = *this;
+  out.arrival_ = std::move(segments);
   return out;
 }
 

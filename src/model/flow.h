@@ -35,6 +35,32 @@ enum class ServiceClass : std::uint8_t {
   return c == ServiceClass::kExpedited;
 }
 
+/// One segment of a multi-segment token-bucket arrival spec: in any
+/// window of length t the flow releases at most
+/// `burst + (rate_num / rate_den) * t` packets. A spec is the pointwise
+/// minimum of its segments (a concave piecewise-linear packet envelope);
+/// to stay sound it must dominate the flow's intrinsic sporadic
+/// staircase 1 + floor((t + J) / T), which `validate_arrival_spec`
+/// enforces.
+struct ArrivalSegment {
+  Duration burst = 1;     ///< Bucket depth b_k, in packets (> 0).
+  Duration rate_num = 1;  ///< Sustained-rate numerator (> 0).
+  Duration rate_den = 1;  ///< Sustained-rate denominator, ticks (> 0).
+
+  bool operator==(const ArrivalSegment&) const = default;
+};
+
+/// Checks that `segments` form a valid spec for a flow with the given
+/// period and jitter: positive finite fields, strictly increasing
+/// bursts, strictly decreasing rates (concavity in normal form), and
+/// every segment an envelope of the intrinsic staircase. Returns an
+/// empty string when valid, else a human-readable reason. All
+/// comparisons use saturating arithmetic; saturation reads as
+/// "overflow-magnitude" and is rejected.
+[[nodiscard]] std::string validate_arrival_spec(
+    const std::vector<ArrivalSegment>& segments, Duration period,
+    Duration jitter);
+
 /// A sporadic flow with a fixed route.
 class SporadicFlow {
  public:
@@ -100,10 +126,23 @@ class SporadicFlow {
   /// Replaces the flow's service class (builder-style helper).
   [[nodiscard]] SporadicFlow with_class(ServiceClass c) const;
 
+  /// Optional multi-segment arrival spec tightening the intrinsic
+  /// token-bucket envelope. Empty means "intrinsic only".
+  [[nodiscard]] const std::vector<ArrivalSegment>& arrival() const noexcept {
+    return arrival_;
+  }
+
+  /// Replaces the arrival spec (builder-style helper). The spec is not
+  /// validated here — `FlowSet::validate` / `validate_arrival_spec` own
+  /// the envelope checks so invalid inputs surface as issues, not traps.
+  [[nodiscard]] SporadicFlow with_arrival(
+      std::vector<ArrivalSegment> segments) const;
+
  private:
   std::string name_;
   Path path_;
   std::vector<Duration> costs_;  // aligned with path_
+  std::vector<ArrivalSegment> arrival_;  // optional; empty = intrinsic
   Duration period_ = 1;
   Duration jitter_ = 0;
   Duration deadline_ = 1;

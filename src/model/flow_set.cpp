@@ -21,6 +21,12 @@ FlowIndex FlowSet::add(SporadicFlow flow) {
   return static_cast<FlowIndex>(flows_.size() - 1);
 }
 
+void FlowSet::insert(std::size_t pos, SporadicFlow flow) {
+  TFA_EXPECTS(pos <= flows_.size());
+  flows_.insert(flows_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::move(flow));
+}
+
 const SporadicFlow& FlowSet::flow(FlowIndex i) const {
   TFA_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < flows_.size());
   return flows_[static_cast<std::size_t>(i)];
@@ -77,6 +83,11 @@ std::vector<ValidationIssue> FlowSet::validate() const {
     if (f.deadline() < best_case_response(network_, f))
       issues.push_back({fi,
                         "deadline below the best-case end-to-end response"});
+    if (!f.arrival().empty()) {
+      const std::string spec_issue =
+          validate_arrival_spec(f.arrival(), f.period(), f.jitter());
+      if (!spec_issue.empty()) issues.push_back({fi, spec_issue});
+    }
   }
   return issues;
 }

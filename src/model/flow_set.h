@@ -38,6 +38,10 @@ class FlowSet {
   /// Adds a flow; returns its index.
   FlowIndex add(SporadicFlow flow);
 
+  /// Inserts a flow at position `pos` (<= size()), shifting later flows
+  /// up by one.  Used by the sharded layer's sorted single-flow insert.
+  void insert(std::size_t pos, SporadicFlow flow);
+
   [[nodiscard]] std::size_t size() const noexcept { return flows_.size(); }
   [[nodiscard]] bool empty() const noexcept { return flows_.empty(); }
 

@@ -207,6 +207,7 @@ const char* to_string(CornerFamily family) noexcept {
     case CornerFamily::kHeterogeneousLinks: return "heterogeneous-links";
     case CornerFamily::kMixedClasses: return "mixed-classes";
     case CornerFamily::kExtremeMagnitude: return "extreme-magnitude";
+    case CornerFamily::kPwlBurst: return "pwl-burst";
   }
   return "unknown";
 }
@@ -348,6 +349,40 @@ FlowSet make_corner(const CornerConfig& cfg, Rng& rng) {
         out.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
                              f.jitter(), std::max(f.deadline(), floor_d),
                              f.service_class()));
+      }
+      return out;
+    }
+
+    case CornerFamily::kPwlBurst: {
+      // Fractional J/T with a minimal-burst declared arrival spec: the
+      // intrinsic token bucket carries the fractional burst 1 + J/T,
+      // while the spec's first segment carries the integral
+      // m0 = 1 + floor(J/T) packets at the steepest rate the sporadic
+      // staircase admits — the regime where the piecewise-linear backlog
+      // bounds genuinely undercut the single-affine ones.
+      FlowSet out(base.network());
+      for (const SporadicFlow& f : base.flows()) {
+        const Duration T = f.period();
+        if (T < 2) {
+          out.add(f);
+          continue;
+        }
+        // J in [T/4, 3T), nudged off multiples of T so J/T stays
+        // fractional.
+        Duration jitter =
+            rng.uniform(std::max<Duration>(1, T / 4), 3 * T - 1);
+        if (jitter % T == 0) ++jitter;
+        const Duration m0 = jitter / T + 1;
+        const Duration first_jump = m0 * T - jitter;  // in [1, T-1]
+        // den <= first_jump makes the minimal burst m0 pass the
+        // staircase's first-jump envelope check exactly.
+        const Duration den = rng.uniform(1, first_jump);
+        std::vector<ArrivalSegment> spec{{m0, 1, den}};
+        if (den < T && rng.chance(0.5))
+          spec.push_back({m0 + rng.uniform(1, 3), 1, rng.uniform(den + 1, T)});
+        out.add(SporadicFlow(f.name(), f.path(), T, f.costs(), jitter,
+                             f.deadline(), f.service_class())
+                    .with_arrival(std::move(spec)));
       }
       return out;
     }

@@ -125,10 +125,15 @@ enum class CornerFamily {
                           ///< so any unguarded product or sum would wrap.
                           ///< Every overflow must surface as divergence or
                           ///< an infinite bound, never a finite number.
+  kPwlBurst,              ///< Fractional jitter/period ratios with
+                          ///< minimal-burst piecewise-linear arrival
+                          ///< specs: the integral spec burst undercuts
+                          ///< the intrinsic 1 + J/T token bucket, so the
+                          ///< PWL backlog machinery genuinely binds.
 };
 
 /// Number of CornerFamily values (for uniform family draws).
-inline constexpr std::int32_t kCornerFamilyCount = 10;
+inline constexpr std::int32_t kCornerFamilyCount = 11;
 
 /// Short stable name of a family ("zero-jitter", "near-saturation", ...).
 [[nodiscard]] const char* to_string(CornerFamily family) noexcept;

@@ -151,7 +151,7 @@ ParseResult parse_flow_set(std::string_view text) {
       if (k == tokens.size() || tokens[k] != "costs")
         return fail(line_no, where + "expected 'costs'");
       std::vector<Duration> costs;
-      for (++k; k < tokens.size(); ++k) {
+      for (++k; k < tokens.size() && tokens[k] != "arrival"; ++k) {
         std::int64_t v = 0;
         if (!parse_int(tokens[k], v) || v <= 0)
           return fail(line_no, where + "bad cost '" + std::string(tokens[k]) +
@@ -165,6 +165,29 @@ ParseResult parse_flow_set(std::string_view text) {
                         std::to_string(costs.size()) + " costs for " +
                         std::to_string(nodes.size()) + " path nodes)");
 
+      std::vector<ArrivalSegment> arrival;
+      if (k < tokens.size() && tokens[k] == "arrival") {
+        const std::size_t terms = tokens.size() - (k + 1);
+        if (terms == 0 || terms % 3 != 0)
+          return fail(line_no,
+                      where + "expected 'arrival <burst> <rate_num> "
+                              "<rate_den>' triples, got " +
+                          std::to_string(terms) + " values");
+        for (++k; k < tokens.size(); k += 3) {
+          std::int64_t b = 0, num = 0, den = 0;
+          if (!parse_int(tokens[k], b) || !parse_int(tokens[k + 1], num) ||
+              !parse_int(tokens[k + 2], den) || b <= 0 || num <= 0 || den <= 0)
+            return fail(line_no, where + "bad arrival segment '" +
+                                     std::string(tokens[k]) + " " +
+                                     std::string(tokens[k + 1]) + " " +
+                                     std::string(tokens[k + 2]) + "'");
+          arrival.push_back(ArrivalSegment{b, num, den});
+        }
+        const std::string issue =
+            validate_arrival_spec(arrival, period, jitter);
+        if (!issue.empty()) return fail(line_no, where + issue);
+      }
+
       for (const NodeId h : nodes)
         if (!set->network().contains(h))
           return fail(line_no, where + "path node " + std::to_string(h) +
@@ -174,8 +197,10 @@ ParseResult parse_flow_set(std::string_view text) {
       if (set->find(name))
         return fail(line_no, "duplicate flow name '" + name + "'");
 
-      set->add(SporadicFlow(name, Path(std::move(nodes)), period,
-                            std::move(costs), jitter, deadline, *cls));
+      SporadicFlow flow(name, Path(std::move(nodes)), period, std::move(costs),
+                        jitter, deadline, *cls);
+      if (!arrival.empty()) flow = flow.with_arrival(std::move(arrival));
+      set->add(std::move(flow));
       continue;
     }
 
@@ -207,6 +232,11 @@ std::string serialize_flow_set(const FlowSet& set) {
       out << ' ' << f.costs().front();
     } else {
       for (const Duration c : f.costs()) out << ' ' << c;
+    }
+    if (!f.arrival().empty()) {
+      out << " arrival";
+      for (const ArrivalSegment& s : f.arrival())
+        out << ' ' << s.burst << ' ' << s.rate_num << ' ' << s.rate_den;
     }
     out << '\n';
   }

@@ -14,6 +14,45 @@ constexpr std::int64_t kBurstGrid = 4096;
 /// could push the rate below the flow's own arrival rate and invalidate
 /// the PBOO delay formula.
 constexpr std::int64_t kRateGrid = std::int64_t{1} << 20;
+
+/// One affine constraint on a flow's work-unit arrivals at a node, with
+/// its provenance: which model-level arrival constraint produced it.
+struct TaggedSegment {
+  ArrivalCurve curve;
+  std::size_t tag = 0;  ///< 0 = intrinsic token bucket, k = spec segment k.
+};
+
+/// The affine constraints bounding flow i's work at its pos-th node:
+/// always the propagated intrinsic token bucket (burst x cost,
+/// grid-ceiled rate), plus — when the flow carries an arrival spec —
+/// each spec segment delayed by the accumulated sojourn `shift` and
+/// scaled to work units.  The flow's true curve is the min of these.
+std::vector<TaggedSegment> flow_segments(const model::SporadicFlow& f,
+                                         const Rational& intrinsic_burst,
+                                         const Rational& intrinsic_rate,
+                                         const Rational& shift,
+                                         const Rational& cost) {
+  std::vector<TaggedSegment> out;
+  out.push_back({{intrinsic_burst * cost,
+                  (intrinsic_rate * cost).ceil_to_grid(kRateGrid)},
+                 0});
+  for (std::size_t k = 0; k < f.arrival().size(); ++k) {
+    const model::ArrivalSegment& s = f.arrival()[k];
+    const Rational r(s.rate_num, s.rate_den);
+    const Rational b =
+        (Rational(s.burst) + r * shift).ceil_to_grid(kBurstGrid);
+    out.push_back({{b * cost, (r * cost).ceil_to_grid(kRateGrid)}, k + 1});
+  }
+  return out;
+}
+
+/// Normalized piecewise-linear curve over the same constraints.
+PwlCurve flow_curve(const std::vector<TaggedSegment>& tagged) {
+  std::vector<ArrivalCurve> raw;
+  raw.reserve(tagged.size());
+  for (const TaggedSegment& t : tagged) raw.push_back(t.curve);
+  return PwlCurve::min_of(std::move(raw));
+}
 }  // namespace
 
 // The computation tracks per-flow *packet* curves (burst in packets, rate
@@ -27,7 +66,13 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
   const ServiceCurve beta{Rational(1), Rational(cfg.node_latency)};
 
   // burst[i][pos]: packet burst of flow i entering its pos-th node.
+  // shift[i][pos]: accumulated sojourn + link slack from the ingress to
+  // the pos-th node — how far the flow's multi-segment arrival spec must
+  // be time-shifted there.  Maintained (and convergence-tracked) only
+  // for flows that carry a spec, so spec-less sets run the exact legacy
+  // arithmetic.
   std::vector<std::vector<Rational>> burst(n);
+  std::vector<std::vector<Rational>> shift(n);
   std::vector<Rational> rate(n);  // packets per tick
   std::vector<bool> dead(n, false);
   for (std::size_t i = 0; i < n; ++i) {
@@ -35,6 +80,7 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
     const model::SporadicFlow& f = set.flow(fi);
     rate[i] = Rational(1, f.period());
     burst[i].assign(f.path().size(), Rational(0));
+    shift[i].assign(f.path().size(), Rational(0));
     // 1 + floor((t+J)/T) packets <= (1 + J/T) + t/T.
     burst[i][0] = (Rational(1) + Rational(f.jitter(), f.period()))
                       .ceil_to_grid(kBurstGrid);
@@ -69,8 +115,12 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
 
   for (result.iterations = 0; result.iterations < cfg.max_iterations;
        ++result.iterations) {
-    // Aggregate work-unit arrival curve per node under the current table.
-    std::vector<ArrivalCurve> aggregate(node_count);
+    // Aggregate work-unit arrival curve per node under the current
+    // tables: the PwlCurve sum of every visiting flow's curve, in flow
+    // index order.  For spec-less flows each curve is one affine
+    // segment, so the sum executes the legacy sigma/rho accumulation
+    // bit for bit.
+    std::vector<PwlCurve> aggregate(node_count);
     std::vector<bool> node_dead(node_count, false);
     for (std::size_t i = 0; i < n; ++i) {
       const auto fi = static_cast<FlowIndex>(i);
@@ -78,8 +128,9 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
       for (std::size_t p = 0; p < f.path().size(); ++p) {
         const auto h = static_cast<std::size_t>(f.path().at(p));
         const Rational c(f.cost_at_position(p));
-        aggregate[h].sigma += burst[i][p] * c;
-        aggregate[h].rho += (rate[i] * c).ceil_to_grid(kRateGrid);
+        aggregate[h] =
+            aggregate[h] + flow_curve(flow_segments(f, burst[i][p], rate[i],
+                                                    shift[i][p], c));
         if (dead[i]) node_dead[h] = true;
       }
     }
@@ -118,6 +169,23 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
           burst[i][p + 1] = next;
           changed = true;
         }
+        if (!f.arrival().empty()) {
+          // Spec segments shift in *time* (not burst): carry the
+          // accumulated sojourn forward, grid-ceiled like the bursts so
+          // cyclic dependencies cannot compound denominators.
+          const Rational next_shift =
+              (shift[i][p] + delay[i][p] + link_slack)
+                  .ceil_to_grid(kBurstGrid);
+          if (next_shift > cfg.sigma_ceiling) {
+            dead[i] = true;
+            changed = true;
+            break;
+          }
+          if (next_shift > shift[i][p + 1]) {
+            shift[i][p + 1] = next_shift;
+            changed = true;
+          }
+        }
       }
     }
     if (!changed) {
@@ -128,12 +196,26 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
   }
 
   // Backlog bounds: the vertical deviation of each node's converged
-  // aggregate curve (buffer dimensioning).
+  // piecewise-linear aggregate curve (buffer dimensioning), plus the
+  // packetisation term — when node_latency models non-preemptive
+  // blocking, the blocked packet's residual work (at most
+  // node_latency + 1 units under the C - 1 blocking convention) sits in
+  // the same buffer the simulator's max_backlog_work measures, so the
+  // bound must cover it.  Also: per-node sojourn bounds and the minimal
+  // per-flow backlog bounds min(alpha_i(d_h), aggregate bound).
   result.node_backlog.assign(node_count, Rational(kInfiniteDuration));
+  result.node_delay.assign(node_count, Rational(kInfiniteDuration));
+  std::vector<std::vector<Rational>> flow_backlog(n);
+  std::vector<std::vector<std::size_t>> flow_binding(n);
   if (result.converged) {
+    // Vertical deviation per node, before the packetisation term — the
+    // cap for the per-flow bounds (the blocked packet is not any EF
+    // flow's data).
+    std::vector<Rational> node_vdev(node_count, Rational(kInfiniteDuration));
+    std::vector<bool> node_ok(node_count, false);
     for (std::size_t h = 0; h < node_count; ++h) {
       if (!node_stable[h]) continue;
-      ArrivalCurve aggregate;
+      PwlCurve aggregate;
       bool ok = true;
       for (std::size_t i = 0; i < n && ok; ++i) {
         const auto fi = static_cast<FlowIndex>(i);
@@ -144,11 +226,56 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
           ok = false;
           break;
         }
-        const Rational c(f.cost_at_position(static_cast<std::size_t>(p)));
-        aggregate.sigma += burst[i][static_cast<std::size_t>(p)] * c;
-        aggregate.rho += (rate[i] * c).ceil_to_grid(kRateGrid);
+        const auto pos = static_cast<std::size_t>(p);
+        const Rational c(f.cost_at_position(pos));
+        aggregate =
+            aggregate + flow_curve(flow_segments(f, burst[i][pos], rate[i],
+                                                 shift[i][pos], c));
       }
-      if (ok) result.node_backlog[h] = backlog_bound(aggregate, beta);
+      if (!ok) continue;
+      node_ok[h] = true;
+      node_vdev[h] = backlog_bound(aggregate, beta);
+      result.node_delay[h] = horizontal_deviation(aggregate, beta);
+      result.node_backlog[h] = node_vdev[h];
+      if (cfg.node_latency > 0 && !aggregate.empty() &&
+          node_vdev[h] < Rational(kInfiniteDuration)) {
+        result.node_backlog[h] =
+            node_vdev[h] + Rational(cfg.node_latency + 1);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dead[i]) continue;
+      const auto fi = static_cast<FlowIndex>(i);
+      const model::SporadicFlow& f = set.flow(fi);
+      bool ok = true;
+      for (std::size_t p = 0; p < f.path().size(); ++p)
+        ok = ok && node_ok[static_cast<std::size_t>(f.path().at(p))];
+      if (!ok) continue;
+      flow_backlog[i].reserve(f.path().size());
+      flow_binding[i].reserve(f.path().size());
+      for (std::size_t p = 0; p < f.path().size(); ++p) {
+        const auto h = static_cast<std::size_t>(f.path().at(p));
+        const Rational c(f.cost_at_position(p));
+        // Flow i's data queued at h arrived within the node's sojourn
+        // bound d_h, so it is at most alpha_i(d_h) — and never more
+        // than the whole aggregate's backlog.  The binding tag is the
+        // constraint attaining the min (ties to the intrinsic bucket).
+        const std::vector<TaggedSegment> segs =
+            flow_segments(f, burst[i][p], rate[i], shift[i][p], c);
+        const Rational d = delay[i][p];
+        Rational q = segs.front().curve.at(d);
+        std::size_t binding = segs.front().tag;
+        for (std::size_t k = 1; k < segs.size(); ++k) {
+          const Rational v = segs[k].curve.at(d);
+          if (v < q) {
+            q = v;
+            binding = segs[k].tag;
+          }
+        }
+        if (node_vdev[h] < q) q = node_vdev[h];
+        flow_backlog[i].push_back(q);
+        flow_binding[i].push_back(binding);
+      }
     }
   }
 
@@ -231,6 +358,10 @@ Result analyze(const model::FlowSet& set, const Config& cfg) {
             set.network().path_lmax_sum(f.path(), f.path().size() - 1));
         b.response = total.ceil();
       }
+    }
+    if (!dead[i] && result.converged) {
+      b.node_backlogs = flow_backlog[i];
+      b.backlog_segment = flow_binding[i];
     }
     b.schedulable = !is_infinite(b.response) && b.response <= f.deadline();
     all_ok = all_ok && b.schedulable;

@@ -50,6 +50,14 @@ struct FlowBound {
   bool schedulable = false;
   /// Exact per-node delay bounds along the path (empty when divergent).
   std::vector<Rational> node_delays;
+  /// Minimal per-flow backlog bounds along the path (work units at each
+  /// visited node): min(alpha_i(d_h), aggregate bound) with d_h the
+  /// node's FIFO sojourn bound — no more of flow i's work is ever queued
+  /// at hop p.  Empty when divergent.
+  std::vector<Rational> node_backlogs;
+  /// Which arrival constraint binds node_backlogs[p]: 0 = the intrinsic
+  /// token bucket, k >= 1 = the k-th segment of the flow's arrival spec.
+  std::vector<std::size_t> backlog_segment;
 };
 
 /// Whole-set outcome.
@@ -59,9 +67,19 @@ struct Result {
   bool converged = false;
   std::size_t iterations = 0;
   /// Per-node backlog bound in work units (buffer dimensioning: no FIFO
-  /// queue ever holds more unfinished work).  Indexed by node id;
-  /// Rational(kInfiniteDuration) marks unstable/divergent nodes.
+  /// queue ever holds more unfinished work).  The vertical deviation of
+  /// the node's piecewise-linear aggregate, plus — when node_latency
+  /// models non-preemptive blocking — the blocked packet's residual
+  /// work (node_latency + 1, matching the simulator's
+  /// max_backlog_work, which counts the in-service packet).  Indexed by
+  /// node id; Rational(kInfiniteDuration) marks unstable/divergent
+  /// nodes.
   std::vector<Rational> node_backlog;
+  /// Per-node FIFO sojourn bound (horizontal deviation of the node's
+  /// converged aggregate curve).  Indexed by node id;
+  /// Rational(kInfiniteDuration) for unstable/divergent nodes, 0 for
+  /// nodes no flow visits.
+  std::vector<Rational> node_delay;
 
   [[nodiscard]] const FlowBound* find(FlowIndex i) const noexcept {
     for (const FlowBound& b : bounds)

@@ -1,0 +1,206 @@
+// Concave piecewise-linear curve operations (min-of-affine-segments).
+#include "netcalc/curves.h"
+
+#include <algorithm>
+
+namespace tfa::netcalc {
+namespace {
+
+// In normal form, segment k is active on [t_k, t_{k+1}] where the
+// breakpoint between consecutive segments a (steeper) and b satisfies
+// a.sigma + a.rho * t = b.sigma + b.rho * t.
+Rational breakpoint(const ArrivalCurve& a, const ArrivalCurve& b) {
+  return (b.sigma - a.sigma) / (a.rho - b.rho);
+}
+
+// True when segment `mid` never strictly beats both neighbours, i.e. at
+// the intersection of `left` and `right` it lies on or above their min.
+// Cross-multiplied to stay exact (denominators are positive: rates are
+// strictly decreasing left -> mid -> right).
+bool redundant(const ArrivalCurve& left, const ArrivalCurve& mid,
+               const ArrivalCurve& right) {
+  // Intersection of left/right at t* = (right.sigma - left.sigma) /
+  // (left.rho - right.rho); mid is redundant iff mid(t*) >= left(t*):
+  // (mid.sigma - left.sigma) * (left.rho - right.rho)
+  //   >= (right.sigma - left.sigma) * (left.rho - mid.rho).
+  return (mid.sigma - left.sigma) * (left.rho - right.rho) >=
+         (right.sigma - left.sigma) * (left.rho - mid.rho);
+}
+
+}  // namespace
+
+PwlCurve PwlCurve::min_of(std::vector<ArrivalCurve> raw) {
+  if (raw.empty()) return {};
+  std::sort(raw.begin(), raw.end(),
+            [](const ArrivalCurve& a, const ArrivalCurve& b) {
+              if (a.rho != b.rho) return b.rho < a.rho;
+              return a.sigma < b.sigma;
+            });
+  std::vector<ArrivalCurve> out;
+  out.reserve(raw.size());
+  for (const ArrivalCurve& s : raw) {
+    if (!out.empty() && out.back().rho == s.rho) continue;  // flatter dup
+    // A flatter segment with a burst no smaller than the current tail
+    // never wins; conversely it may dominate earlier (steeper, larger
+    // sigma) tails outright.
+    while (!out.empty() && s.sigma <= out.back().sigma) out.pop_back();
+    while (out.size() >= 2 &&
+           redundant(out[out.size() - 2], out.back(), s)) {
+      out.pop_back();
+    }
+    out.push_back(s);
+  }
+  return PwlCurve{std::move(out)};
+}
+
+Rational PwlCurve::burst() const {
+  TFA_EXPECTS(!segments.empty());
+  return segments.front().sigma;
+}
+
+Rational PwlCurve::long_run_rate() const {
+  TFA_EXPECTS(!segments.empty());
+  return segments.back().rho;
+}
+
+Rational PwlCurve::at(Rational t) const {
+  if (t < Rational(0) || segments.empty()) return Rational(0);
+  Rational best = segments.front().at(t);
+  for (std::size_t k = 1; k < segments.size(); ++k) {
+    const Rational v = segments[k].at(t);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+PwlCurve operator+(const PwlCurve& a, const PwlCurve& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  // Sum of concave PWL curves: concave PWL whose breakpoint set is the
+  // union of the operands' breakpoints. Merge-walk both segment lists;
+  // on each interval the sum is the sum of the two active segments.
+  std::vector<ArrivalCurve> out;
+  out.reserve(a.segments.size() + b.segments.size() - 1);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  out.push_back(a.segments[i] + b.segments[j]);
+  while (i + 1 < a.segments.size() || j + 1 < b.segments.size()) {
+    if (j + 1 >= b.segments.size()) {
+      ++i;
+    } else if (i + 1 >= a.segments.size()) {
+      ++j;
+    } else {
+      const Rational ta = breakpoint(a.segments[i], a.segments[i + 1]);
+      const Rational tb = breakpoint(b.segments[j], b.segments[j + 1]);
+      if (ta < tb) {
+        ++i;
+      } else if (tb < ta) {
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    out.push_back(a.segments[i] + b.segments[j]);
+  }
+  return PwlCurve{std::move(out)};
+}
+
+PwlCurve PwlCurve::delayed(Rational d) const {
+  std::vector<ArrivalCurve> out;
+  out.reserve(segments.size());
+  for (const ArrivalCurve& s : segments) out.push_back(s.delayed(d));
+  // Shifting by d preserves rate order but can saturate bursts or
+  // reorder sigma margins; re-normalize to restore the invariants.
+  return min_of(std::move(out));
+}
+
+Rational horizontal_deviation(const PwlCurve& alpha,
+                              const ServiceCurve& beta) {
+  TFA_EXPECTS(beta.rate > Rational(0));
+  if (alpha.empty()) return beta.latency;
+  if (beta.rate < alpha.long_run_rate()) {
+    return Rational(kInfiniteDuration);
+  }
+  // h = latency + sup_t (alpha(t)/rate - t). alpha concave makes
+  // alpha(t)/rate - t concave piecewise linear with eventual slope
+  // rho_last/rate - 1 <= 0, so the sup is attained at t = 0 or a
+  // breakpoint. Candidate t = 0 uses the first (binding-at-zero)
+  // segment, which for a 1-segment curve reproduces sigma / rate.
+  Rational best = alpha.burst() / beta.rate;
+  for (std::size_t k = 0; k + 1 < alpha.segments.size(); ++k) {
+    const Rational t =
+        breakpoint(alpha.segments[k], alpha.segments[k + 1]);
+    const Rational v = alpha.segments[k + 1].at(t) / beta.rate - t;
+    if (best < v) best = v;
+  }
+  return beta.latency + best;
+}
+
+Rational backlog_bound(const PwlCurve& alpha, const ServiceCurve& beta) {
+  if (alpha.empty()) return Rational(0);
+  if (beta.rate < alpha.long_run_rate()) {
+    return Rational(kInfiniteDuration);
+  }
+  // v = sup_t (alpha(t) - rate * (t - latency)^+). On [0, latency] the
+  // sup grows to alpha(latency); past it each candidate breakpoint can
+  // only win while its left segment is steeper than the service rate.
+  // 1-segment case: sigma + rho * latency, the affine formula verbatim.
+  Rational best = Rational(0);
+  bool first = true;
+  const auto consider = [&](Rational v) {
+    if (first || best < v) {
+      best = v;
+      first = false;
+    }
+  };
+  if (alpha.segments.size() == 1) {
+    const ArrivalCurve& s = alpha.segments.front();
+    return s.sigma + s.rho * beta.latency;
+  }
+  consider(alpha.at(beta.latency));
+  for (std::size_t k = 0; k + 1 < alpha.segments.size(); ++k) {
+    const Rational t =
+        breakpoint(alpha.segments[k], alpha.segments[k + 1]);
+    if (t <= beta.latency) continue;
+    consider(alpha.segments[k + 1].at(t) - beta.rate * (t - beta.latency));
+  }
+  return best;
+}
+
+std::size_t backlog_argmax(const PwlCurve& alpha, const ServiceCurve& beta) {
+  if (alpha.empty()) return 0;
+  if (beta.rate < alpha.long_run_rate()) {
+    return alpha.segments.size() - 1;
+  }
+  if (alpha.segments.size() == 1) return 0;
+  // Mirror backlog_bound's candidate walk, tracking which segment is
+  // active at the winning candidate (earliest wins ties).
+  std::size_t active = 0;
+  {
+    Rational t = beta.latency;
+    Rational v = alpha.segments[0].at(t);
+    for (std::size_t k = 1; k < alpha.segments.size(); ++k) {
+      const Rational w = alpha.segments[k].at(t);
+      if (w < v) {
+        v = w;
+        active = k;
+      }
+    }
+  }
+  Rational best = alpha.at(beta.latency);
+  for (std::size_t k = 0; k + 1 < alpha.segments.size(); ++k) {
+    const Rational t =
+        breakpoint(alpha.segments[k], alpha.segments[k + 1]);
+    if (t <= beta.latency) continue;
+    const Rational v =
+        alpha.segments[k + 1].at(t) - beta.rate * (t - beta.latency);
+    if (best < v) {
+      best = v;
+      active = k + 1;
+    }
+  }
+  return active;
+}
+
+}  // namespace tfa::netcalc

@@ -1,7 +1,10 @@
 // Min-plus curves (paper Section 3, ref. Le Boudec & Thiran): affine
-// token-bucket arrival curves and rate-latency service curves — the two
-// families the deterministic-network-calculus baseline needs.
+// token-bucket arrival curves, concave piecewise-linear arrival curves
+// (finite minima of affine segments — Wildberger et al. 2025's input
+// family for minimal backlog bounds), and rate-latency service curves.
 #pragma once
+
+#include <vector>
 
 #include "base/types.h"
 #include "netcalc/rational.h"
@@ -66,5 +69,71 @@ struct ServiceCurve {
                                             const ServiceCurve& beta) {
   return alpha.sigma + alpha.rho * beta.latency;
 }
+
+/// Concave piecewise-linear arrival curve: the pointwise minimum of a
+/// finite set of affine segments, alpha(t) = min_k (sigma_k + rho_k * t)
+/// for t >= 0 (and 0 at t < 0). Normal form (maintained by every
+/// operation): segments sorted by strictly decreasing rho and strictly
+/// increasing sigma, with no segment dominated by (or redundant against)
+/// the others — so an affine curve is exactly the 1-segment special case
+/// and every breakpoint between consecutive segments is a real kink.
+struct PwlCurve {
+  std::vector<ArrivalCurve> segments;
+
+  /// The 1-segment special case.
+  [[nodiscard]] static PwlCurve affine(const ArrivalCurve& a) {
+    return PwlCurve{{a}};
+  }
+
+  /// Normalizes an arbitrary set of affine segments into a PwlCurve:
+  /// drops dominated and redundant segments, sorts. Empty input yields
+  /// the empty curve (identity for +, treated as the zero curve).
+  [[nodiscard]] static PwlCurve min_of(std::vector<ArrivalCurve> raw);
+
+  [[nodiscard]] bool empty() const { return segments.empty(); }
+
+  /// Burst value alpha(0+): the smallest sigma (first segment —
+  /// normal form keeps sigma strictly increasing front to back).
+  [[nodiscard]] Rational burst() const;
+
+  /// Long-run rate: the smallest rho (last segment).
+  [[nodiscard]] Rational long_run_rate() const;
+
+  /// alpha(t) = min over segments.
+  [[nodiscard]] Rational at(Rational t) const;
+
+  /// Aggregation. The sum of two concave PWL curves is concave PWL; it
+  /// is computed by a merge walk over the union of breakpoints (at most
+  /// n + m - 1 segments result). For two 1-segment curves this performs
+  /// exactly the affine `{a.sigma + b.sigma, a.rho + b.rho}` sum.
+  friend PwlCurve operator+(const PwlCurve& a, const PwlCurve& b);
+
+  /// Output curve after a stage delaying the flow by at most `d`:
+  /// each segment's burst grows by rho * d; the result is re-normalized
+  /// (large d can make slack segments redundant).
+  [[nodiscard]] PwlCurve delayed(Rational d) const;
+};
+
+/// Horizontal deviation h(alpha, beta) for a concave PWL arrival curve
+/// against a rate-latency service curve: latency + sup_t (alpha(t)/rate
+/// - t), with the sup attained at t = 0 or a breakpoint. Returns
+/// kInfiniteDuration when the long-run rate exceeds the service rate.
+/// For the 1-segment case this reproduces `latency + sigma / rate`
+/// bit-for-bit.
+[[nodiscard]] Rational horizontal_deviation(const PwlCurve& alpha,
+                                            const ServiceCurve& beta);
+
+/// Vertical deviation v(alpha, beta) = sup_t (alpha(t) - beta(t)): the
+/// aggregate backlog bound. Attained at t = latency or a breakpoint
+/// past it; kInfiniteDuration when the long-run rate exceeds the
+/// service rate. 1-segment case = `sigma + rho * latency` bit-for-bit.
+[[nodiscard]] Rational backlog_bound(const PwlCurve& alpha,
+                                     const ServiceCurve& beta);
+
+/// Index of the segment attaining the vertical deviation (the binding
+/// segment for provisioning attribution). Returns 0 for the empty
+/// curve; when several candidates tie, the earliest (steepest) wins.
+[[nodiscard]] std::size_t backlog_argmax(const PwlCurve& alpha,
+                                         const ServiceCurve& beta);
 
 }  // namespace tfa::netcalc

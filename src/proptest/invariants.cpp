@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <string>
 
+#include "base/checked.h"
 #include "base/contracts.h"
 #include "base/json.h"
 #include "model/serialize.h"
 #include "service/loopback.h"
 #include "service/protocol.h"
 #include "sim/exhaustive.h"
+#include "sim/network_sim.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
 #include "trajectory/shard.h"
@@ -45,12 +47,20 @@ FlowSet perturb_set(const FlowSet& set, PerturbKind kind, FlowIndex target) {
       case PerturbKind::kCostUp: {
         std::vector<Duration> costs = f.costs();
         for (Duration& c : costs) ++c;
+        // The arrival spec counts packets, not work, so a cost increase
+        // leaves it valid — keep it.
         out.add(SporadicFlow(
-            f.name(), f.path(), f.period(), std::move(costs), f.jitter(),
-            f.deadline() + static_cast<Duration>(f.path().size()),
-            f.service_class()));
+                    f.name(), f.path(), f.period(), std::move(costs),
+                    f.jitter(),
+                    f.deadline() + static_cast<Duration>(f.path().size()),
+                    f.service_class())
+                    .with_arrival(f.arrival()));
         break;
       }
+      // Jitter-up and period-down can push the intrinsic staircase above
+      // the declared spec, so the spec is dropped (constructing without
+      // it): strictly weaker constraints, which is what a
+      // workload-increasing perturbation needs anyway.
       case PerturbKind::kJitterUp:
         out.add(SporadicFlow(f.name(), f.path(), f.period(), f.costs(),
                              f.jitter() + f.period() / 2 + 1, f.deadline(),
@@ -145,6 +155,61 @@ CheckOutcome sound_netcalc_pboo(const CaseAnalysis& c) {
     const auto* b = c.nc_pboo.find(i);
     return b == nullptr ? Duration{-1} : b->response;
   });
+}
+
+CheckOutcome sound_provision_backlog(const CaseAnalysis& c) {
+  // The buffer-provisioning bounds (netcalc node_backlog and the
+  // per-flow node_backlogs the planner consumes) must dominate every
+  // observed peak of the backlog battery: per node, unfinished work
+  // <= ceil(aggregate bound), queued packets <= floor(aggregate bound),
+  // and unfinished work <= the saturating sum of the per-flow ceilings.
+  // Infinite bounds pass trivially — divergence must read "unsizeable",
+  // never a too-small number.
+  if (!c.nc_aggregate.converged || c.observed_backlog.empty())
+    return {Verdict::kSkip, {}};
+  const netcalc::Rational inf{kInfiniteDuration};
+  bool any = false;
+  for (std::size_t h = 0; h < c.observed_backlog.size(); ++h) {
+    if (h >= c.nc_aggregate.node_backlog.size()) break;
+    const netcalc::Rational& bound = c.nc_aggregate.node_backlog[h];
+    if (!(bound < inf)) continue;
+    any = true;
+    const std::string node = "node " + std::to_string(h);
+    if (c.observed_backlog[h] > bound.ceil())
+      return {Verdict::kViolation,
+              "aggregate backlog bound unsound at " + node + ": observed " +
+                  num(c.observed_backlog[h]) + " work > bound " +
+                  num(bound.ceil())};
+    if (c.observed_depth[h] > static_cast<std::size_t>(bound.floor()))
+      return {Verdict::kViolation,
+              "packet bound unsound at " + node + ": observed depth " +
+                  std::to_string(c.observed_depth[h]) + " > " +
+                  num(bound.floor())};
+    // Per-flow decomposition: every packet present at h belongs to some
+    // visiting flow, so the per-flow ceilings must add up over the peak.
+    Duration share_sum = 0;
+    bool shares_finite = true;
+    for (std::size_t i = 0; i < c.set.size() && shares_finite; ++i) {
+      const SporadicFlow& f = c.set.flow(static_cast<FlowIndex>(i));
+      const auto pos = f.path().index_of(static_cast<NodeId>(h));
+      if (pos < 0) continue;
+      const auto* b = c.nc_aggregate.find(static_cast<FlowIndex>(i));
+      if (b == nullptr ||
+          static_cast<std::size_t>(pos) >= b->node_backlogs.size()) {
+        shares_finite = false;  // divergent flow: no finite decomposition
+        break;
+      }
+      share_sum =
+          sat_add(share_sum,
+                  b->node_backlogs[static_cast<std::size_t>(pos)].ceil());
+    }
+    if (shares_finite && c.observed_backlog[h] > share_sum)
+      return {Verdict::kViolation,
+              "per-flow backlog bounds unsound at " + node + ": observed " +
+                  num(c.observed_backlog[h]) + " work > share sum " +
+                  num(share_sum)};
+  }
+  return {any ? Verdict::kPass : Verdict::kSkip, {}};
 }
 
 /// Upper bound on the switching slack the trajectory formula pays for
@@ -569,6 +634,42 @@ CaseAnalysis analyze_case(const model::FlowSet& set, const CaseContext& ctx,
     c.observed = sim::find_worst_case(set, sc).stats;
   }
 
+  // Backlog battery: per-node peaks of unfinished work and queue depth,
+  // folded over the deterministic burst patterns and two random sporadic
+  // scenarios.  Fixed seeds keep the bundle a pure function of the case.
+  {
+    const auto n = static_cast<std::size_t>(set.network().node_count());
+    c.observed_backlog.assign(n, 0);
+    c.observed_depth.assign(n, 0);
+    const auto fold = [&](const sim::SimConfig& scfg) {
+      sim::NetworkSim s(set, scfg);
+      s.run();
+      for (std::size_t h = 0; h < n; ++h) {
+        const auto node = static_cast<NodeId>(h);
+        c.observed_backlog[h] =
+            std::max(c.observed_backlog[h], s.max_backlog_work(node));
+        c.observed_depth[h] =
+            std::max(c.observed_depth[h], s.max_queue_depth(node));
+      }
+    };
+    sim::SimConfig scfg;
+    scfg.horizon = budget.sim_horizon;
+    scfg.link_mode = sim::LinkDelayMode::kAlwaysMax;
+    for (const sim::ArrivalPattern pattern :
+         {sim::ArrivalPattern::kSynchronousBurst,
+          sim::ArrivalPattern::kAdversarialJitter,
+          sim::ArrivalPattern::kStaggered}) {
+      scfg.pattern = pattern;
+      fold(scfg);
+    }
+    scfg.pattern = sim::ArrivalPattern::kRandomSporadic;
+    scfg.link_mode = sim::LinkDelayMode::kUniformRandom;
+    for (const std::uint64_t seed : {1, 2}) {
+      scfg.seed = seed;
+      fold(scfg);
+    }
+  }
+
   // Warm-start pair: populate a cache from `set`, mutate, then compare
   // reanalyze_with against the cold analysis of the mutated problem.
   {
@@ -708,6 +809,10 @@ const std::vector<Invariant>& invariant_registry() {
       {"sound-netcalc-pboo",
        "simulated worst case <= network-calculus PBOO bound",
        sound_netcalc_pboo},
+      {"sound-provision-backlog",
+       "simulated per-node backlog peaks <= provisioning bounds "
+       "(aggregate, packets, per-flow shares)",
+       sound_provision_backlog},
       {"trajectory-below-holistic",
        "trajectory <= classic holistic + its switching slack",
        trajectory_below_holistic},

@@ -80,6 +80,12 @@ struct CaseAnalysis {
   sim::FlowStats observed;   ///< Worst responses from the FIFO oracle.
   bool exhaustive = false;   ///< Observed via full enumeration.
 
+  /// Per-node peaks folded over the backlog battery (three deterministic
+  /// burst patterns plus two random sporadic runs), indexed by node id —
+  /// the observation side of the provisioning-soundness invariant.
+  std::vector<Duration> observed_backlog;     ///< Peak unfinished work.
+  std::vector<std::size_t> observed_depth;    ///< Peak queued packets.
+
   trajectory::Result warm_result;  ///< reanalyze_with after the mutation.
   trajectory::Result cold_result;  ///< Cold analysis of the mutated problem.
   WarmMutation warm_applied = WarmMutation::kGrow;  ///< After fallbacks.

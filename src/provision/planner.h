@@ -1,0 +1,101 @@
+// Buffer provisioning: how much memory does each port need so that the
+// loss-free guarantee holds?
+//
+// The planner walks the network once through the netcalc engine's
+// piecewise-linear backlog bounds (aggregate vertical deviation plus the
+// packetisation residual, and Wildberger-style minimal per-flow bounds)
+// and turns them into a sizing decision per node: buffer size in work
+// units and packets, which flow and which arrival-spec segment binds the
+// size, and — under a what-if flow add — how many clones of a probe flow
+// fit before some buffer overflows a capacity target.  All arithmetic is
+// saturating: an overflowed bound reads as "unsizeable", never as a
+// small buffer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.h"
+#include "model/flow_set.h"
+#include "netcalc/analysis.h"
+#include "netcalc/rational.h"
+
+namespace tfa::obs {
+struct Telemetry;
+}  // namespace tfa::obs
+
+namespace tfa::provision {
+
+/// Tuning knobs.
+struct Config {
+  /// Settings of the underlying network-calculus run (node latency,
+  /// burst ceiling, iteration budget; the mode only affects delay
+  /// extraction, not the backlog bounds).
+  netcalc::Config analysis;
+  /// Per-node buffer capacity in work units to check the plan against;
+  /// 0 means "size freely, no capacity target".
+  Duration capacity = 0;
+};
+
+/// One flow's contribution at a node.
+struct FlowShare {
+  FlowIndex flow = kNoFlow;
+  netcalc::Rational backlog;     ///< Minimal per-flow bound (work units).
+  std::size_t binding_segment = 0;  ///< 0 = intrinsic bucket, k = spec k.
+};
+
+/// The sizing decision for one node.
+struct NodeBuffer {
+  NodeId node = 0;
+  /// False when the node's bound is infinite (unstable aggregate or a
+  /// divergent flow through it): no finite buffer is loss-free.
+  bool sizeable = false;
+  netcalc::Rational exact;  ///< Exact aggregate backlog bound.
+  /// ceil(exact): work units of buffer guaranteeing zero loss.
+  Duration work = kInfiniteDuration;
+  /// floor(exact): every present packet holds >= 1 unit of unfinished
+  /// work, so at most this many packets ever occupy the node.
+  Duration packets = kInfiniteDuration;
+  FlowIndex binding_flow = kNoFlow;  ///< Largest per-flow share.
+  std::size_t binding_segment = 0;   ///< Its binding arrival constraint.
+  /// Per-flow minimal bounds, in flow-index order (visiting flows only).
+  std::vector<FlowShare> shares;
+  /// Within Config::capacity (always true when capacity == 0).
+  bool fits = true;
+};
+
+/// A whole-network buffer plan.
+struct Plan {
+  std::vector<NodeBuffer> nodes;  ///< Indexed by node id.
+  bool all_sizeable = false;
+  bool all_fit = false;       ///< all_sizeable and every node fits.
+  Duration total_work = 0;    ///< Saturating sum of per-node work sizes.
+  netcalc::Result analysis;   ///< The underlying netcalc run.
+};
+
+/// Sizes every node buffer of `set`.
+[[nodiscard]] Plan plan(const model::FlowSet& set, const Config& cfg = {});
+
+/// plan() with an observability sink: a "provision.plan" span plus the
+/// provision.plans / provision.nodes / provision.unsizeable counters.
+/// nullptr behaves exactly like the two-argument overload.
+[[nodiscard]] Plan plan(const model::FlowSet& set, const Config& cfg,
+                        obs::Telemetry* telemetry);
+
+/// What-if headroom: the largest number of clones of `probe`
+/// (name-suffixed) that can be added to `set` with every node still
+/// sizeable within `capacity` work units (0 = only require finiteness).
+/// Monotone in the clone count, so binary search is exact.  Caps at
+/// `limit`.
+[[nodiscard]] std::size_t max_clones_within(const model::FlowSet& set,
+                                            const model::SporadicFlow& probe,
+                                            Duration capacity,
+                                            const Config& cfg = {},
+                                            std::size_t limit = 256);
+
+/// Renders a plan as a Markdown fragment (one table row per node plus a
+/// totals line); `set` supplies flow names for the binding column.
+[[nodiscard]] std::string render_markdown(const model::FlowSet& set,
+                                          const Plan& plan);
+
+}  // namespace tfa::provision

@@ -8,6 +8,7 @@
 #include "base/table.h"
 #include "holistic/holistic.h"
 #include "model/normalize.h"
+#include "provision/planner.h"
 #include "sim/worst_case_search.h"
 #include "trajectory/analysis.h"
 #include "trajectory/explain.h"
@@ -159,6 +160,10 @@ std::string markdown_report(const model::FlowSet& set,
     }
     out << '\n';
   }
+
+  // ---- Optional buffer-provisioning table.
+  if (cfg.include_provisioning)
+    out << provision::render_markdown(set, provision::plan(set)) << '\n';
 
   // ---- Per-flow decomposition.
   if (cfg.include_explanations) {

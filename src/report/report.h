@@ -22,6 +22,8 @@ struct ReportConfig {
                                       ///< report observed worst cases.
   bool include_stats = true;          ///< "Analysis cost" section
                                       ///< (EngineStats of the run).
+  bool include_provisioning = false;  ///< Buffer-provisioning table
+                                      ///< (netcalc backlog bounds).
   std::size_t simulation_runs = 16;   ///< Random scenarios when enabled.
 };
 

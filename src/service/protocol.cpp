@@ -18,6 +18,7 @@ bool needs_session(Op op) noexcept {
     case Op::kAnalyze:
     case Op::kAdmit:
     case Op::kSnapshot:
+    case Op::kProvision:
       return true;
     case Op::kMetrics:
     case Op::kStatsz:
@@ -47,6 +48,8 @@ bool field_allowed(Op op, std::string_view key) noexcept {
       return key == "ef_mode" || key == "smax";
     case Op::kAdmit:
       return key == "flow" || key == "ef_mode" || key == "smax";
+    case Op::kProvision:
+      return key == "flow" || key == "capacity";
     case Op::kSnapshot:
     case Op::kMetrics:
     case Op::kStatsz:
@@ -64,6 +67,7 @@ std::optional<Op> op_from_string(std::string_view s) noexcept {
   if (s == "analyze") return Op::kAnalyze;
   if (s == "admit") return Op::kAdmit;
   if (s == "snapshot") return Op::kSnapshot;
+  if (s == "provision") return Op::kProvision;
   if (s == "metrics") return Op::kMetrics;
   if (s == "statsz") return Op::kStatsz;
   if (s == "flush") return Op::kFlush;
@@ -117,6 +121,7 @@ const char* to_string(Op op) noexcept {
     case Op::kAnalyze: return "analyze";
     case Op::kAdmit: return "admit";
     case Op::kSnapshot: return "snapshot";
+    case Op::kProvision: return "provision";
     case Op::kMetrics: return "metrics";
     case Op::kStatsz: return "statsz";
     case Op::kFlush: return "flush";
@@ -253,6 +258,24 @@ ParsedRequest parse_request(std::string_view line) {
       if (name->empty())
         return fail(std::move(p), "bad_request", "'name' must be non-empty");
       p.request.name = *name;
+      break;
+    }
+    case Op::kProvision: {
+      if (const JsonValue* flow = doc->find("flow")) {
+        if (flow->kind != JsonValue::Kind::kString)
+          return fail(std::move(p), "bad_request", "'flow' must be a string");
+        if (flow->string.find('\n') != std::string::npos)
+          return fail(std::move(p), "bad_request",
+                      "'flow' must be a single flow line");
+        p.request.flow = flow->string;
+      }
+      if (const JsonValue* cap = doc->find("capacity")) {
+        std::int64_t c = 0;
+        if (!to_int64(*cap, &c) || c < 0)
+          return fail(std::move(p), "bad_request",
+                      "'capacity' must be a non-negative integer");
+        p.request.capacity = c;
+      }
       break;
     }
     default:

@@ -47,6 +47,7 @@ enum class Op {
   kAnalyze,      ///< Worst-case analysis of the session's set (batchable).
   kAdmit,        ///< Admission test + commit of one candidate flow.
   kSnapshot,     ///< Serialised flow set of a session.
+  kProvision,    ///< Buffer-provisioning plan of the session's set.
   kMetrics,      ///< Service-wide deterministic metrics dump.
   kStatsz,       ///< Prometheus-text exposition (deterministic kinds).
   kFlush,        ///< Barrier: close the open analyze batch.
@@ -71,9 +72,12 @@ struct Request {
   Op op = Op::kFlush;
   std::string session;  ///< Target session (ops that take one).
   std::string text;     ///< load_network: flow-set text.
-  std::string flow;     ///< add_flow / admit: one `flow ...` line.
+  std::string flow;     ///< add_flow / admit / provision: one `flow ...` line
+                        ///< (provision: optional what-if probe).
   std::string name;     ///< remove_flow: flow name.
   AnalyzeOptions analyze;  ///< analyze / admit.
+  std::optional<std::int64_t> capacity;  ///< provision: per-node work-unit
+                                         ///< capacity target (>= 0).
   std::optional<std::int64_t> deadline_ms;  ///< Queueing deadline.
 };
 

@@ -11,6 +11,7 @@
 #include "obs/eventlog.h"
 #include "obs/exposition.h"
 #include "obs/telemetry.h"
+#include "provision/planner.h"
 #include "trajectory/batch.h"
 
 namespace tfa::service {
@@ -753,6 +754,72 @@ void Service::execute(const Request& r, const std::string& op_text,
           ",\"analyzes\":" + std::to_string(sess->analyzes) +
           ",\"shards\":" + std::to_string(shards) + ",\"text\":" +
           json_string(model::serialize_flow_set(sess->set)) + "}";
+      respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
+      return;
+    }
+    case Op::kProvision: {
+      Session* sess = store_->find(r.session);
+      if (sess == nullptr) {
+        e.code = "unknown_session";
+        e.message = "no session named '" + r.session + "'";
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
+        return;
+      }
+      const std::scoped_lock session_lock(sess->mu);
+      if (sess->set.empty()) {
+        e.code = "empty_session";
+        e.message =
+            "session '" + r.session + "' has no flows to provision";
+        respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
+        return;
+      }
+      provision::Config pcfg;
+      pcfg.capacity = r.capacity.value_or(0);
+      std::optional<model::SporadicFlow> probe;
+      if (!r.flow.empty()) {
+        std::string why;
+        probe = parse_flow_line(sess->set.network(), r.flow, &why);
+        if (!probe) {
+          e.code = "bad_flow_set";
+          e.message = why;
+          respond_error(seq, id_json, op_text, trace, e, start_ns, meta);
+          return;
+        }
+      }
+      provision::Plan plan;
+      std::size_t headroom = 0;
+      {
+        // The session tracer carries this request's trace id through the
+        // provisioning span(s).
+        const TraceContextGuard session_ctx(&sess->telemetry.trace, trace);
+        plan = provision::plan(sess->set, pcfg, &sess->telemetry);
+        if (probe)
+          headroom = provision::max_clones_within(sess->set, *probe,
+                                                  pcfg.capacity, pcfg);
+      }
+      std::string result = "{\"all_sizeable\":";
+      result += plan.all_sizeable ? "true" : "false";
+      result += ",\"all_fit\":";
+      result += plan.all_fit ? "true" : "false";
+      result += ",\"total_work\":" + json_duration(plan.total_work);
+      result += ",\"nodes\":[";
+      for (std::size_t h = 0; h < plan.nodes.size(); ++h) {
+        const provision::NodeBuffer& nb = plan.nodes[h];
+        if (h > 0) result += ',';
+        result += "{\"node\":" + std::to_string(nb.node);
+        result += ",\"work\":" + json_duration(nb.work);
+        result += ",\"packets\":" + json_duration(nb.packets);
+        result += ",\"binding_flow\":";
+        result += nb.binding_flow == kNoFlow
+                      ? std::string("null")
+                      : json_string(sess->set.flow(nb.binding_flow).name());
+        result +=
+            ",\"binding_segment\":" + std::to_string(nb.binding_segment);
+        result += "}";
+      }
+      result += "]";
+      if (probe) result += ",\"headroom\":" + std::to_string(headroom);
+      result += "}";
       respond_ok(seq, id_json, op_text, trace, result, start_ns, meta);
       return;
     }

@@ -90,6 +90,44 @@ void ShardedAnalyzer::rebuild_shard(ShardId id) {
 
 ShardId ShardedAnalyzer::apply_merge(const std::vector<ShardId>& members,
                                      const model::SporadicFlow& flow) {
+  // Single-member adds (the dominant case once the partition has
+  // settled: the new flow lands inside one existing shard, or starts
+  // its own) skip the full rebuild.  The target's names/set/nodes are
+  // already consistent, so one sorted insert of the new flow replaces
+  // the O(n log n) re-sort and O(n) set reconstruction
+  // rebuild_shard() would pay — the resulting shard state is
+  // bit-identical to a rebuild (names sorted, set in names order,
+  // nodes sorted unique), which the shard-equivalence sweep pins.
+  if (members.size() <= 1) {
+    ShardId target;
+    if (members.empty()) {
+      target = next_id_++;
+      Shard fresh;
+      fresh.set = model::FlowSet(net_);
+      shards_.emplace(target, std::move(fresh));
+    } else {
+      target = members.front();
+    }
+    flows_.insert_or_assign(flow.name(), flow);
+    shard_of_[flow.name()] = target;
+    Shard& tgt = shard_at(target);
+    const auto it =
+        std::lower_bound(tgt.names.begin(), tgt.names.end(), flow.name());
+    const auto pos = static_cast<std::size_t>(it - tgt.names.begin());
+    tgt.names.insert(it, flow.name());
+    tgt.set.insert(pos, flow);
+    for (const NodeId h : flow.path().nodes()) {
+      const auto nit = std::lower_bound(tgt.nodes.begin(), tgt.nodes.end(), h);
+      if (nit == tgt.nodes.end() || *nit != h) tgt.nodes.insert(nit, h);
+      node_shard_[h] = target;
+    }
+    tgt.analyzed = false;
+    tgt.healthy = false;
+    tgt.last = Result{};
+    dirty_.insert(target);
+    unhealthy_.insert(target);
+    return target;
+  }
   ShardId target;
   if (members.empty()) {
     target = next_id_++;

@@ -51,6 +51,32 @@ TEST(FlowSet, ValidateFlagsImpossibleDeadline) {
   EXPECT_FALSE(set.validate().empty());
 }
 
+TEST(FlowSet, ValidateChecksArrivalSpecsAgainstTheStaircase) {
+  FlowSet set = small_set();
+  // "a" has T=10, J=0: burst 1 at rate 1/10 envelopes the staircase.
+  set.replace(0, set.flow(0).with_arrival({{1, 1, 10}}));
+  EXPECT_TRUE(set.validate().empty());
+  // Rate 1/20 undercuts the long-run 1/T packet rate.
+  set.replace(0, set.flow(0).with_arrival({{1, 1, 20}}));
+  const auto issues = set.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].flow, 0);
+  EXPECT_NE(issues[0].message.find("rate below the intrinsic"),
+            std::string::npos)
+      << issues[0].message;
+}
+
+TEST(FlowSet, InsertPlacesFlowAtPosition) {
+  FlowSet set = small_set();
+  set.insert(1, SporadicFlow("m", Path{2}, 10, 1, 0, 20));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.flow(0).name(), "a");
+  EXPECT_EQ(set.flow(1).name(), "m");
+  EXPECT_EQ(set.flow(2).name(), "b");
+  EXPECT_EQ(set.find("m"), std::optional<FlowIndex>(1));
+  EXPECT_EQ(set.find("b"), std::optional<FlowIndex>(2));
+}
+
 TEST(FlowSet, NodeUtilisationSumsCostOverPeriod) {
   const FlowSet set = small_set();
   EXPECT_DOUBLE_EQ(set.node_utilisation(0), 0.2);        // 2/10

@@ -67,6 +67,43 @@ TEST(SporadicFlow, WithClassReplacesOnlyTheClass) {
   EXPECT_EQ(b.period(), f.period());
 }
 
+TEST(SporadicFlow, WithArrivalAttachesSpec) {
+  // T=36, J=2: m0 = 1, first jump at t = 34.  burst 1 at rate 1/34
+  // touches the staircase exactly at the jump (1*34 + 1*34 = 2*34).
+  const SporadicFlow f = uniform_flow().with_arrival({{1, 1, 34}});
+  ASSERT_EQ(f.arrival().size(), 1u);
+  EXPECT_EQ(f.arrival()[0], (ArrivalSegment{1, 1, 34}));
+  EXPECT_TRUE(validate_arrival_spec(f.arrival(), f.period(), f.jitter())
+                  .empty());
+}
+
+TEST(SporadicFlow, SplitTailDropsTheArrivalSpec) {
+  // The tail flow's jitter is a per-node response bound, not the original
+  // release jitter, so the spec's envelope proof no longer applies.
+  const SporadicFlow f = uniform_flow().with_arrival({{1, 1, 34}});
+  EXPECT_TRUE(f.split_tail(1, /*new_jitter=*/9).arrival().empty());
+}
+
+TEST(ArrivalSpecValidation, FirstJumpBoundaryIsExact) {
+  // T=10, J=5: first jump at t=5.  Equality passes, one tick of rate
+  // slack less fails.
+  EXPECT_TRUE(validate_arrival_spec({{1, 1, 5}}, 10, 5).empty());
+  const std::string issue = validate_arrival_spec({{1, 1, 6}}, 10, 5);
+  EXPECT_NE(issue.find("undercuts the intrinsic staircase"),
+            std::string::npos)
+      << issue;
+}
+
+TEST(ArrivalSpecValidation, LaterSegmentsMustStayConcave) {
+  EXPECT_TRUE(validate_arrival_spec({{2, 1, 2}, {4, 1, 5}}, 10, 0).empty());
+  EXPECT_NE(validate_arrival_spec({{2, 1, 5}, {4, 1, 5}}, 10, 0)
+                .find("strictly decreasing"),
+            std::string::npos);
+  EXPECT_NE(validate_arrival_spec({{2, 1, 2}, {2, 1, 5}}, 10, 0)
+                .find("strictly increasing"),
+            std::string::npos);
+}
+
 TEST(ServiceClass, NamesAndEfPredicate) {
   EXPECT_STREQ(to_string(ServiceClass::kExpedited), "EF");
   EXPECT_STREQ(to_string(ServiceClass::kAssured3), "AF3");

@@ -68,6 +68,29 @@ TEST(Serialize, RoundTripsPerNodeCosts) {
   EXPECT_EQ(r.flow_set->flow(0).service_class(), ServiceClass::kAssured2);
 }
 
+TEST(Serialize, ParsesArrivalSpec) {
+  const ParseResult r = parse_flow_set(
+      "network 2 1 1\n"
+      "flow f EF 10 4 90 path 0 1 costs 1 arrival 2 1 5 4 1 8\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const std::vector<ArrivalSegment>& a = r.flow_set->flow(0).arrival();
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], (ArrivalSegment{2, 1, 5}));
+  EXPECT_EQ(a[1], (ArrivalSegment{4, 1, 8}));
+}
+
+TEST(Serialize, RoundTripsArrivalSpec) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("f", Path{0, 1}, 10, 1, 4, 90)
+              .with_arrival({{2, 1, 5}, {4, 1, 8}}));
+  const std::string text = serialize_flow_set(set);
+  EXPECT_NE(text.find(" arrival 2 1 5 4 1 8"), std::string::npos) << text;
+  const ParseResult r = parse_flow_set(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.flow_set->flow(0).arrival(), set.flow(0).arrival());
+  EXPECT_EQ(serialize_flow_set(*r.flow_set), text);
+}
+
 struct BadCase {
   const char* text;
   const char* expect;  // substring of the error
@@ -106,7 +129,34 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"network 2 1 1\nflow a EF 5 0 9 path 0 costs 1\n"
                 "flow a EF 5 0 9 path 1 costs 1\n",
                 "duplicate flow name", 3},
-        BadCase{"# only a comment\n", "missing 'network'", 2}));
+        BadCase{"# only a comment\n", "missing 'network'", 2},
+        // Arrival-spec syntax: triples after the keyword, integers only.
+        BadCase{"network 2 1 1\nflow f EF 10 0 90 path 0 costs 1 "
+                "arrival 2 1\n",
+                "triples, got 2 values", 2},
+        BadCase{"network 2 1 1\nflow f EF 10 0 90 path 0 costs 1 "
+                "arrival 2 x 5\n",
+                "bad arrival segment '2 x 5'", 2},
+        // Arrival-spec semantics (validate_arrival_spec wired through the
+        // parser with the same located-line reporting).
+        BadCase{"network 2 1 1\nflow f EF 10 0 90 path 0 costs 1 "
+                "arrival 2 1 5 2 1 6\n",
+                "bursts must be strictly increasing", 2},
+        BadCase{"network 2 1 1\nflow f EF 10 0 90 path 0 costs 1 "
+                "arrival 2 1 5 3 1 5\n",
+                "rates must be strictly decreasing", 2},
+        BadCase{"network 2 1 1\nflow f EF 10 0 90 path 0 costs 1 "
+                "arrival 2 1 20\n",
+                "rate below the intrinsic 1/T packet rate", 2},
+        BadCase{"network 2 1 1\nflow f EF 10 25 90 path 0 costs 1 "
+                "arrival 2 1 1\n",
+                "burst below the intrinsic", 2},
+        BadCase{"network 2 1 1\nflow f EF 10 5 90 path 0 costs 1 "
+                "arrival 1 1 10\n",
+                "undercuts the intrinsic staircase at t = 5", 2},
+        BadCase{"network 2 1 1\nflow f EF 10 0 90 path 0 costs 1 "
+                "arrival 9007199254740991 1 1\n",
+                "overflow-magnitude value", 2}));
 
 TEST(Serialize, ParsesLinkOverrides) {
   const ParseResult r = parse_flow_set(
@@ -173,9 +223,30 @@ TEST(Serialize, RoundTripsGeneratedCornerTopologies) {
         EXPECT_EQ(x.deadline(), y.deadline());
         EXPECT_EQ(x.costs(), y.costs());
         EXPECT_EQ(x.service_class(), y.service_class());
+        EXPECT_EQ(x.arrival(), y.arrival());
       }
     }
   }
+}
+
+TEST(Serialize, PwlBurstFamilyCarriesArrivalSpecsThroughTheText) {
+  // The family exists to make the piecewise-linear arrival machinery
+  // bind; its specs must survive the text format segment-exactly.
+  bool saw_spec = false;
+  for (const std::uint64_t seed : {2u, 4u, 8u, 16u}) {
+    Rng rng(seed);
+    CornerConfig cfg;
+    cfg.family = CornerFamily::kPwlBurst;
+    const FlowSet set = make_corner(cfg, rng);
+    const ParseResult r = parse_flow_set(serialize_flow_set(set));
+    ASSERT_TRUE(r.ok()) << r.error;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      const auto fi = static_cast<FlowIndex>(i);
+      EXPECT_EQ(r.flow_set->flow(fi).arrival(), set.flow(fi).arrival());
+      saw_spec |= !set.flow(fi).arrival().empty();
+    }
+  }
+  EXPECT_TRUE(saw_spec);
 }
 
 TEST(Serialize, HeterogeneousLinkFamilyCarriesOverridesThroughTheText) {

@@ -91,5 +91,70 @@ TEST(Backlog, RandomFamiliesStaySound) {
   }
 }
 
+TEST(Backlog, NodeLatencyAddsTheBlockedPacketResidual) {
+  // One flow, T=100, C=4, J=0 on a single node with node_latency 3: the
+  // vertical deviation against beta = (t - 3)^+ is sigma + rho*L with
+  // the work rate grid-ceiled (rho = ceil(2^20/25)/2^20 = 5243/131072),
+  // i.e. 4 + 3 * 5243/131072, and the packetised bound adds the
+  // in-service residual L + 1 on top — exactly, not as an inequality.
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 1000));
+  Config cfg;
+  cfg.node_latency = 3;
+  const Result nc = analyze(set, cfg);
+  ASSERT_TRUE(nc.converged);
+  EXPECT_EQ(nc.node_backlog[0],
+            Rational(4) + Rational(3) * Rational(5243, 131072) + Rational(4));
+  // An idle node holds no blocked packet: its bound stays zero.
+  EXPECT_EQ(nc.node_backlog[1], Rational(0));
+  // Without the latency the L = 0 path is untouched.
+  EXPECT_EQ(analyze(set).node_backlog[0], Rational(4));
+}
+
+TEST(Backlog, PerFlowSharesAreCappedByTheAggregate) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 100, 7, 0, 1000));
+  const Result nc = analyze(set);
+  ASSERT_TRUE(nc.converged);
+  // Aggregate vdev 11, sojourn bound 11; flow a's share is
+  // alpha_a(11) = 4 + 11 * rho_a < 11, with each work rate grid-ceiled:
+  // rho_a = ceil(2^20 * 4/100)/2^20 = 5243/131072 and
+  // rho_b = ceil(2^20 * 7/100)/2^20 = 73401/1048576.
+  EXPECT_EQ(nc.node_delay[0], Rational(11));
+  ASSERT_EQ(nc.bounds[0].node_backlogs.size(), 1u);
+  EXPECT_EQ(nc.bounds[0].node_backlogs[0],
+            Rational(4) + Rational(11) * Rational(5243, 131072));
+  EXPECT_EQ(nc.bounds[0].backlog_segment[0], 0u);  // intrinsic bucket
+  EXPECT_EQ(nc.bounds[1].node_backlogs[0],
+            Rational(7) + Rational(11) * Rational(73401, 1048576));
+  // Each share never exceeds the node bound.
+  for (const FlowBound& b : nc.bounds)
+    for (const Rational& q : b.node_backlogs)
+      EXPECT_LE(q, nc.node_backlog[0]);
+}
+
+TEST(Backlog, ArrivalSpecTightensNodeAndFlowBounds) {
+  // T=100, J=50: the intrinsic bucket carries burst 1 + J/T = 3/2
+  // packets (sigma 6), while the spec '1 1 50' — valid, it touches the
+  // staircase at the first jump t=50 — carries burst 1 (sigma 4).  The
+  // spec binds both the node bound and the flow's share.
+  FlowSet plain(Network(1, 1, 1));
+  plain.add(SporadicFlow("a", Path{0}, 100, 4, 50, 1000));
+  FlowSet spec(plain.network());
+  spec.add(plain.flow(0).with_arrival({{1, 1, 50}}));
+  ASSERT_TRUE(spec.validate().empty());
+
+  const Result np = analyze(plain);
+  const Result ns = analyze(spec);
+  ASSERT_TRUE(np.converged);
+  ASSERT_TRUE(ns.converged);
+  EXPECT_EQ(np.node_backlog[0], Rational(6));
+  EXPECT_EQ(ns.node_backlog[0], Rational(4));
+  ASSERT_EQ(ns.bounds[0].node_backlogs.size(), 1u);
+  EXPECT_EQ(ns.bounds[0].node_backlogs[0], Rational(4));
+  EXPECT_EQ(ns.bounds[0].backlog_segment[0], 1u);  // first spec segment
+}
+
 }  // namespace
 }  // namespace tfa::netcalc

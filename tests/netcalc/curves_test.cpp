@@ -73,5 +73,137 @@ TEST(HorizontalDeviationDeathTest, RequiresStability) {
   EXPECT_DEATH((void)horizontal_deviation(a, beta), "precondition");
 }
 
+// ---- piecewise-linear (concave min-of-affine) curves ----
+
+TEST(PwlCurve, AffineLiftIsOneSegment) {
+  const PwlCurve p = PwlCurve::affine({Rational(5), Rational(1, 2)});
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_EQ(p.burst(), Rational(5));
+  EXPECT_EQ(p.long_run_rate(), Rational(1, 2));
+  EXPECT_EQ(p.at(Rational(4)), Rational(7));
+}
+
+TEST(PwlCurve, MinOfNormalizesToConcaveHull) {
+  // Steep-small, shallow-big: both survive; the min is taken pointwise.
+  const PwlCurve p = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(1, 4)}});
+  ASSERT_EQ(p.segments.size(), 2u);
+  EXPECT_EQ(p.burst(), Rational(2));
+  EXPECT_EQ(p.long_run_rate(), Rational(1, 4));
+  EXPECT_EQ(p.at(Rational(0)), Rational(2));
+  EXPECT_EQ(p.at(Rational(1)), Rational(4));        // steep segment
+  // Breakpoint at t where 2 + 2t = 10 + t/4: t = 32/7.
+  EXPECT_EQ(p.at(Rational(32, 7)), Rational(78, 7));
+  EXPECT_EQ(p.at(Rational(8)), Rational(12));        // shallow segment
+}
+
+TEST(PwlCurve, MinOfDropsDominatedSegments) {
+  // (3, 1/2) is pointwise below (4, 1/2) and (5, 1): both pruned.
+  const PwlCurve p = PwlCurve::min_of({{Rational(4), Rational(1, 2)},
+                                       {Rational(3), Rational(1, 2)},
+                                       {Rational(5), Rational(1)}});
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_EQ(p.segments[0].sigma, Rational(3));
+  EXPECT_EQ(p.segments[0].rho, Rational(1, 2));
+}
+
+TEST(PwlCurve, MinOfPrunesHullRedundantMiddle) {
+  // The middle segment is above the crossing of its neighbours, so the
+  // hull never uses it.
+  const PwlCurve p = PwlCurve::min_of({{Rational(1), Rational(2)},
+                                       {Rational(9), Rational(1)},
+                                       {Rational(11), Rational(1, 2)}});
+  ASSERT_EQ(p.segments.size(), 2u);
+  EXPECT_EQ(p.segments[0].sigma, Rational(1));
+  EXPECT_EQ(p.segments[1].sigma, Rational(11));
+}
+
+TEST(PwlCurve, SumMatchesPointwiseAddition) {
+  const PwlCurve a = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(1, 4)}});
+  const PwlCurve b = PwlCurve::min_of(
+      {{Rational(1), Rational(1)}, {Rational(4), Rational(1, 3)}});
+  const PwlCurve sum = a + b;
+  // Concave + concave stays concave; check pointwise at integer grid.
+  for (Duration t = 0; t <= 40; ++t)
+    EXPECT_EQ(sum.at(Rational(t)), a.at(Rational(t)) + b.at(Rational(t)))
+        << "t=" << t;
+  // Segment count obeys the merge-walk bound n + m - 1.
+  EXPECT_LE(sum.segments.size(), a.segments.size() + b.segments.size() - 1);
+}
+
+TEST(PwlCurve, EmptyIsAdditionIdentity) {
+  const PwlCurve a = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(1, 4)}});
+  const PwlCurve sum = PwlCurve{} + a;
+  ASSERT_EQ(sum.segments.size(), a.segments.size());
+  for (std::size_t k = 0; k < a.segments.size(); ++k) {
+    EXPECT_EQ(sum.segments[k].sigma, a.segments[k].sigma);
+    EXPECT_EQ(sum.segments[k].rho, a.segments[k].rho);
+  }
+}
+
+TEST(PwlCurve, DelayedShiftsEverySegment) {
+  const PwlCurve a = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(1, 4)}});
+  const PwlCurve d = a.delayed(Rational(4));
+  for (Duration t = 0; t <= 20; ++t)
+    EXPECT_EQ(d.at(Rational(t)), a.at(Rational(t + 4))) << "t=" << t;
+}
+
+TEST(PwlCurve, HorizontalDeviationMatchesAffineOnOneSegment) {
+  const PwlCurve p = PwlCurve::affine({Rational(12), Rational(1, 3)});
+  const ServiceCurve beta{Rational(1, 2), Rational(5)};
+  EXPECT_EQ(horizontal_deviation(p, beta),
+            horizontal_deviation(ArrivalCurve{Rational(12), Rational(1, 3)},
+                                 beta));
+}
+
+TEST(PwlCurve, HorizontalDeviationUsesTheKnee) {
+  // alpha = min(2 + 2t, 10 + t/4), beta rate 1, latency 0.  The worst
+  // horizontal gap sits at the knee t = 32/7, value alpha(t)/R - t =
+  // 78/7 - 32/7 = 46/7 — larger than the t=0 gap of 2.
+  const PwlCurve p = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(1, 4)}});
+  const ServiceCurve beta{Rational(1), Rational(0)};
+  EXPECT_EQ(horizontal_deviation(p, beta), Rational(46, 7));
+}
+
+TEST(PwlCurve, HorizontalDeviationInfiniteWhenUnstable) {
+  const PwlCurve p = PwlCurve::affine({Rational(1), Rational(2)});
+  const ServiceCurve beta{Rational(1), Rational(0)};
+  EXPECT_EQ(horizontal_deviation(p, beta), Rational(kInfiniteDuration));
+}
+
+TEST(PwlCurve, BacklogBoundMatchesAffineOnOneSegment) {
+  const PwlCurve p = PwlCurve::affine({Rational(12), Rational(1, 3)});
+  const ServiceCurve beta{Rational(1), Rational(6)};
+  EXPECT_EQ(backlog_bound(p, beta), Rational(14));
+}
+
+TEST(PwlCurve, BacklogBoundPeaksAtTheKnee) {
+  // alpha = min(2 + 2t, 10 + t/4) vs beta = (t - 2)^+ at rate 1: the
+  // vertical gap grows along the steep segment until the knee t = 32/7,
+  // where it is 78/7 - (32/7 - 2) = 60/7 > alpha(L) = 2 + 4 = 6.
+  const PwlCurve p = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(1, 4)}});
+  const ServiceCurve beta{Rational(1), Rational(2)};
+  EXPECT_EQ(backlog_bound(p, beta), Rational(60, 7));
+  EXPECT_EQ(backlog_argmax(p, beta), 1u);  // shallow segment binds there
+}
+
+TEST(PwlCurve, BacklogBoundInfiniteWhenUnstable) {
+  const PwlCurve p = PwlCurve::min_of(
+      {{Rational(2), Rational(2)}, {Rational(10), Rational(3, 2)}});
+  const ServiceCurve beta{Rational(1), Rational(0)};
+  EXPECT_EQ(backlog_bound(p, beta), Rational(kInfiniteDuration));
+}
+
+TEST(PwlCurve, EmptyCurveBacklogIsZero) {
+  const ServiceCurve beta{Rational(1), Rational(3)};
+  EXPECT_EQ(backlog_bound(PwlCurve{}, beta), Rational(0));
+  EXPECT_EQ(horizontal_deviation(PwlCurve{}, beta), Rational(3));
+}
+
 }  // namespace
 }  // namespace tfa::netcalc

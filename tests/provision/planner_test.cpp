@@ -1,0 +1,158 @@
+// Tests of the buffer-provisioning planner: exact sizing, rounding,
+// capacity targets, binding attribution, what-if headroom, rendering.
+#include <gtest/gtest.h>
+
+#include "model/flow_set.h"
+#include "model/paper_example.h"
+#include "obs/telemetry.h"
+#include "provision/planner.h"
+
+namespace tfa::provision {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+using netcalc::Rational;
+
+FlowSet two_flow_node() {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 100, 7, 0, 1000));
+  return set;
+}
+
+TEST(Planner, SizesSingleNodeExactly) {
+  const Plan p = plan(two_flow_node());
+  ASSERT_EQ(p.nodes.size(), 1u);
+  const NodeBuffer& nb = p.nodes[0];
+  EXPECT_TRUE(nb.sizeable);
+  EXPECT_EQ(nb.exact, Rational(11));  // sigma_a + sigma_b at latency 0
+  EXPECT_EQ(nb.work, 11);
+  EXPECT_EQ(nb.packets, 11);
+  EXPECT_TRUE(p.all_sizeable);
+  EXPECT_TRUE(p.all_fit);
+  EXPECT_EQ(p.total_work, 11);
+  // Shares arrive in flow-index order; "b" holds the larger one
+  // (alpha_b(11) = 777/100 > alpha_a(11) = 111/25), so it binds.
+  ASSERT_EQ(nb.shares.size(), 2u);
+  EXPECT_EQ(nb.shares[0].flow, 0);
+  EXPECT_EQ(nb.shares[1].flow, 1);
+  EXPECT_EQ(nb.binding_flow, 1);
+  EXPECT_EQ(nb.binding_segment, 0u);
+}
+
+TEST(Planner, FractionalBoundRoundsBothWays) {
+  // node_latency 3 makes the bound 4 + 3*rho + 4 with the grid-ceiled
+  // work rate rho = ceil(2^20/25)/2^20 = 5243/131072 — about 8.12:
+  // 9 work units of buffer (ceil) but at most 8 whole packets (floor).
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 0, 1000));
+  Config cfg;
+  cfg.analysis.node_latency = 3;
+  const Plan p = plan(set, cfg);
+  ASSERT_TRUE(p.nodes[0].sizeable);
+  EXPECT_EQ(p.nodes[0].exact,
+            Rational(8) + Rational(3) * Rational(5243, 131072));
+  EXPECT_EQ(p.nodes[0].work, 9);
+  EXPECT_EQ(p.nodes[0].packets, 8);
+}
+
+TEST(Planner, OverloadedNodeIsUnsizeable) {
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("a", Path{0, 1}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0, 1}, 10, 6, 0, 1000));
+  const Plan p = plan(set);
+  EXPECT_FALSE(p.all_sizeable);
+  EXPECT_FALSE(p.all_fit);
+  for (const NodeBuffer& nb : p.nodes) {
+    EXPECT_FALSE(nb.sizeable);
+    EXPECT_TRUE(is_infinite(nb.work));
+    EXPECT_TRUE(is_infinite(nb.packets));
+    EXPECT_EQ(nb.binding_flow, kNoFlow);
+  }
+}
+
+TEST(Planner, CapacityTargetGatesTheFit) {
+  Config tight;
+  tight.capacity = 10;
+  EXPECT_FALSE(plan(two_flow_node(), tight).all_fit);
+  Config exact;
+  exact.capacity = 11;
+  EXPECT_TRUE(plan(two_flow_node(), exact).all_fit);
+  EXPECT_TRUE(plan(two_flow_node()).all_fit);  // capacity 0 = size freely
+}
+
+TEST(Planner, ArrivalSpecBindingIsAttributed) {
+  // T=100, J=50: the spec '1 1 50' (sigma 4) beats the intrinsic bucket
+  // (sigma 6); the node's binding constraint is the first spec segment.
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 100, 4, 50, 1000)
+              .with_arrival({{1, 1, 50}}));
+  ASSERT_TRUE(set.validate().empty());
+  const Plan p = plan(set);
+  ASSERT_TRUE(p.nodes[0].sizeable);
+  EXPECT_EQ(p.nodes[0].exact, Rational(4));
+  EXPECT_EQ(p.nodes[0].binding_flow, 0);
+  EXPECT_EQ(p.nodes[0].binding_segment, 1u);
+}
+
+TEST(Planner, HeadroomSearchFindsTheExactBreakingPoint) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("base", Path{0}, 100, 4, 0, 1000));
+  const SporadicFlow probe("probe", Path{0}, 100, 4, 0, 1000);
+  // Each clone adds 4 work units on top of the base 4.
+  EXPECT_EQ(max_clones_within(set, probe, 11), 1u);
+  EXPECT_EQ(max_clones_within(set, probe, 12), 2u);
+  EXPECT_EQ(max_clones_within(set, probe, 4), 0u);
+  EXPECT_EQ(max_clones_within(set, probe, 40), 9u);
+  // The cap applies before stability would end the search.
+  EXPECT_EQ(max_clones_within(set, probe, 0, Config{}, 5), 5u);
+}
+
+TEST(Planner, PaperExamplePlanIsFiniteEverywhere) {
+  const Plan p = plan(model::paper_example());
+  EXPECT_TRUE(p.all_sizeable);
+  EXPECT_TRUE(p.all_fit);
+  EXPECT_EQ(p.nodes.size(), 12u);
+  EXPECT_GT(p.total_work, 0);
+  // Node 0 carries no flow: zero buffer, no binding flow.
+  EXPECT_EQ(p.nodes[0].work, 0);
+  EXPECT_EQ(p.nodes[0].binding_flow, kNoFlow);
+}
+
+TEST(Planner, RenderMarkdownListsEveryNodeAndTheTotals) {
+  const FlowSet set = two_flow_node();
+  const std::string md = render_markdown(set, plan(set));
+  EXPECT_NE(md.find("## Buffer provisioning"), std::string::npos);
+  EXPECT_NE(md.find("| 0 | 11 | 11 | 11 | b | intrinsic |"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("Total buffer: 11 work units across 1 nodes"),
+            std::string::npos)
+      << md;
+}
+
+TEST(Planner, RenderMarkdownMarksUnsizeableNodes) {
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  const std::string md = render_markdown(set, plan(set));
+  EXPECT_NE(md.find("unbounded"), std::string::npos);
+  EXPECT_NE(md.find("not sizeable"), std::string::npos);
+}
+
+TEST(Planner, TelemetryCountsPlansNodesAndUnsizeable) {
+  obs::Telemetry telemetry;
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("a", Path{0}, 10, 6, 0, 1000));
+  set.add(SporadicFlow("b", Path{0}, 10, 6, 0, 1000));
+  (void)plan(set, Config{}, &telemetry);
+  EXPECT_EQ(telemetry.metrics.counter("provision.plans"), 1);
+  EXPECT_EQ(telemetry.metrics.counter("provision.nodes"), 2);
+  EXPECT_EQ(telemetry.metrics.counter("provision.unsizeable"), 1);
+}
+
+}  // namespace
+}  // namespace tfa::provision

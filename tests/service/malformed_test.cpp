@@ -52,6 +52,16 @@ TEST(Malformed, TableOfBadRequests) {
       {R"({"op":"load_network","session":"s"})", "bad_request"},  // no text
       {R"({"op":"add_flow","session":"s","flow":"flow a EF 9 0 9 path 0 1 costs 1\nflow b EF 9 0 9 path 0 1 costs 1"})",
        "bad_request"},
+      // Provision: field whitelist, capacity domain, single-line probe.
+      {R"({"op":"provision"})", "bad_request"},  // session missing
+      {R"({"op":"provision","session":"s","capacity":-1})", "bad_request"},
+      {R"({"op":"provision","session":"s","capacity":2.5})", "bad_request"},
+      {R"({"op":"provision","session":"s","capacity":"big"})", "bad_request"},
+      {R"({"op":"provision","session":"s","flow":42})", "bad_request"},
+      {R"({"op":"provision","session":"s","flow":"flow a EF 9 0 9 path 0 costs 1\nflow b EF 9 0 9 path 0 costs 1"})",
+       "bad_request"},
+      {R"({"op":"provision","session":"s","ef_mode":true})", "bad_request"},
+      {R"({"op":"provision","session":"ghost"})", "unknown_session"},
       // Unknown op.
       {R"({"op":"analyse","session":"s"})", "unknown_op"},
       // Mis-addressed, structurally fine.
@@ -132,6 +142,14 @@ TEST(Malformed, FlowLevelErrors) {
   // Empty network session: analyzable only once it has flows.
   (void)lb.request(load_line("empty", "network 4 1 1\n"));
   EXPECT_EQ(error_code(lb.request(analyze_line("empty"))), "empty_session");
+  EXPECT_EQ(error_code(lb.request(
+                R"({"op":"provision","session":"empty"})")),
+            "empty_session");
+  // A provision probe that fails the flow parser.
+  EXPECT_EQ(
+      error_code(lb.request(
+          R"({"op":"provision","session":"p","flow":"flow x EF -3 0 40 path 1 3 costs 4"})")),
+      "bad_flow_set");
   // Duplicate / unknown flow names.
   EXPECT_EQ(
       error_code(lb.request(

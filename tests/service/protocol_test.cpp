@@ -8,6 +8,7 @@
 
 #include "base/json.h"
 #include "model/paper_example.h"
+#include "provision/planner.h"
 #include "service/loopback.h"
 #include "service/protocol.h"
 #include "service_test_util.h"
@@ -30,6 +31,9 @@ TEST(Protocol, ParsesEveryOp) {
       {R"({"op":"admit","session":"s","flow":"flow f EF 9 0 9 path 0 1 costs 1"})",
        Op::kAdmit},
       {R"({"op":"snapshot","session":"s"})", Op::kSnapshot},
+      {R"({"op":"provision","session":"s"})", Op::kProvision},
+      {R"({"op":"provision","session":"s","capacity":64,"flow":"flow p EF 9 0 9 path 0 costs 1"})",
+       Op::kProvision},
       {R"({"op":"metrics"})", Op::kMetrics},
       {R"({"op":"statsz"})", Op::kStatsz},
       {R"({"op":"statsz","session":"s"})", Op::kStatsz},
@@ -159,6 +163,8 @@ TEST(Protocol, ResponsesRoundTripThroughParser) {
       analyze_line("p"),
       analyze_line("p", true),
       R"({"op":"snapshot","session":"p"})",
+      R"({"op":"provision","session":"p"})",
+      R"({"op":"provision","session":"p","capacity":50,"flow":"flow probe EF 100 0 900 path 1 3 costs 1"})",
       R"({"op":"metrics"})",
       R"(garbage)",
       R"({"op":"shutdown"})",
@@ -168,6 +174,62 @@ TEST(Protocol, ResponsesRoundTripThroughParser) {
     EXPECT_TRUE(json_parse(response, &err).has_value())
         << response << "\n  at offset " << err.offset << ": " << err.message;
   }
+}
+
+/// The provision op must answer with the exact in-process plan: same
+/// sizes, same binding attribution, same headroom count.
+TEST(Protocol, ProvisionMatchesInProcess) {
+  Loopback lb(test_config());
+  ASSERT_NE(lb.request(load_line("p", paper_text())).find("\"ok\":true"),
+            std::string::npos);
+  const std::string response =
+      lb.request(R"({"op":"provision","session":"p"})");
+  const auto doc = json_parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr) << response;
+
+  const model::FlowSet set = model::paper_example();
+  const provision::Plan direct = provision::plan(set);
+  EXPECT_EQ(result->find("all_sizeable")->boolean, direct.all_sizeable);
+  EXPECT_EQ(result->find("all_fit")->boolean, direct.all_fit);
+  EXPECT_EQ(static_cast<Duration>(result->find("total_work")->number),
+            direct.total_work);
+  const JsonValue* nodes = result->find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_EQ(nodes->array.size(), direct.nodes.size());
+  for (std::size_t h = 0; h < direct.nodes.size(); ++h) {
+    const JsonValue& n = nodes->array[h];
+    const provision::NodeBuffer& nb = direct.nodes[h];
+    EXPECT_EQ(static_cast<NodeId>(n.find("node")->number), nb.node);
+    EXPECT_EQ(static_cast<Duration>(n.find("work")->number), nb.work);
+    EXPECT_EQ(static_cast<Duration>(n.find("packets")->number), nb.packets);
+    if (nb.binding_flow == kNoFlow) {
+      EXPECT_EQ(n.find("binding_flow")->kind, JsonValue::Kind::kNull);
+    } else {
+      EXPECT_EQ(n.find("binding_flow")->string,
+                set.flow(nb.binding_flow).name());
+    }
+    EXPECT_EQ(static_cast<std::size_t>(n.find("binding_segment")->number),
+              nb.binding_segment);
+  }
+  // Probe + capacity reports the headroom of the same what-if search.
+  const std::string probe_line = "flow probe EF 100 0 900 path 1 3 costs 1";
+  const std::string probed = lb.request(
+      R"({"op":"provision","session":"p","capacity":60,"flow":")" +
+      probe_line + R"("})");
+  const auto pdoc = json_parse(probed);
+  ASSERT_TRUE(pdoc.has_value()) << probed;
+  const JsonValue* presult = pdoc->find("result");
+  ASSERT_NE(presult, nullptr) << probed;
+  const JsonValue* headroom = presult->find("headroom");
+  ASSERT_NE(headroom, nullptr) << probed;
+  const model::SporadicFlow probe("probe", model::Path{1, 3}, 100, 1, 0, 900,
+                                  model::ServiceClass::kExpedited);
+  provision::Config pcfg;
+  pcfg.capacity = 60;
+  EXPECT_EQ(static_cast<std::size_t>(headroom->number),
+            provision::max_clones_within(set, probe, 60, pcfg));
 }
 
 }  // namespace

@@ -80,9 +80,19 @@ void run_soak(std::size_t requests) {
       svc.submit("{\"op\":\"admit\",\"session\":" + session_json +
                  ",\"flow\":\"" + flow_line(id, 40, 2, 3) +
                  "\",\"ef_mode\":true}");
-    } else if (dice < 0.72) {
+    } else if (dice < 0.70) {
       svc.submit("{\"op\":\"snapshot\",\"session\":" + session_json + "}");
-    } else if (dice < 0.76) {
+    } else if (dice < 0.75) {
+      // Provisioning, sometimes with a capacity target and a what-if
+      // probe (the probe path runs many plans per request).
+      std::string line = "{\"op\":\"provision\",\"session\":" + session_json;
+      if (rng.chance(0.5))
+        line += ",\"capacity\":" + std::to_string(rng.uniform(1, 200));
+      if (rng.chance(0.3))
+        line += ",\"flow\":\"" + flow_line(next_flow++, 40, 1, 2) + "\"";
+      line += "}";
+      svc.submit(line);
+    } else if (dice < 0.78) {
       svc.submit(R"({"op":"metrics"})");
     } else if (dice < 0.80) {
       svc.submit(R"({"op":"flush"})");
@@ -100,6 +110,7 @@ void run_soak(std::size_t requests) {
           R"({"op":"add_flow","session":"a","flow":"flow bad"})",
           R"({"op":"load_network","session":"a","text":"network 6 1 1"})",
           R"([{"op":"analyze"}])",
+          R"({"op":"provision","session":"a","capacity":-3})",
           std::string(64, '{'),
       };
       svc.submit(kBad[static_cast<std::size_t>(
