@@ -1,0 +1,268 @@
+// Experiment: throughput of the SoA interference kernels
+// (trajectory/soa.h) against the scalar saturating fold, on a clustered
+// 10k-flow workload.
+//
+// Workload: K disjoint clusters of 4 nodes, each carrying F flows over
+// two-node paths with staggered periods and release jitters ~25 periods
+// wide, so every prefix sweep evaluates hundreds of candidate instants
+// (defaults: K=100, F=100 — 10,000 flows).  Clusters are analysed as
+// independent sets (the flow-dependency graph is disjoint by
+// construction), all single-threaded, so the two kernels execute the
+// exact same per-prefix work items in the same order.
+//
+// The metric is Smax fixed-point passes per second: total smax_passes
+// over the summed kernel-driven engine spans (EngineStats::
+// fixed_point_ns + extract_ns — the fixed point plus the final bound
+// extraction, both of which run the per-prefix kernels; geometry
+// construction is shared cost and excluded).  Because the kernels are
+// bit-identical,
+// both runs execute the same number of passes, candidates, and
+// busy-period iterations — verified below, bound for bound and counter
+// for counter — so the ratio isolates the kernel win.  The committed
+// BENCH_soa.json requires scalar_over_soa <= 0.667 (speedup >= 1.5x).
+//
+// Each kernel is measured --repeat times (default 3) and the repeat
+// with the smallest kernel span is kept — the usual best-of-N protocol
+// that strips scheduler and cache contention noise from a throughput
+// ratio (the work is deterministic, so repeats differ only by noise).
+//
+// Options (base/options.h):
+//   --clusters N   disjoint clusters (default 100)
+//   --flows N      flows per cluster (default 100)
+//   --repeat N     timed repeats per kernel, best kept (default 3)
+//   --json FILE    write the BENCH_soa.json record
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/options.h"
+#include "base/table.h"
+#include "model/flow_set.h"
+#include "trajectory/analysis.h"
+
+namespace {
+
+using namespace tfa;
+
+constexpr std::int32_t kClusterNodes = 4;
+
+/// One cluster's flow set: F flows over two-node paths on a 4-node
+/// network, periods staggered over 64..120, release jitters ~25 periods
+/// wide (that is what makes the exact sweep enumerate hundreds of
+/// candidate instants per prefix).  Deterministic: parameters cycle by
+/// flow index, no RNG.
+model::FlowSet cluster_set(std::int32_t cluster, std::int32_t flows) {
+  model::FlowSet set(model::Network(kClusterNodes, 1, 1));
+  for (std::int32_t i = 0; i < flows; ++i) {
+    const NodeId a = i % kClusterNodes;
+    const NodeId b =
+        (i % kClusterNodes + 1 + (i / kClusterNodes) % (kClusterNodes - 1)) %
+        kClusterNodes;
+    const Duration period = 64 + 8 * (i % 8);
+    const Duration jitter = 25 * period + 16 * (i % 5);
+    set.add(model::SporadicFlow(
+        "c" + std::to_string(cluster) + "_f" + std::to_string(i),
+        model::Path{a, b}, period, /*cost=*/1, jitter, /*deadline=*/100'000));
+  }
+  return set;
+}
+
+struct KernelRun {
+  std::vector<trajectory::Result> results;
+  std::size_t passes = 0;
+  std::size_t test_points = 0;
+  std::size_t busy_iterations = 0;
+  double fixed_point_ms = 0;
+  double extract_ms = 0;
+  double kernel_ms = 0;  ///< fixed_point_ms + extract_ms.
+  double wall_ms = 0;
+};
+
+KernelRun run_all(const std::vector<model::FlowSet>& sets,
+                  trajectory::Kernel kernel) {
+  trajectory::Config cfg;
+  cfg.workers = 1;
+  cfg.kernel = kernel;
+  KernelRun r;
+  r.results.reserve(sets.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const model::FlowSet& set : sets)
+    r.results.push_back(trajectory::analyze(set, cfg));
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  std::int64_t fp_ns = 0;
+  std::int64_t ex_ns = 0;
+  for (const trajectory::Result& res : r.results) {
+    r.passes += res.stats.smax_passes;
+    r.test_points += res.stats.test_points;
+    r.busy_iterations += res.stats.busy_period_iterations;
+    fp_ns += res.stats.fixed_point_ns;
+    ex_ns += res.stats.extract_ns;
+  }
+  r.fixed_point_ms = static_cast<double>(fp_ns) / 1e6;
+  r.extract_ms = static_cast<double>(ex_ns) / 1e6;
+  r.kernel_ms = r.fixed_point_ms + r.extract_ms;
+  return r;
+}
+
+/// Best of `repeats` timed runs (smallest kernel span).  Every repeat
+/// performs bit-identical work, so picking the least-disturbed one
+/// changes only the noise, never the measured computation.
+KernelRun best_of(const std::vector<model::FlowSet>& sets,
+                  trajectory::Kernel kernel, std::int32_t repeats) {
+  KernelRun best = run_all(sets, kernel);
+  for (std::int32_t i = 1; i < repeats; ++i) {
+    KernelRun next = run_all(sets, kernel);
+    if (next.kernel_ms < best.kernel_ms) best = std::move(next);
+  }
+  return best;
+}
+
+/// Full-width comparison of the two kernels' outputs: every bound field
+/// of every flow of every cluster.  Returns a diagnostic, empty on
+/// bit-identity.
+std::string compare(const KernelRun& scalar, const KernelRun& soa) {
+  if (scalar.results.size() != soa.results.size()) return "set count differs";
+  for (std::size_t s = 0; s < scalar.results.size(); ++s) {
+    const trajectory::Result& a = scalar.results[s];
+    const trajectory::Result& b = soa.results[s];
+    const std::string at = " in cluster " + std::to_string(s);
+    if (a.converged != b.converged) return "convergence differs" + at;
+    if (a.bounds.size() != b.bounds.size()) return "bound count differs" + at;
+    for (std::size_t i = 0; i < a.bounds.size(); ++i) {
+      const auto& x = a.bounds[i];
+      const auto& y = b.bounds[i];
+      if (x.response != y.response || x.busy_period != y.busy_period ||
+          x.jitter != y.jitter || x.critical_instant != y.critical_instant ||
+          x.prefix_responses != y.prefix_responses)
+        return "bound " + std::to_string(i) + " differs" + at;
+    }
+  }
+  return {};
+}
+
+double passes_per_sec(const KernelRun& r) {
+  return r.kernel_ms > 0
+             ? static_cast<double>(r.passes) / (r.kernel_ms / 1e3)
+             : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser opts(argc, argv);
+  const auto json_path = opts.value("--json");
+  const auto clusters_opt = opts.value("--clusters");
+  const auto flows_opt = opts.value("--flows");
+  const auto repeat_opt = opts.value("--repeat");
+  if (!opts.error().empty() || !opts.unknown_options().empty() ||
+      !opts.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_soa [--clusters N] [--flows N] [--repeat N] "
+                 "[--json FILE]\n");
+    return 2;
+  }
+  const std::int32_t clusters =
+      clusters_opt ? std::atoi(clusters_opt->c_str()) : 100;
+  const std::int32_t flows = flows_opt ? std::atoi(flows_opt->c_str()) : 100;
+  const std::int32_t repeats = repeat_opt ? std::atoi(repeat_opt->c_str()) : 3;
+  if (clusters < 1 || flows < 2 || repeats < 1) {
+    std::fprintf(stderr,
+                 "bench_soa: --clusters must be >= 1, --flows >= 2, "
+                 "--repeat >= 1\n");
+    return 2;
+  }
+  const std::size_t total_flows =
+      static_cast<std::size_t>(clusters) * static_cast<std::size_t>(flows);
+
+  std::vector<model::FlowSet> sets;
+  sets.reserve(static_cast<std::size_t>(clusters));
+  for (std::int32_t c = 0; c < clusters; ++c)
+    sets.push_back(cluster_set(c, flows));
+  std::printf("workload: %zu flows in %d clusters of %d (4 nodes each)\n\n",
+              total_flows, clusters, flows);
+
+  // Scalar first, SoA second; each repeat is a fresh analysis of every
+  // set, and the least-disturbed repeat per kernel is kept.
+  const KernelRun scalar =
+      best_of(sets, trajectory::Kernel::kScalar, repeats);
+  const KernelRun soa = best_of(sets, trajectory::Kernel::kSoa, repeats);
+
+  const double scalar_pps = passes_per_sec(scalar);
+  const double soa_pps = passes_per_sec(soa);
+  const double speedup = scalar_pps > 0 ? soa_pps / scalar_pps : 0;
+  const double scalar_over_soa = soa_pps > 0 ? scalar_pps / soa_pps : 1e9;
+
+  TextTable t({"kernel", "passes", "fixed point ms", "extract ms", "wall ms",
+               "passes/sec"});
+  t.add_row({"scalar", std::to_string(scalar.passes),
+             format_fixed(scalar.fixed_point_ms, 1),
+             format_fixed(scalar.extract_ms, 1),
+             format_fixed(scalar.wall_ms, 1), format_fixed(scalar_pps, 1)});
+  t.add_row({"soa", std::to_string(soa.passes),
+             format_fixed(soa.fixed_point_ms, 1),
+             format_fixed(soa.extract_ms, 1),
+             format_fixed(soa.wall_ms, 1), format_fixed(soa_pps, 1)});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("speedup (soa / scalar passes/sec): %.2fx\n", speedup);
+
+  // ---- correctness gates.  The speedup itself is NOT part of `ok`:
+  // tiny smoke scales are too noisy for a stable ratio, so the throughput
+  // bound is enforced on the committed full-scale record via
+  // check_bench_json --max scalar_over_soa=0.667.
+  const std::string why = compare(scalar, soa);
+  const bool bounds_match = why.empty();
+  const bool counters_match = scalar.passes == soa.passes &&
+                              scalar.test_points == soa.test_points &&
+                              scalar.busy_iterations == soa.busy_iterations;
+  const bool speedup_ok = speedup >= 1.5;
+  const bool ok = bounds_match && counters_match;
+  std::printf(
+      "bounds bit-identical: %s; work counters identical: %s; "
+      "speedup >= 1.5: %s\n",
+      bounds_match ? "yes" : ("NO — BUG: " + why).c_str(),
+      counters_match ? "yes" : "NO — BUG",
+      speedup_ok ? "yes" : "no (informational at smoke scale)");
+
+  if (json_path) {
+    const auto b = [](bool v) { return v ? "true" : "false"; };
+    std::ostringstream js;
+    js << "{\"bench\":\"bench_soa\",\"schema\":1,"
+       << "\"workload\":{\"clusters\":" << clusters
+       << ",\"flows_per_cluster\":" << flows << ",\"flows\":" << total_flows
+       << ",\"repeats\":" << repeats << "},"
+       << "\"passes\":{\"scalar\":" << scalar.passes << ",\"soa\":"
+       << soa.passes << "},"
+       << "\"test_points\":{\"scalar\":" << scalar.test_points << ",\"soa\":"
+       << soa.test_points << "},"
+       << "\"fixed_point_ms\":{\"scalar\":" << scalar.fixed_point_ms
+       << ",\"soa\":" << soa.fixed_point_ms << "},"
+       << "\"extract_ms\":{\"scalar\":" << scalar.extract_ms << ",\"soa\":"
+       << soa.extract_ms << "},"
+       << "\"kernel_ms\":{\"scalar\":" << scalar.kernel_ms << ",\"soa\":"
+       << soa.kernel_ms << "},"
+       << "\"wall_ms\":{\"scalar\":" << scalar.wall_ms << ",\"soa\":"
+       << soa.wall_ms << "},"
+       << "\"passes_per_sec\":{\"scalar\":" << scalar_pps << ",\"soa\":"
+       << soa_pps << "},"
+       << "\"speedup\":" << speedup << ","
+       << "\"scalar_over_soa\":" << scalar_over_soa << ","
+       << "\"checks\":{\"bounds_match\":" << b(bounds_match)
+       << ",\"counters_match\":" << b(counters_match)
+       << ",\"speedup_ok\":" << b(speedup_ok) << ",\"ok\":" << b(ok) << "}}\n";
+    std::ofstream out(*json_path);
+    if (out) out << js.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 2;
+    }
+    std::printf("json record written to %s\n", json_path->c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -82,4 +82,108 @@ namespace tfa {
   return sat_mul(ceil_div(x, T), T);
 }
 
+// ---------------------------------------------------------------------------
+// Branch-free clamp forms.
+//
+// The SoA kernels (src/trajectory/soa.h) evaluate the same saturating
+// operators over contiguous lanes, where a data-dependent branch per
+// element defeats auto-vectorization.  The forms below compute every
+// lane unconditionally — wrap-prone intermediates in unsigned arithmetic,
+// where wraparound is defined and the wrapped lane is discarded — and
+// fold all saturation conditions into one final select.
+//
+// Each clamp op is *provably equal* to its branching twin on the stated
+// domain (tests/base/checked_test.cpp carries the exhaustive boundary
+// grid plus a randomized sweep; docs/math.md the pencil proof):
+//   clamp_add(a, b)                 == sat_add(a, b)            for all a, b
+//   clamp_sporadic_term(a,T,c,thr)  == sat_sporadic_term(a,T,c) for all a
+//   clamp_ceil_term(b,T,c,thr)     == sat_ceil_div_mul(b,T,c)  for b >= 0
+// where thr == clamp_mul_threshold(c), T > 0 and c >= 0.
+// ---------------------------------------------------------------------------
+
+/// Branch-free sat_add.  The sum is formed in unsigned arithmetic (wrap
+/// defined); signed overflow is detected by the sign trick — the operands
+/// agree in sign and the sum disagrees — and folded into one select with
+/// the operand/result range checks.  Equals sat_add(a, b) for all inputs.
+[[nodiscard]] constexpr Duration clamp_add(Duration a, Duration b) noexcept {
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  const std::uint64_t us = ua + ub;
+  const auto s = static_cast<Duration>(us);
+  const bool wrapped = static_cast<Duration>((ua ^ us) & (ub ^ us)) < 0;
+  const bool sat = (a >= kInfiniteDuration) | (b >= kInfiniteDuration) |
+                   wrapped | (s >= kInfiniteDuration);
+  return sat ? kInfiniteDuration : s;
+}
+
+/// Saturation threshold of the count for a fixed cost: the smallest
+/// count >= 0 whose product with `cost` saturates.  Hoisting it out of
+/// the per-element loop turns the multiply's saturation test into a
+/// single compare — count * cost >= kInfiniteDuration iff count >= thr —
+/// and below the threshold the product provably fits int64 exactly.
+[[nodiscard]] constexpr Duration clamp_mul_threshold(Duration cost) noexcept {
+  TFA_EXPECTS(cost >= 0);
+  if (cost >= kInfiniteDuration) return 0;  // every count >= 0 saturates
+  if (cost == 0) return kInfiniteDuration;  // no count < kInf saturates
+  return ceil_div(kInfiniteDuration, cost);
+}
+
+/// Branch-free sat_sporadic_term.  `thr` must be clamp_mul_threshold of
+/// `cost`; the product is formed in unsigned arithmetic and discarded on
+/// the saturated lane.  Equals sat_sporadic_term(a, T, cost) for all a.
+[[nodiscard]] constexpr Duration clamp_sporadic_term(Duration a, Duration T,
+                                                     Duration cost,
+                                                     Duration thr) noexcept {
+  TFA_EXPECTS(T > 0);
+  const std::int64_t count = sporadic_count(a, T);
+  const auto prod = static_cast<Duration>(static_cast<std::uint64_t>(count) *
+                                          static_cast<std::uint64_t>(cost));
+  const bool sat = (a >= kInfiniteDuration) | (count >= thr);
+  return sat ? kInfiniteDuration : prod;
+}
+
+/// Branch-free sat_ceil_div_mul for the Lemma-3 busy operator.  `thr`
+/// must be clamp_mul_threshold of `cost`.  Equals
+/// sat_ceil_div_mul(b, T, cost) for b >= 0 (busy-period iterates are
+/// nonnegative; a negative b would make the count negative, a case the
+/// branching form can only reach outside the fixed-point engines).
+[[nodiscard]] constexpr Duration clamp_ceil_term(Duration b, Duration T,
+                                                 Duration cost,
+                                                 Duration thr) noexcept {
+  TFA_EXPECTS(T > 0);
+  const std::int64_t count = ceil_div(b, T);
+  const auto prod = static_cast<Duration>(static_cast<std::uint64_t>(count) *
+                                          static_cast<std::uint64_t>(cost));
+  const bool sat = (b >= kInfiniteDuration) | (count >= thr);
+  return sat ? kInfiniteDuration : prod;
+}
+
+// ---------------------------------------------------------------------------
+// Checked instants.
+//
+// Candidate-step enumeration evaluates t = k * T - offset for unbounded
+// k.  Unlike the workload sums these are *instants*, legitimately
+// negative, so saturating them to kInfiniteDuration would be wrong; the
+// only sound reading of a wrapped step is "this sweep diverged".  The
+// helpers report wrap explicitly and let the caller classify.
+// ---------------------------------------------------------------------------
+
+/// t = k * T - offset with full int64 wrap detection.  Returns false on
+/// overflow (caller must report divergence), true with *out set otherwise.
+[[nodiscard]] constexpr bool checked_step_instant(std::int64_t k, Duration T,
+                                                  Duration offset,
+                                                  Time* out) noexcept {
+  TFA_EXPECTS(T > 0);
+  std::int64_t prod = 0;
+  if (__builtin_mul_overflow(k, T, &prod)) return false;
+  return !__builtin_sub_overflow(prod, offset, out);
+}
+
+/// a + b over instants with wrap detection.  Returns false on overflow
+/// (caller must report divergence), true with *out set otherwise.
+[[nodiscard]] constexpr bool checked_add_time(Time a, Time b,
+                                              Time* out) noexcept {
+  return !__builtin_add_overflow(a, b, out);
+}
+
 }  // namespace tfa

@@ -57,8 +57,10 @@ Duration node_response(const model::FlowSet& set,
   for (const Visit& v : visits) {
     const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
     const Duration period = set.flow(v.flow).period();
+    Time hi = 0;
+    if (!checked_add_time(busy, jv, &hi)) return kInfiniteDuration;
     const std::int64_t k_lo = ceil_div(jv, period);
-    const std::int64_t k_hi = ceil_div(busy + jv, period);
+    const std::int64_t k_hi = ceil_div(hi, period);
     if (k_hi > k_lo) projected += static_cast<std::size_t>(k_hi - k_lo);
     if (projected > cfg.max_sweep_candidates) return kInfiniteDuration;
   }
@@ -69,7 +71,11 @@ Duration node_response(const model::FlowSet& set,
     const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
     const Duration period = set.flow(v.flow).period();
     for (std::int64_t k = ceil_div(jv, period);; ++k) {
-      const Time t = k * period - jv;
+      // Same checked-step discipline as the trajectory sweep: a wrapped
+      // k * T - J is divergence, never a candidate (and never an endless
+      // loop waiting for a wrapped t to pass `busy`).
+      Time t = 0;
+      if (!checked_step_instant(k, period, jv, &t)) return kInfiniteDuration;
       if (t >= busy) break;
       if (t > 0) candidates.push_back(t);
     }
@@ -83,8 +89,11 @@ Duration node_response(const model::FlowSet& set,
     Duration w = 0;
     for (const Visit& v : visits) {
       const Duration jv = jitter[static_cast<std::size_t>(v.flow)][v.position];
-      w = sat_add(w, sat_sporadic_term(t + jv, set.flow(v.flow).period(),
-                                       v.cost));
+      // The window pre-addition goes through sat_add: t + J_j can wrap
+      // before sat_sporadic_term sees it, and a wrapped-negative window
+      // would undercount to zero packets instead of saturating.
+      w = sat_add(w, sat_sporadic_term(sat_add(t, jv),
+                                       set.flow(v.flow).period(), v.cost));
     }
     best = std::max(best, sat_add(w, -t));
   }

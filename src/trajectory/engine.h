@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "base/types.h"
 #include "model/flow_set.h"
 #include "model/path_algebra.h"
+#include "trajectory/soa.h"
 #include "trajectory/stats.h"
 #include "trajectory/types.h"
 
@@ -159,6 +161,45 @@ class Engine {
                                              nullptr) const;
 
  private:
+  /// Smax-independent inputs of one interference term of prefix_bound():
+  /// everything except the offset A_{i,j}, whose Smax summands are read
+  /// live.  Push order (= candidate order) is preserved so the saturating
+  /// fold and its early-exit points match the uncached evaluation
+  /// bit for bit.
+  struct TermStatic {
+    std::uint32_t ju = 0;         ///< Interfering flow index.
+    std::uint32_t pos_i_fji = 0;  ///< position(i, first_ji) — Smax_i read.
+    std::uint32_t pos_j_fij = 0;  ///< position(j, first_ij) — Smax_j read.
+    bool hp = false;              ///< Higher-priority (FP/FIFO) term.
+    Duration period = 0;          ///< T_j.
+    Duration cost = 0;            ///< C_j^{slow_{j,i}}.
+    Duration smin_v = 0;          ///< Smin_j^{first_ji}.
+    Duration m_cum_v = 0;         ///< M_i^{first_ij} cumulative term.
+  };
+
+  /// Per-(flow, prefix) cache of everything in prefix_bound() that does
+  /// not depend on the evolving Smax table: the pair geometry
+  /// restriction, the Lemma-3 busy-period fixed point (its operator is
+  /// Smax-free, so the solution — and its iteration count, replayed into
+  /// the work counters — is a constant of the run), the per-position
+  /// joiner min/max folded into `constant`, and the static part of every
+  /// interference term.  Built once at construction; every Jacobi pass
+  /// and the extraction reread it instead of recomputing.
+  struct PrefixContext {
+    Duration delta = 0;           ///< Non-preemption delay (EF mode).
+    Duration seed = 0;            ///< Busy-period seed (incl. delta).
+    BusyBatch busy;               ///< Lemma-3 operator terms.
+    bool bp_converged = false;
+    Duration busy_period = 0;     ///< B^slow (when converged).
+    std::size_t bp_iterations = 0;
+    Duration constant = 0;        ///< W's t-independent terms (incl. delta).
+    Duration c_last = 0;          ///< C_i^{P_i[prefix-1]}.
+    Duration own_cost = 0;        ///< C_i^{slow_i} (own-term cost).
+    std::vector<TermStatic> terms;
+  };
+
+  void build_prefix_contexts();
+
   void run_fixed_point(std::vector<EngineStats>* partials,
                        obs::Telemetry* telemetry);
 
@@ -166,11 +207,16 @@ class Engine {
   Config cfg_;
   std::size_t workers_ = 1;      ///< Resolved from Config::workers.
   model::FlowSetGeometry geometry_;
+  // Per-flow parameter lanes (SoA): the interference batches are built
+  // from these instead of dereferencing flow objects term by term.
+  std::vector<Duration> flow_period_;  ///< T_j.
+  std::vector<Duration> flow_jitter_;  ///< J_j.
   std::vector<bool> mask_;       ///< FIFO-aggregate membership per flow.
   std::vector<bool> hp_mask_;    ///< Higher-priority flows.
   std::vector<bool> non_blockers_;  ///< Complement of the blocking set.
   std::function<Duration(FlowIndex, std::size_t)> higher_smax_;
   std::vector<std::vector<Duration>> smax_;  ///< [flow][position].
+  std::vector<std::vector<PrefixContext>> prefix_ctx_;  ///< [flow][prefix-1].
   std::vector<PrefixBound> full_bounds_;     ///< [flow], analysable only.
   bool delta_enabled_ = false;  ///< Some flow plays the blocker role.
   bool converged_ = false;

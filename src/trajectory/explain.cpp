@@ -34,12 +34,14 @@ Explanation explain(const Engine& engine, FlowIndex i) {
 
   const Time t = bound.critical_instant;
 
-  // Own-flow term.  Contributions use the engine's saturating ops so the
-  // reassembly below stays bit-identical even at the overflow margin.
+  // Own-flow term.  Contributions use the engine's saturating ops — the
+  // window pre-addition included, since a raw t + J_i can wrap before
+  // sat_sporadic_term ever sees it — so the reassembly below stays
+  // bit-identical even at the overflow margin.
   const Duration c_slow_own = fi.max_cost();
-  ex.own_packets = sporadic_count(t + fi.jitter(), fi.period());
-  ex.own_contribution =
-      sat_sporadic_term(t + fi.jitter(), fi.period(), c_slow_own);
+  const Duration own_window = sat_add(t, fi.jitter());
+  ex.own_packets = sporadic_count(own_window, fi.period());
+  ex.own_contribution = sat_sporadic_term(own_window, fi.period(), c_slow_own);
 
   // Third term of Property 2: per-node same-direction joiner maxima.
   const std::size_t slow_pos = fi.slow_position();
@@ -73,9 +75,14 @@ Explanation explain(const Engine& engine, FlowIndex i) {
                     engine.smax(fj, pos_j_fij);
     term.period = flow_j.period();
     term.c_slow = g.c_slow_ji;
-    term.packets = sporadic_count(t + term.a_offset, term.period);
-    term.contribution =
-        sat_sporadic_term(t + term.a_offset, term.period, term.c_slow);
+    // Same discipline as the engine's TermBatch: the count window is
+    // formed with sat_add (a wrapped window must read as saturation, not
+    // as a small negative count).  The a_offset recomputation above
+    // stays raw on purpose — it mirrors the engine's a_ij expression
+    // bit for bit, and the consistency check below depends on that.
+    const Duration window = sat_add(t, term.a_offset);
+    term.packets = sporadic_count(window, term.period);
+    term.contribution = sat_sporadic_term(window, term.period, term.c_slow);
     interference = sat_add(interference, term.contribution);
     ex.terms.push_back(std::move(term));
   }

@@ -1,0 +1,234 @@
+// Staged SoA evaluation of the engine's interference sums.
+//
+// Loop structure (the staging is the point — see docs/performance.md):
+//   1. windows:    win[j] = clamp_add(t, offset[j])          [vectorizable]
+//   2. counts:     cnt[j] = (1 + floor(win[j] / T[j]))^+     [idiv-bound]
+//   3. contrib:    lane select of count * cost vs saturation [vectorizable]
+//   4. accumulate: chunked plain sum + clamp                 [vectorizable]
+// The two loops the vectorize smoke gates (tools/check_vectorize.py) are
+// marked with `soa-vec-gate` sentinels; the count loop cannot vectorize
+// on x86 (no SIMD integer division) and is kept contract-free instead.
+//
+// Preconditions are hoisted to push(): the per-element bodies must stay
+// branch-free, and TFA_EXPECTS compiles to a test-and-abort per call.
+
+#include "trajectory/soa.h"
+
+#include <limits>
+
+#include "base/checked.h"
+#include "base/contracts.h"
+#include "base/math.h"
+
+namespace tfa::trajectory {
+
+namespace {
+
+/// Chunk length of the accumulate stage.  Every contribution is
+/// < kInfiniteDuration = INT64_MAX / 1024, so a clamped running value
+/// (<= kInfiniteDuration) plus a chunk sum (< 512 * kInfiniteDuration)
+/// stays below 513/1024 of INT64_MAX — no wrap between clamps.
+constexpr std::size_t kAccumChunk = 512;
+
+/// sporadic_count (base/math.h) with the T > 0 contract hoisted to
+/// TermBatch::push — bit-identical math, branch-free body.
+[[nodiscard]] inline Duration raw_sporadic_count(Duration a,
+                                                 Duration T) noexcept {
+  Duration q = a / T;
+  q -= static_cast<Duration>((a % T != 0) & (a < 0));
+  const Duration count = 1 + q;
+  return count > 0 ? count : 0;
+}
+
+/// ceil_div (base/math.h) with the contract hoisted, branch-free body.
+[[nodiscard]] inline Duration raw_ceil_div(Duration a, Duration T) noexcept {
+  Duration q = a / T;
+  q += static_cast<Duration>((a % T != 0) & (a > 0));
+  return q;
+}
+
+/// Stage 4: the saturating fold w0 ⊕ Σ contrib[j] given that no lane
+/// saturated (every contrib[j] in [0, kInfiniteDuration)).  Equal to
+/// clamp(w0 + exact sum) by the plain-sum + clamp equivalence: partial
+/// sums are monotone from w0, so the first clamp at >= kInfiniteDuration
+/// is absorbing, and within a chunk the plain sum cannot wrap.
+[[nodiscard]] Duration accumulate_clamped(Duration w0, const Duration* contrib,
+                                          std::size_t n) noexcept {
+  Duration w = w0;
+  for (std::size_t s = 0; s < n; s += kAccumChunk) {
+    const std::size_t e = s + kAccumChunk < n ? s + kAccumChunk : n;
+    Duration sum = 0;
+    // soa-vec-gate: accumulate
+    for (std::size_t j = s; j < e; ++j) sum += contrib[j];
+    w += sum;
+    w = w >= kInfiniteDuration ? kInfiniteDuration : w;
+  }
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- //
+// TermBatch
+// ---------------------------------------------------------------------- //
+
+void TermBatch::reserve(std::size_t n) {
+  offset_.reserve(n);
+  period_.reserve(n);
+  cost_.reserve(n);
+  thr_.reserve(n);
+}
+
+void TermBatch::clear() {
+  offset_.clear();
+  period_.clear();
+  cost_.clear();
+  thr_.clear();
+}
+
+void TermBatch::push(Duration offset, Duration period, Duration cost) {
+  TFA_EXPECTS(period > 0);
+  TFA_EXPECTS(cost >= 0);
+  offset_.push_back(offset);
+  period_.push_back(period);
+  cost_.push_back(cost);
+  thr_.push_back(clamp_mul_threshold(cost));
+}
+
+Duration TermBatch::workload(Time t, Duration w0, Kernel kernel) {
+  return kernel == Kernel::kScalar ? workload_scalar(t, w0)
+                                   : workload_staged(t, w0);
+}
+
+Duration TermBatch::workload_scalar(Time t, Duration w0) const {
+  Duration w = w0;
+  const std::size_t n = size();
+  for (std::size_t j = 0; j < n; ++j)
+    w = sat_add(w, sat_sporadic_term(sat_add(t, offset_[j]), period_[j],
+                                     cost_[j]));
+  return w;
+}
+
+Duration TermBatch::workload_staged(Time t, Duration w0) {
+  const std::size_t n = size();
+  win_.resize(n);
+  cnt_.resize(n);
+  contrib_.resize(n);
+  const Duration* __restrict off = offset_.data();
+  const Duration* __restrict per = period_.data();
+  const Duration* __restrict cost = cost_.data();
+  const Duration* __restrict thr = thr_.data();
+  Duration* __restrict win = win_.data();
+  Duration* __restrict cnt = cnt_.data();
+  Duration* __restrict contrib = contrib_.data();
+
+  // soa-vec-gate: windows
+  for (std::size_t j = 0; j < n; ++j) win[j] = clamp_add(t, off[j]);
+
+  for (std::size_t j = 0; j < n; ++j)
+    cnt[j] = raw_sporadic_count(win[j], per[j]);
+
+  Duration saturated = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto prod = static_cast<Duration>(static_cast<std::uint64_t>(cnt[j]) *
+                                            static_cast<std::uint64_t>(cost[j]));
+    const bool sat = (win[j] >= kInfiniteDuration) | (cnt[j] >= thr[j]);
+    contrib[j] = sat ? kInfiniteDuration : prod;
+    saturated |= static_cast<Duration>(sat);
+  }
+  // One saturated term makes the whole saturating fold infinite (sat_add
+  // absorbs), regardless of how negative w0 is — clamp(w0 + sum) would
+  // not, so the saturated case exits before the accumulate stage.
+  if (saturated != 0) return kInfiniteDuration;
+  return accumulate_clamped(w0, contrib, n);
+}
+
+bool TermBatch::sweep_hazard_free(Time t_begin, Time t_end) const {
+  using Wide = WideSum;
+  const std::size_t n = size();
+  const Wide lo0 = static_cast<Wide>(t_begin);
+  const Wide hi0 = static_cast<Wide>(t_end) - 1;
+  constexpr Wide kIntMin = std::numeric_limits<Duration>::min();
+  for (std::size_t j = 0; j < n; ++j) {
+    const Wide lo = lo0 + offset_[j];
+    const Wide hi = hi0 + offset_[j];
+    // Window must stay representable and finite over the whole range.
+    if (lo < kIntMin || hi >= static_cast<Wide>(kInfiniteDuration))
+      return false;
+    // Largest count over the range (counts are monotone in t).
+    Wide q = hi / period_[j];
+    if (hi % period_[j] != 0 && hi < 0) --q;
+    if (q + 1 >= static_cast<Wide>(thr_[j])) return false;
+  }
+  return true;
+}
+
+WideSum TermBatch::sweep_base(Time t_begin) const {
+  WideSum s = 0;
+  const std::size_t n = size();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Fits int64: sweep_hazard_free checked the window range.
+    const Duration a = t_begin + offset_[j];
+    s += static_cast<WideSum>(raw_sporadic_count(a, period_[j])) * cost_[j];
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------- //
+// BusyBatch
+// ---------------------------------------------------------------------- //
+
+void BusyBatch::reserve(std::size_t n) {
+  period_.reserve(n);
+  cost_.reserve(n);
+  thr_.reserve(n);
+}
+
+void BusyBatch::clear() {
+  period_.clear();
+  cost_.clear();
+  thr_.clear();
+}
+
+void BusyBatch::push(Duration period, Duration cost) {
+  TFA_EXPECTS(period > 0);
+  TFA_EXPECTS(cost >= 0);
+  period_.push_back(period);
+  cost_.push_back(cost);
+  thr_.push_back(clamp_mul_threshold(cost));
+}
+
+Duration BusyBatch::apply(Duration b, Duration base, Kernel kernel) {
+  TFA_EXPECTS(b >= 0);
+  const std::size_t n = size();
+  if (kernel == Kernel::kScalar) {
+    Duration sum = base;
+    for (std::size_t j = 0; j < n; ++j)
+      sum = sat_add(sum, sat_ceil_div_mul(b, period_[j], cost_[j]));
+    return sum;
+  }
+
+  cnt_.resize(n);
+  contrib_.resize(n);
+  const Duration* __restrict per = period_.data();
+  const Duration* __restrict cost = cost_.data();
+  const Duration* __restrict thr = thr_.data();
+  Duration* __restrict cnt = cnt_.data();
+  Duration* __restrict contrib = contrib_.data();
+
+  for (std::size_t j = 0; j < n; ++j) cnt[j] = raw_ceil_div(b, per[j]);
+
+  const bool b_inf = b >= kInfiniteDuration;
+  Duration saturated = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto prod = static_cast<Duration>(static_cast<std::uint64_t>(cnt[j]) *
+                                            static_cast<std::uint64_t>(cost[j]));
+    const bool sat = b_inf | (cnt[j] >= thr[j]);
+    contrib[j] = sat ? kInfiniteDuration : prod;
+    saturated |= static_cast<Duration>(sat);
+  }
+  if (saturated != 0) return kInfiniteDuration;
+  return accumulate_clamped(base, contrib, n);
+}
+
+}  // namespace tfa::trajectory

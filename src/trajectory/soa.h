@@ -1,0 +1,127 @@
+// Structure-of-arrays interference kernels for the trajectory engine.
+//
+// prefix_bound() evaluates the same three sums thousands of times per
+// Jacobi pass: the Lemma-3 busy-period operator, the Property-2/3
+// workload W_i(t), and the FP/FIFO per-instant fixed point.  The scalar
+// engine folds them term by term over an array-of-structs with one
+// saturating checked op (branch per element) per term.  The batches
+// below pack the terms into parallel arrays (offset / period / cost /
+// saturation threshold) built once per prefix evaluation, and evaluate
+// them in staged loops of branch-free clamp ops (base/checked.h) that
+// the compiler can auto-vectorize — plus an event-driven incremental
+// path for the exact candidate sweep that eliminates the per-candidate
+// re-evaluation entirely.
+//
+// Bit-identity contract: for either Kernel every entry point returns
+// exactly the value of the scalar saturating fold, element order
+// included.  The clamp ops are pointwise equal to the sat ops
+// (docs/math.md, "Clamp-form saturating ops"), and the staged/
+// incremental summations are order-insensitive: over nonnegative terms
+// the fold equals kInfiniteDuration when ANY term saturates (the staged
+// kernel's per-term flag handles this — a plain clamp would not, since
+// a negative w0 could pull a saturated sum back under the ceiling), and
+// clamp(w0 + exact sum) otherwise, regardless of association (same doc,
+// "Plain-sum + clamp equivalence").  tests/proptest enforces the
+// contract differentially on every corner family.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "trajectory/types.h"
+
+namespace tfa::trajectory {
+
+/// Signed 128-bit accumulator for the incremental sweep: the exact
+/// workload sum fits (<= terms * kInfiniteDuration < 2^77) and cannot
+/// saturate prematurely, so clamping happens once per read, not per add.
+__extension__ typedef __int128 WideSum;  // NOLINT: suppresses -Wpedantic
+
+/// SoA batch of sporadic interference terms: W(t) = sum over terms of
+/// sporadic_count(t + offset_j, T_j) * c_j, saturating.  Used for the
+/// aggregate workload (Lemma 2 terms), the FP/FIFO higher-priority
+/// terms, and — via the sweep helpers — the exact candidate sweep.
+class TermBatch {
+ public:
+  void reserve(std::size_t n);
+  void clear();
+
+  /// Appends one term.  `period` > 0; `cost` >= 0.
+  void push(Duration offset, Duration period, Duration cost);
+
+  [[nodiscard]] std::size_t size() const noexcept { return offset_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return offset_.empty(); }
+  [[nodiscard]] Duration offset(std::size_t j) const { return offset_[j]; }
+  [[nodiscard]] Duration period(std::size_t j) const { return period_[j]; }
+  [[nodiscard]] Duration cost(std::size_t j) const { return cost_[j]; }
+
+  /// The saturating fold w0 ⊕ Σ_j term_j(t): for kScalar one sat op per
+  /// term in push order, for kSoa the staged clamp kernels.  Identical
+  /// results by the equivalence proofs.  Non-const: kSoa uses the
+  /// batch-owned scratch lanes.
+  [[nodiscard]] Duration workload(Time t, Duration w0, Kernel kernel);
+
+  /// True when the incremental sweep is exact over every t in
+  /// [t_begin, t_end): no window, count, or product can saturate or
+  /// leave int64 anywhere in the range (checked in 128-bit).  When it
+  /// returns false the sweep must evaluate candidates via workload(),
+  /// whose per-term saturation handling is always exact.
+  [[nodiscard]] bool sweep_hazard_free(Time t_begin, Time t_end) const;
+
+  /// Σ_j count_j(t_begin) * c_j as an exact wide sum — the incremental
+  /// sweep's base value.  Requires sweep_hazard_free(t_begin, t_end).
+  [[nodiscard]] WideSum sweep_base(Time t_begin) const;
+
+ private:
+  [[nodiscard]] Duration workload_scalar(Time t, Duration w0) const;
+  [[nodiscard]] Duration workload_staged(Time t, Duration w0);
+
+  std::vector<Duration> offset_;
+  std::vector<Duration> period_;
+  std::vector<Duration> cost_;
+  std::vector<Duration> thr_;  ///< clamp_mul_threshold(cost_[j]).
+
+  // Scratch lanes of the staged kernel (win -> count -> contribution).
+  std::vector<Duration> win_;
+  std::vector<Duration> cnt_;
+  std::vector<Duration> contrib_;
+};
+
+/// SoA batch for the Lemma-3 busy-period operator:
+/// B(b) = base + Σ_j ceil(b / T_j) * c_j, saturating, b >= 0.
+class BusyBatch {
+ public:
+  void reserve(std::size_t n);
+  void clear();
+
+  /// Appends one term.  `period` > 0; `cost` >= 0.
+  void push(Duration period, Duration cost);
+
+  [[nodiscard]] std::size_t size() const noexcept { return period_.size(); }
+
+  /// The saturating fold base ⊕ Σ_j ceil(b/T_j)*c_j for b >= 0.
+  [[nodiscard]] Duration apply(Duration b, Duration base, Kernel kernel);
+
+ private:
+  std::vector<Duration> period_;
+  std::vector<Duration> cost_;
+  std::vector<Duration> thr_;
+
+  std::vector<Duration> cnt_;
+  std::vector<Duration> contrib_;
+};
+
+/// clamp(w0 + sum): the read-out of the incremental sweep's wide
+/// accumulator, equal to the scalar saturating fold of the same terms
+/// by the plain-sum + clamp equivalence (all terms nonnegative, each
+/// < kInfiniteDuration on the hazard-free path).
+[[nodiscard]] inline Duration clamp_wide(Duration w0, WideSum sum) noexcept {
+  const WideSum full = static_cast<WideSum>(w0) + sum;
+  return full >= static_cast<WideSum>(kInfiniteDuration)
+             ? kInfiniteDuration
+             : static_cast<Duration>(full);
+}
+
+}  // namespace tfa::trajectory

@@ -16,6 +16,7 @@
 #include "obs/telemetry.h"
 #include "service/loopback.h"
 #include "trajectory/analysis.h"
+#include "trajectory/explain.h"
 #include "../service/service_test_util.h"
 
 namespace tfa {
@@ -75,6 +76,61 @@ TEST(OverflowRegression, NetcalcModesStayFiniteAndEqualAcrossRuns) {
     EXPECT_EQ(a1.bounds[i].response, a2.bounds[i].response);
     EXPECT_FALSE(is_infinite(a1.bounds[i].response)) << "tau" << i + 1;
     EXPECT_FALSE(is_infinite(p1.bounds[i].response)) << "tau" << i + 1;
+  }
+}
+
+/// The explainer at the overflow margin: periods and jitters near 2^50
+/// push the critical instant deep into negative territory and the count
+/// windows t + A within a few bits of the saturation edge.  The window
+/// pre-additions go through sat_add on both sides (engine TermBatch and
+/// explainer alike), so the decomposition must still reassemble the
+/// engine's bound bit for bit — the explainer's internal TFA_ENSURES
+/// aborts the test if it does not.
+TEST(OverflowRegression, ExplainReassemblesAtTheMagnitudeMargin) {
+  const Duration big = Duration{1} << 50;
+  model::FlowSet set(model::Network(3, 1, 1));
+  set.add(model::SporadicFlow("a", model::Path{0, 1, 2}, big, 3, big,
+                              Duration{1} << 52));
+  set.add(model::SporadicFlow("b", model::Path{0, 1, 2}, big, 5, big,
+                              Duration{1} << 52));
+  ASSERT_TRUE(set.validate().empty());
+
+  const trajectory::Engine engine(set, trajectory::Config{});
+  ASSERT_TRUE(engine.converged());
+  for (const FlowIndex i : {FlowIndex{0}, FlowIndex{1}}) {
+    const trajectory::Explanation ex = trajectory::explain(engine, i);
+    EXPECT_EQ(ex.response, engine.bound(i).response) << "flow " << i;
+    EXPECT_FALSE(is_infinite(ex.response)) << "flow " << i;
+    // The release-jitter offset really reached the margin regime.
+    EXPECT_LT(ex.critical_instant, 0) << "flow " << i;
+  }
+}
+
+/// The holistic arrival sweep at the same margin: jitters near 2^50 flow
+/// into the t + J_j count windows via sat_add, so the sweep must stay
+/// exact (finite, reproducible, and at least the jitter it folds in) —
+/// never wrapped into a small bogus bound.
+TEST(OverflowRegression, HolisticSweepStaysExactAtTheMagnitudeMargin) {
+  const Duration big = Duration{1} << 50;
+  model::FlowSet set(model::Network(2, 1, 1));
+  set.add(model::SporadicFlow("a", model::Path{0, 1}, big, 7, big,
+                              Duration{1} << 52));
+  set.add(model::SporadicFlow("b", model::Path{0, 1}, big, 9, big,
+                              Duration{1} << 52));
+  ASSERT_TRUE(set.validate().empty());
+
+  const holistic::Result h1 = holistic::analyze(set);
+  const holistic::Result h2 = holistic::analyze(set);
+  ASSERT_TRUE(h1.converged);
+  ASSERT_EQ(h1.bounds.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(is_infinite(h1.bounds[i].response)) << "flow " << i;
+    // End-to-end responses include the release jitter; a wrapped window
+    // undercounting packets would land far below it.
+    EXPECT_GE(h1.bounds[i].response,
+              set.flow(static_cast<FlowIndex>(i)).jitter())
+        << "flow " << i;
+    EXPECT_EQ(h1.bounds[i].response, h2.bounds[i].response) << "flow " << i;
   }
 }
 

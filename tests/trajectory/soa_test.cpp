@@ -1,0 +1,240 @@
+// Unit tests of the SoA interference kernels (trajectory/soa.h): the
+// TermBatch / BusyBatch staged kernels against the scalar saturating
+// fold (including the saturated-term-with-negative-base case where the
+// naive plain-sum-plus-clamp would be wrong), the incremental-sweep
+// hazard detection, and the FP/FIFO regression where a saturating
+// higher-priority term must classify as divergence — not break the
+// per-instant fixed point as "converged".
+#include "trajectory/soa.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "base/checked.h"
+#include "model/flow_set.h"
+#include "trajectory/engine.h"
+
+namespace tfa::trajectory {
+namespace {
+
+using model::FlowSet;
+using model::Network;
+using model::Path;
+using model::SporadicFlow;
+
+constexpr Duration kInf = kInfiniteDuration;
+
+/// Deterministic 64-bit generator (splitmix64) for the randomized sweeps.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::int64_t pick(std::uint64_t& state, std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_u64(state) %
+                  static_cast<std::uint64_t>(hi - lo + 1));
+}
+
+TEST(TermBatch, EmptyBatchReturnsTheBase) {
+  TermBatch batch;
+  EXPECT_EQ(batch.workload(123, 7, Kernel::kScalar), 7);
+  EXPECT_EQ(batch.workload(123, 7, Kernel::kSoa), 7);
+  EXPECT_EQ(batch.workload(0, -42, Kernel::kSoa), -42);
+}
+
+TEST(TermBatch, KernelsAgreeOnRandomBatches) {
+  std::uint64_t state = 0x7e4B;
+  for (int round = 0; round < 2'000; ++round) {
+    TermBatch batch;
+    const int n = static_cast<int>(next_u64(state) % 33);
+    for (int j = 0; j < n; ++j) {
+      // Mostly moderate magnitudes, with a sprinkle of near-saturation
+      // offsets and huge costs so the clamp paths genuinely fire.
+      const bool extreme = next_u64(state) % 8 == 0;
+      const Duration offset = extreme ? kInf - pick(state, 0, 3)
+                                      : pick(state, -(1LL << 40), 1LL << 40);
+      const Duration period = extreme ? pick(state, 1, 4)
+                                      : pick(state, 1, 1LL << 30);
+      const Duration cost = extreme ? (kInf / 2) + pick(state, 0, 3)
+                                    : pick(state, 0, 1LL << 30);
+      batch.push(offset, period, cost);
+    }
+    const Time t = pick(state, -(1LL << 41), 1LL << 41);
+    const Duration w0 = pick(state, -(1LL << 35), 1LL << 35);
+    const Duration scalar = batch.workload(t, w0, Kernel::kScalar);
+    const Duration soa = batch.workload(t, w0, Kernel::kSoa);
+    ASSERT_EQ(scalar, soa) << "round " << round << " t=" << t
+                           << " w0=" << w0 << " n=" << n;
+  }
+}
+
+TEST(TermBatch, SaturatedTermWithNegativeBaseStaysAbsorbing) {
+  // The case where "clamp(w0 + exact sum)" would be wrong: one term
+  // saturates and the base is negative.  The scalar fold absorbs to
+  // kInfiniteDuration regardless of w0; the staged kernel must too
+  // (its `saturated` flag short-circuits before the accumulate stage),
+  // not return kInfiniteDuration - |w0|.
+  TermBatch batch;
+  batch.push(3, 7, 5);       // benign
+  batch.push(kInf, 1, 1);    // window saturates at any t >= 0
+  batch.push(11, 13, 2);     // benign
+  for (const Duration w0 : {Duration{-5}, Duration{-(1LL << 40)}, Duration{0},
+                            Duration{17}}) {
+    EXPECT_EQ(batch.workload(0, w0, Kernel::kScalar), kInf) << "w0=" << w0;
+    EXPECT_EQ(batch.workload(0, w0, Kernel::kSoa), kInf) << "w0=" << w0;
+  }
+}
+
+TEST(TermBatch, CountThresholdSaturationMatchesScalar) {
+  // Product saturation without window saturation: cost 2^51, four
+  // packets => 2^53 > kInfiniteDuration.
+  TermBatch batch;
+  batch.push(0, 1LL << 40, Duration{1} << 51);
+  const Time t = 3 * (1LL << 40);  // count = 4
+  const Duration scalar = batch.workload(t, 0, Kernel::kScalar);
+  EXPECT_EQ(scalar, kInf);
+  EXPECT_EQ(batch.workload(t, 0, Kernel::kSoa), scalar);
+  // One packet fewer stays exact.
+  const Time t3 = 2 * (1LL << 40);
+  EXPECT_EQ(batch.workload(t3, 0, Kernel::kScalar), 3 * (Duration{1} << 51));
+  EXPECT_EQ(batch.workload(t3, 0, Kernel::kSoa), 3 * (Duration{1} << 51));
+}
+
+TEST(TermBatch, SweepHazardDetection) {
+  TermBatch benign;
+  benign.push(10, 7, 3);
+  benign.push(-4, 11, 2);
+  EXPECT_TRUE(benign.sweep_hazard_free(-100, 1'000'000));
+
+  TermBatch window_hazard;
+  window_hazard.push(kInf - 1, 7, 3);  // t_end - 1 + offset reaches kInf
+  EXPECT_FALSE(window_hazard.sweep_hazard_free(0, 10));
+  EXPECT_TRUE(window_hazard.sweep_hazard_free(-kInf, -kInf + 10));
+
+  TermBatch product_hazard;  // max count saturates the product
+  product_hazard.push(0, 1, Duration{1} << 51);
+  EXPECT_FALSE(product_hazard.sweep_hazard_free(0, 1LL << 40));
+  EXPECT_TRUE(product_hazard.sweep_hazard_free(0, 2));
+}
+
+TEST(TermBatch, SweepBaseMatchesWorkloadOnTheHazardFreeRange) {
+  TermBatch batch;
+  batch.push(10, 7, 3);
+  batch.push(-40, 11, 2);
+  batch.push(0, 5, 9);
+  ASSERT_TRUE(batch.sweep_hazard_free(-50, 200));
+  for (const Time t : {Time{-50}, Time{-1}, Time{0}, Time{1}, Time{34},
+                       Time{150}}) {
+    for (const Duration w0 : {Duration{-9}, Duration{0}, Duration{123}}) {
+      const Duration expect = batch.workload(t, w0, Kernel::kScalar);
+      EXPECT_EQ(clamp_wide(w0, batch.sweep_base(t)), expect)
+          << "t=" << t << " w0=" << w0;
+      EXPECT_EQ(batch.workload(t, w0, Kernel::kSoa), expect);
+    }
+  }
+}
+
+TEST(BusyBatch, KernelsAgreeIncludingSaturation) {
+  std::uint64_t state = 0xB05B;
+  for (int round = 0; round < 2'000; ++round) {
+    BusyBatch batch;
+    const int n = static_cast<int>(next_u64(state) % 17);
+    for (int j = 0; j < n; ++j) {
+      const bool extreme = next_u64(state) % 8 == 0;
+      batch.push(pick(state, 1, 1LL << 30),
+                 extreme ? (kInf / 2) + pick(state, 0, 3)
+                         : pick(state, 0, 1LL << 30));
+    }
+    const Duration b = pick(state, 0, 1LL << 41);
+    const Duration base = pick(state, -(1LL << 20), 1LL << 35);
+    const Duration scalar = batch.apply(b, base, Kernel::kScalar);
+    ASSERT_EQ(batch.apply(b, base, Kernel::kSoa), scalar)
+        << "round " << round << " b=" << b << " base=" << base;
+  }
+  // Degenerate: empty batch returns the base untouched.
+  BusyBatch empty;
+  EXPECT_EQ(empty.apply(99, 7, Kernel::kScalar), 7);
+  EXPECT_EQ(empty.apply(99, 7, Kernel::kSoa), 7);
+}
+
+TEST(Engine, SaturatingHigherPriorityTermIsDivergenceNotConvergence) {
+  // Regression for the FP/FIFO per-instant fixed point: a single
+  // higher-priority term whose product saturates (cost 2^51, four
+  // packets => past kInfiniteDuration) must classify the prefix as
+  // divergent.  Before the fix the saturated iterate could satisfy
+  // next == w at the sentinel and break the loop as "converged".  The
+  // divergence ceiling is lifted so the saturation path itself — not
+  // the ceiling check — is what fires.
+  FlowSet set(Network(1, 1, 1));
+  set.add(SporadicFlow("lo", Path{0}, 100, 5, 0, 1'000'000));
+  set.add(SporadicFlow("hp", Path{0}, Duration{1} << 51, Duration{1} << 51,
+                       0, kInf / 2));
+
+  Config cfg;
+  cfg.workers = 1;
+  cfg.divergence_ceiling = kInf;
+  EngineRoles roles;
+  roles.same = {true, false};
+  roles.higher = {false, true};
+  roles.blockers = {false, false};
+  roles.higher_smax = [](FlowIndex, std::size_t) { return Duration{0}; };
+
+  for (const Kernel kernel : {Kernel::kScalar, Kernel::kSoa}) {
+    Config k = cfg;
+    k.kernel = kernel;
+    EngineRoles r = roles;
+    const Engine engine(set, k, std::move(r));
+    EngineStats stats;
+    const PrefixBound pb = engine.prefix_bound(0, 1, &stats);
+    EXPECT_FALSE(pb.finite());
+    EXPECT_EQ(pb.response, kInf);
+    // The loop genuinely iterated into the saturating region (several
+    // per-instant steps), it did not bail on the first evaluation.
+    EXPECT_GE(stats.busy_period_iterations, 2u);
+  }
+}
+
+TEST(Engine, KernelsAgreeUnderExplicitRolesWithHigherPriorityTerms) {
+  // A well-behaved FP/FIFO configuration: both kernels drive the
+  // per-instant fixed point to the same finite bound.
+  FlowSet set(Network(2, 1, 1));
+  set.add(SporadicFlow("lo", Path{0, 1}, 100, 5, 0, 1'000'000));
+  set.add(SporadicFlow("mid", Path{0, 1}, 80, 7, 2, 1'000'000));
+  set.add(SporadicFlow("hp", Path{0, 1}, 60, 4, 0, 1'000'000));
+
+  EngineRoles roles;
+  roles.same = {true, true, false};
+  roles.higher = {false, false, true};
+  roles.blockers = {false, false, false};
+  roles.higher_smax = [](FlowIndex, std::size_t pos) {
+    return static_cast<Duration>(pos);
+  };
+
+  Config scalar;
+  scalar.workers = 1;
+  scalar.kernel = Kernel::kScalar;
+  Config soa = scalar;
+  soa.kernel = Kernel::kSoa;
+
+  EngineRoles r1 = roles;
+  EngineRoles r2 = roles;
+  const Engine a(set, scalar, std::move(r1));
+  const Engine b(set, soa, std::move(r2));
+  ASSERT_TRUE(a.converged());
+  ASSERT_TRUE(b.converged());
+  for (const FlowIndex i : {FlowIndex{0}, FlowIndex{1}}) {
+    EXPECT_EQ(a.bound(i).response, b.bound(i).response) << "flow " << i;
+    EXPECT_EQ(a.bound(i).busy_period, b.bound(i).busy_period) << "flow " << i;
+    EXPECT_EQ(a.bound(i).critical_instant, b.bound(i).critical_instant)
+        << "flow " << i;
+    EXPECT_FALSE(is_infinite(a.bound(i).response)) << "flow " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tfa::trajectory

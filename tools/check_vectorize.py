@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Assert that the SoA kernel's gated hot loops auto-vectorize.
+
+src/trajectory/soa.cpp marks the two loops its layout and clamp-form
+rewrite exist for with sentinel comments:
+
+    // soa-vec-gate: windows
+    // soa-vec-gate: accumulate
+
+This script compiles the translation unit standalone with the
+vectorization flags the `soa-vec` preset uses (-O3 -mavx2, GCC's
+-fopt-info-vec-optimized remarks) and requires an
+"optimized: loop vectorized" remark anchored within a few lines of each
+sentinel.  A refactor that reintroduces a per-element branch, a function
+call the compiler will not inline, or a loop-carried dependence into
+either loop silences the remark and turns this check red — instead of
+silently downgrading the kernel to scalar code that still passes every
+bit-identity test.
+
+Usage:
+  check_vectorize.py --compiler g++ --source src/trajectory/soa.cpp \
+      --include src
+
+Exit code 0 when every sentinel has its remark, 1 otherwise, 2 when the
+compile itself fails.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+SENTINELS = ("soa-vec-gate: windows", "soa-vec-gate: accumulate")
+# The remark must anchor to the `for` within this many lines below the
+# sentinel comment (the sentinel sits directly above the loop).
+WINDOW = 6
+
+FLAGS = ["-std=c++20", "-O3", "-mavx2", "-fopt-info-vec-optimized", "-c"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default="c++")
+    parser.add_argument("--source", required=True)
+    parser.add_argument("--include", action="append", default=[],
+                        help="include directory (repeatable)")
+    args = parser.parse_args()
+
+    with open(args.source, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    anchors = {}
+    for sentinel in SENTINELS:
+        found = [i + 1 for i, line in enumerate(lines) if sentinel in line]
+        if len(found) != 1:
+            print(f"{args.source}: expected exactly one '{sentinel}' "
+                  f"sentinel, found {len(found)}", file=sys.stderr)
+            return 1
+        anchors[sentinel] = found[0]
+
+    cmd = [args.compiler, *FLAGS]
+    for inc in args.include:
+        cmd += ["-I", inc]
+    cmd += [args.source, "-o", "/dev/null"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"compile failed: {' '.join(cmd)}\n{proc.stderr}",
+              file=sys.stderr)
+        return 2
+
+    # GCC emits "<file>:<line>:<col>: optimized: loop vectorized ..."
+    vectorized = set()
+    for line in proc.stderr.splitlines():
+        match = re.search(r":(\d+):\d+: optimized: loop vectorized", line)
+        if match:
+            vectorized.add(int(match.group(1)))
+
+    failures = []
+    for sentinel, anchor in anchors.items():
+        hits = [n for n in vectorized
+                if anchor <= n <= anchor + WINDOW]
+        if not hits:
+            failures.append(
+                f"'{sentinel}' (line {anchor}): no 'loop vectorized' remark "
+                f"within {WINDOW} lines")
+        else:
+            print(f"'{sentinel}': vectorized at line {hits[0]}")
+    if failures:
+        near = ", ".join(str(n) for n in sorted(vectorized)) or "none"
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        print(f"vectorized loop lines reported by the compiler: {near}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
